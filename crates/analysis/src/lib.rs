@@ -1,0 +1,29 @@
+//! # selftune-analysis
+//!
+//! Schedulability analysis for CPU reservations, reproducing the analytical
+//! figures of *"Self-tuning Schedulers for Legacy Real-Time Applications"*
+//! (EuroSys 2010), Section 3.2:
+//!
+//! * [`sbf`] — supply bound functions (hard CBS, Shin–Lee periodic
+//!   resource, linear bound).
+//! * [`demand`] — periodic tasks, request/demand bound functions, testing
+//!   points, hyperperiods.
+//! * [`minbudget`] — minimum budget/bandwidth searches: a single task per
+//!   server (Figure 1) and a rate-monotonic or EDF group sharing one
+//!   reservation (Figure 2).
+//!
+//! Time is unit-agnostic `f64`; the experiments use milliseconds.
+
+pub mod demand;
+pub mod minbudget;
+pub mod sbf;
+
+pub use demand::{
+    dbf, edf_testing_points, hyperperiod, rbf, rm_testing_points, total_utilisation, PeriodicTask,
+};
+pub use minbudget::{
+    dedicated_servers_bandwidth, edf_schedulable_in_server, min_bandwidth_rm_group,
+    min_bandwidth_single, min_budget_edf_group, min_budget_rm_group, min_budget_single,
+    rm_schedulable_in_server,
+};
+pub use sbf::{cbs_sbf, linear_sbf, periodic_resource_sbf};

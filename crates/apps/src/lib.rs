@@ -1,0 +1,25 @@
+//! # selftune-apps
+//!
+//! Generative models of the legacy applications the paper evaluates on:
+//!
+//! * [`media`] — `mplayer` playing a 25 fps movie (GOP-shaped decode
+//!   costs, burst syscalls at job boundaries, frame-display marks) and an
+//!   mp3 stream at 32.5 jobs/s (Figures 5, 10–14; Tables 2–3).
+//! * [`transcode`] — the CPU-bound `ffmpeg` transcode used to measure
+//!   tracer overhead (Table 1).
+//! * [`synthetic`] — periodic RT load generators (Table 2's background
+//!   reservations), CPU hogs, and aperiodic workloads for the analyser's
+//!   non-periodic verdict.
+//!
+//! These are *black boxes* to the self-tuning machinery: they issue
+//! computation and system calls, never scheduler API calls.
+
+pub mod media;
+pub mod streamer;
+pub mod synthetic;
+pub mod transcode;
+
+pub use media::{CostModel, MediaConfig, MediaPlayer, SyscallMix};
+pub use streamer::{Streamer, StreamerConfig};
+pub use synthetic::{table2_background_tasks, Aperiodic, CpuHog, PeriodicRt};
+pub use transcode::{TranscodeConfig, Transcoder};

@@ -1,0 +1,42 @@
+//! Criterion benches for CBS server operations and the EDF pick path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selftune_sched::{Place, ReservationScheduler, ServerConfig};
+use selftune_simcore::scheduler::Scheduler;
+use selftune_simcore::task::TaskId;
+use selftune_simcore::time::{Dur, Time};
+use std::hint::black_box;
+
+fn bench_pick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cbs/edf_pick");
+    for &servers in &[4usize, 16, 64, 256] {
+        let mut s = ReservationScheduler::new();
+        for i in 0..servers {
+            let sid = s.create_server(ServerConfig::new(Dur::us(500), Dur::ms(10 + i as u64 % 50)));
+            let t = TaskId(i as u32);
+            s.place(t, Place::Server(sid));
+            s.on_ready(t, Time::ZERO);
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(servers), &servers, |b, _| {
+            b.iter(|| black_box(&mut s).pick(Time::ZERO + Dur::ms(1)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_charge(c: &mut Criterion) {
+    c.bench_function("cbs/charge", |b| {
+        let mut s = ReservationScheduler::new();
+        let sid = s.create_server(ServerConfig::new(Dur::ms(100), Dur::ms(100)));
+        s.place(TaskId(0), Place::Server(sid));
+        s.on_ready(TaskId(0), Time::ZERO);
+        let mut now = Time::ZERO;
+        b.iter(|| {
+            now += Dur::us(1);
+            s.charge(TaskId(0), Dur::ns(100), now);
+        });
+    });
+}
+
+criterion_group!(benches, bench_pick, bench_charge);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benches for the discrete-event kernel: event throughput with
+//! periodic tasks under the reservation scheduler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selftune_apps::PeriodicRt;
+use selftune_sched::{Place, ReservationScheduler, ServerConfig};
+use selftune_simcore::rng::Rng;
+use selftune_simcore::time::Dur;
+use selftune_simcore::Kernel;
+
+fn sim_second(tasks: usize) {
+    let mut kernel = Kernel::new(ReservationScheduler::new());
+    let mut rng = Rng::new(7);
+    for i in 0..tasks {
+        let period = Dur::ms(5 + (i as u64 % 7) * 3);
+        let wcet = period.mul_f64(0.6 / tasks as f64);
+        let sid = kernel
+            .sched_mut()
+            .create_server(ServerConfig::new(wcet.max(Dur::us(50)), period));
+        let w = PeriodicRt::new("t", wcet.max(Dur::us(50)), period, 0.05, rng.fork());
+        let tid = kernel.spawn("t", Box::new(w));
+        kernel.sched_mut().place(tid, Place::Server(sid));
+    }
+    kernel.run_for(Dur::secs(1));
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/sim_one_second");
+    g.sample_size(20);
+    for &tasks in &[1usize, 4, 16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, &t| {
+            b.iter(|| sim_second(t));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

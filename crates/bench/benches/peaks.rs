@@ -1,0 +1,46 @@
+//! Criterion benches for the peak-detection heuristic (Figure 8 backing
+//! data): cost vs ε and the α-threshold cut, per Equation (5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selftune_spectrum::{
+    amplitude_spectrum, detect, synthetic_burst_train, PeakConfig, SpectrumConfig,
+};
+use std::hint::black_box;
+
+fn spectrum() -> selftune_spectrum::Spectrum {
+    let events = synthetic_burst_train(1.0 / 32.5, 65, 16, 0.004);
+    amplitude_spectrum(&events, SpectrumConfig::new(30.0, 100.0, 0.1))
+}
+
+fn bench_epsilon(c: &mut Criterion) {
+    let spec = spectrum();
+    let mut g = c.benchmark_group("peaks/by_epsilon");
+    for &eps in &[0.1f64, 0.5, 1.0] {
+        let cfg = PeakConfig {
+            epsilon: eps,
+            ..PeakConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(eps), &cfg, |b, cfg| {
+            b.iter(|| detect(black_box(&spec), cfg));
+        });
+    }
+    g.finish();
+}
+
+fn bench_alpha(c: &mut Criterion) {
+    let spec = spectrum();
+    let mut g = c.benchmark_group("peaks/by_alpha");
+    for &alpha in &[0.0f64, 0.2, 1.0] {
+        let cfg = PeakConfig {
+            alpha,
+            ..PeakConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(alpha), &cfg, |b, cfg| {
+            b.iter(|| detect(black_box(&spec), cfg));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_epsilon, bench_alpha);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion benches for the feedback-path hot code: quantile predictor
+//! and one full LFS++ step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use selftune_core::{LfsPlusPlus, LfsPpConfig, Predictor, QuantileEstimator};
+use selftune_simcore::time::Dur;
+use std::hint::black_box;
+
+fn bench_quantile(c: &mut Criterion) {
+    c.bench_function("predictor/quantile_observe_predict", |b| {
+        let mut q = QuantileEstimator::paper_default();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            q.observe(Dur::us(900 + (i * 37) % 300));
+            black_box(q.predict())
+        });
+    });
+}
+
+fn bench_lfspp_step(c: &mut Criterion) {
+    c.bench_function("predictor/lfspp_step", |b| {
+        let mut ctl = LfsPlusPlus::new(LfsPpConfig::default());
+        let mut total = Dur::ZERO;
+        b.iter(|| {
+            total += Dur::ms(9);
+            black_box(ctl.step(total, Dur::ms(500), Dur::ms(40)))
+        });
+    });
+}
+
+criterion_group!(benches, bench_quantile, bench_lfspp_step);
+criterion_main!(benches);

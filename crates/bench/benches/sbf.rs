@@ -1,0 +1,39 @@
+//! Criterion benches for the schedulability analysis (Figures 1–2 sweeps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use selftune_analysis::{cbs_sbf, min_bandwidth_rm_group, min_budget_single, PeriodicTask};
+use std::hint::black_box;
+
+fn bench_sbf(c: &mut Criterion) {
+    c.bench_function("sbf/cbs_sbf", |b| {
+        let mut d = 0.0;
+        b.iter(|| {
+            d += 0.37;
+            if d > 500.0 {
+                d = 0.0;
+            }
+            black_box(cbs_sbf(20.0, 100.0, d))
+        });
+    });
+}
+
+fn bench_min_budget(c: &mut Criterion) {
+    let task = PeriodicTask::new(20.0, 100.0);
+    c.bench_function("sbf/min_budget_single", |b| {
+        b.iter(|| black_box(min_budget_single(task, 37.0)));
+    });
+}
+
+fn bench_rm_group(c: &mut Criterion) {
+    let tasks = vec![
+        PeriodicTask::new(3.0, 15.0),
+        PeriodicTask::new(5.0, 20.0),
+        PeriodicTask::new(5.0, 30.0),
+    ];
+    c.bench_function("sbf/min_bandwidth_rm_group", |b| {
+        b.iter(|| black_box(min_bandwidth_rm_group(&tasks, 12.0)));
+    });
+}
+
+criterion_group!(benches, bench_sbf, bench_min_budget, bench_rm_group);
+criterion_main!(benches);

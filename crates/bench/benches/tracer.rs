@@ -1,0 +1,40 @@
+//! Criterion benches for the tracer hot paths: per-edge recording and
+//! batch draining (the paper's "negligible overhead" claim, Section 4.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use selftune_simcore::kernel::SyscallHook;
+use selftune_simcore::syscall::SyscallNr;
+use selftune_simcore::task::TaskId;
+use selftune_simcore::time::{Dur, Time};
+use selftune_tracer::{Tracer, TracerConfig};
+
+fn bench_record(c: &mut Criterion) {
+    c.bench_function("tracer/record_edge", |b| {
+        let (mut hook, reader) = Tracer::create(TracerConfig::default());
+        let mut now = Time::ZERO;
+        let mut n = 0u64;
+        b.iter(|| {
+            now += Dur::us(1);
+            hook.on_enter(TaskId(1), SyscallNr::Ioctl, now);
+            n += 1;
+            if n.is_multiple_of(60_000) {
+                let _ = reader.drain(); // keep the ring from overwriting
+            }
+        });
+    });
+}
+
+fn bench_drain(c: &mut Criterion) {
+    c.bench_function("tracer/drain_4096", |b| {
+        let (mut hook, reader) = Tracer::create(TracerConfig::default());
+        b.iter(|| {
+            for i in 0..4096u64 {
+                hook.on_enter(TaskId(1), SyscallNr::Read, Time::from_ns(i));
+            }
+            reader.drain()
+        });
+    });
+}
+
+criterion_group!(benches, bench_record, bench_drain);
+criterion_main!(benches);

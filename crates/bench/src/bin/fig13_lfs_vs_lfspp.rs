@@ -1,0 +1,5 @@
+//! Binary wrapper; see `selftune_bench::experiments::fig13`.
+fn main() {
+    let args = selftune_bench::Args::parse();
+    let _ = selftune_bench::experiments::fig13::run(&args);
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper; see `selftune_bench::experiments::fig14`.
+fn main() {
+    let args = selftune_bench::Args::parse();
+    selftune_bench::experiments::fig14::run(&args);
+}

@@ -1,0 +1,22 @@
+//! Regenerates every table and figure of the paper in one go.
+fn main() {
+    let args = selftune_bench::Args::parse();
+    use selftune_bench::experiments as e;
+    e::fig01::run(&args);
+    e::fig02::run(&args);
+    e::fig04::run(&args);
+    e::fig05::run(&args);
+    e::table1::run(&args);
+    e::fig06::run(&args);
+    e::fig07::run(&args);
+    e::fig08::run(&args);
+    e::fig09::run(&args);
+    e::fig10::run(&args);
+    e::fig11::run(&args);
+    e::table2::run(&args);
+    let f13 = e::fig13::run(&args);
+    e::fig14::write_from(&args, &f13);
+    e::table3::run(&args);
+    e::ablations::run(&args);
+    println!("\nAll experiments done. CSVs in {}", args.out.display());
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper; see `selftune_bench::experiments::table1`.
+fn main() {
+    let args = selftune_bench::Args::parse();
+    selftune_bench::experiments::table1::run(&args);
+}

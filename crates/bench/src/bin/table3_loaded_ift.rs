@@ -1,0 +1,5 @@
+//! Binary wrapper; see `selftune_bench::experiments::table3`.
+fn main() {
+    let args = selftune_bench::Args::parse();
+    selftune_bench::experiments::table3::run(&args);
+}

@@ -1,0 +1,153 @@
+//! Ablations beyond the paper's evaluation, backing the design choices
+//! called out in DESIGN.md:
+//!
+//! * **CBS depletion mode** — hard (throttle) vs soft (postpone): soft
+//!   reservations leak bandwidth to a saturated task, disturbing others.
+//! * **Predictors** — the paper's quantile estimator vs pure max vs EWMA:
+//!   the quantile trades a little under-provisioning for stability.
+//! * **Supervisor compression** — proportional vs equal under overload.
+
+use crate::setups::video_run;
+use crate::{fmt, print_table, write_csv, Args};
+use selftune_core::{ControllerConfig, FeedbackKind, LfsPpConfig, ManagerConfig};
+use selftune_sched::{CbsMode, Compression};
+use selftune_simcore::stats::{mean, std_dev};
+
+const WARMUP_FRAMES: usize = 200;
+
+fn steady(xs: &[f64]) -> &[f64] {
+    &xs[WARMUP_FRAMES.min(xs.len().saturating_sub(1))..]
+}
+
+/// CBS hard vs soft under moderate background load.
+pub fn cbs_mode(args: &Args) {
+    println!("== Ablation: CBS depletion mode (hard vs soft) ==");
+    let secs = if args.fast { 15 } else { 40 };
+    let mut rows = Vec::new();
+    for (name, mode) in [("hard", CbsMode::Hard), ("soft", CbsMode::Soft)] {
+        let out = video_run(
+            ControllerConfig::default(),
+            ManagerConfig {
+                cbs_mode: mode,
+                ..ManagerConfig::default()
+            },
+            0.40,
+            secs,
+            args.seed,
+        );
+        let s = steady(&out.ift_ms);
+        rows.push(vec![
+            name.to_owned(),
+            fmt(mean(s), 3),
+            fmt(std_dev(s), 3),
+            out.dropped.to_string(),
+        ]);
+    }
+    print_table(
+        &["CBS mode", "avg IFT (ms)", "σ IFT (ms)", "dropped"],
+        &rows,
+    );
+    write_csv(
+        &args.out_path("ablation_cbs_mode.csv"),
+        &["mode", "avg_ift_ms", "sd_ift_ms", "dropped"],
+        &rows,
+    );
+}
+
+/// Predictor comparison: quantile (paper) vs max vs near-mean quantile.
+pub fn predictors(args: &Args) {
+    println!("== Ablation: predictor choice in LFS++ ==");
+    let secs = if args.fast { 15 } else { 40 };
+    let variants: [(&str, LfsPpConfig); 3] = [
+        ("quantile 0.9375/16 (paper)", LfsPpConfig::default()),
+        (
+            "max of 16",
+            LfsPpConfig {
+                quantile: 1.0,
+                ..LfsPpConfig::default()
+            },
+        ),
+        (
+            "median of 16",
+            LfsPpConfig {
+                quantile: 0.5,
+                ..LfsPpConfig::default()
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, cfg) in variants {
+        let out = video_run(
+            ControllerConfig {
+                feedback: FeedbackKind::LfsPp(cfg),
+                ..ControllerConfig::default()
+            },
+            ManagerConfig::default(),
+            0.0,
+            secs,
+            args.seed,
+        );
+        let s = steady(&out.ift_ms);
+        let bw: Vec<f64> = out.bw.iter().map(|&(_, b)| b).collect();
+        rows.push(vec![
+            name.to_owned(),
+            fmt(mean(s), 3),
+            fmt(std_dev(s), 3),
+            fmt(mean(&bw), 4),
+            out.dropped.to_string(),
+        ]);
+    }
+    print_table(
+        &[
+            "predictor",
+            "avg IFT (ms)",
+            "σ IFT (ms)",
+            "avg reserved bw",
+            "dropped",
+        ],
+        &rows,
+    );
+    write_csv(
+        &args.out_path("ablation_predictors.csv"),
+        &["predictor", "avg_ift_ms", "sd_ift_ms", "avg_bw", "dropped"],
+        &rows,
+    );
+}
+
+/// Supervisor compression policy under overload (70% background).
+pub fn compression(args: &Args) {
+    println!("== Ablation: supervisor compression under overload ==");
+    let secs = if args.fast { 15 } else { 40 };
+    let mut rows = Vec::new();
+    for (name, policy) in [
+        ("proportional", Compression::Proportional),
+        ("equal", Compression::Equal),
+    ] {
+        let mut mgr_cfg = ManagerConfig::default();
+        mgr_cfg.supervisor.policy = policy;
+        let out = video_run(ControllerConfig::default(), mgr_cfg, 0.70, secs, args.seed);
+        let s = steady(&out.ift_ms);
+        rows.push(vec![
+            name.to_owned(),
+            fmt(mean(s), 3),
+            fmt(std_dev(s), 3),
+            out.dropped.to_string(),
+        ]);
+    }
+    print_table(
+        &["compression", "avg IFT (ms)", "σ IFT (ms)", "dropped"],
+        &rows,
+    );
+    write_csv(
+        &args.out_path("ablation_compression.csv"),
+        &["policy", "avg_ift_ms", "sd_ift_ms", "dropped"],
+        &rows,
+    );
+}
+
+/// Runs every ablation.
+pub fn run(args: &Args) {
+    cbs_mode(args);
+    predictors(args);
+    compression(args);
+}

@@ -1,0 +1,49 @@
+//! Figure 4: statistics of the system calls performed by `mplayer`.
+//!
+//! The paper traces three minutes of `mplayer` and histograms the calls;
+//! `ioctl` (towards the ALSA device) dominates. We trace the simulated
+//! player for a configurable span and print the same histogram.
+
+use crate::setups::mp3_trace;
+use crate::{print_table, write_csv, Args};
+use selftune_tracer::counts_by_call;
+
+/// Traces the player and prints the per-call histogram.
+pub fn run(args: &Args) {
+    println!("== Figure 4: syscall statistics of the traced player ==");
+    let secs = if args.fast { 10.0 } else { 180.0 };
+    let (events, _tid) = mp3_trace(0, secs, args.seed);
+    let counts = counts_by_call(&events);
+    let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+    let rows: Vec<Vec<String>> = counts
+        .iter()
+        .map(|&(nr, c)| {
+            vec![
+                nr.name().to_owned(),
+                c.to_string(),
+                format!("{:.1}%", 100.0 * c as f64 / total as f64),
+            ]
+        })
+        .collect();
+    print_table(&["syscall", "count", "share"], &rows);
+    println!("total: {total} calls over {secs} s");
+    assert_eq!(
+        counts.first().map(|&(nr, _)| nr.name()),
+        Some("ioctl"),
+        "ioctl should dominate as in the paper"
+    );
+    write_csv(
+        &args.out_path("fig04_syscall_stats.csv"),
+        &["syscall", "count", "share_percent"],
+        &counts
+            .iter()
+            .map(|&(nr, c)| {
+                vec![
+                    nr.name().to_owned(),
+                    c.to_string(),
+                    format!("{:.3}", 100.0 * c as f64 / total as f64),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

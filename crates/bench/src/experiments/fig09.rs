@@ -1,0 +1,65 @@
+//! Figure 9: average and standard deviation of the detected frequency as a
+//! function of `ε` and the horizon `H` (α = 20%).
+//!
+//! Shapes: the average is stable (≈ the true 32.5 Hz); the variance first
+//! shrinks as `ε` grows (harmonics get credited to the right fundamental)
+//! and grows again when `ε` is so large that adjacent frequencies blur.
+
+use crate::experiments::fig06::window;
+use crate::setups::mp3_event_times;
+use crate::{fmt, print_table, write_csv, Args};
+use selftune_simcore::stats::{mean, std_dev};
+use selftune_spectrum::{amplitude_spectrum, detect, PeakConfig, SpectrumConfig};
+
+/// Runs the sweep.
+pub fn run(args: &Args) {
+    println!("== Figure 9: detected frequency avg/σ vs ε and H (α=20%) ==");
+    let times = mp3_event_times(0, 8.0, args.seed);
+    let reps = args.reps(100, 10);
+    let cfg = SpectrumConfig::new(30.0, 100.0, 0.1);
+    let horizons = [0.5, 1.0, 1.5, 2.0];
+    let mut rows = Vec::new();
+    for &h in &horizons {
+        let specs: Vec<_> = (0..reps)
+            .map(|r| {
+                let start = 0.5 + 0.04 * r as f64;
+                amplitude_spectrum(window(&times, start, h), cfg)
+            })
+            .collect();
+        let mut eps = 0.1;
+        while eps <= 1.0 + 1e-9 {
+            let pk = PeakConfig {
+                epsilon: eps,
+                ..PeakConfig::default()
+            };
+            let freqs: Vec<f64> = specs
+                .iter()
+                .filter_map(|s| detect(s, &pk).detection.frequency())
+                .collect();
+            rows.push(vec![
+                fmt(h, 1),
+                fmt(eps, 1),
+                fmt(mean(&freqs), 2),
+                fmt(std_dev(&freqs), 2),
+                freqs.len().to_string(),
+            ]);
+            eps += 0.1;
+        }
+    }
+    print_table(
+        &["H (s)", "ε (Hz)", "avg freq (Hz)", "sd freq", "detections"],
+        &rows,
+    );
+    println!("paper: average barely affected; variance dips around ε ≈ 0.5–0.6");
+    write_csv(
+        &args.out_path("fig09_peak_precision.csv"),
+        &[
+            "horizon_s",
+            "epsilon_hz",
+            "avg_freq_hz",
+            "sd_freq_hz",
+            "detections",
+        ],
+        &rows,
+    );
+}

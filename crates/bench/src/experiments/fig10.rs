@@ -1,0 +1,72 @@
+//! Figure 10: the normalised amplitude spectrum of the traced player at
+//! increasing tracing times (0.2, 0.5, 1, 2, 4 s).
+//!
+//! Shape to reproduce: peaks near 32.5, 65 and 97.5 Hz, already visible at
+//! 0.5 s and "indisputable" from 1 s on; the peaks sharpen with longer
+//! observation (the sinc main lobe narrows as 1/H).
+
+use crate::setups::mp3_event_times;
+use crate::{fmt, print_table, write_csv, Args};
+use selftune_spectrum::{amplitude_spectrum, SpectrumConfig};
+
+/// Computes the spectra and writes them as CSV columns.
+pub fn run(args: &Args) {
+    println!("== Figure 10: normalised spectrum vs tracing time ==");
+    let cfg = SpectrumConfig::new(30.0, 100.0, 0.1);
+    let tracing_times = [0.2, 0.5, 1.0, 2.0, 4.0];
+    let mut columns: Vec<Vec<f64>> = Vec::new();
+    for &tt in &tracing_times {
+        let times = mp3_event_times(0, tt, args.seed);
+        let spec = amplitude_spectrum(&times, cfg);
+        columns.push(spec.normalized());
+    }
+
+    // CSV: one row per frequency bin.
+    let bins = cfg.bins();
+    let mut rows = Vec::with_capacity(bins);
+    for i in 0..bins {
+        let mut row = vec![fmt(cfg.freq_of(i), 1)];
+        for col in &columns {
+            row.push(fmt(col[i], 4));
+        }
+        rows.push(row);
+    }
+    write_csv(
+        &args.out_path("fig10_spectra.csv"),
+        &[
+            "freq_hz", "obs_0.2s", "obs_0.5s", "obs_1s", "obs_2s", "obs_4s",
+        ],
+        &rows,
+    );
+
+    // Report the three strongest bins per tracing time.
+    let mut table = Vec::new();
+    for (k, &tt) in tracing_times.iter().enumerate() {
+        let mut idx: Vec<usize> = (0..bins).collect();
+        idx.sort_by(|&a, &b| columns[k][b].partial_cmp(&columns[k][a]).unwrap());
+        // Suppress near-duplicates (same lobe) within 2 Hz.
+        let mut peaks: Vec<usize> = Vec::new();
+        for i in idx {
+            if peaks
+                .iter()
+                .all(|&p| (cfg.freq_of(p) - cfg.freq_of(i)).abs() > 2.0)
+            {
+                peaks.push(i);
+            }
+            if peaks.len() == 3 {
+                break;
+            }
+        }
+        peaks.sort_unstable();
+        table.push(vec![
+            fmt(tt, 1),
+            peaks
+                .iter()
+                .map(|&p| format!("{:.1}Hz({:.2})", cfg.freq_of(p), columns[k][p]))
+                .collect::<Vec<_>>()
+                .join("  "),
+        ]);
+    }
+    print_table(&["tracing time (s)", "top-3 normalised peaks"], &table);
+    println!("paper: peaks at 32.5 / 65 / 97.5 Hz, evident from 0.5s, indisputable at 1s+");
+}

@@ -1,0 +1,65 @@
+//! Figure 14: CDFs of the inter-frame times and of the reserved fraction
+//! of CPU, LFS vs LFS++.
+//!
+//! Shapes: the LFS inter-frame-time CDF has a longer tail; the LFS++
+//! reserved-fraction CDF is steeper (smaller variance of the allocation).
+
+use crate::experiments::fig13::{self, Fig13Outcome};
+use crate::{fmt, write_csv, Args};
+use selftune_simcore::stats::cdf;
+
+fn cdf_rows(xs: &[f64]) -> Vec<(f64, f64)> {
+    cdf(xs)
+}
+
+/// Runs Figure 13's setup (or reuses a provided outcome) and writes CDFs.
+pub fn run(args: &Args) {
+    let outcome = fig13::run(args);
+    write_from(args, &outcome);
+}
+
+/// Writes the CDF files from an existing Figure 13 outcome.
+pub fn write_from(args: &Args, outcome: &Fig13Outcome) {
+    println!("\n== Figure 14: CDFs of IFT and reserved fraction ==");
+    let lfs_ift = cdf_rows(&outcome.lfs.ift_ms);
+    let pp_ift = cdf_rows(&outcome.lfspp.ift_ms);
+    let rows: Vec<Vec<String>> = lfs_ift
+        .iter()
+        .map(|&(x, p)| vec!["LFS".into(), fmt(x, 3), fmt(p, 5)])
+        .chain(
+            pp_ift
+                .iter()
+                .map(|&(x, p)| vec!["LFS++".into(), fmt(x, 3), fmt(p, 5)]),
+        )
+        .collect();
+    write_csv(
+        &args.out_path("fig14_cdf_ift.csv"),
+        &["controller", "ift_ms", "cdf"],
+        &rows,
+    );
+
+    let lfs_bw: Vec<f64> = outcome.lfs.bw.iter().map(|&(_, b)| b).collect();
+    let pp_bw: Vec<f64> = outcome.lfspp.bw.iter().map(|&(_, b)| b).collect();
+    let rows: Vec<Vec<String>> = cdf_rows(&lfs_bw)
+        .iter()
+        .map(|&(x, p)| vec!["LFS".into(), fmt(x, 4), fmt(p, 5)])
+        .chain(
+            cdf_rows(&pp_bw)
+                .iter()
+                .map(|&(x, p)| vec!["LFS++".into(), fmt(x, 4), fmt(p, 5)]),
+        )
+        .collect();
+    write_csv(
+        &args.out_path("fig14_cdf_reserved.csv"),
+        &["controller", "reserved_fraction", "cdf"],
+        &rows,
+    );
+
+    // Tail comparison: P(IFT > 80ms), the paper's frame-drop indicator.
+    let tail = |xs: &[f64]| xs.iter().filter(|&&x| x > 80.0).count() as f64 / xs.len() as f64;
+    println!(
+        "P(IFT > 80ms): LFS {:.4}, LFS++ {:.4} (paper: LFS CDF has the longer tail)",
+        tail(&outcome.lfs.ift_ms),
+        tail(&outcome.lfspp.ift_ms)
+    );
+}

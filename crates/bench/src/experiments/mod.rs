@@ -1,0 +1,18 @@
+//! One module per reproduced table/figure, plus ablations.
+
+pub mod ablations;
+pub mod fig01;
+pub mod fig02;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig13;
+pub mod fig14;
+pub mod table1;
+pub mod table2;
+pub mod table3;

@@ -1,0 +1,153 @@
+//! # selftune-bench
+//!
+//! Experiment harnesses regenerating every table and figure of the paper's
+//! evaluation (Section 5). Each experiment is a library function (so
+//! `run_all` can chain them) with a thin binary wrapper in `src/bin/`.
+//!
+//! Conventions:
+//!
+//! * every experiment prints a human-readable table/series to stdout and
+//!   writes CSV into `results/`;
+//! * `--seed N` changes the RNG seed, `--fast` cuts repetition counts for
+//!   smoke runs, `--out DIR` overrides the results directory.
+
+pub mod experiments;
+pub mod setups;
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Common command-line arguments of the experiment binaries.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Reduce repetitions for a quick smoke run.
+    pub fast: bool,
+    /// Results directory.
+    pub out: PathBuf,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            seed: 42,
+            fast: false,
+            out: PathBuf::from("results"),
+        }
+    }
+}
+
+impl Args {
+    /// Parses `--seed N`, `--fast` and `--out DIR` from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed arguments (these are experiment binaries; a
+    /// loud failure beats a silently wrong configuration).
+    pub fn parse() -> Args {
+        let mut args = Args::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--seed" => {
+                    let v = it.next().expect("--seed needs a value");
+                    args.seed = v.parse().expect("--seed must be an integer");
+                }
+                "--fast" => args.fast = true,
+                "--out" => {
+                    args.out = PathBuf::from(it.next().expect("--out needs a value"));
+                }
+                other => panic!("unknown argument {other:?} (try --seed/--fast/--out)"),
+            }
+        }
+        args
+    }
+
+    /// Picks a repetition count: `full` normally, `quick` with `--fast`.
+    pub fn reps(&self, full: usize, quick: usize) -> usize {
+        if self.fast {
+            quick
+        } else {
+            full
+        }
+    }
+
+    /// Ensures the results directory exists and returns a path inside it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created.
+    pub fn out_path(&self, file: &str) -> PathBuf {
+        std::fs::create_dir_all(&self.out).expect("create results dir");
+        self.out.join(file)
+    }
+}
+
+/// Prints an aligned text table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.iter().map(|s| (*s).to_owned()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Writes a CSV file, panicking on I/O errors (experiment binaries).
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) {
+    selftune_simcore::metrics::write_csv(path, header, rows)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("[wrote {}]", path.display());
+}
+
+/// Wall-clock time of `f`, in microseconds, together with its result.
+pub fn time_us<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e6)
+}
+
+/// Formats a float with the given number of decimals.
+pub fn fmt(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reps_honours_fast() {
+        let mut a = Args::default();
+        assert_eq!(a.reps(100, 10), 100);
+        a.fast = true;
+        assert_eq!(a.reps(100, 10), 10);
+    }
+
+    #[test]
+    fn time_us_returns_result() {
+        let (v, us) = time_us(|| 6 * 7);
+        assert_eq!(v, 42);
+        assert!(us >= 0.0);
+    }
+
+    #[test]
+    fn fmt_decimals() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+    }
+}

@@ -1,0 +1,27 @@
+//! # selftune-core
+//!
+//! The self-tuning machinery of *"Self-tuning Schedulers for Legacy
+//! Real-Time Applications"* (EuroSys 2010): the paper's primary
+//! contribution, assembled from the substrate crates.
+//!
+//! * [`predictor`] — per-job cost predictors (the paper's quantile
+//!   estimator, plus EWMA and mean+kσ ablations).
+//! * [`lfspp`] — the LFS++ feedback law: `Q_req = (1+x)·P(c₁..c_N)`,
+//!   `T^s = P` (Section 4.4).
+//! * [`lfs`] — the original binary-sensor LFS baseline (\[2\]).
+//! * [`controller`] — per-task controller: period analyser + feedback.
+//! * [`manager`] — the user-space daemon: drains the tracer, drives the
+//!   controllers, executes decisions and submits requests to the
+//!   supervisor.
+
+pub mod controller;
+pub mod lfs;
+pub mod lfspp;
+pub mod manager;
+pub mod predictor;
+
+pub use controller::{ControllerConfig, ControllerInput, Decision, FeedbackKind, TaskController};
+pub use lfs::{Lfs, LfsConfig};
+pub use lfspp::{BudgetRequest, LfsPlusPlus, LfsPpConfig};
+pub use manager::{ManagerConfig, SelfTuningManager};
+pub use predictor::{EwmaEstimator, MeanSigmaEstimator, Predictor, QuantileEstimator};

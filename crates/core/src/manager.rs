@@ -1,0 +1,304 @@
+//! The self-tuning manager: the user-space `lfs++` daemon of the paper.
+//!
+//! The manager wakes every sampling period `S`, drains the tracer, runs
+//! each managed task's [`TaskController`], executes the resulting
+//! decisions (creating reservations, re-placing tasks) and submits the
+//! batch of bandwidth requests to the [`Supervisor`], which grants or
+//! compresses them (Equation (1)).
+//!
+//! It runs *outside* the simulated kernel — exactly like the paper's
+//! user-space daemon — alternating `kernel.run_until(next_sample)` with
+//! [`SelfTuningManager::step`].
+
+use crate::controller::{ControllerConfig, ControllerInput, Decision, TaskController};
+use selftune_sched::{BwRequest, CbsMode, ReservationScheduler, ServerConfig, ServerId};
+use selftune_sched::{Place, Supervisor};
+use selftune_simcore::kernel::{Kernel, TaskState};
+use selftune_simcore::task::TaskId;
+use selftune_simcore::time::{Dur, Time};
+use selftune_tracer::{entry_times_secs, TraceReader};
+
+/// Manager configuration.
+#[derive(Clone, Debug)]
+pub struct ManagerConfig {
+    /// Sampling period `S` of the task controllers. The paper warns
+    /// against `S = P` (remark 2 of Section 4.4); the default covers a
+    /// dozen jobs of a 25 fps stream.
+    pub sampling: Dur,
+    /// Admission control and compression policy.
+    pub supervisor: Supervisor,
+    /// Depletion behaviour of created reservations.
+    pub cbs_mode: CbsMode,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            sampling: Dur::ms(500),
+            supervisor: Supervisor::default(),
+            cbs_mode: CbsMode::Hard,
+        }
+    }
+}
+
+struct ManagedTask {
+    task: TaskId,
+    label: String,
+    ctl: TaskController,
+    server: Option<ServerId>,
+    last_step: Option<Time>,
+}
+
+/// The manager (the paper's `lfs++` user-space tool).
+pub struct SelfTuningManager {
+    cfg: ManagerConfig,
+    reader: TraceReader,
+    tasks: Vec<ManagedTask>,
+}
+
+impl SelfTuningManager {
+    /// Creates a manager draining the given tracer reader.
+    pub fn new(cfg: ManagerConfig, reader: TraceReader) -> SelfTuningManager {
+        SelfTuningManager {
+            cfg,
+            reader,
+            tasks: Vec::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ManagerConfig {
+        &self.cfg
+    }
+
+    /// Puts a legacy task under management.
+    pub fn manage(&mut self, task: TaskId, label: &str, ctl_cfg: ControllerConfig) {
+        self.tasks.push(ManagedTask {
+            task,
+            label: label.to_owned(),
+            ctl: TaskController::new(ctl_cfg),
+            server: None,
+            last_step: None,
+        });
+    }
+
+    /// The reservation serving a managed task, if attached yet.
+    pub fn server_of(&self, task: TaskId) -> Option<ServerId> {
+        self.tasks
+            .iter()
+            .find(|t| t.task == task)
+            .and_then(|t| t.server)
+    }
+
+    /// The controller of a managed task (spectrum inspection etc.).
+    pub fn controller_of(&self, task: TaskId) -> Option<&TaskController> {
+        self.tasks.iter().find(|t| t.task == task).map(|t| &t.ctl)
+    }
+
+    /// Stops managing a task: drops its controller and, if it was
+    /// attached, shrinks its reservation to the floor and returns the
+    /// task to the fair class at the next opportunity.
+    ///
+    /// Returns `true` if the task was under management.
+    pub fn unmanage(&mut self, k: &mut Kernel<ReservationScheduler>, task: TaskId) -> bool {
+        let Some(pos) = self.tasks.iter().position(|t| t.task == task) else {
+            return false;
+        };
+        let mt = self.tasks.remove(pos);
+        if let Some(sid) = mt.server {
+            let now = k.now();
+            match k.task_state(task) {
+                TaskState::Ready => k.sched_mut().place_ready(task, Place::Fair, now),
+                _ => k.sched_mut().place(task, Place::Fair),
+            }
+            // Release the bandwidth: shrink to the admission floor (the
+            // scheduler keeps the server object; ids stay stable).
+            let period = k.sched_mut().server(sid).config().period;
+            let floor = self.cfg.supervisor.min_budget.min(period).max(Dur::us(10));
+            k.sched_mut().server_mut(sid).set_params(floor, period);
+        }
+        true
+    }
+
+    /// One sampling step against the kernel.
+    ///
+    /// Records, per managed task `label`:
+    /// * `"<label>.bw"` — granted bandwidth series,
+    /// * `"<label>.period_est_ms"` — period-estimate series,
+    /// * `"<label>.attached"` mark — when the reservation was created.
+    pub fn step(&mut self, k: &mut Kernel<ReservationScheduler>) {
+        let now = k.now();
+        let events = self.reader.drain();
+        let mut requests: Vec<BwRequest> = Vec::new();
+        for mt in &mut self.tasks {
+            if k.task_state(mt.task) == TaskState::Exited {
+                continue;
+            }
+            let ev = entry_times_secs(&events, mt.task);
+            let consumed = k.thread_time(mt.task);
+            let exhausted = mt
+                .server
+                .map(|sid| k.sched_mut().server_mut(sid).take_exhausted_flag())
+                .unwrap_or(false);
+            let elapsed = match mt.last_step {
+                Some(t) => now.saturating_since(t),
+                None => self.cfg.sampling,
+            };
+            mt.last_step = Some(now);
+            if elapsed.is_zero() {
+                continue;
+            }
+            let decision = mt.ctl.step(&ControllerInput {
+                now,
+                events_secs: &ev,
+                consumed,
+                elapsed,
+                exhausted,
+                attached: mt.server.is_some(),
+            });
+            if let Some(p) = mt.ctl.period() {
+                k.metrics_mut()
+                    .record(&format!("{}.period_est_ms", mt.label), now, p.as_ms_f64());
+            }
+            match decision {
+                Decision::None => {}
+                Decision::Attach(req) => {
+                    // Create the server with a floor budget; the real grant
+                    // arrives through the supervisor batch below, so
+                    // compression under saturation applies from the start.
+                    let floor = self.cfg.supervisor.min_budget.min(req.period);
+                    let sid = k.sched_mut().create_server(
+                        ServerConfig::new(floor.max(Dur::us(10)), req.period)
+                            .with_mode(self.cfg.cbs_mode),
+                    );
+                    match k.task_state(mt.task) {
+                        TaskState::Ready => {
+                            k.sched_mut().place_ready(mt.task, Place::Server(sid), now);
+                        }
+                        _ => k.sched_mut().place(mt.task, Place::Server(sid)),
+                    }
+                    mt.server = Some(sid);
+                    k.metrics_mut().mark(&format!("{}.attached", mt.label), now);
+                    requests.push(BwRequest {
+                        server: sid,
+                        budget: req.budget,
+                        period: req.period,
+                    });
+                }
+                Decision::Adjust(req) => {
+                    let sid = mt.server.expect("Adjust implies an attached server");
+                    requests.push(BwRequest {
+                        server: sid,
+                        budget: req.budget,
+                        period: req.period,
+                    });
+                }
+            }
+        }
+        let grants = self.cfg.supervisor.apply(k.sched_mut(), &requests);
+        for g in &grants {
+            if let Some(mt) = self.tasks.iter().find(|t| t.server == Some(g.server)) {
+                k.metrics_mut()
+                    .record(&format!("{}.bw", mt.label), now, g.bandwidth());
+            }
+        }
+    }
+
+    /// Drives the kernel to `until`, sampling every `S` along the way.
+    pub fn run(&mut self, k: &mut Kernel<ReservationScheduler>, until: Time) {
+        while k.now() < until {
+            let next = (k.now() + self.cfg.sampling).min(until);
+            k.run_until(next);
+            self.step(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selftune_apps::{MediaConfig, MediaPlayer};
+    use selftune_simcore::rng::Rng;
+    use selftune_simcore::stats::{mean, std_dev};
+    use selftune_tracer::{Tracer, TracerConfig};
+
+    /// End-to-end: an unmanaged mplayer is detected, attached to a
+    /// reservation, and its budget converges to demand + spread.
+    #[test]
+    fn full_loop_converges_on_video_player() {
+        let mut k = Kernel::new(ReservationScheduler::new());
+        let (hook, reader) = Tracer::create(TracerConfig::default());
+        k.install_hook(Box::new(hook));
+
+        let cfg = MediaConfig::mplayer_video_25fps();
+        let u = cfg.utilisation();
+        let player = MediaPlayer::new(cfg, Rng::new(77));
+        let tid = k.spawn("mplayer", Box::new(player));
+
+        let mut mgr = SelfTuningManager::new(ManagerConfig::default(), reader);
+        mgr.manage(tid, "mplayer", ControllerConfig::default());
+        mgr.run(&mut k, Time::ZERO + Dur::secs(12));
+
+        // The period was detected close to 40 ms.
+        let ctl = mgr.controller_of(tid).unwrap();
+        let p = ctl.period().expect("period detected").as_ms_f64();
+        assert!((p - 40.0).abs() < 1.5, "period {p} ms");
+
+        // The task got attached to a server.
+        let sid = mgr.server_of(tid).expect("attached");
+        let bw = k.sched().server(sid).config().bandwidth();
+        assert!(
+            bw > u * 0.9 && bw < u * 2.0,
+            "granted bw {bw} vs utilisation {u}"
+        );
+
+        // QoS: after the warm-up the inter-frame times sit at 40 ms.
+        let marks = k.metrics().marks("mplayer.frame");
+        let tail: Vec<f64> = marks[marks.len() / 2..]
+            .windows(2)
+            .map(|w| (w[1] - w[0]).as_ms_f64())
+            .collect();
+        let m = mean(&tail);
+        assert!((m - 40.0).abs() < 2.0, "steady IFT mean {m}");
+        assert!(std_dev(&tail) < 15.0, "steady IFT sd {}", std_dev(&tail));
+
+        // Bandwidth series was recorded.
+        assert!(!k.metrics().series("mplayer.bw").is_empty());
+    }
+
+    #[test]
+    fn unmanage_releases_bandwidth_and_returns_task_to_fair() {
+        let mut k = Kernel::new(ReservationScheduler::new());
+        let (hook, reader) = Tracer::create(TracerConfig::default());
+        k.install_hook(Box::new(hook));
+        let player = MediaPlayer::new(MediaConfig::mplayer_video_25fps(), Rng::new(7));
+        let tid = k.spawn("mplayer", Box::new(player));
+        let mut mgr = SelfTuningManager::new(ManagerConfig::default(), reader);
+        mgr.manage(tid, "mplayer", ControllerConfig::default());
+        mgr.run(&mut k, Time::ZERO + Dur::secs(5));
+        assert!(mgr.server_of(tid).is_some());
+        let reserved_before = k.sched().total_reserved_bandwidth();
+        assert!(reserved_before > 0.2);
+
+        assert!(mgr.unmanage(&mut k, tid));
+        assert!(mgr.server_of(tid).is_none());
+        assert!(k.sched().total_reserved_bandwidth() < 0.05);
+        assert_eq!(k.sched().place_of(tid), Place::Fair);
+        // The player keeps running (best effort) without the manager.
+        let frames_before = k.metrics().marks("mplayer.frame").len();
+        k.run_until(Time::ZERO + Dur::secs(7));
+        assert!(k.metrics().marks("mplayer.frame").len() > frames_before);
+        // Unmanaging twice is a no-op.
+        assert!(!mgr.unmanage(&mut k, tid));
+    }
+
+    #[test]
+    fn unmanaged_kernel_steps_are_noops() {
+        let mut k = Kernel::new(ReservationScheduler::new());
+        let (_hook, reader) = Tracer::create(TracerConfig::default());
+        let mut mgr = SelfTuningManager::new(ManagerConfig::default(), reader);
+        mgr.run(&mut k, Time::ZERO + Dur::secs(1));
+        assert_eq!(k.now(), Time::ZERO + Dur::secs(1));
+        assert_eq!(k.sched().server_count(), 0);
+    }
+}

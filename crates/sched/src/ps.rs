@@ -1,0 +1,206 @@
+//! Weighted proportional-share scheduling (virtual-time based).
+//!
+//! Section 3.2 of the paper remarks that Proportional Share algorithms do
+//! not expose a *scheduling period*, which makes them inherently wasteful
+//! for periodic real-time tasks compared to a well-dimensioned reservation.
+//! This policy exists to demonstrate that effect in ablation experiments:
+//! a weighted-fair scheduler in the style of CFS/WF²Q with a configurable
+//! scheduling granularity.
+
+use selftune_simcore::scheduler::Scheduler;
+use selftune_simcore::task::TaskId;
+use selftune_simcore::time::{Dur, Time};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy)]
+struct PsEntry {
+    weight: u64,
+    /// Virtual runtime in weighted nanoseconds.
+    vruntime: f64,
+    ready: bool,
+}
+
+/// Weighted proportional-share scheduler.
+///
+/// Each ready task accrues virtual time at rate `1/weight`; the task with
+/// the minimum virtual runtime runs, preempted at `granularity` boundaries.
+#[derive(Debug)]
+pub struct ProportionalShare {
+    entries: HashMap<TaskId, PsEntry>,
+    granularity: Dur,
+    default_weight: u64,
+}
+
+impl ProportionalShare {
+    /// Creates a scheduler with the given preemption granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granularity` is zero.
+    pub fn new(granularity: Dur) -> ProportionalShare {
+        assert!(!granularity.is_zero(), "granularity must be positive");
+        ProportionalShare {
+            entries: HashMap::new(),
+            granularity,
+            default_weight: 100,
+        }
+    }
+
+    /// Sets the weight of a task (default 100); larger = more CPU share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is zero.
+    pub fn set_weight(&mut self, task: TaskId, weight: u64) {
+        assert!(weight > 0, "weight must be positive");
+        let w = weight;
+        self.entries
+            .entry(task)
+            .and_modify(|e| e.weight = w)
+            .or_insert(PsEntry {
+                weight: w,
+                vruntime: 0.0,
+                ready: false,
+            });
+        // Remember for re-insertion after exit/re-ready cycles.
+        if !self.entries.contains_key(&task) {
+            self.default_weight = weight;
+        }
+    }
+
+    fn min_ready_vruntime(&self) -> Option<f64> {
+        self.entries
+            .values()
+            .filter(|e| e.ready)
+            .map(|e| e.vruntime)
+            .min_by(|a, b| a.partial_cmp(b).expect("vruntime NaN"))
+    }
+}
+
+impl Scheduler for ProportionalShare {
+    fn on_ready(&mut self, task: TaskId, _now: Time) {
+        // A waking task must not hoard CPU from having slept: lift its
+        // vruntime to the current minimum (CFS-style placement).
+        let floor = self.min_ready_vruntime().unwrap_or(0.0);
+        let w = self.default_weight;
+        let e = self.entries.entry(task).or_insert(PsEntry {
+            weight: w,
+            vruntime: 0.0,
+            ready: false,
+        });
+        e.ready = true;
+        if e.vruntime < floor {
+            e.vruntime = floor;
+        }
+    }
+
+    fn on_block(&mut self, task: TaskId, _now: Time) {
+        if let Some(e) = self.entries.get_mut(&task) {
+            e.ready = false;
+        }
+    }
+
+    fn on_exit(&mut self, task: TaskId, _now: Time) {
+        self.entries.remove(&task);
+    }
+
+    fn charge(&mut self, task: TaskId, ran: Dur, _now: Time) {
+        if let Some(e) = self.entries.get_mut(&task) {
+            e.vruntime += ran.as_ns() as f64 / e.weight as f64;
+        }
+    }
+
+    fn pick(&mut self, _now: Time) -> Option<TaskId> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.ready)
+            .min_by(|(ta, a), (tb, b)| {
+                a.vruntime
+                    .partial_cmp(&b.vruntime)
+                    .expect("vruntime NaN")
+                    .then(ta.cmp(tb))
+            })
+            .map(|(t, _)| *t)
+    }
+
+    fn horizon(&self, _task: TaskId, _now: Time) -> Option<Dur> {
+        Some(self.granularity)
+    }
+
+    fn next_timer(&self, _now: Time) -> Option<Time> {
+        None
+    }
+
+    fn on_timer(&mut self, _now: Time) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: Time = Time::ZERO;
+
+    #[test]
+    fn equal_weights_alternate() {
+        let mut ps = ProportionalShare::new(Dur::ms(1));
+        ps.on_ready(TaskId(1), T0);
+        ps.on_ready(TaskId(2), T0);
+        let first = ps.pick(T0).unwrap();
+        ps.charge(first, Dur::ms(1), T0 + Dur::ms(1));
+        let second = ps.pick(T0 + Dur::ms(1)).unwrap();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn weights_bias_share() {
+        let mut ps = ProportionalShare::new(Dur::ms(1));
+        ps.set_weight(TaskId(1), 300);
+        ps.set_weight(TaskId(2), 100);
+        ps.on_ready(TaskId(1), T0);
+        ps.on_ready(TaskId(2), T0);
+        // Run 40 granules; count how many go to the heavy task.
+        let mut heavy = 0;
+        let mut now = T0;
+        for _ in 0..40 {
+            let t = ps.pick(now).unwrap();
+            if t == TaskId(1) {
+                heavy += 1;
+            }
+            ps.charge(t, Dur::ms(1), now + Dur::ms(1));
+            now += Dur::ms(1);
+        }
+        // Expect roughly 3:1 split.
+        assert!((28..=32).contains(&heavy), "heavy got {heavy}/40");
+    }
+
+    #[test]
+    fn waking_task_does_not_hoard() {
+        let mut ps = ProportionalShare::new(Dur::ms(1));
+        ps.on_ready(TaskId(1), T0);
+        // Task 1 runs for a long time.
+        for i in 0..50 {
+            ps.charge(TaskId(1), Dur::ms(1), T0 + Dur::ms(i + 1));
+        }
+        // Task 2 wakes late; its vruntime is lifted to the floor, so task 1
+        // is not starved for 50ms afterwards.
+        ps.on_ready(TaskId(2), T0 + Dur::ms(50));
+        let t = ps.pick(T0 + Dur::ms(50)).unwrap();
+        ps.charge(t, Dur::ms(1), T0 + Dur::ms(51));
+        let u = ps.pick(T0 + Dur::ms(51)).unwrap();
+        assert_ne!(t, u, "both tasks should interleave after a wake");
+    }
+
+    #[test]
+    fn horizon_is_granularity() {
+        let ps = ProportionalShare::new(Dur::ms(2));
+        assert_eq!(ps.horizon(TaskId(1), T0), Some(Dur::ms(2)));
+    }
+
+    #[test]
+    fn blocked_tasks_not_picked() {
+        let mut ps = ProportionalShare::new(Dur::ms(1));
+        ps.on_ready(TaskId(1), T0);
+        ps.on_block(TaskId(1), T0);
+        assert_eq!(ps.pick(T0), None);
+    }
+}

@@ -1,0 +1,363 @@
+//! The reservation scheduler: EDF over CBS servers, with a fixed-priority
+//! RT class and a best-effort fair class below.
+//!
+//! This is the simulated counterpart of the AQuoSA scheduling stack used in
+//! the paper: reserved tasks run inside [`Server`]s dispatched earliest-
+//! deadline-first; plain `SCHED_FIFO` tasks come next; everything else gets
+//! round-robin time sharing. During the *detection* phase a legacy task runs
+//! in the fair class; once its period is identified the manager attaches it
+//! to a server.
+
+use crate::cbs::{Server, ServerConfig, ServerId};
+use selftune_simcore::scheduler::{RoundRobin, Scheduler};
+use selftune_simcore::task::TaskId;
+use selftune_simcore::time::{Dur, Time};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Where a task is scheduled.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Place {
+    /// Inside a CBS reservation.
+    Server(ServerId),
+    /// Fixed-priority RT class (lower value = higher priority).
+    Fifo(u32),
+    /// Best-effort round-robin class (the default).
+    Fair,
+}
+
+/// EDF-over-CBS reservation scheduler with RT-FIFO and fair classes.
+///
+/// # Class precedence
+///
+/// Reservations (EDF among runnable servers) > FIFO > fair. This mirrors
+/// AQuoSA, where the CBS hooks sit above the stock Linux policies.
+pub struct ReservationScheduler {
+    servers: Vec<Server>,
+    placement: HashMap<TaskId, Place>,
+    fifo: BTreeMap<u32, VecDeque<TaskId>>,
+    fair: RoundRobin,
+    /// Deadline-miss bookkeeping for experiments: server deadline at the
+    /// instant each reserved task last became ready.
+    running_server: Option<ServerId>,
+}
+
+impl Default for ReservationScheduler {
+    fn default() -> Self {
+        ReservationScheduler::new()
+    }
+}
+
+impl ReservationScheduler {
+    /// Creates a scheduler with a 4 ms fair-class timeslice.
+    pub fn new() -> ReservationScheduler {
+        ReservationScheduler::with_fair_slice(Dur::ms(4))
+    }
+
+    /// Creates a scheduler with the given fair-class timeslice.
+    pub fn with_fair_slice(slice: Dur) -> ReservationScheduler {
+        ReservationScheduler {
+            servers: Vec::new(),
+            placement: HashMap::new(),
+            fifo: BTreeMap::new(),
+            fair: RoundRobin::new(slice),
+            running_server: None,
+        }
+    }
+
+    /// Creates a new server and returns its id.
+    pub fn create_server(&mut self, cfg: ServerConfig) -> ServerId {
+        let id = ServerId(self.servers.len() as u32);
+        self.servers.push(Server::new(cfg));
+        id
+    }
+
+    /// Read access to a server.
+    pub fn server(&self, id: ServerId) -> &Server {
+        &self.servers[id.index()]
+    }
+
+    /// Mutable access to a server (parameter changes, sensor reads).
+    pub fn server_mut(&mut self, id: ServerId) -> &mut Server {
+        &mut self.servers[id.index()]
+    }
+
+    /// Number of servers created so far.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Total bandwidth currently reserved, Σ Qᵢ/Tᵢ.
+    pub fn total_reserved_bandwidth(&self) -> f64 {
+        self.servers.iter().map(|s| s.config().bandwidth()).sum()
+    }
+
+    /// Current placement of a task (fair if never placed).
+    pub fn place_of(&self, task: TaskId) -> Place {
+        self.placement.get(&task).copied().unwrap_or(Place::Fair)
+    }
+
+    /// Sets the scheduling class of a task that is blocked or not yet
+    /// started (no ready-queue bookkeeping is touched).
+    ///
+    /// For a task that is currently ready or running use
+    /// [`ReservationScheduler::place_ready`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `place` names an unknown server.
+    pub fn place(&mut self, task: TaskId, place: Place) {
+        if let Place::Server(sid) = place {
+            assert!(sid.index() < self.servers.len(), "unknown {sid}");
+        }
+        self.placement.insert(task, place);
+    }
+
+    /// Migrates a *ready* task to a new scheduling class at `now`: removes
+    /// it from its current class queue and enqueues it in the new one.
+    ///
+    /// This is how the manager attaches a legacy application to its freshly
+    /// created reservation while the application keeps running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `place` names an unknown server.
+    pub fn place_ready(&mut self, task: TaskId, place: Place, now: Time) {
+        self.on_block(task, now); // dequeue from the old class
+        self.place(task, place);
+        self.on_ready(task, now); // enqueue in the new class
+    }
+
+    /// The EDF-minimal runnable server, if any.
+    fn edf_pick(&self) -> Option<ServerId> {
+        self.servers
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.runnable())
+            .min_by_key(|(i, s)| (s.deadline(), *i))
+            .map(|(i, _)| ServerId(i as u32))
+    }
+
+    fn fifo_pick(&self) -> Option<TaskId> {
+        self.fifo
+            .values()
+            .find(|q| !q.is_empty())
+            .and_then(|q| q.front().copied())
+    }
+}
+
+impl Scheduler for ReservationScheduler {
+    fn on_ready(&mut self, task: TaskId, now: Time) {
+        match self.place_of(task) {
+            Place::Server(sid) => self.servers[sid.index()].wake(task, now),
+            Place::Fifo(p) => self.fifo.entry(p).or_default().push_back(task),
+            Place::Fair => self.fair.on_ready(task, now),
+        }
+    }
+
+    fn on_block(&mut self, task: TaskId, now: Time) {
+        match self.place_of(task) {
+            Place::Server(sid) => self.servers[sid.index()].remove(task, now),
+            Place::Fifo(p) => {
+                if let Some(q) = self.fifo.get_mut(&p) {
+                    q.retain(|&t| t != task);
+                }
+            }
+            Place::Fair => self.fair.on_block(task, now),
+        }
+    }
+
+    fn on_exit(&mut self, task: TaskId, now: Time) {
+        self.on_block(task, now);
+    }
+
+    fn charge(&mut self, task: TaskId, ran: Dur, now: Time) {
+        match self.place_of(task) {
+            Place::Server(sid) => self.servers[sid.index()].charge(ran, now),
+            Place::Fifo(_) => {}
+            Place::Fair => self.fair.charge(task, ran, now),
+        }
+    }
+
+    fn pick(&mut self, now: Time) -> Option<TaskId> {
+        if let Some(sid) = self.edf_pick() {
+            self.running_server = Some(sid);
+            return self.servers[sid.index()].front_task();
+        }
+        self.running_server = None;
+        if let Some(t) = self.fifo_pick() {
+            return Some(t);
+        }
+        self.fair.pick(now)
+    }
+
+    fn horizon(&self, task: TaskId, now: Time) -> Option<Dur> {
+        match self.place_of(task) {
+            Place::Server(sid) => Some(self.servers[sid.index()].remaining_budget()),
+            Place::Fifo(_) => None,
+            Place::Fair => self.fair.horizon(task, now),
+        }
+    }
+
+    fn next_timer(&self, _now: Time) -> Option<Time> {
+        self.servers.iter().filter_map(Server::replenish_at).min()
+    }
+
+    fn on_timer(&mut self, now: Time) {
+        for s in &mut self.servers {
+            s.replenish_if_due(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cbs::{CbsMode, ServerState};
+
+    const T0: Time = Time::ZERO;
+
+    fn t(ms: u64) -> Time {
+        T0 + Dur::ms(ms)
+    }
+
+    fn sched_with_two_servers() -> (ReservationScheduler, ServerId, ServerId) {
+        let mut s = ReservationScheduler::new();
+        let a = s.create_server(ServerConfig::new(Dur::ms(10), Dur::ms(50)));
+        let b = s.create_server(ServerConfig::new(Dur::ms(10), Dur::ms(100)));
+        (s, a, b)
+    }
+
+    #[test]
+    fn edf_prefers_earlier_deadline() {
+        let (mut s, a, b) = sched_with_two_servers();
+        s.place(TaskId(1), Place::Server(a));
+        s.place(TaskId(2), Place::Server(b));
+        s.on_ready(TaskId(1), T0); // deadline 50ms
+        s.on_ready(TaskId(2), T0); // deadline 100ms
+        assert_eq!(s.pick(T0), Some(TaskId(1)));
+        s.on_block(TaskId(1), t(5));
+        assert_eq!(s.pick(t(5)), Some(TaskId(2)));
+    }
+
+    #[test]
+    fn throttled_server_yields_cpu() {
+        let (mut s, a, b) = sched_with_two_servers();
+        s.place(TaskId(1), Place::Server(a));
+        s.place(TaskId(2), Place::Server(b));
+        s.on_ready(TaskId(1), T0);
+        s.on_ready(TaskId(2), T0);
+        // Deplete server a's 10ms budget.
+        s.charge(TaskId(1), Dur::ms(10), t(10));
+        assert_eq!(s.server(a).state(), ServerState::Throttled);
+        assert_eq!(s.pick(t(10)), Some(TaskId(2)));
+        // Replenishment is the next timer (at server a's deadline, 50ms).
+        assert_eq!(s.next_timer(t(10)), Some(t(50)));
+        s.on_timer(t(50));
+        assert_eq!(s.pick(t(50)), Some(TaskId(1)));
+    }
+
+    #[test]
+    fn reservations_beat_fifo_and_fair() {
+        let (mut s, a, _b) = sched_with_two_servers();
+        s.place(TaskId(1), Place::Server(a));
+        s.place(TaskId(2), Place::Fifo(1));
+        // TaskId(3) stays fair by default.
+        s.on_ready(TaskId(3), T0);
+        s.on_ready(TaskId(2), T0);
+        s.on_ready(TaskId(1), T0);
+        assert_eq!(s.pick(T0), Some(TaskId(1)));
+        s.on_block(TaskId(1), t(1));
+        assert_eq!(s.pick(t(1)), Some(TaskId(2)));
+        s.on_block(TaskId(2), t(2));
+        assert_eq!(s.pick(t(2)), Some(TaskId(3)));
+    }
+
+    #[test]
+    fn fifo_priority_order() {
+        let mut s = ReservationScheduler::new();
+        s.place(TaskId(1), Place::Fifo(5));
+        s.place(TaskId(2), Place::Fifo(1));
+        s.on_ready(TaskId(1), T0);
+        s.on_ready(TaskId(2), T0);
+        assert_eq!(s.pick(T0), Some(TaskId(2)));
+    }
+
+    #[test]
+    fn horizon_is_remaining_budget() {
+        let (mut s, a, _) = sched_with_two_servers();
+        s.place(TaskId(1), Place::Server(a));
+        s.on_ready(TaskId(1), T0);
+        assert_eq!(s.pick(T0), Some(TaskId(1)));
+        assert_eq!(s.horizon(TaskId(1), T0), Some(Dur::ms(10)));
+        s.charge(TaskId(1), Dur::ms(4), t(4));
+        assert_eq!(s.horizon(TaskId(1), t(4)), Some(Dur::ms(6)));
+    }
+
+    #[test]
+    fn soft_server_keeps_running_with_postponed_deadline() {
+        let mut s = ReservationScheduler::new();
+        let a =
+            s.create_server(ServerConfig::new(Dur::ms(10), Dur::ms(50)).with_mode(CbsMode::Soft));
+        s.place(TaskId(1), Place::Server(a));
+        s.on_ready(TaskId(1), T0);
+        s.charge(TaskId(1), Dur::ms(10), t(10));
+        // Soft: still runnable, deadline postponed to 100ms.
+        assert_eq!(s.pick(t(10)), Some(TaskId(1)));
+        assert_eq!(s.server(a).deadline(), t(100));
+    }
+
+    #[test]
+    fn two_tasks_in_one_fifo_server() {
+        let mut s = ReservationScheduler::new();
+        let a = s.create_server(ServerConfig::new(Dur::ms(20), Dur::ms(50)));
+        s.place(TaskId(1), Place::Server(a));
+        s.place(TaskId(2), Place::Server(a));
+        s.on_ready(TaskId(1), T0);
+        s.on_ready(TaskId(2), T0);
+        assert_eq!(s.pick(T0), Some(TaskId(1)));
+        s.on_block(TaskId(1), t(3));
+        assert_eq!(s.pick(t(3)), Some(TaskId(2)));
+        assert_eq!(s.server(a).ready_count(), 1);
+    }
+
+    #[test]
+    fn total_reserved_bandwidth_sums() {
+        let (s, _, _) = sched_with_two_servers();
+        // 10/50 + 10/100 = 0.3.
+        assert!((s.total_reserved_bandwidth() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_place_is_fair() {
+        let s = ReservationScheduler::new();
+        assert_eq!(s.place_of(TaskId(7)), Place::Fair);
+    }
+
+    #[test]
+    fn place_ready_migrates_running_task() {
+        let mut s = ReservationScheduler::new();
+        // Starts in the fair class (detection phase)...
+        s.on_ready(TaskId(1), T0);
+        assert_eq!(s.pick(T0), Some(TaskId(1)));
+        // ... then the manager attaches it to a fresh reservation.
+        let a = s.create_server(ServerConfig::new(Dur::ms(10), Dur::ms(40)));
+        s.place_ready(TaskId(1), Place::Server(a), t(5));
+        assert_eq!(s.place_of(TaskId(1)), Place::Server(a));
+        assert_eq!(s.pick(t(5)), Some(TaskId(1)));
+        // It now consumes server budget.
+        s.charge(TaskId(1), Dur::ms(10), t(15));
+        assert_eq!(s.server(a).state(), ServerState::Throttled);
+        assert_eq!(s.pick(t(15)), None);
+    }
+
+    #[test]
+    fn fair_class_round_robins() {
+        let mut s = ReservationScheduler::new();
+        s.on_ready(TaskId(1), T0);
+        s.on_ready(TaskId(2), T0);
+        let first = s.pick(T0).unwrap();
+        s.charge(first, Dur::ms(4), t(4));
+        let second = s.pick(t(4)).unwrap();
+        assert_ne!(first, second);
+    }
+}

@@ -1,0 +1,42 @@
+//! # selftune-simcore
+//!
+//! Discrete-event CPU/kernel simulation substrate for the `selftune`
+//! reproduction of *"Self-tuning Schedulers for Legacy Real-Time
+//! Applications"* (Cucinotta, Checconi, Abeni, Palopoli — EuroSys 2010).
+//!
+//! The paper's machinery runs inside a patched Linux kernel; this crate is
+//! the stand-in substrate: a deterministic single-CPU simulator with
+//! nanosecond virtual time, blocking system calls, pluggable schedulers and
+//! a syscall-tracing hook. Everything the paper's components observe —
+//! syscall timestamps, consumed CPU time, scheduler state — is produced by
+//! the [`kernel::Kernel`] engine.
+//!
+//! ## Layout
+//!
+//! * [`time`] — `Time`/`Dur` nanosecond newtypes.
+//! * [`rng`] — sealed xoshiro256++ RNG with distribution helpers.
+//! * [`event`] — deterministic time-ordered event queue.
+//! * [`task`] — the legacy-application model: workloads yielding actions.
+//! * [`syscall`] — system-call identifiers and default in-kernel costs.
+//! * [`scheduler`] — the policy trait + a round-robin reference policy.
+//! * [`kernel`] — the discrete-event engine.
+//! * [`metrics`] — measurement sinks (marks, series, counters) + CSV.
+//! * [`stats`] — descriptive statistics for experiment tables.
+
+pub mod event;
+pub mod kernel;
+pub mod metrics;
+pub mod rng;
+pub mod scheduler;
+pub mod stats;
+pub mod syscall;
+pub mod task;
+pub mod time;
+
+pub use kernel::{Kernel, NoTrace, SyscallHook, TaskState};
+pub use metrics::Metrics;
+pub use rng::Rng;
+pub use scheduler::{RoundRobin, Scheduler};
+pub use syscall::SyscallNr;
+pub use task::{Action, Blocking, Script, TaskCtx, TaskId, Workload};
+pub use time::{Dur, Time};

@@ -1,0 +1,202 @@
+//! Application-level and kernel-level measurement sinks.
+//!
+//! Workloads mark instants (`frame shown`), record valued samples
+//! (`decode time`), and bump counters. Experiments read the recorded data
+//! back to compute the paper's QoS metrics (inter-frame times, CDFs, ...).
+
+use crate::time::Time;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::Path;
+
+/// In-memory measurement store.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    marks: BTreeMap<String, Vec<Time>>,
+    series: BTreeMap<String, Vec<(Time, f64)>>,
+    counters: BTreeMap<String, u64>,
+}
+
+impl Metrics {
+    /// Creates an empty store.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Records that the named event happened at `now`.
+    pub fn mark(&mut self, name: &str, now: Time) {
+        self.marks.entry(name.to_owned()).or_default().push(now);
+    }
+
+    /// Appends a `(now, value)` sample to the named series.
+    pub fn record(&mut self, name: &str, now: Time, value: f64) {
+        self.series
+            .entry(name.to_owned())
+            .or_default()
+            .push((now, value));
+    }
+
+    /// Increments the named counter by `n`.
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += n;
+    }
+
+    /// All instants at which `name` was marked.
+    pub fn marks(&self, name: &str) -> &[Time] {
+        self.marks.get(name).map_or(&[], |v| v)
+    }
+
+    /// All `(time, value)` samples of the named series.
+    pub fn series(&self, name: &str) -> &[(Time, f64)] {
+        self.series.get(name).map_or(&[], |v| v)
+    }
+
+    /// Only the values of the named series.
+    pub fn values(&self, name: &str) -> Vec<f64> {
+        self.series(name).iter().map(|&(_, v)| v).collect()
+    }
+
+    /// Current value of the named counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Consecutive gaps between marks of `name`, in milliseconds.
+    ///
+    /// This is the paper's inter-frame-time metric when `name` marks frame
+    /// display instants.
+    pub fn inter_mark_times_ms(&self, name: &str) -> Vec<f64> {
+        self.marks(name)
+            .windows(2)
+            .map(|w| (w[1] - w[0]).as_ms_f64())
+            .collect()
+    }
+
+    /// Names of all recorded mark streams.
+    pub fn mark_names(&self) -> impl Iterator<Item = &str> {
+        self.marks.keys().map(String::as_str)
+    }
+
+    /// Names of all recorded series.
+    pub fn series_names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    /// Clears all recorded data.
+    pub fn clear(&mut self) {
+        self.marks.clear();
+        self.series.clear();
+        self.counters.clear();
+    }
+}
+
+/// Writes rows of string-convertible cells as a CSV file.
+///
+/// Minimal by design: experiment outputs are plain numeric tables, so no
+/// quoting/escaping is needed (and commas in cells are rejected).
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file, or an
+/// `InvalidInput` error if a cell contains a comma or newline.
+pub fn write_csv<P: AsRef<Path>>(
+    path: P,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let check = |cell: &str| -> std::io::Result<()> {
+        if cell.contains(',') || cell.contains('\n') {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("CSV cell contains separator: {cell:?}"),
+            ));
+        }
+        Ok(())
+    };
+    for h in header {
+        check(h)?;
+    }
+    writeln!(f, "{}", header.join(","))?;
+    for row in rows {
+        for cell in row {
+            check(cell)?;
+        }
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Dur;
+
+    #[test]
+    fn marks_accumulate_in_order() {
+        let mut m = Metrics::new();
+        m.mark("frame", Time::ZERO + Dur::ms(40));
+        m.mark("frame", Time::ZERO + Dur::ms(80));
+        m.mark("frame", Time::ZERO + Dur::ms(121));
+        assert_eq!(m.marks("frame").len(), 3);
+        let ift = m.inter_mark_times_ms("frame");
+        assert_eq!(ift.len(), 2);
+        assert!((ift[0] - 40.0).abs() < 1e-9);
+        assert!((ift[1] - 41.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_names_are_empty() {
+        let m = Metrics::new();
+        assert!(m.marks("nope").is_empty());
+        assert!(m.series("nope").is_empty());
+        assert_eq!(m.counter("nope"), 0);
+    }
+
+    #[test]
+    fn series_and_counters() {
+        let mut m = Metrics::new();
+        m.record("bw", Time::ZERO, 0.2);
+        m.record("bw", Time::ZERO + Dur::ms(1), 0.3);
+        m.add("ctx", 2);
+        m.add("ctx", 3);
+        assert_eq!(m.values("bw"), vec![0.2, 0.3]);
+        assert_eq!(m.counter("ctx"), 5);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = Metrics::new();
+        m.mark("a", Time::ZERO);
+        m.record("b", Time::ZERO, 1.0);
+        m.add("c", 1);
+        m.clear();
+        assert!(m.marks("a").is_empty());
+        assert!(m.series("b").is_empty());
+        assert_eq!(m.counter("c"), 0);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("selftune-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn csv_rejects_separators() {
+        let dir = std::env::temp_dir().join("selftune-csv-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        let err = write_csv(&path, &["a,b"], &[]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+}

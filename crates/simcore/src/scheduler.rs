@@ -1,0 +1,197 @@
+//! The scheduler interface the kernel drives, plus a round-robin reference
+//! implementation.
+//!
+//! Real scheduling policies (CBS/EDF reservations, fixed priority, the
+//! supervisor) live in the `selftune-sched` crate; this module defines the
+//! contract between the discrete-event kernel and any policy.
+
+use crate::task::TaskId;
+use crate::time::{Dur, Time};
+use std::collections::VecDeque;
+
+/// A CPU scheduling policy driven by the kernel.
+///
+/// # Contract
+///
+/// * The kernel calls [`Scheduler::on_ready`] exactly once per wake-up:
+///   a task that is already ready/running never gets a second `on_ready`.
+/// * [`Scheduler::on_block`] / [`Scheduler::on_exit`] remove the task from
+///   consideration until the next `on_ready` (never, for `on_exit`).
+/// * [`Scheduler::charge`] reports CPU actually consumed by a task returned
+///   from [`Scheduler::pick`]; `now` is the instant at the *end* of the run.
+/// * [`Scheduler::pick`] must be idempotent between state changes: calling
+///   it twice without intervening events returns the same task.
+/// * [`Scheduler::horizon`] bounds how long the picked task may run before
+///   the policy wants control back (budget exhaustion, timeslice end);
+///   `None` means "until the next external event".
+/// * [`Scheduler::next_timer`] exposes the earliest instant at which the
+///   policy has internal work (e.g. budget replenishment); the kernel calls
+///   [`Scheduler::on_timer`] once that instant is reached.
+pub trait Scheduler {
+    /// A task became ready to run at `now`.
+    fn on_ready(&mut self, task: TaskId, now: Time);
+    /// The (previously ready) task blocked at `now`.
+    fn on_block(&mut self, task: TaskId, now: Time);
+    /// The task exited at `now`.
+    fn on_exit(&mut self, task: TaskId, now: Time);
+    /// `task` ran for `ran` units of CPU, finishing at `now`.
+    fn charge(&mut self, task: TaskId, ran: Dur, now: Time);
+    /// Chooses the task to run now, if any.
+    fn pick(&mut self, now: Time) -> Option<TaskId>;
+    /// Upper bound on how long `task` may run from `now` before the policy
+    /// needs control back.
+    fn horizon(&self, task: TaskId, now: Time) -> Option<Dur>;
+    /// Earliest instant of internal policy work (replenishments, ...).
+    fn next_timer(&self, now: Time) -> Option<Time>;
+    /// Performs internal policy work due at `now`.
+    fn on_timer(&mut self, now: Time);
+}
+
+/// Preemptible round-robin over all ready tasks with a fixed timeslice.
+///
+/// The reference policy: models a plain best-effort scheduler and is used in
+/// kernel unit tests. Legacy tasks under the paper's machinery use the
+/// reservation scheduler from `selftune-sched` instead.
+#[derive(Debug)]
+pub struct RoundRobin {
+    queue: VecDeque<TaskId>,
+    running: Option<TaskId>,
+    slice: Dur,
+    remaining: Dur,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin scheduler with the given timeslice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is zero.
+    pub fn new(slice: Dur) -> RoundRobin {
+        assert!(!slice.is_zero(), "RoundRobin needs a non-zero slice");
+        RoundRobin {
+            queue: VecDeque::new(),
+            running: None,
+            slice,
+            remaining: Dur::ZERO,
+        }
+    }
+
+    fn remove_queued(&mut self, task: TaskId) {
+        self.queue.retain(|&t| t != task);
+        if self.running == Some(task) {
+            self.running = None;
+        }
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn on_ready(&mut self, task: TaskId, _now: Time) {
+        debug_assert!(
+            self.running != Some(task) && !self.queue.contains(&task),
+            "{task} readied twice"
+        );
+        self.queue.push_back(task);
+    }
+
+    fn on_block(&mut self, task: TaskId, _now: Time) {
+        self.remove_queued(task);
+    }
+
+    fn on_exit(&mut self, task: TaskId, _now: Time) {
+        self.remove_queued(task);
+    }
+
+    fn charge(&mut self, task: TaskId, ran: Dur, _now: Time) {
+        if self.running == Some(task) {
+            self.remaining = self.remaining.saturating_sub(ran);
+        }
+    }
+
+    fn pick(&mut self, _now: Time) -> Option<TaskId> {
+        if let Some(t) = self.running {
+            if self.remaining > Dur::ZERO {
+                return Some(t);
+            }
+            // Slice exhausted: rotate to the back of the queue.
+            self.queue.push_back(t);
+            self.running = None;
+        }
+        let next = self.queue.pop_front()?;
+        self.running = Some(next);
+        self.remaining = self.slice;
+        Some(next)
+    }
+
+    fn horizon(&self, task: TaskId, _now: Time) -> Option<Dur> {
+        if self.running == Some(task) {
+            Some(self.remaining)
+        } else {
+            None
+        }
+    }
+
+    fn next_timer(&self, _now: Time) -> Option<Time> {
+        None
+    }
+
+    fn on_timer(&mut self, _now: Time) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: Time = Time::ZERO;
+
+    #[test]
+    fn picks_in_fifo_order() {
+        let mut rr = RoundRobin::new(Dur::ms(4));
+        rr.on_ready(TaskId(1), T0);
+        rr.on_ready(TaskId(2), T0);
+        assert_eq!(rr.pick(T0), Some(TaskId(1)));
+        // Idempotent until state changes.
+        assert_eq!(rr.pick(T0), Some(TaskId(1)));
+    }
+
+    #[test]
+    fn rotates_after_slice() {
+        let mut rr = RoundRobin::new(Dur::ms(4));
+        rr.on_ready(TaskId(1), T0);
+        rr.on_ready(TaskId(2), T0);
+        assert_eq!(rr.pick(T0), Some(TaskId(1)));
+        rr.charge(TaskId(1), Dur::ms(4), T0 + Dur::ms(4));
+        assert_eq!(rr.pick(T0 + Dur::ms(4)), Some(TaskId(2)));
+        rr.charge(TaskId(2), Dur::ms(4), T0 + Dur::ms(8));
+        assert_eq!(rr.pick(T0 + Dur::ms(8)), Some(TaskId(1)));
+    }
+
+    #[test]
+    fn block_releases_cpu() {
+        let mut rr = RoundRobin::new(Dur::ms(4));
+        rr.on_ready(TaskId(1), T0);
+        rr.on_ready(TaskId(2), T0);
+        assert_eq!(rr.pick(T0), Some(TaskId(1)));
+        rr.on_block(TaskId(1), T0 + Dur::ms(1));
+        assert_eq!(rr.pick(T0 + Dur::ms(1)), Some(TaskId(2)));
+    }
+
+    #[test]
+    fn horizon_tracks_slice() {
+        let mut rr = RoundRobin::new(Dur::ms(4));
+        rr.on_ready(TaskId(1), T0);
+        assert_eq!(rr.pick(T0), Some(TaskId(1)));
+        assert_eq!(rr.horizon(TaskId(1), T0), Some(Dur::ms(4)));
+        rr.charge(TaskId(1), Dur::ms(1), T0 + Dur::ms(1));
+        assert_eq!(rr.horizon(TaskId(1), T0 + Dur::ms(1)), Some(Dur::ms(3)));
+        assert_eq!(rr.horizon(TaskId(9), T0), None);
+    }
+
+    #[test]
+    fn empty_picks_none() {
+        let mut rr = RoundRobin::new(Dur::ms(4));
+        assert_eq!(rr.pick(T0), None);
+        rr.on_ready(TaskId(1), T0);
+        rr.on_exit(TaskId(1), T0);
+        assert_eq!(rr.pick(T0), None);
+    }
+}

@@ -1,0 +1,248 @@
+//! The task (legacy application) model.
+//!
+//! A simulated task is a *black box* to the scheduler and the self-tuning
+//! machinery, exactly as in the paper: it is driven by a [`Workload`] state
+//! machine that yields [`Action`]s (compute, issue a system call, sleep,
+//! exit). The kernel interprets the actions; the tracer only ever observes
+//! the resulting syscall timestamps, and the controllers only ever observe
+//! consumed CPU time.
+
+use crate::metrics::Metrics;
+use crate::syscall::SyscallNr;
+use crate::time::{Dur, Time};
+
+/// Identifier of a task inside one [`crate::kernel::Kernel`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// Index into dense per-task arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+/// Blocking behaviour of a system call.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Blocking {
+    /// The call returns immediately after its in-kernel cost.
+    None,
+    /// The task blocks for the given span (I/O completion, timer, ...).
+    For(Dur),
+    /// The task blocks until the given absolute instant (`clock_nanosleep`
+    /// with `TIMER_ABSTIME`). If in the past, it does not block.
+    Until(Time),
+}
+
+/// One step of a task's behaviour.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Action {
+    /// Consume the given amount of CPU time in user space.
+    Compute(Dur),
+    /// Issue a system call: charge `kernel` CPU time inside the kernel (the
+    /// tracer may add overhead), then optionally block.
+    Syscall {
+        /// Which call is issued (traced).
+        nr: SyscallNr,
+        /// In-kernel CPU cost of the call body.
+        kernel: Dur,
+        /// Whether and how the call blocks.
+        block: Blocking,
+    },
+    /// Block until the given absolute instant without issuing a traced call.
+    SleepUntil(Time),
+    /// Block for the given span without issuing a traced call.
+    SleepFor(Dur),
+    /// Terminate the task.
+    Exit,
+}
+
+impl Action {
+    /// Convenience: a syscall with its default in-kernel cost, non-blocking.
+    pub fn syscall(nr: SyscallNr) -> Action {
+        Action::Syscall {
+            nr,
+            kernel: nr.default_cost(),
+            block: Blocking::None,
+        }
+    }
+
+    /// Convenience: a blocking syscall with its default in-kernel cost.
+    pub fn syscall_blocking(nr: SyscallNr, block: Blocking) -> Action {
+        Action::Syscall {
+            nr,
+            kernel: nr.default_cost(),
+            block,
+        }
+    }
+}
+
+/// Context handed to a [`Workload`] when the kernel asks for its next action.
+pub struct TaskCtx<'a> {
+    /// Current virtual time (the completion instant of the previous action).
+    pub now: Time,
+    /// The task being driven.
+    pub task: TaskId,
+    /// Application-level metrics sink (frame times, QoS marks, ...).
+    pub metrics: &'a mut Metrics,
+}
+
+/// A task behaviour: a state machine yielding one [`Action`] at a time.
+///
+/// Implementations model legacy applications (media players, transcoders,
+/// synthetic periodic tasks). They must not inspect scheduler state — the
+/// whole point of the paper is that the application is unaware of the
+/// adaptation machinery.
+pub trait Workload {
+    /// Returns the next action. Called when the previous action completed.
+    fn next(&mut self, ctx: &mut TaskCtx<'_>) -> Action;
+}
+
+/// A scripted workload: replays a fixed list of actions, optionally looping.
+///
+/// Useful in unit tests and for microbenchmarks.
+///
+/// # Examples
+///
+/// ```
+/// use selftune_simcore::task::{Action, Script};
+/// use selftune_simcore::time::Dur;
+///
+/// let s = Script::once(vec![Action::Compute(Dur::ms(2)), Action::Exit]);
+/// assert_eq!(s.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Script {
+    actions: Vec<Action>,
+    pos: usize,
+    looping: bool,
+}
+
+impl Script {
+    /// Plays the actions once, then exits.
+    pub fn once(actions: Vec<Action>) -> Script {
+        Script {
+            actions,
+            pos: 0,
+            looping: false,
+        }
+    }
+
+    /// Replays the action list forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actions` is empty (the workload could never make progress).
+    pub fn forever(actions: Vec<Action>) -> Script {
+        assert!(!actions.is_empty(), "Script::forever needs actions");
+        Script {
+            actions,
+            pos: 0,
+            looping: true,
+        }
+    }
+
+    /// Number of scripted actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Returns `true` if the script holds no actions.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
+impl Workload for Script {
+    fn next(&mut self, _ctx: &mut TaskCtx<'_>) -> Action {
+        if self.pos >= self.actions.len() {
+            if self.looping {
+                self.pos = 0;
+            } else {
+                return Action::Exit;
+            }
+        }
+        let a = self.actions[self.pos];
+        self.pos += 1;
+        a
+    }
+}
+
+/// A workload built from a closure, for ad-hoc tests.
+pub struct FnWorkload<F: FnMut(&mut TaskCtx<'_>) -> Action>(pub F);
+
+impl<F: FnMut(&mut TaskCtx<'_>) -> Action> Workload for FnWorkload<F> {
+    fn next(&mut self, ctx: &mut TaskCtx<'_>) -> Action {
+        (self.0)(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_with<'a>(metrics: &'a mut Metrics) -> TaskCtx<'a> {
+        TaskCtx {
+            now: Time::ZERO,
+            task: TaskId(0),
+            metrics,
+        }
+    }
+
+    #[test]
+    fn script_once_then_exit() {
+        let mut m = Metrics::default();
+        let mut s = Script::once(vec![Action::Compute(Dur::ms(1))]);
+        let mut ctx = ctx_with(&mut m);
+        assert_eq!(s.next(&mut ctx), Action::Compute(Dur::ms(1)));
+        assert_eq!(s.next(&mut ctx), Action::Exit);
+        assert_eq!(s.next(&mut ctx), Action::Exit);
+    }
+
+    #[test]
+    fn script_forever_loops() {
+        let mut m = Metrics::default();
+        let mut s = Script::forever(vec![
+            Action::Compute(Dur::ms(1)),
+            Action::SleepFor(Dur::ms(2)),
+        ]);
+        let mut ctx = ctx_with(&mut m);
+        for _ in 0..3 {
+            assert_eq!(s.next(&mut ctx), Action::Compute(Dur::ms(1)));
+            assert_eq!(s.next(&mut ctx), Action::SleepFor(Dur::ms(2)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs actions")]
+    fn empty_forever_panics() {
+        let _ = Script::forever(vec![]);
+    }
+
+    #[test]
+    fn action_syscall_helpers() {
+        let a = Action::syscall(SyscallNr::Ioctl);
+        match a {
+            Action::Syscall { nr, kernel, block } => {
+                assert_eq!(nr, SyscallNr::Ioctl);
+                assert_eq!(kernel, SyscallNr::Ioctl.default_cost());
+                assert_eq!(block, Blocking::None);
+            }
+            _ => panic!("expected syscall"),
+        }
+    }
+
+    #[test]
+    fn fn_workload_delegates() {
+        let mut m = Metrics::default();
+        let mut w = FnWorkload(|_ctx: &mut TaskCtx<'_>| Action::Exit);
+        let mut ctx = ctx_with(&mut m);
+        assert_eq!(w.next(&mut ctx), Action::Exit);
+    }
+}

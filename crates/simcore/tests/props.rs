@@ -1,0 +1,128 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+use selftune_simcore::event::EventQueue;
+use selftune_simcore::scheduler::RoundRobin;
+use selftune_simcore::stats;
+use selftune_simcore::task::{Action, Script};
+use selftune_simcore::time::{Dur, Time};
+use selftune_simcore::Kernel;
+
+proptest! {
+    #[test]
+    fn dur_add_sub_round_trip(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let (x, y) = (Dur::ns(a), Dur::ns(b));
+        prop_assert_eq!((x + y) - y, x);
+        prop_assert_eq!((x + y).saturating_sub(x), y);
+    }
+
+    #[test]
+    fn dur_mul_f64_monotone(ns in 1u64..1_000_000_000_000, f1 in 0.0f64..10.0, f2 in 0.0f64..10.0) {
+        let d = Dur::ns(ns);
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        prop_assert!(d.mul_f64(lo) <= d.mul_f64(hi));
+    }
+
+    #[test]
+    fn dur_ratio_inverts_mul(ns in 1_000u64..1_000_000_000, f in 0.01f64..100.0) {
+        let d = Dur::ns(ns);
+        let scaled = d.mul_f64(f);
+        if !scaled.is_zero() {
+            let r = scaled.ratio(d);
+            prop_assert!((r - f).abs() / f < 1e-3, "{r} vs {f}");
+        }
+    }
+
+    #[test]
+    fn time_add_sub_round_trip(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let at = Time::from_ns(t);
+        let dur = Dur::ns(d);
+        prop_assert_eq!((at + dur) - dur, at);
+        prop_assert_eq!((at + dur) - at, dur);
+    }
+
+    #[test]
+    fn quantile_within_bounds(xs in prop::collection::vec(-1e6f64..1e6, 1..100), p in 0.0f64..=1.0) {
+        let q = stats::quantile(&xs, p);
+        prop_assert!(q >= stats::min(&xs) - 1e-9);
+        prop_assert!(q <= stats::max(&xs) + 1e-9);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_complete(xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let c = stats::cdf(&xs);
+        prop_assert_eq!(c.len(), xs.len());
+        prop_assert!((c.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in c.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn histogram_preserves_count(xs in prop::collection::vec(-10.0f64..110.0, 0..200), bins in 1usize..50) {
+        let h = stats::histogram(&xs, 0.0, 100.0, bins);
+        let total: u64 = h.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(total as usize, xs.len());
+    }
+
+    #[test]
+    fn pmf_sums_to_one(xs in prop::collection::vec(0.0f64..100.0, 1..200), bin in 0.1f64..5.0) {
+        let p = stats::pmf(&xs, bin);
+        let total: f64 = p.iter().map(|&(_, pr)| pr).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0u64..1_000_000, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Time::from_ns(t), i);
+        }
+        let mut last = Time::ZERO;
+        let mut n = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            n += 1;
+        }
+        prop_assert_eq!(n, times.len());
+    }
+
+    /// CPU-time conservation: busy + idle equals elapsed wall time, and
+    /// per-task thread times sum to busy time.
+    #[test]
+    fn kernel_conserves_cpu_time(
+        works in prop::collection::vec((1u64..8_000, 1u64..8_000), 1..6),
+        horizon_ms in 10u64..100,
+    ) {
+        let mut k = Kernel::new(RoundRobin::new(Dur::ms(4)));
+        let mut ids = Vec::new();
+        for &(c_us, gap_us) in &works {
+            let script = Script::forever(vec![
+                Action::Compute(Dur::us(c_us)),
+                Action::SleepFor(Dur::us(gap_us)),
+            ]);
+            ids.push(k.spawn("w", Box::new(script)));
+        }
+        k.run_until(Time::ZERO + Dur::ms(horizon_ms));
+        prop_assert_eq!(k.busy_time() + k.idle_time(), Dur::ms(horizon_ms));
+        let total: Dur = ids.iter().map(|&t| k.thread_time(t)).sum();
+        prop_assert_eq!(total, k.busy_time());
+    }
+
+    /// Determinism: identical seeds and scripts give identical outcomes.
+    #[test]
+    fn kernel_runs_are_deterministic(c_us in 1u64..5_000, gap_us in 1u64..5_000) {
+        let run = || {
+            let mut k = Kernel::new(RoundRobin::new(Dur::ms(4)));
+            let script = Script::forever(vec![
+                Action::Compute(Dur::us(c_us)),
+                Action::SleepFor(Dur::us(gap_us)),
+            ]);
+            let id = k.spawn("w", Box::new(script));
+            k.run_until(Time::ZERO + Dur::ms(50));
+            (k.thread_time(id), k.context_switches(), k.idle_time())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

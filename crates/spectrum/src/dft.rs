@@ -1,0 +1,405 @@
+//! Direct evaluation of the amplitude spectrum of an event train.
+//!
+//! The paper models each traced system call as a Dirac delta, so a trace is
+//! `s(t) = Σᵢ δ(t − tᵢ)` and its transform evaluated at frequency `f` is
+//! simply `S(f) = Σᵢ e^{-j2πf·tᵢ}` (Section 4.3, Equation (4)). The
+//! spectrum is sampled on a regular grid `[f_min, f_max]` with step `δf` —
+//! the paper argues an FFT is unsuitable because events carry
+//! nanosecond-resolution timestamps and the equivalent sample rate would be
+//! absurd.
+//!
+//! The number of complex exponentiations is `bins × events` (Equation (3));
+//! both the batch and the incremental evaluator count them so the overhead
+//! experiments (Figures 6–7) can report the measured cost alongside the
+//! theoretical one.
+
+/// Frequency-grid configuration, in Hz.
+#[derive(Copy, Clone, Debug)]
+pub struct SpectrumConfig {
+    /// Lowest analysed frequency. Must exceed the DC main lobe (≳ 2/H) so
+    /// the zero-frequency peak does not leak into the candidate range.
+    pub f_min: f64,
+    /// Highest analysed frequency.
+    pub f_max: f64,
+    /// Grid step δf.
+    pub df: f64,
+}
+
+impl Default for SpectrumConfig {
+    fn default() -> Self {
+        // The lower bound must stay above f₀/2 of the workloads of
+        // interest (see `PeakConfig::min_rel_amplitude`): media players
+        // run at 25–100 jobs/s, so 18 Hz excludes their subharmonics
+        // (12.5 Hz for 25 fps video, 16.25 Hz for 32.5 Hz audio) while
+        // the paper's own plots use a [30, 100] Hz window.
+        SpectrumConfig {
+            f_min: 18.0,
+            f_max: 100.0,
+            df: 0.1,
+        }
+    }
+}
+
+impl SpectrumConfig {
+    /// Creates a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < f_min < f_max` and `df > 0`.
+    pub fn new(f_min: f64, f_max: f64, df: f64) -> SpectrumConfig {
+        let cfg = SpectrumConfig { f_min, f_max, df };
+        cfg.validate();
+        cfg
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.f_min > 0.0 && self.f_min < self.f_max && self.df > 0.0,
+            "invalid spectrum config {self:?}"
+        );
+    }
+
+    /// Number of grid bins, `⌊(f_max − f_min)/δf⌋ + 1`.
+    pub fn bins(&self) -> usize {
+        ((self.f_max - self.f_min) / self.df).floor() as usize + 1
+    }
+
+    /// Frequency of bin `i`.
+    pub fn freq_of(&self, i: usize) -> f64 {
+        self.f_min + i as f64 * self.df
+    }
+
+    /// Nearest bin index for frequency `f`, clamped to the grid.
+    pub fn bin_of(&self, f: f64) -> usize {
+        let i = ((f - self.f_min) / self.df).round();
+        (i.max(0.0) as usize).min(self.bins() - 1)
+    }
+}
+
+/// A sampled amplitude spectrum.
+#[derive(Clone, Debug)]
+pub struct Spectrum {
+    /// Grid configuration the amplitudes were sampled on.
+    pub config: SpectrumConfig,
+    /// `|S(f)|` per grid bin.
+    pub amplitudes: Vec<f64>,
+    /// Number of events that contributed.
+    pub events: usize,
+    /// Complex exponentiations performed (Equation (3) accounting).
+    pub ops: u64,
+}
+
+impl Spectrum {
+    /// Frequencies of all bins.
+    pub fn freqs(&self) -> Vec<f64> {
+        (0..self.amplitudes.len())
+            .map(|i| self.config.freq_of(i))
+            .collect()
+    }
+
+    /// Amplitudes normalised to a maximum of 1 (the paper's Figure 10
+    /// presentation). An all-zero spectrum stays all-zero.
+    pub fn normalized(&self) -> Vec<f64> {
+        let max = self.amplitudes.iter().copied().fold(0.0_f64, f64::max);
+        if max <= 0.0 {
+            return self.amplitudes.clone();
+        }
+        self.amplitudes.iter().map(|a| a / max).collect()
+    }
+
+    /// Mean amplitude over the grid (the reference for the α threshold).
+    pub fn mean_amplitude(&self) -> f64 {
+        if self.amplitudes.is_empty() {
+            return 0.0;
+        }
+        self.amplitudes.iter().sum::<f64>() / self.amplitudes.len() as f64
+    }
+}
+
+/// Evaluates `|S(f)|` for the event timestamps (in seconds) on the grid.
+pub fn amplitude_spectrum(events_secs: &[f64], config: SpectrumConfig) -> Spectrum {
+    config.validate();
+    let bins = config.bins();
+    let mut re = vec![0.0_f64; bins];
+    let mut im = vec![0.0_f64; bins];
+    let tau = core::f64::consts::TAU;
+    for &t in events_secs {
+        for (i, (r, m)) in re.iter_mut().zip(im.iter_mut()).enumerate() {
+            let phase = tau * config.freq_of(i) * t;
+            // e^{-jωt} = cos(ωt) − j·sin(ωt).
+            *r += phase.cos();
+            *m -= phase.sin();
+        }
+    }
+    let amplitudes = re
+        .iter()
+        .zip(&im)
+        .map(|(r, m)| (r * r + m * m).sqrt())
+        .collect();
+    Spectrum {
+        config,
+        amplitudes,
+        events: events_secs.len(),
+        ops: (bins * events_secs.len()) as u64,
+    }
+}
+
+/// Incremental spectrum accumulator with a sliding observation window.
+///
+/// Events are pushed as they arrive; events older than `horizon` seconds
+/// behind the newest are evicted by subtracting their contribution —
+/// the iterative evaluation described in Section 4.3.
+#[derive(Debug)]
+pub struct WindowedDft {
+    config: SpectrumConfig,
+    horizon: f64,
+    re: Vec<f64>,
+    im: Vec<f64>,
+    window: std::collections::VecDeque<f64>,
+    ops: u64,
+}
+
+impl WindowedDft {
+    /// Creates an accumulator with the given grid and window length (s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is not positive or the config is invalid.
+    pub fn new(config: SpectrumConfig, horizon: f64) -> WindowedDft {
+        config.validate();
+        assert!(horizon > 0.0, "horizon must be positive");
+        let bins = config.bins();
+        WindowedDft {
+            config,
+            horizon,
+            re: vec![0.0; bins],
+            im: vec![0.0; bins],
+            window: std::collections::VecDeque::new(),
+            ops: 0,
+        }
+    }
+
+    /// The observation horizon in seconds.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// Number of events currently inside the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Returns `true` if no event is in the window.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Adds an event at `t` seconds (monotonically non-decreasing) and
+    /// evicts events that fell out of the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the newest event already pushed.
+    pub fn push(&mut self, t: f64) {
+        if let Some(&last) = self.window.back() {
+            assert!(t >= last, "events must be pushed in time order");
+        }
+        self.accumulate(t, 1.0);
+        self.window.push_back(t);
+        while let Some(&old) = self.window.front() {
+            if t - old > self.horizon {
+                self.window.pop_front();
+                self.accumulate(old, -1.0);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn accumulate(&mut self, t: f64, sign: f64) {
+        let tau = core::f64::consts::TAU;
+        for i in 0..self.re.len() {
+            let phase = tau * self.config.freq_of(i) * t;
+            self.re[i] += sign * phase.cos();
+            self.im[i] -= sign * phase.sin();
+        }
+        self.ops += self.re.len() as u64;
+    }
+
+    /// Snapshot of the current amplitude spectrum.
+    pub fn spectrum(&self) -> Spectrum {
+        Spectrum {
+            config: self.config,
+            amplitudes: self
+                .re
+                .iter()
+                .zip(&self.im)
+                .map(|(r, m)| (r * r + m * m).sqrt())
+                .collect(),
+            events: self.window.len(),
+            ops: self.ops,
+        }
+    }
+
+    /// Total complex exponentiations performed so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Drops all state (events and accumulators).
+    pub fn clear(&mut self) {
+        self.re.iter_mut().for_each(|x| *x = 0.0);
+        self.im.iter_mut().for_each(|x| *x = 0.0);
+        self.window.clear();
+    }
+}
+
+/// Generates a perfectly periodic burst train for tests and benchmarks:
+/// `jobs` jobs of period `period_s`, each burst containing `per_burst`
+/// events spread over `burst_span_s` at the job start.
+pub fn synthetic_burst_train(
+    period_s: f64,
+    jobs: usize,
+    per_burst: usize,
+    burst_span_s: f64,
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity(jobs * per_burst);
+    for j in 0..jobs {
+        let base = j as f64 * period_s;
+        for k in 0..per_burst {
+            out.push(base + burst_span_s * k as f64 / per_burst.max(1) as f64);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SpectrumConfig {
+        SpectrumConfig::new(10.0, 100.0, 0.1)
+    }
+
+    #[test]
+    fn grid_geometry() {
+        let c = cfg();
+        assert_eq!(c.bins(), 901);
+        assert!((c.freq_of(0) - 10.0).abs() < 1e-12);
+        assert!((c.freq_of(900) - 100.0).abs() < 1e-9);
+        assert_eq!(c.bin_of(10.0), 0);
+        assert_eq!(c.bin_of(100.0), 900);
+        assert_eq!(c.bin_of(25.04), 150);
+        assert_eq!(c.bin_of(0.0), 0); // clamped
+        assert_eq!(c.bin_of(500.0), 900); // clamped
+    }
+
+    #[test]
+    fn empty_spectrum_is_zero() {
+        let s = amplitude_spectrum(&[], cfg());
+        assert!(s.amplitudes.iter().all(|&a| a == 0.0));
+        assert_eq!(s.ops, 0);
+    }
+
+    #[test]
+    fn single_event_is_flat_unit() {
+        let s = amplitude_spectrum(&[0.3], cfg());
+        assert!(s.amplitudes.iter().all(|&a| (a - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn periodic_train_peaks_at_fundamental() {
+        // 25 Hz train observed for 2 s.
+        let events = synthetic_burst_train(0.04, 50, 1, 0.0);
+        let s = amplitude_spectrum(&events, cfg());
+        let peak_bin = s
+            .amplitudes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let f = s.config.freq_of(peak_bin);
+        // Peaks at 25, 50, 75, 100 all have amplitude N; the max is one of
+        // the harmonics of 25 Hz.
+        assert!(
+            (f / 25.0 - (f / 25.0).round()).abs() < 0.01,
+            "peak at {f} is not a harmonic of 25"
+        );
+        // The 25 Hz bin itself is (near) N = 50.
+        let a25 = s.amplitudes[s.config.bin_of(25.0)];
+        assert!((a25 - 50.0).abs() < 1e-6, "a25 = {a25}");
+    }
+
+    #[test]
+    fn off_peak_amplitude_is_small() {
+        let events = synthetic_burst_train(0.04, 50, 1, 0.0);
+        let s = amplitude_spectrum(&events, cfg());
+        // Between harmonics (e.g. 37.5 Hz) the sum nearly cancels.
+        let a = s.amplitudes[s.config.bin_of(37.5)];
+        assert!(a < 5.0, "off-peak amplitude {a}");
+    }
+
+    #[test]
+    fn ops_counter_matches_equation3() {
+        let events = synthetic_burst_train(0.04, 10, 3, 0.004);
+        let s = amplitude_spectrum(&events, cfg());
+        assert_eq!(s.ops, (cfg().bins() * events.len()) as u64);
+    }
+
+    #[test]
+    fn windowed_matches_batch_for_fitting_window() {
+        let events = synthetic_burst_train(0.04, 20, 2, 0.004);
+        let mut w = WindowedDft::new(cfg(), 10.0); // everything fits
+        for &t in &events {
+            w.push(t);
+        }
+        let inc = w.spectrum();
+        let batch = amplitude_spectrum(&events, cfg());
+        for (a, b) in inc.amplitudes.iter().zip(&batch.amplitudes) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        assert_eq!(inc.events, events.len());
+    }
+
+    #[test]
+    fn windowed_evicts_old_events() {
+        let mut w = WindowedDft::new(cfg(), 1.0);
+        for &t in &[0.0, 0.5, 1.0, 2.0] {
+            w.push(t);
+        }
+        // Horizon 1.0 behind t=2.0 keeps {1.0, 2.0}.
+        assert_eq!(w.len(), 2);
+        let tail = amplitude_spectrum(&[1.0, 2.0], cfg());
+        let inc = w.spectrum();
+        for (a, b) in inc.amplitudes.iter().zip(&tail.amplitudes) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn windowed_rejects_out_of_order() {
+        let mut w = WindowedDft::new(cfg(), 1.0);
+        w.push(1.0);
+        w.push(0.5);
+    }
+
+    #[test]
+    fn normalization_peaks_at_one() {
+        let events = synthetic_burst_train(0.04, 50, 1, 0.0);
+        let s = amplitude_spectrum(&events, cfg());
+        let n = s.normalized();
+        let max = n.iter().copied().fold(0.0_f64, f64::max);
+        assert!((max - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn burst_train_shape() {
+        let e = synthetic_burst_train(0.1, 3, 2, 0.01);
+        assert_eq!(e.len(), 6);
+        assert!((e[0] - 0.0).abs() < 1e-12);
+        assert!((e[1] - 0.005).abs() < 1e-12);
+        assert!((e[2] - 0.1).abs() < 1e-12);
+    }
+}

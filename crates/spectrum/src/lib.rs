@@ -1,0 +1,26 @@
+//! # selftune-spectrum
+//!
+//! The period analyser of *"Self-tuning Schedulers for Legacy Real-Time
+//! Applications"* (EuroSys 2010), Sections 4.2–4.3: system-call events are
+//! modelled as a train of Dirac deltas, the amplitude spectrum is evaluated
+//! *directly* on a frequency grid (no FFT — event timestamps are too finely
+//! resolved), and a peak-detection heuristic extracts the fundamental
+//! frequency, i.e. the task's activation period.
+//!
+//! * [`dft`] — batch and incremental (sliding-window) spectrum evaluation
+//!   with Equation-(3) operation accounting.
+//! * [`peaks`] — the Section 4.3.1 heuristic (α threshold, harmonic
+//!   accumulation with tolerance ε, `k_max` = 10) with Equation-(5)
+//!   accounting.
+//! * [`analyser`] — the facade used by the task controller.
+//!
+//! This crate is pure computation: timestamps in, estimates out. It has no
+//! dependency on the simulator.
+
+pub mod analyser;
+pub mod dft;
+pub mod peaks;
+
+pub use analyser::{AnalyserConfig, Horizon, PeriodAnalyser, PeriodEstimate};
+pub use dft::{amplitude_spectrum, synthetic_burst_train, Spectrum, SpectrumConfig, WindowedDft};
+pub use peaks::{detect, Detection, PeakAnalysis, PeakConfig};

@@ -1,0 +1,83 @@
+//! Property-based tests for the ring buffer and the filtered hook.
+
+use proptest::prelude::*;
+use selftune_simcore::kernel::SyscallHook;
+use selftune_simcore::syscall::SyscallNr;
+use selftune_simcore::task::TaskId;
+use selftune_simcore::time::Time;
+use selftune_tracer::{RingBuffer, TraceFilter, Tracer, TracerConfig};
+
+proptest! {
+    /// The ring always yields the newest min(cap, n) items, in push order,
+    /// and its counters add up.
+    #[test]
+    fn ring_keeps_newest_suffix(cap in 1usize..64, n in 0usize..300) {
+        let mut rb = RingBuffer::new(cap);
+        for i in 0..n {
+            rb.push(i);
+        }
+        prop_assert_eq!(rb.total_pushed(), n as u64);
+        prop_assert_eq!(rb.total_dropped(), n.saturating_sub(cap) as u64);
+        let drained = rb.drain();
+        let expect: Vec<usize> = (n.saturating_sub(cap)..n).collect();
+        prop_assert_eq!(drained, expect);
+    }
+
+    /// Interleaved pushes and drains never lose undrained items below
+    /// capacity.
+    #[test]
+    fn ring_interleaved_ops(ops in prop::collection::vec(0u8..4, 1..200)) {
+        let cap = 16;
+        let mut rb = RingBuffer::new(cap);
+        let mut next = 0u64;
+        let mut expected: Vec<u64> = Vec::new();
+        for op in ops {
+            if op < 3 {
+                rb.push(next);
+                expected.push(next);
+                next += 1;
+                if expected.len() > cap {
+                    expected.remove(0);
+                }
+            } else {
+                let got = rb.drain();
+                prop_assert_eq!(got, expected.clone());
+                expected.clear();
+            }
+        }
+    }
+
+    /// Every recorded event passes the filter; nothing else is recorded.
+    #[test]
+    fn filter_is_sound_and_complete(
+        events in prop::collection::vec((0u32..6, 0usize..5), 1..150),
+        allowed_tasks in prop::collection::vec(0u32..6, 1..4),
+        allowed_calls in prop::collection::vec(0usize..5, 1..3),
+    ) {
+        let calls = [
+            SyscallNr::Read,
+            SyscallNr::Write,
+            SyscallNr::Ioctl,
+            SyscallNr::Poll,
+            SyscallNr::Futex,
+        ];
+        let (mut hook, reader) = Tracer::create(TracerConfig::default());
+        let filter = TraceFilter {
+            tasks: Some(allowed_tasks.iter().map(|&t| TaskId(t)).collect()),
+            calls: Some(allowed_calls.iter().map(|&c| calls[c]).collect()),
+        };
+        reader.set_filter(filter.clone());
+        let mut expected = 0;
+        for (i, &(task, call)) in events.iter().enumerate() {
+            hook.on_enter(TaskId(task), calls[call], Time::from_ns(i as u64));
+            if filter.matches(TaskId(task), calls[call]) {
+                expected += 1;
+            }
+        }
+        let recorded = reader.drain();
+        prop_assert_eq!(recorded.len(), expected);
+        for e in &recorded {
+            prop_assert!(filter.matches(e.task, e.nr));
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! A media-center scenario: video and audio players with different job
+//! rates share the CPU with a best-effort transcode, all under the
+//! self-tuning machinery.
+//!
+//! ```text
+//! cargo run --example media_center
+//! ```
+//!
+//! Shows the per-task period identification (25 Hz vs 32.5 Hz), the
+//! independent reservations, and that the unreserved batch job only gets
+//! the leftover CPU — temporal isolation in action.
+
+use selftune::prelude::*;
+
+fn main() {
+    let mut kernel = Kernel::new(ReservationScheduler::new());
+    let (hook, reader) = Tracer::create(TracerConfig::default());
+    kernel.install_hook(Box::new(hook));
+    let mut rng = Rng::new(7);
+
+    // Two legacy players with different rates.
+    let mut video_cfg = MediaConfig::mplayer_video_25fps();
+    video_cfg.label = "video".to_owned();
+    let video = kernel.spawn("video", Box::new(MediaPlayer::new(video_cfg, rng.fork())));
+    let mut audio_cfg = MediaConfig::mplayer_mp3();
+    audio_cfg.label = "audio".to_owned();
+    let audio = kernel.spawn("audio", Box::new(MediaPlayer::new(audio_cfg, rng.fork())));
+
+    // A CPU-hungry batch transcode in the fair (best-effort) class.
+    let batch = kernel.spawn(
+        "batch",
+        Box::new(Transcoder::new(
+            TranscodeConfig {
+                label: "batch".to_owned(),
+                frames: 2000,
+                per_frame: Dur::ms(30),
+                noise_frac: 0.05,
+                syscalls_per_frame: 40,
+            },
+            rng.fork(),
+        )),
+    );
+
+    let mut manager = SelfTuningManager::new(ManagerConfig::default(), reader);
+    manager.manage(video, "video", ControllerConfig::default());
+    manager.manage(audio, "audio", ControllerConfig::default());
+    // The batch job is deliberately *not* managed: it has no deadline.
+
+    let horizon = Dur::secs(20);
+    manager.run(&mut kernel, Time::ZERO + horizon);
+
+    println!("after {} of simulated time:", horizon);
+    for (task, label, nominal_ms) in [(video, "video", 40.0), (audio, "audio", 1000.0 / 32.5)] {
+        let p = manager
+            .controller_of(task)
+            .and_then(|c| c.period())
+            .map(|p| p.as_ms_f64());
+        let bw = manager
+            .server_of(task)
+            .map(|sid| kernel.sched().server(sid).config().bandwidth());
+        let ift = kernel
+            .metrics()
+            .inter_mark_times_ms(&format!("{label}.frame"));
+        let steady = &ift[ift.len() / 2..];
+        let mean = steady.iter().sum::<f64>() / steady.len() as f64;
+        println!(
+            "  {label:5}: period {} (nominal {nominal_ms:.2} ms), reserved {}, steady IFT {mean:.2} ms",
+            p.map_or("-".into(), |v| format!("{v:.2} ms")),
+            bw.map_or("-".into(), |v| format!("{:.1}%", 100.0 * v)),
+        );
+    }
+
+    let batch_share = kernel.thread_time(batch).ratio(horizon);
+    println!(
+        "  batch: unreserved, got {:.1}% of the CPU (the leftover)",
+        100.0 * batch_share
+    );
+    let total = kernel.sched().total_reserved_bandwidth();
+    println!(
+        "  total reserved bandwidth: {:.1}% (U_lub = 95%)",
+        100.0 * total
+    );
+
+    assert!(batch_share > 0.2, "batch should still make progress");
+}

@@ -1,0 +1,56 @@
+//! A jittery RTP-style network stream under self-tuning scheduling: the
+//! analyser must recover the 30 fps nominal rate despite ±10% arrival
+//! jitter, and the controller must reserve for the decode demand.
+//!
+//! ```text
+//! cargo run --release --example network_stream
+//! ```
+
+use selftune::prelude::*;
+
+fn main() {
+    let mut kernel = Kernel::new(ReservationScheduler::new());
+    let (hook, reader) = Tracer::create(TracerConfig::default());
+    kernel.install_hook(Box::new(hook));
+    let mut rng = Rng::new(23);
+
+    let cfg = StreamerConfig::rtp_video_30fps();
+    println!(
+        "stream: nominal {} fps, arrival jitter σ = {:.0}% of the period",
+        cfg.rate_hz,
+        100.0 * cfg.jitter_frac
+    );
+    let tid = kernel.spawn("stream", Box::new(Streamer::new(cfg, rng.fork())));
+
+    // A CPU hog in the fair class to make the reservation matter.
+    kernel.spawn("hog", Box::new(CpuHog::new(Dur::ms(10))));
+
+    let mut manager = SelfTuningManager::new(ManagerConfig::default(), reader);
+    manager.manage(tid, "stream", ControllerConfig::default());
+    manager.run(&mut kernel, Time::ZERO + Dur::secs(12));
+
+    let period = manager
+        .controller_of(tid)
+        .and_then(|c| c.period())
+        .expect("period detected despite jitter");
+    let bw = manager
+        .server_of(tid)
+        .map(|sid| kernel.sched().server(sid).config().bandwidth())
+        .expect("reservation created");
+    println!(
+        "detected period {:.2} ms (nominal 33.33), reserved {:.1}%",
+        period.as_ms_f64(),
+        100.0 * bw
+    );
+
+    let ift = kernel.metrics().inter_mark_times_ms("stream.frame");
+    let steady = &ift[ift.len() / 2..];
+    let mean = steady.iter().sum::<f64>() / steady.len() as f64;
+    println!(
+        "steady inter-frame time {:.2} ms over {} frames (hog gets the rest)",
+        mean,
+        ift.len() + 1
+    );
+    assert!((period.as_ms_f64() - 33.33).abs() < 1.0);
+    assert!((mean - 33.33).abs() < 1.5);
+}

@@ -1,0 +1,58 @@
+//! Overload behaviour: three greedy legacy tasks whose combined demand
+//! exceeds the CPU. The supervisor compresses the requests so that
+//! Σ Qᵢ/Tᵢ ≤ U_lub (Equation (1) of the paper) while every task keeps a
+//! proportional share.
+//!
+//! ```text
+//! cargo run --example overload_supervisor
+//! ```
+
+use selftune::prelude::*;
+use selftune_apps::PeriodicRt;
+
+fn main() {
+    let mut kernel = Kernel::new(ReservationScheduler::new());
+    let (hook, reader) = Tracer::create(TracerConfig::default());
+    kernel.install_hook(Box::new(hook));
+
+    let mut manager = SelfTuningManager::new(ManagerConfig::default(), reader);
+    let mut rng = Rng::new(99);
+    let demands = [(18u64, 40u64), (14, 40), (16, 40)]; // ≈ 45 + 35 + 40 = 120%
+    let mut tasks = Vec::new();
+    for (i, &(c, p)) in demands.iter().enumerate() {
+        let label = format!("task{i}");
+        let w = PeriodicRt::new(&label, Dur::ms(c), Dur::ms(p), 0.05, rng.fork());
+        let tid = kernel.spawn(&label, Box::new(w));
+        manager.manage(tid, &label, ControllerConfig::default());
+        tasks.push((tid, label, c as f64 / p as f64));
+    }
+    println!(
+        "combined demand ≈ {:.0}% of the CPU; U_lub = {:.0}%",
+        demands
+            .iter()
+            .map(|&(c, p)| 100.0 * c as f64 / p as f64)
+            .sum::<f64>(),
+        100.0 * manager.config().supervisor.ulub
+    );
+
+    manager.run(&mut kernel, Time::ZERO + Dur::secs(15));
+
+    println!("\nafter 15 s of adaptation:");
+    let mut total = 0.0;
+    for (tid, label, demand) in &tasks {
+        let bw = manager
+            .server_of(*tid)
+            .map(|sid| kernel.sched().server(sid).config().bandwidth())
+            .unwrap_or(0.0);
+        let got = kernel.thread_time(*tid).ratio(Dur::secs(15));
+        total += bw;
+        println!(
+            "  {label}: wants ≈ {:.0}%, reserved {:.1}%, actually consumed {:.1}%",
+            100.0 * demand,
+            100.0 * bw,
+            100.0 * got
+        );
+    }
+    println!("  total reserved: {:.1}% (≤ 95% always)", 100.0 * total);
+    assert!(total <= 0.95 + 1e-9);
+}

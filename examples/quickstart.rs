@@ -1,0 +1,67 @@
+//! Quickstart: put one legacy media player under self-tuning scheduling.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! The player is a black box: it never calls a scheduler API. The manager
+//! traces its system calls, identifies its 40 ms period from the event
+//! spectrum, creates a CBS reservation, and keeps the budget tracking the
+//! measured demand.
+
+use selftune::prelude::*;
+
+fn main() {
+    // 1. A simulated kernel with the reservation scheduler and the
+    //    low-overhead syscall tracer.
+    let mut kernel = Kernel::new(ReservationScheduler::new());
+    let (hook, reader) = Tracer::create(TracerConfig::default());
+    kernel.install_hook(Box::new(hook));
+
+    // 2. The legacy application: mplayer playing a 25 fps movie.
+    let config = MediaConfig::mplayer_video_25fps();
+    println!(
+        "player: {} fps video, mean decode {:.1} ms (utilisation ≈ {:.0}%)",
+        config.rate_hz,
+        config.cost.mean().as_ms_f64(),
+        100.0 * config.utilisation()
+    );
+    let tid = kernel.spawn("mplayer", Box::new(MediaPlayer::new(config, Rng::new(42))));
+
+    // 3. The self-tuning manager (the paper's user-space lfs++ daemon).
+    let mut manager = SelfTuningManager::new(ManagerConfig::default(), reader);
+    manager.manage(tid, "mplayer", ControllerConfig::default());
+
+    // 4. Run for 10 simulated seconds.
+    manager.run(&mut kernel, Time::ZERO + Dur::secs(10));
+
+    // 5. Report what the machinery figured out on its own.
+    let period = manager
+        .controller_of(tid)
+        .and_then(|c| c.period())
+        .expect("period detected");
+    let sid = manager.server_of(tid).expect("reservation created");
+    let server = kernel.sched().server(sid);
+    println!("detected period : {:.2} ms", period.as_ms_f64());
+    println!(
+        "reservation     : Q = {:.2} ms every T = {:.2} ms  (bandwidth {:.1}%)",
+        server.config().budget.as_ms_f64(),
+        server.config().period.as_ms_f64(),
+        100.0 * server.config().bandwidth()
+    );
+
+    let ift = kernel.metrics().inter_mark_times_ms("mplayer.frame");
+    let steady = &ift[ift.len() / 2..];
+    let mean = steady.iter().sum::<f64>() / steady.len() as f64;
+    let sd = selftune::simcore::stats::std_dev(steady);
+    println!(
+        "QoS             : {} frames, steady inter-frame time {:.2} ± {:.2} ms (nominal 40 ms)",
+        ift.len() + 1,
+        mean,
+        sd
+    );
+    println!(
+        "frames dropped  : {}",
+        kernel.metrics().counter("mplayer.dropped")
+    );
+}

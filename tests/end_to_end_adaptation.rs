@@ -1,0 +1,141 @@
+//! End-to-end integration: the full paper pipeline — tracer → period
+//! analyser → LFS++ → supervisor → CBS — on legacy media players.
+
+use selftune::prelude::*;
+
+fn managed_kernel() -> (Kernel<ReservationScheduler>, SelfTuningManager) {
+    let mut kernel = Kernel::new(ReservationScheduler::new());
+    let (hook, reader) = Tracer::create(TracerConfig::default());
+    kernel.install_hook(Box::new(hook));
+    let manager = SelfTuningManager::new(ManagerConfig::default(), reader);
+    (kernel, manager)
+}
+
+#[test]
+fn single_player_detected_attached_and_served() {
+    let (mut kernel, mut manager) = managed_kernel();
+    let cfg = MediaConfig::mplayer_video_25fps();
+    let u = cfg.utilisation();
+    let tid = kernel.spawn("mplayer", Box::new(MediaPlayer::new(cfg, Rng::new(5))));
+    manager.manage(tid, "mplayer", ControllerConfig::default());
+    manager.run(&mut kernel, Time::ZERO + Dur::secs(10));
+
+    // Detected period ≈ 40 ms.
+    let p = manager
+        .controller_of(tid)
+        .and_then(|c| c.period())
+        .expect("period detected")
+        .as_ms_f64();
+    assert!((p - 40.0).abs() < 1.5, "period {p} ms");
+
+    // Reservation exists and its bandwidth brackets the demand.
+    let sid = manager.server_of(tid).expect("attached");
+    let bw = kernel.sched().server(sid).config().bandwidth();
+    assert!(bw > u && bw < 2.0 * u, "bw {bw}, utilisation {u}");
+
+    // Steady-state QoS: inter-frame times at the nominal 40 ms.
+    let ift = kernel.metrics().inter_mark_times_ms("mplayer.frame");
+    let steady = &ift[ift.len() / 2..];
+    let mean = steady.iter().sum::<f64>() / steady.len() as f64;
+    assert!((mean - 40.0).abs() < 1.0, "steady IFT mean {mean}");
+}
+
+#[test]
+fn two_players_with_different_rates_both_served() {
+    let (mut kernel, mut manager) = managed_kernel();
+    let video = kernel.spawn(
+        "video",
+        Box::new(MediaPlayer::new(
+            MediaConfig::mplayer_video_25fps(),
+            Rng::new(11),
+        )),
+    );
+    let mut audio_cfg = MediaConfig::mplayer_mp3();
+    audio_cfg.label = "audio".to_owned();
+    let audio = kernel.spawn("audio", Box::new(MediaPlayer::new(audio_cfg, Rng::new(12))));
+    manager.manage(video, "video", ControllerConfig::default());
+    manager.manage(audio, "audio", ControllerConfig::default());
+    manager.run(&mut kernel, Time::ZERO + Dur::secs(12));
+
+    let pv = manager
+        .controller_of(video)
+        .and_then(|c| c.period())
+        .expect("video period")
+        .as_ms_f64();
+    let pa = manager
+        .controller_of(audio)
+        .and_then(|c| c.period())
+        .expect("audio period")
+        .as_ms_f64();
+    assert!((pv - 40.0).abs() < 2.0, "video period {pv}");
+    assert!((pa - 1000.0 / 32.5).abs() < 2.0, "audio period {pa}");
+
+    // Both attached, total reservation within the supervisor bound.
+    assert!(manager.server_of(video).is_some());
+    assert!(manager.server_of(audio).is_some());
+    let total = kernel.sched().total_reserved_bandwidth();
+    assert!(total <= 0.95 + 1e-9, "total reserved {total}");
+}
+
+#[test]
+fn workload_increase_is_tracked() {
+    // A hand-rolled periodic task whose job cost doubles mid-run: the
+    // reservation must follow the demand upward (Section 4.4's motivation
+    // for the spread factor and the sliding predictor window).
+    use selftune_simcore::task::FnWorkload;
+
+    let (mut kernel, mut manager) = managed_kernel();
+    let period = Dur::ms(40);
+    let switch_at = Time::ZERO + Dur::secs(8);
+    let mut release: Option<Time> = None;
+    let mut phase = 0u8;
+    let wl = FnWorkload(move |ctx: &mut selftune_simcore::TaskCtx<'_>| {
+        match phase {
+            0 => {
+                // Wake on the next period boundary (traced absolute sleep).
+                let next = match release {
+                    None => ctx.now,
+                    Some(r) => r + period,
+                };
+                release = Some(next);
+                phase = 1;
+                Action::syscall_blocking(SyscallNr::ClockNanosleep, Blocking::Until(next))
+            }
+            1 => {
+                phase = 2;
+                Action::syscall(SyscallNr::Read)
+            }
+            2 => {
+                phase = 3;
+                let cost = if ctx.now < switch_at {
+                    Dur::from_ms_f64(6.0)
+                } else {
+                    Dur::from_ms_f64(14.0)
+                };
+                Action::Compute(cost)
+            }
+            _ => {
+                phase = 0;
+                Action::syscall(SyscallNr::Writev)
+            }
+        }
+    });
+    let tid = kernel.spawn("vbr", Box::new(wl));
+    manager.manage(tid, "vbr", ControllerConfig::default());
+
+    manager.run(&mut kernel, Time::ZERO + Dur::secs(8));
+    let bw_light = kernel.metrics().series("vbr.bw").last().expect("bw").1;
+    // Light phase: ≈ (6/40)·(1 + 0.15) = 0.1725.
+    assert!((bw_light - 0.1725).abs() < 0.05, "light bw {bw_light}");
+
+    // Right after the switch the controller transiently over-reserves
+    // (the starved task consumes whatever it gets, ratcheting the measured
+    // demand — the "sudden workload increase" weakness the paper's §6
+    // leaves to future work), then settles once the backlog clears and
+    // the predictor window flushes.
+    manager.run(&mut kernel, Time::ZERO + Dur::secs(30));
+    let bw_heavy = kernel.metrics().series("vbr.bw").last().expect("bw").1;
+    // Heavy phase steady state: ≈ (14/40)·1.15 = 0.4025.
+    assert!((bw_heavy - 0.4025).abs() < 0.1, "heavy bw {bw_heavy}");
+    assert!(bw_heavy > bw_light * 1.8, "{bw_light} -> {bw_heavy}");
+}

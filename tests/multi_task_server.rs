@@ -1,0 +1,125 @@
+//! Figure 2's setting validated in simulation: the paper's three tasks
+//! (3/15, 5/20, 5/30 ms) scheduled rate-monotonically inside a single CBS
+//! reservation dimensioned by the analysis.
+
+use selftune::analysis::{min_budget_rm_group, PeriodicTask};
+use selftune::prelude::*;
+use selftune::sched::{rate_monotonic, InnerPolicy};
+use selftune_apps::PeriodicRt;
+
+fn paper_tasks() -> Vec<PeriodicTask> {
+    vec![
+        PeriodicTask::new(3.0, 15.0),
+        PeriodicTask::new(5.0, 20.0),
+        PeriodicTask::new(5.0, 30.0),
+    ]
+}
+
+/// Runs the three tasks in one server `(q_ms, t_ms)` and returns the
+/// worst lateness (ms) across all jobs of all tasks.
+fn group_worst_lateness(q_ms: f64, t_ms: f64, secs: u64) -> f64 {
+    let mut kernel = Kernel::new(ReservationScheduler::new());
+    let cfg = ServerConfig::new(Dur::from_ms_f64(q_ms), Dur::from_ms_f64(t_ms))
+        .with_policy(InnerPolicy::FixedPriority);
+    let sid = kernel.sched_mut().create_server(cfg);
+
+    let specs = [(3.0, 15.0), (5.0, 20.0), (5.0, 30.0)];
+    let mut ids = Vec::new();
+    for (i, &(c, p)) in specs.iter().enumerate() {
+        let w = PeriodicRt::new(
+            &format!("t{i}"),
+            Dur::from_ms_f64(c),
+            Dur::from_ms_f64(p),
+            0.0,
+            Rng::new(7 + i as u64),
+        );
+        let tid = kernel.spawn(&format!("t{i}"), Box::new(w));
+        kernel.sched_mut().place(tid, Place::Server(sid));
+        ids.push((tid, p));
+    }
+    // Rate-monotonic priorities inside the server.
+    let prios = rate_monotonic(
+        &ids.iter()
+            .map(|&(t, p)| (t, Dur::from_ms_f64(p)))
+            .collect::<Vec<_>>(),
+    );
+    for (t, prio) in prios {
+        kernel
+            .sched_mut()
+            .server_mut(sid)
+            .set_task_priority(t, prio);
+    }
+    kernel.run_until(Time::ZERO + Dur::secs(secs));
+
+    let mut worst: f64 = 0.0;
+    for (i, &(_, p)) in ids.iter().enumerate() {
+        let marks = kernel.metrics().marks(&format!("t{i}.job"));
+        assert!(!marks.is_empty(), "t{i} made no progress");
+        for (k, &done) in marks.iter().enumerate() {
+            let deadline = Time::ZERO + Dur::from_ms_f64(p) * (k as u64 + 1);
+            worst = worst.max(done.saturating_since(deadline).as_ms_f64());
+        }
+    }
+    worst
+}
+
+#[test]
+fn analysed_group_budget_schedules_all_three_tasks() {
+    let tasks = paper_tasks();
+    for t_ms in [5.0, 10.0, 15.0] {
+        let q = min_budget_rm_group(&tasks, t_ms).expect("feasible") + 0.1;
+        let late = group_worst_lateness(q, t_ms, 6);
+        // Syscall bodies add a small unmodelled demand; allow sub-ms slack.
+        assert!(
+            late < 1.0,
+            "T^s={t_ms}: lateness {late} ms at analysed budget {q}"
+        );
+    }
+}
+
+#[test]
+fn starved_group_budget_misses() {
+    let tasks = paper_tasks();
+    let t_ms = 10.0;
+    let q = min_budget_rm_group(&tasks, t_ms).expect("feasible") * 0.7;
+    let late = group_worst_lateness(q, t_ms, 6);
+    assert!(late > 5.0, "lateness {late} ms should be substantial");
+}
+
+#[test]
+fn dedicated_servers_cost_the_utilisation() {
+    // The same three tasks in per-task servers at (Q = C·(1+ε), T = P)
+    // meet deadlines at barely more than the cumulative 62%.
+    let mut kernel = Kernel::new(ReservationScheduler::new());
+    let specs = [(3.0, 15.0), (5.0, 20.0), (5.0, 30.0)];
+    let mut ids = Vec::new();
+    for (i, &(c, p)) in specs.iter().enumerate() {
+        // 6% margin covers the tasks' syscall-body costs.
+        let sid = kernel.sched_mut().create_server(ServerConfig::new(
+            Dur::from_ms_f64(c * 1.06),
+            Dur::from_ms_f64(p),
+        ));
+        let w = PeriodicRt::new(
+            &format!("d{i}"),
+            Dur::from_ms_f64(c),
+            Dur::from_ms_f64(p),
+            0.0,
+            Rng::new(40 + i as u64),
+        );
+        let tid = kernel.spawn(&format!("d{i}"), Box::new(w));
+        kernel.sched_mut().place(tid, Place::Server(sid));
+        ids.push((i, p));
+    }
+    let total = kernel.sched().total_reserved_bandwidth();
+    assert!(total < 0.66, "dedicated total {total}");
+
+    kernel.run_until(Time::ZERO + Dur::secs(6));
+    for &(i, p) in &ids {
+        let marks = kernel.metrics().marks(&format!("d{i}.job"));
+        for (k, &done) in marks.iter().enumerate() {
+            let deadline = Time::ZERO + Dur::from_ms_f64(p) * (k as u64 + 1);
+            let late = done.saturating_since(deadline).as_ms_f64();
+            assert!(late < 0.5, "d{i} job {k} late by {late} ms");
+        }
+    }
+}

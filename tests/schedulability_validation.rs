@@ -1,0 +1,146 @@
+//! Cross-validation of the analytical crate against the simulator: the
+//! budgets the analysis declares sufficient must produce no deadline
+//! misses in simulation, and clearly insufficient budgets must fail.
+
+use selftune::analysis::{min_budget_single, PeriodicTask};
+use selftune::prelude::*;
+use selftune_apps::PeriodicRt;
+use selftune_sched::EdfScheduler;
+
+/// Runs a periodic task (C, P) inside a server (Q, T) for `secs` seconds
+/// and returns the worst observed job completion lateness in ms (jobs
+/// complete when their mark fires; the implicit deadline is the next
+/// release).
+fn worst_lateness_ms(c_ms: f64, p_ms: f64, q_ms: f64, t_ms: f64, secs: u64) -> f64 {
+    let mut kernel = Kernel::new(ReservationScheduler::new());
+    let period = Dur::from_ms_f64(p_ms);
+    let sid = kernel.sched_mut().create_server(ServerConfig::new(
+        Dur::from_ms_f64(q_ms),
+        Dur::from_ms_f64(t_ms),
+    ));
+    let w = PeriodicRt::new("t", Dur::from_ms_f64(c_ms), period, 0.0, Rng::new(9));
+    let tid = kernel.spawn("t", Box::new(w));
+    kernel.sched_mut().place(tid, Place::Server(sid));
+    kernel.run_until(Time::ZERO + Dur::secs(secs));
+
+    let marks = kernel.metrics().marks("t.job");
+    assert!(!marks.is_empty(), "task made no progress");
+    // Job k (0-based) is released at k·P and must finish by (k+1)·P.
+    marks
+        .iter()
+        .enumerate()
+        .map(|(k, &done)| {
+            let deadline = Time::ZERO + period * (k as u64 + 1);
+            done.saturating_since(deadline).as_ms_f64()
+        })
+        .fold(0.0_f64, f64::max)
+}
+
+#[test]
+fn analysis_budget_is_sufficient_in_simulation() {
+    let task = PeriodicTask::new(20.0, 100.0);
+    for t_ms in [100.0, 50.0, 40.0, 60.0, 150.0] {
+        let q = min_budget_single(task, t_ms) + 0.05; // tiny safety margin
+        let late = worst_lateness_ms(20.0, 100.0, q, t_ms, 10);
+        assert!(
+            late <= 0.2,
+            "T^s={t_ms}: lateness {late} ms with analysed budget {q}"
+        );
+    }
+}
+
+#[test]
+fn undersized_budget_misses_in_simulation() {
+    let task = PeriodicTask::new(20.0, 100.0);
+    // 60% of the analysed budget cannot sustain the demand.
+    let q = min_budget_single(task, 100.0) * 0.6;
+    let late = worst_lateness_ms(20.0, 100.0, q, 100.0, 10);
+    assert!(late > 10.0, "lateness {late} ms should be large");
+}
+
+#[test]
+fn edf_keeps_feasible_taskset_on_time() {
+    // Classic result: implicit-deadline periodic tasks with U ≤ 1 are
+    // EDF-schedulable; the simulator must agree.
+    let mut kernel = Kernel::new(EdfScheduler::new());
+    let set = [(3.0, 15.0), (5.0, 20.0), (5.0, 30.0), (4.0, 24.0)];
+    let mut rng = Rng::new(4);
+    for (i, &(c, p)) in set.iter().enumerate() {
+        let w = PeriodicRt::new(
+            &format!("t{i}"),
+            Dur::from_ms_f64(c),
+            Dur::from_ms_f64(p),
+            0.0,
+            rng.fork(),
+        );
+        let tid = kernel.spawn(&format!("t{i}"), Box::new(w));
+        kernel
+            .sched_mut()
+            .set_relative_deadline(tid, Dur::from_ms_f64(p));
+    }
+    kernel.run_until(Time::ZERO + Dur::secs(20));
+    assert_eq!(
+        kernel.sched().deadline_misses(),
+        0,
+        "EDF missed deadlines on a feasible set (U ≈ 0.78)"
+    );
+    assert!(kernel.sched().completions() > 2000);
+}
+
+#[test]
+fn edf_overload_misses() {
+    let mut kernel = Kernel::new(EdfScheduler::new());
+    let set = [(8.0, 10.0), (8.0, 20.0)]; // U = 1.2
+    let mut rng = Rng::new(4);
+    for (i, &(c, p)) in set.iter().enumerate() {
+        let w = PeriodicRt::new(
+            &format!("t{i}"),
+            Dur::from_ms_f64(c),
+            Dur::from_ms_f64(p),
+            0.0,
+            rng.fork(),
+        );
+        let tid = kernel.spawn(&format!("t{i}"), Box::new(w));
+        kernel
+            .sched_mut()
+            .set_relative_deadline(tid, Dur::from_ms_f64(p));
+    }
+    kernel.run_until(Time::ZERO + Dur::secs(5));
+    assert!(kernel.sched().deadline_misses() > 0);
+}
+
+#[test]
+fn cbs_isolates_a_misbehaving_task() {
+    // A CPU hog in a 30% reservation cannot hurt a well-reserved task —
+    // the temporal-protection property the whole paper builds on.
+    let mut kernel = Kernel::new(ReservationScheduler::new());
+    let hog_sid = kernel
+        .sched_mut()
+        .create_server(ServerConfig::new(Dur::ms(3), Dur::ms(10)));
+    let hog = kernel.spawn("hog", Box::new(CpuHog::new(Dur::ms(50))));
+    kernel.sched_mut().place(hog, Place::Server(hog_sid));
+
+    let rt_sid = kernel
+        .sched_mut()
+        .create_server(ServerConfig::new(Dur::ms(21), Dur::ms(100)));
+    let rt = PeriodicRt::new("rt", Dur::ms(20), Dur::ms(100), 0.0, Rng::new(2));
+    let rt_tid = kernel.spawn("rt", Box::new(rt));
+    kernel.sched_mut().place(rt_tid, Place::Server(rt_sid));
+
+    kernel.run_until(Time::ZERO + Dur::secs(10));
+
+    // The hog consumed ≈ its 30% and no more.
+    let hog_frac = kernel.thread_time(hog).ratio(Dur::secs(10));
+    assert!((hog_frac - 0.3).abs() < 0.02, "hog got {hog_frac}");
+
+    // The RT task completed every job by its deadline.
+    let marks = kernel.metrics().marks("rt.job");
+    assert!(marks.len() >= 99, "{} jobs", marks.len());
+    for (k, &done) in marks.iter().enumerate() {
+        let deadline = Time::ZERO + Dur::ms(100) * (k as u64 + 1);
+        assert!(
+            done <= deadline + Dur::ms(1),
+            "job {k} finished at {done} past {deadline}"
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Tracer integrity through the full kernel: every issued syscall is
+//! observed exactly once per edge, in timestamp order, honouring filters.
+
+use selftune::prelude::*;
+use selftune::tracer::{counts_by_call, Edge};
+use selftune_simcore::task::Script;
+
+#[test]
+fn every_syscall_is_traced_once_per_edge() {
+    let mut kernel = Kernel::new(ReservationScheduler::new());
+    let (hook, reader) = Tracer::create(TracerConfig::default());
+    kernel.install_hook(Box::new(hook));
+
+    let script = Script::forever(vec![
+        Action::syscall(SyscallNr::Read),
+        Action::Compute(Dur::ms(1)),
+        Action::syscall(SyscallNr::Ioctl),
+        Action::SleepFor(Dur::ms(3)),
+    ]);
+    let tid = kernel.spawn("scripted", Box::new(script));
+    kernel.run_until(Time::ZERO + Dur::secs(1));
+
+    let issued = kernel.syscall_count(tid);
+    let events = reader.drain();
+    let enters = events.iter().filter(|e| e.edge == Edge::Enter).count() as u64;
+    let exits = events.iter().filter(|e| e.edge == Edge::Exit).count() as u64;
+    assert_eq!(enters, issued);
+    // The final call may still be in flight at the horizon.
+    assert!(
+        exits == issued || exits + 1 == issued,
+        "{exits} vs {issued}"
+    );
+
+    // Timestamps are monotone.
+    assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+
+    // Counts split evenly between the two calls in the loop.
+    let counts = counts_by_call(&events);
+    assert_eq!(counts.len(), 2);
+    assert!((counts[0].1 as i64 - counts[1].1 as i64).abs() <= 1);
+}
+
+#[test]
+fn blocking_syscall_exit_is_stamped_at_wake() {
+    let mut kernel = Kernel::new(ReservationScheduler::new());
+    let (hook, reader) = Tracer::create(TracerConfig::default());
+    kernel.install_hook(Box::new(hook));
+
+    let script = Script::once(vec![
+        Action::Syscall {
+            nr: SyscallNr::Nanosleep,
+            kernel: Dur::us(2),
+            block: Blocking::For(Dur::ms(10)),
+        },
+        Action::Exit,
+    ]);
+    kernel.spawn("sleeper", Box::new(script));
+    kernel.run_until(Time::ZERO + Dur::ms(50));
+
+    let events = reader.drain();
+    assert_eq!(events.len(), 2);
+    assert_eq!(events[0].edge, Edge::Enter);
+    assert_eq!(events[1].edge, Edge::Exit);
+    let span = events[1].at - events[0].at;
+    assert!(span >= Dur::ms(10), "blocking span {span}");
+}
+
+#[test]
+fn filters_hold_under_concurrency() {
+    let mut kernel = Kernel::new(ReservationScheduler::new());
+    let (hook, reader) = Tracer::create(TracerConfig::default());
+    kernel.install_hook(Box::new(hook));
+
+    let mk = |nr| Script::forever(vec![Action::syscall(nr), Action::SleepFor(Dur::ms(2))]);
+    let a = kernel.spawn("a", Box::new(mk(SyscallNr::Read)));
+    let b = kernel.spawn("b", Box::new(mk(SyscallNr::Write)));
+    let _c = kernel.spawn("c", Box::new(mk(SyscallNr::Ioctl)));
+    reader.set_filter(TraceFilter::tasks_only([a, b]));
+
+    kernel.run_until(Time::ZERO + Dur::secs(1));
+    let events = reader.drain();
+    assert!(!events.is_empty());
+    assert!(events.iter().all(|e| e.task == a || e.task == b));
+    let counts = counts_by_call(&events);
+    let names: Vec<&str> = counts.iter().map(|&(nr, _)| nr.name()).collect();
+    assert!(names.contains(&"read") && names.contains(&"write"));
+    assert!(!names.contains(&"ioctl"));
+}
+
+#[test]
+fn ring_overflow_keeps_newest_events() {
+    let mut kernel = Kernel::new(ReservationScheduler::new());
+    let (hook, reader) = Tracer::create(TracerConfig {
+        capacity: 64,
+        ..TracerConfig::default()
+    });
+    kernel.install_hook(Box::new(hook));
+    let script = Script::forever(vec![
+        Action::syscall(SyscallNr::Read),
+        Action::Compute(Dur::us(100)),
+    ]);
+    kernel.spawn("chatty", Box::new(script));
+    kernel.run_until(Time::ZERO + Dur::ms(100));
+
+    assert!(reader.total_dropped() > 0, "expected overflow");
+    let events = reader.drain();
+    assert_eq!(events.len(), 64);
+    // The retained events are the most recent ones.
+    let last = events.last().unwrap().at;
+    assert!(last >= Time::ZERO + Dur::ms(99), "latest at {last}");
+}
+
+#[test]
+fn disabled_tracer_costs_nothing_and_records_nothing() {
+    let run = |enabled: bool| {
+        let mut kernel = Kernel::new(ReservationScheduler::new());
+        let (hook, reader) = Tracer::create(TracerConfig::default());
+        reader.set_enabled(enabled);
+        kernel.install_hook(Box::new(hook));
+        let script = Script::once(vec![
+            Action::syscall(SyscallNr::Read),
+            Action::Compute(Dur::ms(5)),
+            Action::syscall(SyscallNr::Write),
+            Action::Exit,
+        ]);
+        let tid = kernel.spawn("t", Box::new(script));
+        kernel.run_until(Time::ZERO + Dur::ms(50));
+        (kernel.thread_time(tid), reader.pending())
+    };
+    let (with_time, with_events) = run(true);
+    let (without_time, without_events) = run(false);
+    assert!(with_events > 0);
+    assert_eq!(without_events, 0);
+    assert!(with_time > without_time, "{with_time} vs {without_time}");
+}
