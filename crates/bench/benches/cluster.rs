@@ -1,0 +1,48 @@
+//! Criterion benches for the fleet runner: node throughput at 1, 4 and
+//! all-hardware threads. On multicore hosts the higher thread counts show
+//! near-linear node/sec scaling; on a single core they bound the
+//! coordination overhead instead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use selftune_cluster::prelude::*;
+use selftune_simcore::time::Dur;
+
+const NODES: usize = 8;
+
+fn fleet_spec() -> ScenarioSpec {
+    ScenarioSpec::new("bench", NODES, 4 * NODES, Dur::ms(1500)).with_mix(TaskMix::rt_only())
+}
+
+fn bench_runner_threads(c: &mut Criterion) {
+    let spec = fleet_spec();
+    let max_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut g = c.benchmark_group("cluster/run_nodes");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(NODES as u64));
+    let mut counts = vec![1usize, 4, max_threads];
+    counts.sort_unstable();
+    counts.dedup();
+    for threads in counts {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let runner = ClusterRunner::new(threads);
+                b.iter(|| runner.run(&spec, 42));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let spec = ScenarioSpec::new("bench-plan", 64, 1024, Dur::secs(10));
+    c.bench_function("cluster/plan_1024_tasks", |b| {
+        b.iter(|| plan_fleet(&spec, 42));
+    });
+}
+
+criterion_group!(benches, bench_runner_threads, bench_planning);
+criterion_main!(benches);

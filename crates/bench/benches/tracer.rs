@@ -36,5 +36,58 @@ fn bench_drain(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_record, bench_drain);
+fn bench_drain_into(c: &mut Criterion) {
+    // Same batch workload as `drain_4096`, but reusing one buffer across
+    // batches (the manager's steady-state read path) instead of
+    // allocating a fresh Vec per drain.
+    c.bench_function("tracer/drain_into_4096", |b| {
+        let (mut hook, reader) = Tracer::create(TracerConfig::default());
+        let mut batch = Vec::new();
+        b.iter(|| {
+            for i in 0..4096u64 {
+                hook.on_enter(TaskId(1), SyscallNr::Read, Time::from_ns(i));
+            }
+            reader.drain_into(&mut batch);
+            batch.len()
+        });
+    });
+}
+
+fn bench_ring_drain(c: &mut Criterion) {
+    // Ring-level isolation of the drain cost (refill is a plain integer
+    // push, so the per-batch Vec allocation is visible). The large batch
+    // crosses the allocator's mmap threshold, where a fresh allocation
+    // per drain costs a syscall pair.
+    use selftune_tracer::RingBuffer;
+    for size in [4096usize, 65536] {
+        c.bench_function(&format!("tracer/ring_drain_{size}"), |b| {
+            let mut ring: RingBuffer<u64> = RingBuffer::new(size);
+            b.iter(|| {
+                for i in 0..size as u64 {
+                    ring.push(i);
+                }
+                ring.drain()
+            });
+        });
+        c.bench_function(&format!("tracer/ring_drain_into_{size}"), |b| {
+            let mut ring: RingBuffer<u64> = RingBuffer::new(size);
+            let mut batch = Vec::new();
+            b.iter(|| {
+                for i in 0..size as u64 {
+                    ring.push(i);
+                }
+                ring.drain_into(&mut batch);
+                batch.len()
+            });
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_record,
+    bench_drain,
+    bench_drain_into,
+    bench_ring_drain
+);
 criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Binary wrapper; see `selftune_bench::experiments::cluster_scaleout`.
+fn main() {
+    let args = selftune_bench::Args::parse();
+    selftune_bench::experiments::cluster_scaleout::run(&args);
+}

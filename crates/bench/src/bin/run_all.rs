@@ -18,5 +18,6 @@ fn main() {
     e::fig14::write_from(&args, &f13);
     e::table3::run(&args);
     e::ablations::run(&args);
+    e::cluster_scaleout::run(&args);
     println!("\nAll experiments done. CSVs in {}", args.out.display());
 }

@@ -1,0 +1,117 @@
+//! Fleet scale-out: nodes × tasks sweep of the parallel scenario runner.
+//!
+//! For each fleet size the scenario runs once on 1 worker thread and once
+//! on 4 (and once on all hardware threads when that differs), verifying
+//! that the aggregates are byte-identical and reporting the wall-clock
+//! speedup. On a multicore host the 4-thread run is expected to be well
+//! above 1.5× the serial one for ≥ 8 nodes; on fewer cores the speedup
+//! column degrades gracefully toward 1× and the identity check still
+//! holds.
+
+use crate::{fmt, print_table, time_us, write_csv, Args};
+use selftune_cluster::prelude::*;
+use selftune_simcore::time::Dur;
+
+/// Fleet sizes swept: `(nodes, tasks_per_node)`.
+const SWEEP: [(usize, usize); 3] = [(4, 4), (8, 6), (16, 8)];
+
+fn scenario(nodes: usize, tasks: usize) -> ScenarioSpec {
+    ScenarioSpec::new("scaleout", nodes, tasks, Dur::secs(3))
+        .with_mix(TaskMix::mixed_server())
+        .with_arrivals(ArrivalSchedule::Staggered { gap: Dur::ms(25) })
+        .with_policy(PolicyKind::WorstFit)
+}
+
+/// Runs the sweep and writes `cluster_scaleout.csv`.
+pub fn run(args: &Args) {
+    println!("== Cluster scale-out: parallel fleet runner ==");
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("hardware threads: {hw}");
+    if hw < 4 {
+        println!("(fewer than 4 hardware threads: speedup is bounded by the host,");
+        println!(" the identical-aggregate check below still validates the runner)");
+    }
+
+    let mut rows = Vec::new();
+    let sweep: &[(usize, usize)] = if args.fast { &SWEEP[..2] } else { &SWEEP };
+    for &(nodes, per_node) in sweep {
+        let tasks = nodes * per_node;
+        let spec = scenario(nodes, tasks);
+
+        let (serial, t1_us) = time_us(|| ClusterRunner::new(1).run(&spec, args.seed));
+        let (quad, t4_us) = time_us(|| ClusterRunner::new(4).run(&spec, args.seed));
+        assert_eq!(
+            serial.summary_csv(),
+            quad.summary_csv(),
+            "aggregates must not depend on thread count"
+        );
+        let mut t_max_us = t4_us;
+        if hw > 4 {
+            let (all, t) = time_us(|| ClusterRunner::new(hw).run(&spec, args.seed));
+            assert_eq!(serial.summary_csv(), all.summary_csv());
+            t_max_us = t;
+        }
+
+        let speedup4 = t1_us / t4_us;
+        rows.push(vec![
+            nodes.to_string(),
+            tasks.to_string(),
+            serial.admission.admitted.to_string(),
+            serial.admission.rejected.to_string(),
+            fmt(serial.miss_ratio(), 4),
+            fmt(100.0 * serial.mean_utilisation(), 1),
+            fmt(t1_us / 1e3, 1),
+            fmt(t4_us / 1e3, 1),
+            fmt(t_max_us / 1e3, 1),
+            fmt(speedup4, 2),
+        ]);
+    }
+
+    let header = [
+        "nodes",
+        "tasks",
+        "admitted",
+        "rejected",
+        "miss_ratio",
+        "mean_util_pct",
+        "t_1thread_ms",
+        "t_4threads_ms",
+        "t_maxthreads_ms",
+        "speedup_4v1",
+    ];
+    print_table(&header, &rows);
+    write_csv(&args.out_path("cluster_scaleout.csv"), &header, &rows);
+
+    // Policy face-off on the largest fleet: same load, three placements.
+    let (nodes, per_node) = sweep[sweep.len() - 1];
+    println!("\n-- placement policies at {nodes} nodes --");
+    let mut prows = Vec::new();
+    for policy in [
+        PolicyKind::FirstFit,
+        PolicyKind::WorstFit,
+        PolicyKind::BandwidthAware,
+    ] {
+        let spec = scenario(nodes, nodes * per_node).with_policy(policy);
+        let fleet = ClusterRunner::new(hw.min(4)).run(&spec, args.seed);
+        prows.push(vec![
+            policy.name().to_owned(),
+            fleet.admission.admitted.to_string(),
+            fleet.admission.rejected.to_string(),
+            fleet.admission.migrations.to_string(),
+            fmt(fleet.miss_ratio(), 4),
+            fmt(100.0 * fleet.mean_utilisation(), 1),
+        ]);
+    }
+    let pheader = [
+        "policy",
+        "admitted",
+        "rejected",
+        "migrations",
+        "miss_ratio",
+        "mean_util_pct",
+    ];
+    print_table(&pheader, &prows);
+    write_csv(&args.out_path("cluster_policies.csv"), &pheader, &prows);
+}

@@ -1,0 +1,412 @@
+//! Fleet-wide metric reduction: miss CDFs, utilisation histograms,
+//! admission counters, CSV export.
+//!
+//! Aggregation folds node reports in node-id order, so the result is
+//! independent of the thread count that produced them — the byte-identical
+//! CSV across 1 and N threads is a tested invariant.
+
+use std::path::Path;
+
+use selftune_simcore::metrics::write_csv;
+use selftune_simcore::stats;
+
+/// Per-task slice of a node report.
+#[derive(Clone, Debug)]
+pub struct TaskReport {
+    /// Fleet-wide task index.
+    pub fleet_id: usize,
+    /// Metric label.
+    pub label: String,
+    /// Whether the task ran under a reservation.
+    pub realtime: bool,
+    /// Whether the manager attached a reservation during the run.
+    pub attached: bool,
+    /// Completed jobs/frames.
+    pub completions: u64,
+    /// Completion gaps exceeding the miss factor.
+    pub misses: u64,
+    /// Frames dropped by the application itself.
+    pub dropped: u64,
+    /// Completion gaps normalised by the nominal period (1.0 = on time).
+    pub ift_norm: Vec<f64>,
+}
+
+/// One node's contribution to the aggregate.
+#[derive(Clone, Debug)]
+pub struct NodeReport {
+    /// Node id.
+    pub node: usize,
+    /// Tasks that ran on this node.
+    pub tasks: Vec<TaskReport>,
+    /// CPU busy fraction over the horizon.
+    pub utilisation: f64,
+    /// Reserved bandwidth at the horizon.
+    pub reserved_bw: f64,
+    /// Context switches over the run.
+    pub ctx_switches: u64,
+}
+
+impl NodeReport {
+    /// A completion gap above `MISS_FACTOR × P` counts as a deadline miss.
+    pub const MISS_FACTOR: f64 = 1.5;
+
+    /// Total completions on the node.
+    pub fn completions(&self) -> u64 {
+        self.tasks.iter().map(|t| t.completions).sum()
+    }
+
+    /// Total misses on the node.
+    pub fn misses(&self) -> u64 {
+        self.tasks.iter().map(|t| t.misses).sum()
+    }
+}
+
+/// Fleet-level admission statistics (from the placement plan).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AdmissionStats {
+    /// Real-time tasks admitted onto some node.
+    pub admitted: u64,
+    /// Real-time tasks no node could take.
+    pub rejected: u64,
+    /// Best-effort tasks (always placed).
+    pub best_effort: u64,
+    /// Candidate-node rejections that migrated a request onward.
+    pub migrations: u64,
+}
+
+/// The reduced outcome of one fleet run.
+#[derive(Clone, Debug)]
+pub struct AggregateMetrics {
+    /// Scenario name.
+    pub scenario: String,
+    /// Base seed of the run.
+    pub seed: u64,
+    /// Admission statistics from the placement plan.
+    pub admission: AdmissionStats,
+    /// Per-node reports, in node-id order.
+    pub nodes: Vec<NodeReport>,
+}
+
+/// Quantile grid of the miss CDF export (percent steps).
+const CDF_STEPS: usize = 100;
+/// Bins of the utilisation histogram export.
+const UTIL_BINS: usize = 10;
+
+impl AggregateMetrics {
+    /// Folds node reports (sorted by node id internally).
+    pub fn new(
+        scenario: &str,
+        seed: u64,
+        admission: AdmissionStats,
+        mut nodes: Vec<NodeReport>,
+    ) -> AggregateMetrics {
+        nodes.sort_by_key(|n| n.node);
+        AggregateMetrics {
+            scenario: scenario.to_owned(),
+            seed,
+            admission,
+            nodes,
+        }
+    }
+
+    /// All normalised completion gaps across the fleet, in (node, task)
+    /// order.
+    pub fn ift_norm_all(&self) -> Vec<f64> {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.tasks.iter().flat_map(|t| t.ift_norm.iter().copied()))
+            .collect()
+    }
+
+    /// Total completions across the fleet.
+    pub fn completions(&self) -> u64 {
+        self.nodes.iter().map(NodeReport::completions).sum()
+    }
+
+    /// Total deadline misses across the fleet.
+    pub fn misses(&self) -> u64 {
+        self.nodes.iter().map(NodeReport::misses).sum()
+    }
+
+    /// Fleet deadline-miss ratio (misses over completion gaps observed).
+    pub fn miss_ratio(&self) -> f64 {
+        let gaps: u64 = self
+            .nodes
+            .iter()
+            .flat_map(|n| &n.tasks)
+            .map(|t| t.ift_norm.len() as u64)
+            .sum();
+        if gaps == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / gaps as f64
+        }
+    }
+
+    /// Mean node utilisation.
+    pub fn mean_utilisation(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        let u: Vec<f64> = self.nodes.iter().map(|n| n.utilisation).collect();
+        stats::mean(&u)
+    }
+
+    /// All normalised completion gaps, sorted ascending (the shared input
+    /// of every quantile extraction below).
+    fn ift_norm_sorted(&self) -> Vec<f64> {
+        let mut xs = self.ift_norm_all();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN completion gap"));
+        xs
+    }
+
+    /// The fleet-wide CDF of normalised completion gaps, sampled on a
+    /// fixed quantile grid (so export size is independent of fleet size).
+    pub fn miss_cdf(&self) -> Vec<(f64, f64)> {
+        let xs = self.ift_norm_sorted();
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        (0..=CDF_STEPS)
+            .map(|i| {
+                let p = i as f64 / CDF_STEPS as f64;
+                (p, stats::quantile_sorted(&xs, p))
+            })
+            .collect()
+    }
+
+    /// Histogram of per-node utilisation over `[0, 1]`.
+    pub fn utilisation_histogram(&self) -> Vec<(f64, u64)> {
+        let u: Vec<f64> = self.nodes.iter().map(|n| n.utilisation).collect();
+        stats::histogram(&u, 0.0, 1.0, UTIL_BINS)
+    }
+
+    /// Per-node CSV rows (the `cluster_nodes.csv` payload).
+    pub fn node_rows(&self) -> Vec<Vec<String>> {
+        self.nodes
+            .iter()
+            .map(|n| {
+                vec![
+                    n.node.to_string(),
+                    n.tasks.len().to_string(),
+                    n.tasks.iter().filter(|t| t.realtime).count().to_string(),
+                    format!("{:.6}", n.utilisation),
+                    format!("{:.6}", n.reserved_bw),
+                    n.completions().to_string(),
+                    n.misses().to_string(),
+                    n.ctx_switches.to_string(),
+                ]
+            })
+            .collect()
+    }
+
+    /// Header matching [`AggregateMetrics::node_rows`].
+    pub const NODE_HEADER: [&'static str; 8] = [
+        "node",
+        "tasks",
+        "rt_tasks",
+        "utilisation",
+        "reserved_bw",
+        "completions",
+        "misses",
+        "ctx_switches",
+    ];
+
+    /// A canonical multi-line string of the whole aggregate — the
+    /// byte-identical artefact the determinism property compares across
+    /// thread counts.
+    pub fn summary_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "scenario,{}\nseed,{}\nadmitted,{}\nrejected,{}\nbest_effort,{}\nmigrations,{}\n",
+            self.scenario,
+            self.seed,
+            self.admission.admitted,
+            self.admission.rejected,
+            self.admission.best_effort,
+            self.admission.migrations,
+        ));
+        out.push_str(&format!(
+            "completions,{}\nmisses,{}\nmiss_ratio,{:.6}\nmean_utilisation,{:.6}\n",
+            self.completions(),
+            self.misses(),
+            self.miss_ratio(),
+            self.mean_utilisation(),
+        ));
+        out.push_str(&AggregateMetrics::NODE_HEADER.join(","));
+        out.push('\n');
+        for row in self.node_rows() {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        for (p, q) in self.miss_cdf() {
+            out.push_str(&format!("cdf,{p:.2},{q:.6}\n"));
+        }
+        out
+    }
+
+    /// Writes `cluster_nodes.csv`, `cluster_miss_cdf.csv` and
+    /// `cluster_util_hist.csv` into `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or files.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        write_csv(
+            dir.join("cluster_nodes.csv"),
+            &AggregateMetrics::NODE_HEADER,
+            &self.node_rows(),
+        )?;
+        let cdf_rows: Vec<Vec<String>> = self
+            .miss_cdf()
+            .iter()
+            .map(|&(p, q)| vec![format!("{p:.2}"), format!("{q:.6}")])
+            .collect();
+        write_csv(
+            dir.join("cluster_miss_cdf.csv"),
+            &["quantile", "ift_over_period"],
+            &cdf_rows,
+        )?;
+        let hist_rows: Vec<Vec<String>> = self
+            .utilisation_histogram()
+            .iter()
+            .map(|&(lo, n)| vec![format!("{lo:.2}"), n.to_string()])
+            .collect();
+        write_csv(
+            dir.join("cluster_util_hist.csv"),
+            &["utilisation_bin", "nodes"],
+            &hist_rows,
+        )?;
+        Ok(())
+    }
+
+    /// A human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "fleet '{}' (seed {}): {} nodes, {} tasks admitted, {} rejected, {} best-effort, {} migrations\n",
+            self.scenario,
+            self.seed,
+            self.nodes.len(),
+            self.admission.admitted,
+            self.admission.rejected,
+            self.admission.best_effort,
+            self.admission.migrations,
+        ));
+        out.push_str(&format!(
+            "completions {}   deadline misses {}   miss ratio {:.4}   mean node utilisation {:.1}%\n",
+            self.completions(),
+            self.misses(),
+            self.miss_ratio(),
+            100.0 * self.mean_utilisation(),
+        ));
+        let xs = self.ift_norm_sorted();
+        if !xs.is_empty() {
+            out.push_str(&format!(
+                "completion gap / period: p50 {:.3}  p95 {:.3}  p99 {:.3}  max {:.3}\n",
+                stats::quantile_sorted(&xs, 0.50),
+                stats::quantile_sorted(&xs, 0.95),
+                stats::quantile_sorted(&xs, 0.99),
+                xs.last().expect("non-empty"),
+            ));
+        }
+        for n in &self.nodes {
+            out.push_str(&format!(
+                "  node {:>3}: {:>2} tasks  util {:>5.1}%  reserved {:>5.1}%  misses {}\n",
+                n.node,
+                n.tasks.len(),
+                100.0 * n.utilisation,
+                100.0 * n.reserved_bw,
+                n.misses(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(node: usize, util: f64, ift: Vec<f64>) -> NodeReport {
+        NodeReport {
+            node,
+            tasks: vec![TaskReport {
+                fleet_id: node,
+                label: format!("t{node}"),
+                realtime: true,
+                attached: true,
+                completions: ift.len() as u64 + 1,
+                misses: ift.iter().filter(|&&x| x > NodeReport::MISS_FACTOR).count() as u64,
+                dropped: 0,
+                ift_norm: ift,
+            }],
+            utilisation: util,
+            reserved_bw: util * 0.8,
+            ctx_switches: 100,
+        }
+    }
+
+    #[test]
+    fn aggregation_is_order_independent() {
+        let a = report(0, 0.3, vec![1.0, 1.1]);
+        let b = report(1, 0.5, vec![0.9, 2.0]);
+        let fwd = AggregateMetrics::new(
+            "s",
+            1,
+            AdmissionStats::default(),
+            vec![a.clone(), b.clone()],
+        );
+        let rev = AggregateMetrics::new("s", 1, AdmissionStats::default(), vec![b, a]);
+        assert_eq!(fwd.summary_csv(), rev.summary_csv());
+    }
+
+    #[test]
+    fn miss_ratio_counts_factor_exceedances() {
+        let m = AggregateMetrics::new(
+            "s",
+            1,
+            AdmissionStats::default(),
+            vec![report(0, 0.3, vec![1.0, 1.6, 0.9, 3.0])],
+        );
+        assert_eq!(m.misses(), 2);
+        assert!((m.miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_grid_is_fixed_size() {
+        let m = AggregateMetrics::new(
+            "s",
+            1,
+            AdmissionStats::default(),
+            vec![report(
+                0,
+                0.3,
+                (0..1000).map(|i| i as f64 / 500.0).collect(),
+            )],
+        );
+        let cdf = m.miss_cdf();
+        assert_eq!(cdf.len(), CDF_STEPS + 1);
+        assert!(cdf.windows(2).all(|w| w[0].1 <= w[1].1), "CDF monotone");
+    }
+
+    #[test]
+    fn csv_files_are_written() {
+        let dir = std::env::temp_dir().join("selftune-cluster-agg-test");
+        let m = AggregateMetrics::new(
+            "s",
+            1,
+            AdmissionStats::default(),
+            vec![report(0, 0.3, vec![1.0])],
+        );
+        m.write_csv(&dir).unwrap();
+        for f in [
+            "cluster_nodes.csv",
+            "cluster_miss_cdf.csv",
+            "cluster_util_hist.csv",
+        ] {
+            assert!(dir.join(f).exists(), "{f} missing");
+        }
+    }
+}

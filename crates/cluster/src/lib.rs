@@ -1,0 +1,82 @@
+//! # selftune-cluster
+//!
+//! Multi-node fleet simulation for the `selftune` reproduction of
+//! *"Self-tuning Schedulers for Legacy Real-Time Applications"*
+//! (EuroSys 2010): the paper's single-machine self-tuning stack —
+//! tracer → period analyser → LFS++ feedback → CBS supervisor —
+//! replicated across a fleet of simulated nodes and driven by one
+//! declarative scenario.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!   ScenarioSpec ──► plan_fleet ──► Placer ──► per-node task slices
+//!        │            (arrivals,    (minbudget admission,
+//!        │             kinds,        first/worst/bandwidth-aware fit,
+//!        │             lifetimes)    migration on rejection)
+//!        ▼
+//!   ClusterRunner ──► worker threads ──► Node = Kernel + Tracer
+//!        │            (round-robin        + SelfTuningManager
+//!        │             node deal)         run to horizon
+//!        ▼
+//!   AggregateMetrics: miss CDF, utilisation histogram,
+//!                     admission counters, CSV export
+//! ```
+//!
+//! * [`spec`] — declarative scenarios: node/task counts, weighted
+//!   [`TaskMix`], arrival schedules, churn, overload windows.
+//! * [`placer`] — cross-node admission: candidate ordering policies over
+//!   per-node reserved bandwidth, backed by the
+//!   [`selftune_analysis::min_bandwidth_single`] schedulability test.
+//! * [`node`] — one machine: kernel, tracer and self-tuning manager
+//!   bundled, with lifetime leases and overload injection.
+//! * [`runner`] — the parallel scenario runner with stateless per-task
+//!   seed derivation; same `(spec, seed)` ⇒ byte-identical aggregates at
+//!   any thread count.
+//! * [`aggregate`] — fleet-wide reducers and CSV export.
+//!
+//! ## Determinism
+//!
+//! Everything random is derived from `(spec, seed)` before any thread is
+//! spawned: the plan (kinds, arrivals, lifetimes, per-task workload
+//! seeds) and the placement. Worker threads only execute disjoint,
+//! pre-assigned node simulations; reports are reassembled in node-id
+//! order. [`AggregateMetrics::summary_csv`] over 1 thread and N threads
+//! is byte-identical — a property test enforces it.
+//!
+//! ## Example
+//!
+//! ```
+//! use selftune_cluster::prelude::*;
+//! use selftune_simcore::time::Dur;
+//!
+//! let spec = ScenarioSpec::new("smoke", 4, 12, Dur::secs(2))
+//!     .with_mix(TaskMix::rt_only())
+//!     .with_policy(PolicyKind::WorstFit);
+//! let fleet = ClusterRunner::new(2).run(&spec, 42);
+//! assert_eq!(fleet.nodes.len(), 4);
+//! assert!(fleet.completions() > 0);
+//! println!("{}", fleet.render());
+//! ```
+
+pub mod aggregate;
+pub mod node;
+pub mod placer;
+pub mod runner;
+pub mod spec;
+
+pub use aggregate::{AdmissionStats, AggregateMetrics, NodeReport, TaskReport};
+pub use node::{Lease, Node, NodeTask};
+pub use placer::{PlacementOutcome, Placer, PolicyKind};
+pub use runner::{derive_task_seed, plan_fleet, ClusterRunner, FleetPlan, PlannedTask};
+pub use spec::{ArrivalSchedule, Churn, OverloadWindow, ScenarioSpec, TaskKind, TaskMix};
+
+/// One-stop imports for fleet experiments.
+pub mod prelude {
+    pub use crate::aggregate::{AdmissionStats, AggregateMetrics, NodeReport};
+    pub use crate::placer::{PlacementOutcome, Placer, PolicyKind};
+    pub use crate::runner::{plan_fleet, ClusterRunner, FleetPlan};
+    pub use crate::spec::{
+        ArrivalSchedule, Churn, OverloadWindow, ScenarioSpec, TaskKind, TaskMix,
+    };
+}

@@ -1,0 +1,294 @@
+//! One fleet node: a kernel + tracer + self-tuning manager bundle that
+//! runs its share of the scenario to the horizon.
+//!
+//! A node is exactly the paper's single-machine stack — the cluster layer
+//! replicates it. Nodes are built *inside* their worker thread (the tracer
+//! shares state through `Rc`, so a node never crosses threads); everything
+//! needed to build one — the task plans — is plain `Send` data.
+
+use selftune_apps::CpuHog;
+use selftune_core::{ControllerConfig, ManagerConfig, SelfTuningManager};
+use selftune_sched::{CbsMode, ReservationScheduler, Supervisor};
+use selftune_simcore::kernel::TaskState;
+use selftune_simcore::rng::Rng;
+use selftune_simcore::task::{Action, TaskCtx, TaskId, Workload};
+use selftune_simcore::time::{Dur, Time};
+use selftune_simcore::Kernel;
+use selftune_tracer::{Tracer, TracerConfig};
+
+use crate::aggregate::{NodeReport, TaskReport};
+use crate::spec::{OverloadWindow, ScenarioSpec, TaskKind};
+
+/// A task's lifetime lease: delegates to the inner workload until the
+/// deadline, then exits (simulating the user closing the application).
+pub struct Lease {
+    inner: Box<dyn Workload>,
+    until: Time,
+}
+
+impl Lease {
+    /// Wraps `inner` so it exits at the first scheduling opportunity at or
+    /// after `until`.
+    pub fn new(inner: Box<dyn Workload>, until: Time) -> Lease {
+        Lease { inner, until }
+    }
+}
+
+impl Workload for Lease {
+    fn next(&mut self, ctx: &mut TaskCtx<'_>) -> Action {
+        if ctx.now >= self.until {
+            return Action::Exit;
+        }
+        self.inner.next(ctx)
+    }
+}
+
+/// A task assigned to this node (the node-local slice of the fleet plan).
+#[derive(Clone, Debug)]
+pub struct NodeTask {
+    /// Fleet-wide task index.
+    pub fleet_id: usize,
+    /// Metric label, unique fleet-wide (e.g. `"t042"`).
+    pub label: String,
+    /// What to run.
+    pub kind: TaskKind,
+    /// Arrival instant.
+    pub arrival: Time,
+    /// Departure instant, if the scenario churns tasks.
+    pub departure: Option<Time>,
+    /// Workload RNG seed (derived deterministically by the planner).
+    pub seed: u64,
+}
+
+struct Managed {
+    tid: TaskId,
+    task: NodeTask,
+    released: bool,
+}
+
+/// One simulated machine of the fleet.
+pub struct Node {
+    id: usize,
+    kernel: Kernel<ReservationScheduler>,
+    manager: SelfTuningManager,
+    sampling: Dur,
+    tasks: Vec<Managed>,
+}
+
+impl Node {
+    /// Builds the node's kernel/tracer/manager stack per the spec.
+    pub fn new(id: usize, spec: &ScenarioSpec) -> Node {
+        let mut kernel = Kernel::new(ReservationScheduler::with_fair_slice(Dur::ms(4)));
+        let (hook, reader) = Tracer::create(TracerConfig {
+            capacity: 1 << 16,
+            ..TracerConfig::default()
+        });
+        kernel.install_hook(Box::new(hook));
+        let manager = SelfTuningManager::new(
+            ManagerConfig {
+                sampling: spec.sampling,
+                supervisor: Supervisor::new(spec.ulub),
+                cbs_mode: CbsMode::Hard,
+            },
+            reader,
+        );
+        Node {
+            id,
+            kernel,
+            manager,
+            sampling: spec.sampling,
+            tasks: Vec::new(),
+        }
+    }
+
+    /// The node's id within the fleet.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Adds a planned task: spawns its workload at the arrival instant
+    /// (wrapped in a [`Lease`] when it departs) and, for real-time kinds,
+    /// puts it under the self-tuning manager.
+    pub fn add_task(&mut self, plan: NodeTask) {
+        let rng = Rng::new(plan.seed);
+        let mut workload = plan.kind.instantiate(&plan.label, rng);
+        if let Some(dep) = plan.departure {
+            workload = Box::new(Lease::new(workload, dep));
+        }
+        let tid = self.kernel.spawn_at(&plan.label, workload, plan.arrival);
+        if plan.kind.is_realtime() {
+            self.manager
+                .manage(tid, &plan.label, ControllerConfig::default());
+        }
+        self.tasks.push(Managed {
+            tid,
+            task: plan,
+            released: false,
+        });
+    }
+
+    /// Injects `window.hogs_per_node` fair-class CPU hogs for the span of
+    /// the overload window.
+    pub fn inject_overload(&mut self, window: &OverloadWindow) {
+        for h in 0..window.hogs_per_node {
+            let hog = Box::new(CpuHog::new(window.chunk));
+            let leased = Box::new(Lease::new(hog, Time::ZERO + window.end));
+            self.kernel.spawn_at(
+                &format!("hog{}w{h}", self.id),
+                leased,
+                Time::ZERO + window.start,
+            );
+        }
+    }
+
+    /// Runs to the horizon, stepping the manager every sampling period and
+    /// releasing the reservations of departed tasks along the way.
+    pub fn run_to_horizon(&mut self, horizon: Time) {
+        while self.kernel.now() < horizon {
+            let next = (self.kernel.now() + self.sampling).min(horizon);
+            self.kernel.run_until(next);
+            for m in &mut self.tasks {
+                if !m.released
+                    && m.task.kind.is_realtime()
+                    && self.kernel.task_state(m.tid) == TaskState::Exited
+                {
+                    self.manager.unmanage(&mut self.kernel, m.tid);
+                    m.released = true;
+                }
+            }
+            self.manager.step(&mut self.kernel);
+        }
+    }
+
+    /// Extracts the node's contribution to the fleet aggregate.
+    ///
+    /// Deadline misses are derived from completion gaps: a task with
+    /// nominal period `P` misses when a completion-to-completion gap
+    /// exceeds [`NodeReport::MISS_FACTOR`]` × P`.
+    pub fn report(&self, horizon: Time) -> NodeReport {
+        let metrics = self.kernel.metrics();
+        let mut tasks = Vec::new();
+        for m in &self.tasks {
+            let nominal = m.task.kind.nominal();
+            let mark = m.task.kind.mark_name(&m.task.label);
+            let (completions, ift_norm) = match (&mark, &nominal) {
+                (Some(name), Some(t)) => {
+                    let gaps = metrics.inter_mark_times_ms(name);
+                    let norm: Vec<f64> = gaps.iter().map(|&g| g / t.period).collect();
+                    (metrics.marks(name).len() as u64, norm)
+                }
+                _ => (0, Vec::new()),
+            };
+            let misses = ift_norm
+                .iter()
+                .filter(|&&x| x > NodeReport::MISS_FACTOR)
+                .count() as u64;
+            let dropped = metrics.counter(&format!("{}.dropped", m.task.label));
+            tasks.push(TaskReport {
+                fleet_id: m.task.fleet_id,
+                label: m.task.label.clone(),
+                realtime: m.task.kind.is_realtime(),
+                attached: self.manager.server_of(m.tid).is_some() || m.released,
+                completions,
+                misses,
+                dropped,
+                ift_norm,
+            });
+        }
+        let busy = self.kernel.busy_time();
+        let span = horizon.saturating_since(Time::ZERO);
+        NodeReport {
+            node: self.id,
+            tasks,
+            utilisation: if span.is_zero() {
+                0.0
+            } else {
+                busy.ratio(span)
+            },
+            reserved_bw: self.kernel.sched().total_reserved_bandwidth(),
+            ctx_switches: self.kernel.context_switches(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ScenarioSpec;
+
+    fn tiny_spec() -> ScenarioSpec {
+        ScenarioSpec::new("node-test", 1, 0, Dur::secs(3))
+    }
+
+    #[test]
+    fn node_attaches_and_reports() {
+        let spec = tiny_spec();
+        let mut node = Node::new(0, &spec);
+        node.add_task(NodeTask {
+            fleet_id: 0,
+            label: "t000".into(),
+            kind: TaskKind::PeriodicRt {
+                wcet: Dur::ms(4),
+                period: Dur::ms(40),
+            },
+            arrival: Time::ZERO,
+            departure: None,
+            seed: 7,
+        });
+        let horizon = Time::ZERO + spec.horizon;
+        node.run_to_horizon(horizon);
+        let report = node.report(horizon);
+        assert_eq!(report.node, 0);
+        assert_eq!(report.tasks.len(), 1);
+        let t = &report.tasks[0];
+        assert!(t.attached, "manager attached a reservation");
+        assert!(t.completions > 50, "jobs completed: {}", t.completions);
+        assert!(report.utilisation > 0.05 && report.utilisation < 0.5);
+        assert!(report.reserved_bw > 0.05);
+    }
+
+    #[test]
+    fn lease_departs_and_releases_bandwidth() {
+        let spec = tiny_spec();
+        let mut node = Node::new(0, &spec);
+        node.add_task(NodeTask {
+            fleet_id: 0,
+            label: "t000".into(),
+            kind: TaskKind::PeriodicRt {
+                wcet: Dur::ms(4),
+                period: Dur::ms(40),
+            },
+            arrival: Time::ZERO,
+            departure: Some(Time::ZERO + Dur::ms(1800)),
+            seed: 7,
+        });
+        let horizon = Time::ZERO + spec.horizon;
+        node.run_to_horizon(horizon);
+        let report = node.report(horizon);
+        // The task left; its reservation was shrunk to the floor.
+        assert!(report.reserved_bw < 0.05, "residual {}", report.reserved_bw);
+        let t = &report.tasks[0];
+        assert!(t.completions > 20 && t.completions < 60);
+    }
+
+    #[test]
+    fn overload_window_is_bounded() {
+        let spec = tiny_spec();
+        let mut node = Node::new(0, &spec);
+        node.inject_overload(&OverloadWindow {
+            start: Dur::ms(500),
+            end: Dur::ms(1500),
+            hogs_per_node: 1,
+            chunk: Dur::ms(10),
+        });
+        let horizon = Time::ZERO + spec.horizon;
+        node.run_to_horizon(horizon);
+        let report = node.report(horizon);
+        // The hog burns CPU only inside its window (~1s of the 3s run).
+        assert!(
+            report.utilisation > 0.25 && report.utilisation < 0.5,
+            "utilisation {}",
+            report.utilisation
+        );
+    }
+}

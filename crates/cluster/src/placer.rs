@@ -1,0 +1,302 @@
+//! Cross-node admission control: which node, if any, takes a reservation.
+//!
+//! The placer is the fleet-level counterpart of the per-node
+//! [`selftune_sched::Supervisor`]: before a real-time task is handed to a
+//! node it must pass the node's bandwidth bound with the *minimum* budget
+//! the schedulability analysis ([`selftune_analysis::min_bandwidth_single`])
+//! says the task needs — inflated by the scenario's headroom factor, since
+//! the LFS++ controller will request a margin above the measured demand.
+//!
+//! Placement is a pure function of the task sequence: it never looks at
+//! simulation state, so the plan is identical no matter how many threads
+//! later execute the nodes.
+
+use selftune_analysis::{min_bandwidth_single, PeriodicTask};
+
+/// Which placement policy orders the candidate nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Lowest node id that fits (packs early nodes first).
+    FirstFit,
+    /// Least-reserved node first (spreads load; "worst fit").
+    WorstFit,
+    /// Tightest fit first: the node whose remaining bandwidth after
+    /// admission would be smallest (packs densely, keeps whole nodes free
+    /// for large arrivals).
+    BandwidthAware,
+}
+
+impl PolicyKind {
+    /// A short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::FirstFit => "first-fit",
+            PolicyKind::WorstFit => "worst-fit",
+            PolicyKind::BandwidthAware => "bandwidth-aware",
+        }
+    }
+
+    /// Candidate node order given current per-node reserved bandwidth.
+    /// Ties break on the lower node id, keeping the order fully
+    /// deterministic; the admission loop skips candidates that do not fit.
+    pub fn candidate_order(self, reserved: &[f64]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..reserved.len()).collect();
+        match self {
+            PolicyKind::FirstFit => {}
+            PolicyKind::WorstFit => {
+                order.sort_by(|&a, &b| {
+                    reserved[a]
+                        .partial_cmp(&reserved[b])
+                        .expect("NaN reserved bandwidth")
+                        .then(a.cmp(&b))
+                });
+            }
+            PolicyKind::BandwidthAware => {
+                // Fullest node first (tightest fit): dense packing keeps
+                // whole nodes free for future large reservations.
+                order.sort_by(|&a, &b| {
+                    reserved[b]
+                        .partial_cmp(&reserved[a])
+                        .expect("NaN reserved bandwidth")
+                        .then(a.cmp(&b))
+                });
+            }
+        }
+        order
+    }
+}
+
+/// Outcome of one placement decision.
+#[derive(Clone, Copy, Debug)]
+pub enum PlacementOutcome {
+    /// Admitted onto a node.
+    Admitted {
+        /// The node that took the task.
+        node: usize,
+        /// Bandwidth booked on that node.
+        demand: f64,
+        /// Candidates that rejected the task before one admitted it
+        /// (each rejection migrates the request to the next candidate).
+        migrations: u32,
+    },
+    /// No node could take the task.
+    Rejected {
+        /// Bandwidth the task would have needed.
+        demand: f64,
+        /// The largest spare bandwidth any node had at decision time —
+        /// the witness that rejection was necessary.
+        best_spare: f64,
+    },
+}
+
+/// Fleet-level admission bookkeeping.
+///
+/// Tracks per-node reserved bandwidth over the arrival/departure timeline;
+/// all methods are deterministic in call order.
+#[derive(Clone, Debug)]
+pub struct Placer {
+    ulub: f64,
+    headroom: f64,
+    policy: PolicyKind,
+    reserved: Vec<f64>,
+    /// Best-effort task counts, for spreading unreserved work.
+    best_effort: Vec<u64>,
+    /// Pending releases: `(release_at_ns, node, demand)`.
+    releases: Vec<(u64, usize, f64)>,
+}
+
+impl Placer {
+    /// A placer over `nodes` empty nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < ulub <= 1`, `headroom >= 1` and `nodes > 0`.
+    pub fn new(nodes: usize, ulub: f64, headroom: f64, policy: PolicyKind) -> Placer {
+        assert!(nodes > 0, "placer needs at least one node");
+        assert!(ulub > 0.0 && ulub <= 1.0, "ulub {ulub} out of (0, 1]");
+        assert!(headroom >= 1.0, "headroom {headroom} below 1");
+        Placer {
+            ulub,
+            headroom,
+            policy,
+            reserved: vec![0.0; nodes],
+            best_effort: vec![0; nodes],
+            releases: Vec::new(),
+        }
+    }
+
+    /// Currently booked bandwidth per node.
+    pub fn reserved(&self) -> &[f64] {
+        &self.reserved
+    }
+
+    /// The bandwidth the placer books for `task`: the minimum schedulable
+    /// bandwidth of a dedicated server at the task's own period, times the
+    /// headroom factor, capped at 1.
+    pub fn demand_of(&self, task: PeriodicTask) -> f64 {
+        (min_bandwidth_single(task, task.period) * self.headroom).min(1.0)
+    }
+
+    /// Releases every reservation scheduled to end at or before `now_ns`.
+    pub fn release_due(&mut self, now_ns: u64) {
+        let mut i = 0;
+        while i < self.releases.len() {
+            if self.releases[i].0 <= now_ns {
+                let (_, node, demand) = self.releases.swap_remove(i);
+                self.reserved[node] = (self.reserved[node] - demand).max(0.0);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Places a real-time task arriving at `now_ns`, optionally departing
+    /// at `departs_ns`.
+    ///
+    /// Walks the policy's candidate order; each node that fails the
+    /// admission test migrates the request to the next. Never admits a
+    /// task onto a node where the booked bandwidth would exceed `ulub`.
+    pub fn place(
+        &mut self,
+        task: PeriodicTask,
+        now_ns: u64,
+        departs_ns: Option<u64>,
+    ) -> PlacementOutcome {
+        self.release_due(now_ns);
+        let demand = self.demand_of(task);
+        let order = self.policy.candidate_order(&self.reserved);
+        for (migrations, node) in order.into_iter().enumerate() {
+            if self.reserved[node] + demand <= self.ulub + 1e-9 {
+                self.reserved[node] += demand;
+                if let Some(at) = departs_ns {
+                    self.releases.push((at, node, demand));
+                }
+                return PlacementOutcome::Admitted {
+                    node,
+                    demand,
+                    migrations: migrations as u32,
+                };
+            }
+        }
+        let best_spare = self
+            .reserved
+            .iter()
+            .map(|r| self.ulub - r)
+            .fold(f64::NEG_INFINITY, f64::max);
+        PlacementOutcome::Rejected { demand, best_spare }
+    }
+
+    /// Places a best-effort task: least-loaded node by best-effort count,
+    /// ties to the lower id. Best-effort work is never rejected.
+    pub fn place_best_effort(&mut self) -> usize {
+        let node = (0..self.best_effort.len())
+            .min_by_key(|&i| (self.best_effort[i], i))
+            .expect("at least one node");
+        self.best_effort[node] += 1;
+        node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(wcet: f64, period: f64) -> PeriodicTask {
+        PeriodicTask::new(wcet, period)
+    }
+
+    #[test]
+    fn first_fit_packs_low_ids() {
+        let mut p = Placer::new(3, 0.9, 1.0, PolicyKind::FirstFit);
+        for _ in 0..4 {
+            match p.place(task(20.0, 100.0), 0, None) {
+                PlacementOutcome::Admitted { node, .. } => assert_eq!(node, 0),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Node 0 is at 0.8; the fifth 20% task must spill to node 1.
+        match p.place(task(20.0, 100.0), 0, None) {
+            PlacementOutcome::Admitted {
+                node, migrations, ..
+            } => {
+                assert_eq!(node, 1);
+                assert_eq!(migrations, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worst_fit_spreads() {
+        let mut p = Placer::new(3, 0.9, 1.0, PolicyKind::WorstFit);
+        let nodes: Vec<usize> = (0..6)
+            .map(|_| match p.place(task(10.0, 100.0), 0, None) {
+                PlacementOutcome::Admitted { node, .. } => node,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(nodes, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bandwidth_aware_packs_tightest() {
+        let mut p = Placer::new(2, 0.9, 1.0, PolicyKind::BandwidthAware);
+        // Seed asymmetric load: 40% on node 0.
+        let _ = p.place(task(40.0, 100.0), 0, None);
+        // A 30% task fits on both; tightest fit is node 0 (0.4 + 0.3).
+        match p.place(task(30.0, 100.0), 0, None) {
+            PlacementOutcome::Admitted { node, .. } => assert_eq!(node, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn never_exceeds_ulub_and_rejects_with_witness() {
+        let mut p = Placer::new(2, 0.5, 1.0, PolicyKind::FirstFit);
+        let mut admitted = 0;
+        for _ in 0..10 {
+            match p.place(task(20.0, 100.0), 0, None) {
+                PlacementOutcome::Admitted { .. } => admitted += 1,
+                PlacementOutcome::Rejected { demand, best_spare } => {
+                    assert!(demand > best_spare + 1e-12);
+                }
+            }
+            for &r in p.reserved() {
+                assert!(r <= 0.5 + 1e-9, "reserved {r} over ulub");
+            }
+        }
+        // Two 20% tasks per node fit under 0.5; the rest bounce.
+        assert_eq!(admitted, 4);
+    }
+
+    #[test]
+    fn departures_free_bandwidth() {
+        let mut p = Placer::new(1, 0.5, 1.0, PolicyKind::FirstFit);
+        let _ = p.place(task(40.0, 100.0), 0, Some(1_000));
+        match p.place(task(40.0, 100.0), 500, None) {
+            PlacementOutcome::Rejected { .. } => {}
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        match p.place(task(40.0, 100.0), 1_000, None) {
+            PlacementOutcome::Admitted { node, .. } => assert_eq!(node, 0),
+            other => panic!("expected admission, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn headroom_inflates_demand() {
+        let p1 = Placer::new(1, 0.9, 1.0, PolicyKind::FirstFit);
+        let p2 = Placer::new(1, 0.9, 1.5, PolicyKind::FirstFit);
+        let t = task(20.0, 100.0);
+        let d1 = p1.demand_of(t);
+        let d2 = p2.demand_of(t);
+        assert!(d2 > d1 * 1.49 && d2 < d1 * 1.51, "{d1} vs {d2}");
+    }
+
+    #[test]
+    fn best_effort_round_robins() {
+        let mut p = Placer::new(3, 0.9, 1.0, PolicyKind::FirstFit);
+        let nodes: Vec<usize> = (0..7).map(|_| p.place_best_effort()).collect();
+        assert_eq!(nodes, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+}

@@ -1,0 +1,302 @@
+//! The parallel scenario runner: plan → place → execute → reduce.
+//!
+//! Determinism contract: the fleet plan (task kinds, arrivals, lifetimes,
+//! workload seeds) and the placement are computed up front from
+//! `(spec, seed)` alone, and every node's simulation depends only on its
+//! own slice of the plan and a seed derived from `(seed, node_id)`. Worker
+//! threads therefore never race on anything observable: running the same
+//! spec and seed on 1 or N threads yields byte-identical aggregates.
+
+use std::thread;
+
+use selftune_simcore::rng::{splitmix64, Rng};
+use selftune_simcore::time::{Dur, Time};
+
+use crate::aggregate::{AdmissionStats, AggregateMetrics, NodeReport};
+use crate::node::{Node, NodeTask};
+use crate::placer::{PlacementOutcome, Placer};
+use crate::spec::{ArrivalSchedule, ScenarioSpec};
+
+/// Derives the workload seed of fleet task `task_id` from the base seed.
+///
+/// Stateless in everything but `(base_seed, task_id)`, so the derivation
+/// does not depend on planning order or thread schedule.
+pub fn derive_task_seed(base_seed: u64, task_id: u64) -> u64 {
+    let mut s = base_seed ^ task_id.wrapping_mul(0xA076_1D64_78BD_642F);
+    let a = splitmix64(&mut s);
+    splitmix64(&mut s) ^ a.rotate_left(17)
+}
+
+/// One planned fleet task with its placement.
+#[derive(Clone, Debug)]
+pub struct PlannedTask {
+    /// The node-local plan (label, kind, arrival, departure, seed).
+    pub task: NodeTask,
+    /// Node the task was placed on; `None` if admission rejected it.
+    pub node: Option<usize>,
+    /// Whether it went through reservation admission (vs. best-effort).
+    pub realtime: bool,
+}
+
+/// The fleet plan: every task, its placement, and admission statistics.
+#[derive(Clone, Debug)]
+pub struct FleetPlan {
+    /// All planned tasks, in fleet-id order.
+    pub tasks: Vec<PlannedTask>,
+    /// Admission statistics.
+    pub admission: AdmissionStats,
+}
+
+/// Builds the deterministic fleet plan for `(spec, seed)`.
+///
+/// Arrival times, task kinds and lifetimes are drawn from a planning RNG
+/// seeded by `seed`; placement walks tasks in arrival order through the
+/// spec's policy.
+pub fn plan_fleet(spec: &ScenarioSpec, seed: u64) -> FleetPlan {
+    let mut rng = Rng::new(seed ^ SEED_PLAN_SALT);
+    let mut arrivals: Vec<Time> = Vec::with_capacity(spec.tasks);
+    let mut at = Time::ZERO;
+    for i in 0..spec.tasks {
+        let t = match spec.arrivals {
+            ArrivalSchedule::AllAtStart => Time::ZERO,
+            ArrivalSchedule::Staggered { gap } => Time::ZERO + gap.mul_f64(i as f64),
+            ArrivalSchedule::Poisson { mean_gap } => {
+                let gap = Dur::from_secs_f64(rng.exp(1.0 / mean_gap.as_secs_f64().max(1e-12)));
+                at += gap;
+                at
+            }
+        };
+        arrivals.push(t);
+    }
+
+    let horizon = Time::ZERO + spec.horizon;
+    let mut placer = Placer::new(spec.nodes, spec.ulub, spec.headroom, spec.policy);
+    let mut admission = AdmissionStats::default();
+    let mut tasks = Vec::with_capacity(spec.tasks);
+    for (i, &arrival) in arrivals.iter().enumerate() {
+        let kind = spec.mix.sample(&mut rng);
+        let departure = spec.churn.map(|c| {
+            let life = Dur::from_secs_f64(rng.exp(1.0 / c.mean_lifetime.as_secs_f64().max(1e-12)))
+                .max(c.min_lifetime);
+            arrival + life
+        });
+        // Lifetimes beyond the horizon are open-ended for planning.
+        let departure = departure.filter(|&d| d < horizon);
+        let label = format!("t{i:04}");
+        let task_seed = derive_task_seed(seed, i as u64);
+        let (node, realtime) = match kind.nominal() {
+            Some(nominal) => {
+                match placer.place(nominal, arrival.as_ns(), departure.map(|d| d.as_ns())) {
+                    PlacementOutcome::Admitted {
+                        node, migrations, ..
+                    } => {
+                        admission.admitted += 1;
+                        admission.migrations += u64::from(migrations);
+                        (Some(node), true)
+                    }
+                    PlacementOutcome::Rejected { .. } => {
+                        admission.rejected += 1;
+                        (None, true)
+                    }
+                }
+            }
+            None => {
+                admission.best_effort += 1;
+                (Some(placer.place_best_effort()), false)
+            }
+        };
+        tasks.push(PlannedTask {
+            task: NodeTask {
+                fleet_id: i,
+                label,
+                kind,
+                arrival,
+                departure,
+                seed: task_seed,
+            },
+            node,
+            realtime,
+        });
+    }
+    FleetPlan { tasks, admission }
+}
+
+/// Executes fleet scenarios across OS threads.
+#[derive(Clone, Debug)]
+pub struct ClusterRunner {
+    threads: usize,
+}
+
+impl ClusterRunner {
+    /// A runner using `threads` worker threads (clamped to ≥ 1).
+    pub fn new(threads: usize) -> ClusterRunner {
+        ClusterRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A runner using all available hardware parallelism.
+    pub fn available_parallelism() -> ClusterRunner {
+        ClusterRunner::new(
+            thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Plans and runs the scenario, reducing to fleet aggregates.
+    ///
+    /// Nodes are dealt round-robin to workers by id; each worker builds
+    /// its nodes locally (kernels are thread-bound) and runs them to the
+    /// horizon. Reports are reassembled in node-id order, so thread count
+    /// affects wall-clock time only.
+    pub fn run(&self, spec: &ScenarioSpec, seed: u64) -> AggregateMetrics {
+        let plan = plan_fleet(spec, seed);
+        self.run_planned(spec, seed, &plan)
+    }
+
+    /// Runs a pre-built plan (lets callers inspect or reuse the plan).
+    pub fn run_planned(
+        &self,
+        spec: &ScenarioSpec,
+        seed: u64,
+        plan: &FleetPlan,
+    ) -> AggregateMetrics {
+        let mut per_node: Vec<Vec<NodeTask>> = vec![Vec::new(); spec.nodes];
+        for p in &plan.tasks {
+            if let Some(node) = p.node {
+                per_node[node].push(p.task.clone());
+            }
+        }
+
+        let workers = self.threads.min(spec.nodes).max(1);
+        let horizon = Time::ZERO + spec.horizon;
+        let mut reports: Vec<Option<NodeReport>> = Vec::new();
+        for _ in 0..spec.nodes {
+            reports.push(None);
+        }
+
+        thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            // Move each worker's node slices out; round-robin deal by id.
+            let mut assignments: Vec<Vec<(usize, Vec<NodeTask>)>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (node_id, tasks) in per_node.into_iter().enumerate() {
+                assignments[node_id % workers].push((node_id, tasks));
+            }
+            for batch in assignments {
+                let spec_ref = &*spec;
+                handles.push(scope.spawn(move || {
+                    batch
+                        .into_iter()
+                        .map(|(node_id, tasks)| {
+                            let mut node = Node::new(node_id, spec_ref);
+                            for t in tasks {
+                                node.add_task(t);
+                            }
+                            for w in &spec_ref.overload {
+                                node.inject_overload(w);
+                            }
+                            node.run_to_horizon(horizon);
+                            (node_id, node.report(horizon))
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                for (node_id, report) in h.join().expect("fleet worker panicked") {
+                    reports[node_id] = Some(report);
+                }
+            }
+        });
+
+        let nodes: Vec<NodeReport> = reports
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.unwrap_or_else(|| panic!("node {i} produced no report")))
+            .collect();
+        AggregateMetrics::new(&spec.name, seed, plan.admission, nodes)
+    }
+}
+
+/// Domain separator between the planning RNG stream and workload streams.
+const SEED_PLAN_SALT: u64 = 0x5EED_1234_ABCD_0001;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Churn, TaskMix};
+
+    fn small_spec() -> ScenarioSpec {
+        ScenarioSpec::new("runner-test", 3, 9, Dur::ms(1500)).with_mix(TaskMix::rt_only())
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let spec = small_spec();
+        let a = plan_fleet(&spec, 11);
+        let b = plan_fleet(&spec, 11);
+        assert_eq!(a.tasks.len(), b.tasks.len());
+        for (x, y) in a.tasks.iter().zip(&b.tasks) {
+            assert_eq!(x.node, y.node);
+            assert_eq!(x.task.seed, y.task.seed);
+            assert_eq!(x.task.arrival, y.task.arrival);
+            assert_eq!(x.task.kind, y.task.kind);
+        }
+        let c = plan_fleet(&spec, 12);
+        let same = a
+            .tasks
+            .iter()
+            .zip(&c.tasks)
+            .filter(|(x, y)| x.task.seed == y.task.seed)
+            .count();
+        assert_eq!(same, 0, "different seeds must derive different streams");
+    }
+
+    #[test]
+    fn task_seed_derivation_is_stateless() {
+        assert_eq!(derive_task_seed(42, 7), derive_task_seed(42, 7));
+        assert_ne!(derive_task_seed(42, 7), derive_task_seed(42, 8));
+        assert_ne!(derive_task_seed(42, 7), derive_task_seed(43, 7));
+    }
+
+    #[test]
+    fn one_and_many_threads_agree() {
+        let spec = small_spec();
+        let serial = ClusterRunner::new(1).run(&spec, 5);
+        let parallel = ClusterRunner::new(3).run(&spec, 5);
+        assert_eq!(serial.summary_csv(), parallel.summary_csv());
+        assert!(serial.completions() > 0, "fleet did some work");
+    }
+
+    #[test]
+    fn churned_tasks_depart_before_horizon() {
+        let spec = small_spec().with_churn(Churn {
+            mean_lifetime: Dur::ms(400),
+            min_lifetime: Dur::ms(100),
+        });
+        let plan = plan_fleet(&spec, 3);
+        let horizon = Time::ZERO + spec.horizon;
+        assert!(plan
+            .tasks
+            .iter()
+            .filter_map(|t| t.task.departure)
+            .all(|d| d < horizon));
+        assert!(
+            plan.tasks.iter().any(|t| t.task.departure.is_some()),
+            "some tasks should churn"
+        );
+    }
+
+    #[test]
+    fn more_threads_than_nodes_is_fine() {
+        let spec = ScenarioSpec::new("tiny", 2, 4, Dur::ms(800)).with_mix(TaskMix::rt_only());
+        let m = ClusterRunner::new(16).run(&spec, 1);
+        assert_eq!(m.nodes.len(), 2);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the fleet subsystem.
+//!
+//! Two families:
+//!
+//! * **Determinism** — the same `(spec, seed)` must produce byte-identical
+//!   aggregate CSV whether the fleet runs on 1 thread or several. These
+//!   run whole (small) fleet simulations, so the case count is reduced.
+//! * **Placer invariants** — the placer must never book a node beyond the
+//!   utilisation bound, must only admit tasks the minbudget analysis can
+//!   schedule, and must reject only when no node had room.
+
+use proptest::prelude::*;
+use selftune_analysis::{min_bandwidth_single, PeriodicTask};
+use selftune_cluster::prelude::*;
+use selftune_simcore::time::Dur;
+
+fn policy_strategy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::FirstFit),
+        Just(PolicyKind::WorstFit),
+        Just(PolicyKind::BandwidthAware),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn fleet_aggregates_identical_across_thread_counts(
+        seed in 0u64..1_000_000,
+        nodes in 2usize..5,
+        tasks in 6usize..16,
+        threads in 2usize..5,
+    ) {
+        let spec = ScenarioSpec::new("prop-determinism", nodes, tasks, Dur::ms(1200))
+            .with_mix(TaskMix::rt_only())
+            .with_arrivals(ArrivalSchedule::Staggered { gap: Dur::ms(50) });
+        let serial = ClusterRunner::new(1).run(&spec, seed);
+        let parallel = ClusterRunner::new(threads).run(&spec, seed);
+        prop_assert_eq!(serial.summary_csv(), parallel.summary_csv());
+    }
+
+    #[test]
+    fn churn_and_overload_stay_deterministic(
+        seed in 0u64..1_000_000,
+        threads in 2usize..4,
+    ) {
+        let spec = ScenarioSpec::new("prop-churn", 3, 10, Dur::ms(1500))
+            .with_mix(TaskMix::rt_only())
+            .with_arrivals(ArrivalSchedule::Poisson { mean_gap: Dur::ms(40) })
+            .with_churn(Churn {
+                mean_lifetime: Dur::ms(600),
+                min_lifetime: Dur::ms(150),
+            })
+            .with_overload(OverloadWindow {
+                start: Dur::ms(400),
+                end: Dur::ms(900),
+                hogs_per_node: 1,
+                chunk: Dur::ms(5),
+            });
+        let serial = ClusterRunner::new(1).run(&spec, seed);
+        let parallel = ClusterRunner::new(threads).run(&spec, seed);
+        prop_assert_eq!(serial.summary_csv(), parallel.summary_csv());
+    }
+}
+
+proptest! {
+    #[test]
+    fn placer_never_admits_unschedulable_or_overbooks(
+        tasks in prop::collection::vec((1u64..40, 40u64..200), 1..40),
+        nodes in 1usize..8,
+        ulub_pct in 50u64..101,
+        headroom_pct in 100u64..151,
+        policy in policy_strategy(),
+    ) {
+        let ulub = ulub_pct as f64 / 100.0;
+        let headroom = headroom_pct as f64 / 100.0;
+        let mut placer = Placer::new(nodes, ulub, headroom, policy);
+        for (i, &(c, p)) in tasks.iter().enumerate() {
+            let wcet = (c as f64).min(p as f64);
+            let task = PeriodicTask::new(wcet, p as f64);
+            let outcome = placer.place(task, i as u64, None);
+            let demand = (min_bandwidth_single(task, task.period) * headroom).min(1.0);
+            match outcome {
+                PlacementOutcome::Admitted { node, demand: booked, .. } => {
+                    // Booked exactly the analysis-backed demand.
+                    prop_assert!((booked - demand).abs() < 1e-12);
+                    prop_assert!(node < nodes);
+                    // A task whose minimum schedulable bandwidth exceeds
+                    // the bound must never be admitted.
+                    prop_assert!(demand <= ulub + 1e-9, "admitted demand {demand} over ulub {ulub}");
+                }
+                PlacementOutcome::Rejected { best_spare, .. } => {
+                    // Rejection witness: nothing had room.
+                    prop_assert!(demand > best_spare + 1e-12);
+                }
+            }
+            // The bound holds on every node after every decision.
+            for &r in placer.reserved() {
+                prop_assert!(r <= ulub + 1e-9, "node over bound: {r} > {ulub}");
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_order_is_a_permutation(
+        reserved in prop::collection::vec(0.0f64..1.0, 1..12),
+        policy in policy_strategy(),
+    ) {
+        let order = policy.candidate_order(&reserved);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..reserved.len()).collect::<Vec<_>>());
+        if policy == PolicyKind::WorstFit {
+            for w in order.windows(2) {
+                prop_assert!(reserved[w[0]] <= reserved[w[1]] + 1e-12);
+            }
+        }
+        if policy == PolicyKind::BandwidthAware {
+            for w in order.windows(2) {
+                prop_assert!(reserved[w[0]] >= reserved[w[1]] - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn released_bandwidth_is_reusable(
+        demands in prop::collection::vec(5u64..40, 1..20),
+        nodes in 1usize..4,
+    ) {
+        // Every task departs before the next arrives: nothing accumulates,
+        // so every task with feasible demand must be admitted.
+        let ulub = 0.9;
+        let mut placer = Placer::new(nodes, ulub, 1.0, PolicyKind::FirstFit);
+        for (i, &c) in demands.iter().enumerate() {
+            let now = (i as u64) * 1_000;
+            let task = PeriodicTask::new(c as f64, 100.0);
+            let outcome = placer.place(task, now, Some(now + 500));
+            match outcome {
+                PlacementOutcome::Admitted { .. } => {}
+                PlacementOutcome::Rejected { demand, .. } => {
+                    prop_assert!(demand > ulub + 1e-9, "spuriously rejected {demand}");
+                }
+            }
+        }
+    }
+}

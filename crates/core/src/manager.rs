@@ -54,6 +54,8 @@ pub struct SelfTuningManager {
     cfg: ManagerConfig,
     reader: TraceReader,
     tasks: Vec<ManagedTask>,
+    /// Reused event batch: one allocation serves every sampling step.
+    scratch: Vec<selftune_tracer::TraceEvent>,
 }
 
 impl SelfTuningManager {
@@ -63,6 +65,7 @@ impl SelfTuningManager {
             cfg,
             reader,
             tasks: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -128,13 +131,15 @@ impl SelfTuningManager {
     /// * `"<label>.attached"` mark — when the reservation was created.
     pub fn step(&mut self, k: &mut Kernel<ReservationScheduler>) {
         let now = k.now();
-        let events = self.reader.drain();
+        // One batch buffer serves every step (disjoint field borrows let
+        // the task loop read it directly).
+        self.reader.drain_into(&mut self.scratch);
         let mut requests: Vec<BwRequest> = Vec::new();
         for mt in &mut self.tasks {
             if k.task_state(mt.task) == TaskState::Exited {
                 continue;
             }
-            let ev = entry_times_secs(&events, mt.task);
+            let ev = entry_times_secs(&self.scratch, mt.task);
             let consumed = k.thread_time(mt.task);
             let exhausted = mt
                 .server

@@ -1,0 +1,311 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! This build environment has no network access, so the real crates.io
+//! package cannot be vendored. This shim implements the API surface the
+//! workspace benches use — `Criterion::bench_function`/`benchmark_group`,
+//! `BenchmarkGroup` with `throughput`/`sample_size`/`bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `Bencher::iter` and the
+//! `criterion_group!`/`criterion_main!` macros — over a simple
+//! calibrate-then-sample wall-clock measurement.
+//!
+//! It reports median and spread per benchmark as plain text. There is no
+//! HTML report, no statistical regression testing, and no saved baselines;
+//! the numbers are for before/after comparison within one machine.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Target measuring time per sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+/// Warm-up time before sampling.
+const WARMUP_TARGET: Duration = Duration::from_millis(100);
+
+/// Measures one benchmark routine.
+pub struct Bencher {
+    /// Collected per-iteration nanosecond estimates, one per sample.
+    samples: Vec<f64>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Bencher {
+        Bencher {
+            samples: Vec::new(),
+            sample_count,
+        }
+    }
+
+    /// Times `routine`, storing per-iteration estimates.
+    ///
+    /// The routine is first run repeatedly for a warm-up window, then the
+    /// iteration count per sample is calibrated so each sample measures a
+    /// meaningful stretch of wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find how many iterations fill the
+        // sample target.
+        let mut iters_per_sample = 1u64;
+        let warmup_end = Instant::now() + WARMUP_TARGET;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let dt = start.elapsed();
+            if dt >= SAMPLE_TARGET {
+                break;
+            }
+            if Instant::now() >= warmup_end && dt >= SAMPLE_TARGET / 4 {
+                break;
+            }
+            iters_per_sample = iters_per_sample.saturating_mul(2);
+        }
+
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let dt = start.elapsed();
+            self.samples
+                .push(dt.as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// A `name/parameter` id.
+    pub fn new<P: fmt::Display>(name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn report(name: &str, samples: &mut [f64], throughput: Option<Throughput>) {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    let med = median(samples);
+    let lo = samples.first().copied().unwrap_or(f64::NAN);
+    let hi = samples.last().copied().unwrap_or(f64::NAN);
+    let mut line = format!(
+        "{name:<44} time: [{} {} {}]",
+        fmt_ns(lo),
+        fmt_ns(med),
+        fmt_ns(hi)
+    );
+    if let Some(t) = throughput {
+        let (units, label) = match t {
+            Throughput::Elements(n) => (n as f64, "elem/s"),
+            Throughput::Bytes(n) => (n as f64, "B/s"),
+        };
+        let rate = units / (med / 1e9);
+        line.push_str(&format!("  thrpt: {rate:.3e} {label}"));
+    }
+    println!("{line}");
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_count: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive rate numbers for subsequent
+    /// benchmarks in this group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_count);
+        routine(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id),
+            &mut b.samples,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Benchmarks a routine with no extra input.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_count);
+        routine(&mut b);
+        report(
+            &format!("{}/{}", self.name, id),
+            &mut b.samples,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (a no-op in the shim; kept for API parity).
+    pub fn finish(&mut self) {
+        let _ = &self.criterion;
+    }
+}
+
+/// The harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    sample_count: usize,
+}
+
+impl Criterion {
+    fn effective_samples(&self) -> usize {
+        if self.sample_count == 0 {
+            10
+        } else {
+            self.sample_count
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.effective_samples());
+        routine(&mut b);
+        report(name, &mut b.samples, None);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_count = self.effective_samples();
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            throughput: None,
+            sample_count,
+        }
+    }
+}
+
+/// Collects benchmark functions into a named group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emits `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_sorted() {
+        assert_eq!(median(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::new(3);
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.samples.len(), 3);
+        assert!(b.samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("dft", 128).to_string(), "dft/128");
+        assert_eq!(BenchmarkId::from_parameter(0.5).to_string(), "0.5");
+    }
+}

@@ -9,8 +9,9 @@
 
 use crate::time::Dur;
 
-/// SplitMix64 step, used to expand a seed into xoshiro state.
-fn splitmix64(state: &mut u64) -> u64 {
+/// SplitMix64 step: expands a seed into xoshiro state, and serves as the
+/// workspace's canonical stateless seed-derivation primitive.
+pub fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

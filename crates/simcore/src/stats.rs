@@ -40,17 +40,29 @@ pub fn max(xs: &[f64]) -> f64 {
 /// Panics if `xs` is empty or `p` is outside `[0, 1]`.
 pub fn quantile(xs: &[f64], p: f64) -> f64 {
     assert!(!xs.is_empty(), "quantile of empty slice");
-    assert!((0.0..=1.0).contains(&p), "quantile p={p}");
     let mut v = xs.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
-    let idx = p * (v.len() - 1) as f64;
+    quantile_sorted(&v, p)
+}
+
+/// The `p`-quantile of already-sorted data (the allocation-free core of
+/// [`quantile`]; callers extracting many quantiles should sort once and
+/// use this).
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is outside `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&p), "quantile p={p}");
+    let idx = p * (sorted.len() - 1) as f64;
     let lo = idx.floor() as usize;
     let hi = idx.ceil() as usize;
     if lo == hi {
-        v[lo]
+        sorted[lo]
     } else {
         let w = idx - lo as f64;
-        v[lo] * (1.0 - w) + v[hi] * w
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
     }
 }
 

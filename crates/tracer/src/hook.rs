@@ -172,6 +172,12 @@ impl TraceReader {
         self.shared.borrow_mut().buffer.drain()
     }
 
+    /// Downloads all buffered events into `out` (cleared first), reusing
+    /// its allocation across batches.
+    pub fn drain_into(&self, out: &mut Vec<TraceEvent>) {
+        self.shared.borrow_mut().buffer.drain_into(out);
+    }
+
     /// Number of events currently buffered.
     pub fn pending(&self) -> usize {
         self.shared.borrow().buffer.len()

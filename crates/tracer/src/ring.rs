@@ -49,6 +49,18 @@ impl<T> RingBuffer<T> {
         self.buf.drain(..).collect()
     }
 
+    /// Moves all buffered entries into `out` (cleared first), oldest
+    /// first.
+    ///
+    /// The allocation-free sibling of [`RingBuffer::drain`]: a consumer
+    /// draining periodically reuses one buffer instead of allocating a
+    /// fresh `Vec` per batch — this is the paper's user-space daemon
+    /// reading the character device into a preallocated area.
+    pub fn drain_into(&mut self, out: &mut Vec<T>) {
+        out.clear();
+        out.extend(self.buf.drain(..));
+    }
+
     /// Number of entries currently buffered.
     pub fn len(&self) -> usize {
         self.buf.len()

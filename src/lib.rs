@@ -22,6 +22,11 @@
 //! substitution argument. Analytical figures are reproduced by [`analysis`]
 //! and the paper's workloads by [`apps`].
 //!
+//! Beyond the paper, [`cluster`] replicates the whole stack across a
+//! simulated fleet: declarative scenarios, schedulability-backed
+//! cross-node admission, a deterministic parallel runner and fleet-wide
+//! aggregate metrics.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -47,6 +52,7 @@
 
 pub use selftune_analysis as analysis;
 pub use selftune_apps as apps;
+pub use selftune_cluster as cluster;
 pub use selftune_core as core;
 pub use selftune_sched as sched;
 pub use selftune_simcore as simcore;
