@@ -13,6 +13,7 @@
 //! `"<label>.frame"`, from which experiments compute inter-frame times; the
 //! counter `"<label>.dropped"` counts frames skipped under starvation.
 
+use selftune_simcore::metrics::LazyKey;
 use selftune_simcore::rng::Rng;
 use selftune_simcore::syscall::SyscallNr;
 use selftune_simcore::task::{Action, Blocking, TaskCtx, Workload};
@@ -217,15 +218,15 @@ pub struct MediaPlayer {
     frame: u64,
     next_release: Option<Time>,
     mark_pending: bool,
-    frame_key: String,
-    dropped_key: String,
+    frame_key: LazyKey,
+    dropped_key: LazyKey,
 }
 
 impl MediaPlayer {
     /// Creates a player with its own random stream.
     pub fn new(cfg: MediaConfig, rng: Rng) -> MediaPlayer {
-        let frame_key = format!("{}.frame", cfg.label);
-        let dropped_key = format!("{}.dropped", cfg.label);
+        let frame_key = LazyKey::new(format!("{}.frame", cfg.label));
+        let dropped_key = LazyKey::new(format!("{}.dropped", cfg.label));
         MediaPlayer {
             cfg,
             rng,
@@ -269,7 +270,8 @@ impl MediaPlayer {
                     while r + lateness <= ctx.now {
                         r += period;
                         self.frame += 1;
-                        ctx.metrics.add(&self.dropped_key, 1);
+                        let k = self.dropped_key.get(ctx.metrics);
+                        ctx.metrics.add_k(k, 1);
                     }
                 }
                 r
@@ -308,7 +310,8 @@ impl Workload for MediaPlayer {
         }
         if self.mark_pending {
             // The previous frame's display syscall just completed.
-            ctx.metrics.mark(&self.frame_key, ctx.now);
+            let k = self.frame_key.get(ctx.metrics);
+            ctx.metrics.mark_k(k, ctx.now);
             self.mark_pending = false;
         }
         self.build_frame(ctx);

@@ -7,6 +7,7 @@
 //! jitter, and the controller must still recover a usable reservation
 //! period. Marks `"<label>.frame"` like the other players.
 
+use selftune_simcore::metrics::LazyKey;
 use selftune_simcore::rng::Rng;
 use selftune_simcore::syscall::SyscallNr;
 use selftune_simcore::task::{Action, Blocking, TaskCtx, Workload};
@@ -58,13 +59,13 @@ pub struct Streamer {
     plan: VecDeque<Action>,
     next_nominal: Option<Time>,
     mark_pending: bool,
-    frame_key: String,
+    frame_key: LazyKey,
 }
 
 impl Streamer {
     /// Creates a streamer with its own random stream.
     pub fn new(cfg: StreamerConfig, rng: Rng) -> Streamer {
-        let frame_key = format!("{}.frame", cfg.label);
+        let frame_key = LazyKey::new(format!("{}.frame", cfg.label));
         Streamer {
             cfg,
             rng,
@@ -82,7 +83,8 @@ impl Workload for Streamer {
             return a;
         }
         if self.mark_pending {
-            ctx.metrics.mark(&self.frame_key, ctx.now);
+            let k = self.frame_key.get(ctx.metrics);
+            ctx.metrics.mark_k(k, ctx.now);
             self.mark_pending = false;
         }
         let period = self.cfg.period();

@@ -6,6 +6,7 @@
 //! is that application. [`CpuHog`] saturates the fair class, and
 //! [`Aperiodic`] exercises the analyser's non-periodic verdict.
 
+use selftune_simcore::metrics::LazyKey;
 use selftune_simcore::rng::Rng;
 use selftune_simcore::syscall::SyscallNr;
 use selftune_simcore::task::{Action, Blocking, TaskCtx, Workload};
@@ -18,7 +19,7 @@ use std::collections::VecDeque;
 /// Marks `"<label>.job"` at each job completion; experiments derive
 /// response times and deadline misses from the marks.
 pub struct PeriodicRt {
-    label_key: String,
+    label_key: LazyKey,
     wcet: Dur,
     period: Dur,
     noise_frac: f64,
@@ -41,7 +42,7 @@ impl PeriodicRt {
             "invalid (C={wcet}, P={period})"
         );
         PeriodicRt {
-            label_key: format!("{label}.job"),
+            label_key: LazyKey::new(format!("{label}.job")),
             wcet,
             period,
             noise_frac,
@@ -64,7 +65,8 @@ impl Workload for PeriodicRt {
             return a;
         }
         if self.mark_pending {
-            ctx.metrics.mark(&self.label_key, ctx.now);
+            let k = self.label_key.get(ctx.metrics);
+            ctx.metrics.mark_k(k, ctx.now);
             self.mark_pending = false;
         }
         let release = match self.next_release {

@@ -9,6 +9,7 @@
 //! On completion the workload marks `"<label>.done"`; experiments read the
 //! mark's timestamp as the total transcoding time.
 
+use selftune_simcore::metrics::LazyKey;
 use selftune_simcore::rng::Rng;
 use selftune_simcore::syscall::SyscallNr;
 use selftune_simcore::task::{Action, TaskCtx, Workload};
@@ -60,14 +61,14 @@ pub struct Transcoder {
     rng: Rng,
     plan: VecDeque<Action>,
     frames_left: u32,
-    done_key: String,
+    done_key: LazyKey,
     finished: bool,
 }
 
 impl Transcoder {
     /// Creates a transcoder with its own random stream.
     pub fn new(cfg: TranscodeConfig, rng: Rng) -> Transcoder {
-        let done_key = format!("{}.done", cfg.label);
+        let done_key = LazyKey::new(format!("{}.done", cfg.label));
         let frames_left = cfg.frames;
         Transcoder {
             cfg,
@@ -107,7 +108,8 @@ impl Workload for Transcoder {
         if self.frames_left == 0 {
             if !self.finished {
                 self.finished = true;
-                ctx.metrics.mark(&self.done_key, ctx.now);
+                let k = self.done_key.get(ctx.metrics);
+                ctx.metrics.mark_k(k, ctx.now);
             }
             return Action::Exit;
         }

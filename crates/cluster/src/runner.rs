@@ -6,7 +6,15 @@
 //! own slice of the plan and a seed derived from `(seed, node_id)`. Worker
 //! threads therefore never race on anything observable: running the same
 //! spec and seed on 1 or N threads yields byte-identical aggregates.
+//!
+//! Scheduling: workers pull node ids in chunks from a shared atomic
+//! counter (chunked work-stealing) instead of a static round-robin deal,
+//! so a fleet with skewed per-node costs no longer serialises on the
+//! slowest thread — a worker that drew cheap nodes just steals the next
+//! chunk. Which thread simulates a node affects wall-clock only; reports
+//! are reassembled in node-id order.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
 use selftune_simcore::rng::{splitmix64, Rng};
@@ -125,6 +133,7 @@ pub fn plan_fleet(spec: &ScenarioSpec, seed: u64) -> FleetPlan {
 #[derive(Clone, Debug)]
 pub struct ClusterRunner {
     threads: usize,
+    chunk: Option<usize>,
 }
 
 impl ClusterRunner {
@@ -132,7 +141,19 @@ impl ClusterRunner {
     pub fn new(threads: usize) -> ClusterRunner {
         ClusterRunner {
             threads: threads.max(1),
+            chunk: None,
         }
+    }
+
+    /// Overrides the work-stealing chunk size (nodes claimed per steal).
+    ///
+    /// The default balances steal overhead against skew tolerance. Setting
+    /// the chunk to ≥ the per-thread node share reproduces the old static
+    /// partition (useful for before/after benchmarking); `0` restores the
+    /// default.
+    pub fn with_chunk(mut self, chunk: usize) -> ClusterRunner {
+        self.chunk = if chunk == 0 { None } else { Some(chunk) };
+        self
     }
 
     /// A runner using all available hardware parallelism.
@@ -151,13 +172,24 @@ impl ClusterRunner {
 
     /// Plans and runs the scenario, reducing to fleet aggregates.
     ///
-    /// Nodes are dealt round-robin to workers by id; each worker builds
-    /// its nodes locally (kernels are thread-bound) and runs them to the
-    /// horizon. Reports are reassembled in node-id order, so thread count
-    /// affects wall-clock time only.
+    /// Workers claim node ids in chunks from a shared atomic counter and
+    /// build each claimed node locally (kernels are thread-bound), so a
+    /// thread finishing its cheap nodes steals the remaining expensive
+    /// ones. Reports are reassembled in node-id order, so thread count and
+    /// chunk size affect wall-clock time only.
     pub fn run(&self, spec: &ScenarioSpec, seed: u64) -> AggregateMetrics {
         let plan = plan_fleet(spec, seed);
         self.run_planned(spec, seed, &plan)
+    }
+
+    /// The effective steal-chunk size for an `nodes`-node fleet.
+    fn chunk_for(&self, nodes: usize, workers: usize) -> usize {
+        match self.chunk {
+            Some(c) => c,
+            // Quarter-share chunks: coarse enough that steal traffic is
+            // negligible, fine enough to absorb ~4x per-node cost skew.
+            None => (nodes / (workers * 4)).max(1),
+        }
     }
 
     /// Runs a pre-built plan (lets callers inspect or reuse the plan).
@@ -175,37 +207,41 @@ impl ClusterRunner {
         }
 
         let workers = self.threads.min(spec.nodes).max(1);
+        let chunk = self.chunk_for(spec.nodes, workers);
         let horizon = Time::ZERO + spec.horizon;
         let mut reports: Vec<Option<NodeReport>> = Vec::new();
         for _ in 0..spec.nodes {
             reports.push(None);
         }
 
+        let next = AtomicUsize::new(0);
         thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
-            // Move each worker's node slices out; round-robin deal by id.
-            let mut assignments: Vec<Vec<(usize, Vec<NodeTask>)>> =
-                (0..workers).map(|_| Vec::new()).collect();
-            for (node_id, tasks) in per_node.into_iter().enumerate() {
-                assignments[node_id % workers].push((node_id, tasks));
-            }
-            for batch in assignments {
+            for _ in 0..workers {
                 let spec_ref = &*spec;
+                let per_node = &per_node;
+                let next = &next;
                 handles.push(scope.spawn(move || {
-                    batch
-                        .into_iter()
-                        .map(|(node_id, tasks)| {
+                    let mut out = Vec::new();
+                    loop {
+                        let base = next.fetch_add(chunk, Ordering::Relaxed);
+                        if base >= spec_ref.nodes {
+                            break;
+                        }
+                        let end = (base + chunk).min(spec_ref.nodes);
+                        for (node_id, tasks) in per_node.iter().enumerate().take(end).skip(base) {
                             let mut node = Node::new(node_id, spec_ref);
                             for t in tasks {
-                                node.add_task(t);
+                                node.add_task(t.clone());
                             }
                             for w in &spec_ref.overload {
                                 node.inject_overload(w);
                             }
                             node.run_to_horizon(horizon);
-                            (node_id, node.report(horizon))
-                        })
-                        .collect::<Vec<_>>()
+                            out.push((node_id, node.report(horizon)));
+                        }
+                    }
+                    out
                 }));
             }
             for h in handles {
@@ -272,6 +308,21 @@ mod tests {
         let parallel = ClusterRunner::new(3).run(&spec, 5);
         assert_eq!(serial.summary_csv(), parallel.summary_csv());
         assert!(serial.completions() > 0, "fleet did some work");
+    }
+
+    #[test]
+    fn work_stealing_is_deterministic_at_1_2_and_8_threads() {
+        let spec =
+            ScenarioSpec::new("steal-test", 6, 18, Dur::ms(1200)).with_mix(TaskMix::rt_only());
+        // Chunk 1 maximises steal interleaving; the aggregate must not care.
+        let baseline = ClusterRunner::new(1).with_chunk(1).run(&spec, 9);
+        for threads in [2usize, 8] {
+            let m = ClusterRunner::new(threads).with_chunk(1).run(&spec, 9);
+            assert_eq!(baseline.summary_csv(), m.summary_csv(), "{threads} threads");
+        }
+        // A chunk as large as the fleet (the old static partition) agrees too.
+        let coarse = ClusterRunner::new(2).with_chunk(6).run(&spec, 9);
+        assert_eq!(baseline.summary_csv(), coarse.summary_csv());
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::controller::{ControllerConfig, ControllerInput, Decision, TaskControl
 use selftune_sched::{BwRequest, CbsMode, ReservationScheduler, ServerConfig, ServerId};
 use selftune_sched::{Place, Supervisor};
 use selftune_simcore::kernel::{Kernel, TaskState};
+use selftune_simcore::metrics::{MetricKey, Metrics};
 use selftune_simcore::task::TaskId;
 use selftune_simcore::time::{Dur, Time};
 use selftune_tracer::{entry_times_secs, TraceReader};
@@ -41,12 +42,42 @@ impl Default for ManagerConfig {
     }
 }
 
+/// The per-task metric keys, interned once so the sampling step does no
+/// name formatting or string hashing.
+#[derive(Copy, Clone)]
+struct TaskKeys {
+    period_est: MetricKey,
+    attached: MetricKey,
+    bw: MetricKey,
+}
+
 struct ManagedTask {
     task: TaskId,
     label: String,
+    /// Interned `{label}.*` keys, resolved against the kernel's metric
+    /// store on the first step (the kernel is not in scope at `manage`
+    /// time) and reused by every later one.
+    keys: Option<TaskKeys>,
     ctl: TaskController,
     server: Option<ServerId>,
     last_step: Option<Time>,
+}
+
+impl ManagedTask {
+    fn keys(&mut self, metrics: &mut Metrics) -> TaskKeys {
+        match self.keys {
+            Some(k) => k,
+            None => {
+                let keys = TaskKeys {
+                    period_est: metrics.key(&format!("{}.period_est_ms", self.label)),
+                    attached: metrics.key(&format!("{}.attached", self.label)),
+                    bw: metrics.key(&format!("{}.bw", self.label)),
+                };
+                self.keys = Some(keys);
+                keys
+            }
+        }
+    }
 }
 
 /// The manager (the paper's `lfs++` user-space tool).
@@ -79,6 +110,7 @@ impl SelfTuningManager {
         self.tasks.push(ManagedTask {
             task,
             label: label.to_owned(),
+            keys: None,
             ctl: TaskController::new(ctl_cfg),
             server: None,
             last_step: None,
@@ -139,6 +171,7 @@ impl SelfTuningManager {
             if k.task_state(mt.task) == TaskState::Exited {
                 continue;
             }
+            let keys = mt.keys(k.metrics_mut());
             let ev = entry_times_secs(&self.scratch, mt.task);
             let consumed = k.thread_time(mt.task);
             let exhausted = mt
@@ -163,7 +196,7 @@ impl SelfTuningManager {
             });
             if let Some(p) = mt.ctl.period() {
                 k.metrics_mut()
-                    .record(&format!("{}.period_est_ms", mt.label), now, p.as_ms_f64());
+                    .record_k(keys.period_est, now, p.as_ms_f64());
             }
             match decision {
                 Decision::None => {}
@@ -183,7 +216,7 @@ impl SelfTuningManager {
                         _ => k.sched_mut().place(mt.task, Place::Server(sid)),
                     }
                     mt.server = Some(sid);
-                    k.metrics_mut().mark(&format!("{}.attached", mt.label), now);
+                    k.metrics_mut().mark_k(keys.attached, now);
                     requests.push(BwRequest {
                         server: sid,
                         budget: req.budget,
@@ -203,8 +236,8 @@ impl SelfTuningManager {
         let grants = self.cfg.supervisor.apply(k.sched_mut(), &requests);
         for g in &grants {
             if let Some(mt) = self.tasks.iter().find(|t| t.server == Some(g.server)) {
-                k.metrics_mut()
-                    .record(&format!("{}.bw", mt.label), now, g.bandwidth());
+                let keys = mt.keys.expect("granted task has stepped");
+                k.metrics_mut().record_k(keys.bw, now, g.bandwidth());
             }
         }
     }
@@ -224,7 +257,7 @@ mod tests {
     use super::*;
     use selftune_apps::{MediaConfig, MediaPlayer};
     use selftune_simcore::rng::Rng;
-    use selftune_simcore::stats::{mean, std_dev};
+    use selftune_simcore::stats::mean_std_of;
     use selftune_tracer::{Tracer, TracerConfig};
 
     /// End-to-end: an unmanaged mplayer is detected, attached to a
@@ -258,14 +291,11 @@ mod tests {
         );
 
         // QoS: after the warm-up the inter-frame times sit at 40 ms.
-        let marks = k.metrics().marks("mplayer.frame");
-        let tail: Vec<f64> = marks[marks.len() / 2..]
-            .windows(2)
-            .map(|w| (w[1] - w[0]).as_ms_f64())
-            .collect();
-        let m = mean(&tail);
+        // Borrowing tail-window read: no Vec materialised for the gaps.
+        let half = k.metrics().marks("mplayer.frame").len() / 2;
+        let (m, sd) = mean_std_of(k.metrics().inter_mark_iter("mplayer.frame").skip(half));
         assert!((m - 40.0).abs() < 2.0, "steady IFT mean {m}");
-        assert!(std_dev(&tail) < 15.0, "steady IFT sd {}", std_dev(&tail));
+        assert!(sd < 15.0, "steady IFT sd {sd}");
 
         // Bandwidth series was recorded.
         assert!(!k.metrics().series("mplayer.bw").is_empty());

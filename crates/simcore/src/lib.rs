@@ -34,7 +34,7 @@ pub mod task;
 pub mod time;
 
 pub use kernel::{Kernel, NoTrace, SyscallHook, TaskState};
-pub use metrics::Metrics;
+pub use metrics::{LazyKey, MetricKey, Metrics};
 pub use rng::Rng;
 pub use scheduler::{RoundRobin, Scheduler};
 pub use syscall::SyscallNr;

@@ -23,6 +23,25 @@ pub fn std_dev(xs: &[f64]) -> f64 {
     (ss / (xs.len() - 1) as f64).sqrt()
 }
 
+/// One-pass (Welford) mean and sample standard deviation of an iterator:
+/// the allocation-free companion of [`mean`]/[`std_dev`] for borrowing
+/// sources like `Metrics::values_iter`. Returns `(0.0, 0.0)` for an empty
+/// iterator and `(mean, 0.0)` for a single sample.
+pub fn mean_std_of(xs: impl Iterator<Item = f64>) -> (f64, f64) {
+    let (mut n, mut m, mut m2) = (0u64, 0.0f64, 0.0f64);
+    for x in xs {
+        n += 1;
+        let d = x - m;
+        m += d / n as f64;
+        m2 += d * (x - m);
+    }
+    match n {
+        0 => (0.0, 0.0),
+        1 => (m, 0.0),
+        _ => (m, (m2 / (n - 1) as f64).sqrt()),
+    }
+}
+
 /// Minimum; `NaN` for an empty slice.
 pub fn min(xs: &[f64]) -> f64 {
     xs.iter().copied().fold(f64::NAN, f64::min)

@@ -6,7 +6,64 @@ use selftune_simcore::scheduler::RoundRobin;
 use selftune_simcore::stats;
 use selftune_simcore::task::{Action, Script};
 use selftune_simcore::time::{Dur, Time};
-use selftune_simcore::Kernel;
+use selftune_simcore::{Kernel, Metrics};
+
+/// One step of a randomized event-queue workload.
+#[derive(Clone, Debug)]
+enum QueueOp {
+    /// Push at the given offset (ns) with the next payload id.
+    Push(u64),
+    /// Push a FIFO burst of 3 events at the same instant.
+    Burst(u64),
+    /// Push a far-future event (stresses the wheel's overflow levels).
+    Far(u64),
+    /// Pop the earliest event.
+    Pop,
+    /// Pop only if due at the given instant.
+    PopDue(u64),
+}
+
+fn queue_op_strategy() -> impl Strategy<Value = QueueOp> {
+    prop_oneof![
+        (0u64..5_000_000).prop_map(QueueOp::Push),
+        (0u64..5_000_000).prop_map(QueueOp::Burst),
+        (0u64..u64::MAX / 2).prop_map(QueueOp::Far),
+        Just(QueueOp::Pop),
+        (0u64..5_000_000).prop_map(QueueOp::PopDue),
+    ]
+}
+
+/// Observable trace of a queue run: pop results and per-op peeks.
+type QueueTrace = (Vec<Option<(Time, u32)>>, Vec<Option<Time>>);
+
+/// Applies `ops` to a queue, returning the full observable trace.
+fn drive_queue(mut q: EventQueue<u32>, ops: &[QueueOp]) -> QueueTrace {
+    let mut pops = Vec::new();
+    let mut peeks = Vec::new();
+    let mut id = 0u32;
+    for op in ops {
+        match *op {
+            QueueOp::Push(at) | QueueOp::Far(at) => {
+                q.push(Time::from_ns(at), id);
+                id += 1;
+            }
+            QueueOp::Burst(at) => {
+                for _ in 0..3 {
+                    q.push(Time::from_ns(at), id);
+                    id += 1;
+                }
+            }
+            QueueOp::Pop => pops.push(q.pop()),
+            QueueOp::PopDue(now) => pops.push(q.pop_due(Time::from_ns(now))),
+        }
+        peeks.push(q.peek_time());
+    }
+    // Drain whatever is left so the whole pop order is compared.
+    while let Some(e) = q.pop() {
+        pops.push(Some(e));
+    }
+    (pops, peeks)
+}
 
 proptest! {
     #[test]
@@ -86,6 +143,56 @@ proptest! {
             n += 1;
         }
         prop_assert_eq!(n, times.len());
+    }
+
+    /// Differential check: the timing wheel delivers the byte-identical
+    /// pop order (and peeks, and `pop_due` decisions) of the binary-heap
+    /// fallback on randomized workloads, including equal-time FIFO bursts
+    /// and far-future events that live in the wheel's overflow levels.
+    #[test]
+    fn wheel_matches_heap_pop_order(ops in prop::collection::vec(queue_op_strategy(), 0..120)) {
+        let wheel = drive_queue(EventQueue::new(), &ops);
+        let heap = drive_queue(EventQueue::heap_fallback(), &ops);
+        prop_assert_eq!(wheel, heap);
+    }
+
+    /// Interned-key writes are indistinguishable from string-key writes.
+    #[test]
+    fn interned_and_string_metrics_agree(
+        ops in prop::collection::vec(
+            (0u8..3, 0usize..4, 0u64..1_000_000, 0u64..100), 0..150),
+    ) {
+        let names = ["a.frame", "b.bw", "c.ctx", "d.job"];
+        let mut by_string = Metrics::new();
+        let mut by_key = Metrics::new();
+        let keys: Vec<_> = names.iter().map(|n| by_key.key(n)).collect();
+        for &(kind, which, t_ns, n) in &ops {
+            let (name, key) = (names[which], keys[which]);
+            let at = Time::from_ns(t_ns);
+            match kind {
+                0 => {
+                    by_string.mark(name, at);
+                    by_key.mark_k(key, at);
+                }
+                1 => {
+                    by_string.record(name, at, n as f64 * 0.5);
+                    by_key.record_k(key, at, n as f64 * 0.5);
+                }
+                _ => {
+                    by_string.add(name, n);
+                    by_key.add_k(key, n);
+                }
+            }
+        }
+        for (&name, &key) in names.iter().zip(&keys) {
+            prop_assert_eq!(by_string.marks(name), by_key.marks(name));
+            prop_assert_eq!(by_key.marks(name), by_key.marks_k(key));
+            prop_assert_eq!(by_string.series(name), by_key.series_k(key));
+            prop_assert_eq!(by_string.counter(name), by_key.counter_k(key));
+        }
+        let a: Vec<&str> = by_string.mark_names().collect();
+        let b: Vec<&str> = by_key.mark_names().collect();
+        prop_assert_eq!(a, b);
     }
 
     /// CPU-time conservation: busy + idle equals elapsed wall time, and
