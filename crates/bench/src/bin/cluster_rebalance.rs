@@ -1,0 +1,5 @@
+//! Feedback-driven re-placement vs static placement (skewed overload).
+fn main() {
+    let args = selftune_bench::Args::parse();
+    selftune_bench::experiments::cluster_rebalance::run(&args);
+}

@@ -19,5 +19,6 @@ fn main() {
     e::table3::run(&args);
     e::ablations::run(&args);
     e::cluster_scaleout::run(&args);
+    e::cluster_rebalance::run(&args);
     println!("\nAll experiments done. CSVs in {}", args.out.display());
 }

@@ -21,6 +21,8 @@ pub struct TaskReport {
     pub realtime: bool,
     /// Whether the manager attached a reservation during the run.
     pub attached: bool,
+    /// Whether this incarnation arrived through a live migration.
+    pub migrated: bool,
     /// Completed jobs/frames.
     pub completions: u64,
     /// Completion gaps exceeding the miss factor.
@@ -74,6 +76,37 @@ pub struct AdmissionStats {
     pub migrations: u64,
 }
 
+/// One applied live migration, as recorded by the rebalance pass.
+#[derive(Clone, Copy, Debug)]
+pub struct MigrationRecord {
+    /// Epoch index (0 = first rebalance boundary).
+    pub epoch: u64,
+    /// Fleet id of the migrated task.
+    pub fleet_id: usize,
+    /// Node the task was extracted from.
+    pub from: usize,
+    /// Node the task was re-admitted on.
+    pub to: usize,
+    /// Bandwidth booked on the destination (minbudget × headroom).
+    pub demand: f64,
+    /// Destination's booked bandwidth right after admission — the witness
+    /// that the move respected the admission bound.
+    pub dest_reserved_after: f64,
+}
+
+/// Feedback-driven re-placement statistics of one fleet run.
+#[derive(Clone, Debug, Default)]
+pub struct RebalanceStats {
+    /// Rebalance boundaries the run passed through.
+    pub epochs: u64,
+    /// Migrations applied.
+    pub moves: u64,
+    /// Evictions that found no admissible destination (task stayed put).
+    pub failed: u64,
+    /// Every applied migration, in decision order.
+    pub records: Vec<MigrationRecord>,
+}
+
 /// The reduced outcome of one fleet run.
 #[derive(Clone, Debug)]
 pub struct AggregateMetrics {
@@ -83,6 +116,8 @@ pub struct AggregateMetrics {
     pub seed: u64,
     /// Admission statistics from the placement plan.
     pub admission: AdmissionStats,
+    /// Feedback re-placement statistics (all-zero when rebalance is off).
+    pub rebalance: RebalanceStats,
     /// Per-node reports, in node-id order.
     pub nodes: Vec<NodeReport>,
 }
@@ -105,8 +140,16 @@ impl AggregateMetrics {
             scenario: scenario.to_owned(),
             seed,
             admission,
+            rebalance: RebalanceStats::default(),
             nodes,
         }
+    }
+
+    /// Attaches rebalance statistics (builder-style; the runner uses this
+    /// when feedback re-placement is enabled).
+    pub fn with_rebalance(mut self, rebalance: RebalanceStats) -> AggregateMetrics {
+        self.rebalance = rebalance;
+        self
     }
 
     /// All normalised completion gaps across the fleet, in (node, task)
@@ -175,6 +218,35 @@ impl AggregateMetrics {
             .collect()
     }
 
+    /// Normalised completion gaps of *migrated* task incarnations, sorted
+    /// ascending — the post-migration behaviour of re-placed tasks.
+    fn post_migration_sorted(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.tasks.iter())
+            .filter(|t| t.migrated)
+            .flat_map(|t| t.ift_norm.iter().copied())
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN completion gap"));
+        xs
+    }
+
+    /// The miss CDF restricted to gaps observed after a migration (i.e. on
+    /// the re-placed incarnations). Empty when nothing migrated.
+    pub fn post_migration_cdf(&self) -> Vec<(f64, f64)> {
+        let xs = self.post_migration_sorted();
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        (0..=CDF_STEPS)
+            .map(|i| {
+                let p = i as f64 / CDF_STEPS as f64;
+                (p, stats::quantile_sorted(&xs, p))
+            })
+            .collect()
+    }
+
     /// Histogram of per-node utilisation over `[0, 1]`.
     pub fn utilisation_histogram(&self) -> Vec<(f64, u64)> {
         let u: Vec<f64> = self.nodes.iter().map(|n| n.utilisation).collect();
@@ -227,6 +299,16 @@ impl AggregateMetrics {
             self.admission.migrations,
         ));
         out.push_str(&format!(
+            "rb_epochs,{}\nrb_moves,{}\nrb_failed,{}\n",
+            self.rebalance.epochs, self.rebalance.moves, self.rebalance.failed,
+        ));
+        for r in &self.rebalance.records {
+            out.push_str(&format!(
+                "move,{},{},{},{},{:.6},{:.6}\n",
+                r.epoch, r.fleet_id, r.from, r.to, r.demand, r.dest_reserved_after,
+            ));
+        }
+        out.push_str(&format!(
             "completions,{}\nmisses,{}\nmiss_ratio,{:.6}\nmean_utilisation,{:.6}\n",
             self.completions(),
             self.misses(),
@@ -241,6 +323,9 @@ impl AggregateMetrics {
         }
         for (p, q) in self.miss_cdf() {
             out.push_str(&format!("cdf,{p:.2},{q:.6}\n"));
+        }
+        for (p, q) in self.post_migration_cdf() {
+            out.push_str(&format!("pmcdf,{p:.2},{q:.6}\n"));
         }
         out
     }
@@ -278,6 +363,43 @@ impl AggregateMetrics {
             &["utilisation_bin", "nodes"],
             &hist_rows,
         )?;
+        let move_rows: Vec<Vec<String>> = self
+            .rebalance
+            .records
+            .iter()
+            .map(|r| {
+                vec![
+                    r.epoch.to_string(),
+                    r.fleet_id.to_string(),
+                    r.from.to_string(),
+                    r.to.to_string(),
+                    format!("{:.6}", r.demand),
+                    format!("{:.6}", r.dest_reserved_after),
+                ]
+            })
+            .collect();
+        write_csv(
+            dir.join("cluster_migrations.csv"),
+            &[
+                "epoch",
+                "fleet_id",
+                "from",
+                "to",
+                "demand",
+                "dest_reserved_after",
+            ],
+            &move_rows,
+        )?;
+        let pm_rows: Vec<Vec<String>> = self
+            .post_migration_cdf()
+            .iter()
+            .map(|&(p, q)| vec![format!("{p:.2}"), format!("{q:.6}")])
+            .collect();
+        write_csv(
+            dir.join("cluster_post_migration_cdf.csv"),
+            &["quantile", "ift_over_period"],
+            &pm_rows,
+        )?;
         Ok(())
     }
 
@@ -294,6 +416,12 @@ impl AggregateMetrics {
             self.admission.best_effort,
             self.admission.migrations,
         ));
+        if self.rebalance.epochs > 0 {
+            out.push_str(&format!(
+                "rebalance: {} epochs, {} migrations applied, {} failed\n",
+                self.rebalance.epochs, self.rebalance.moves, self.rebalance.failed,
+            ));
+        }
         out.push_str(&format!(
             "completions {}   deadline misses {}   miss ratio {:.4}   mean node utilisation {:.1}%\n",
             self.completions(),
@@ -337,6 +465,7 @@ mod tests {
                 label: format!("t{node}"),
                 realtime: true,
                 attached: true,
+                migrated: false,
                 completions: ift.len() as u64 + 1,
                 misses: ift.iter().filter(|&&x| x > NodeReport::MISS_FACTOR).count() as u64,
                 dropped: 0,
@@ -392,6 +521,51 @@ mod tests {
     }
 
     #[test]
+    fn rebalance_stats_flow_into_summary_and_cdf() {
+        let mut migrated_node = report(1, 0.4, vec![1.0, 1.1, 0.9]);
+        migrated_node.tasks[0].migrated = true;
+        let m = AggregateMetrics::new(
+            "s",
+            1,
+            AdmissionStats::default(),
+            vec![report(0, 0.3, vec![2.0]), migrated_node],
+        )
+        .with_rebalance(RebalanceStats {
+            epochs: 3,
+            moves: 1,
+            failed: 2,
+            records: vec![MigrationRecord {
+                epoch: 1,
+                fleet_id: 1,
+                from: 0,
+                to: 1,
+                demand: 0.25,
+                dest_reserved_after: 0.25,
+            }],
+        });
+        let csv = m.summary_csv();
+        assert!(csv.contains("rb_epochs,3"));
+        assert!(csv.contains("rb_moves,1"));
+        assert!(csv.contains("rb_failed,2"));
+        assert!(csv.contains("move,1,1,0,1,0.250000,0.250000"));
+        // The post-migration CDF covers only the migrated incarnation's
+        // gaps, all of which sit at or below 1.1.
+        let pm = m.post_migration_cdf();
+        assert_eq!(pm.len(), CDF_STEPS + 1);
+        assert!(pm.last().unwrap().1 <= 1.1 + 1e-12);
+        assert!(csv.contains("pmcdf,1.00,"));
+        // A run without migrations exports no post-migration CDF.
+        let plain = AggregateMetrics::new(
+            "s",
+            1,
+            AdmissionStats::default(),
+            vec![report(0, 0.3, vec![2.0])],
+        );
+        assert!(plain.post_migration_cdf().is_empty());
+        assert!(!plain.summary_csv().contains("pmcdf"));
+    }
+
+    #[test]
     fn csv_files_are_written() {
         let dir = std::env::temp_dir().join("selftune-cluster-agg-test");
         let m = AggregateMetrics::new(
@@ -405,6 +579,8 @@ mod tests {
             "cluster_nodes.csv",
             "cluster_miss_cdf.csv",
             "cluster_util_hist.csv",
+            "cluster_migrations.csv",
+            "cluster_post_migration_cdf.csv",
         ] {
             assert!(dir.join(f).exists(), "{f} missing");
         }

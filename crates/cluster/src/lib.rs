@@ -16,24 +16,33 @@
 //!        │             lifetimes)    migration on rejection)
 //!        ▼
 //!   ClusterRunner ──► worker threads ──► Node = Kernel + Tracer
-//!        │            (round-robin        + SelfTuningManager
-//!        │             node deal)         run to horizon
-//!        ▼
-//!   AggregateMetrics: miss CDF, utilisation histogram,
-//!                     admission counters, CSV export
+//!        │            (work-stealing       + SelfTuningManager
+//!        │             node claim)         run epoch by epoch
+//!        │   ▲                                   │
+//!        │   │  migrations                       │ NodeFeedback
+//!        │   └───── Placer::rebalance ◄──────────┘ (measured util,
+//!        │          (barrier leader,               miss rate,
+//!        ▼           every epoch)                  live tasks + bw)
+//!   AggregateMetrics: miss CDF, utilisation histogram, admission
+//!                     counters, migration records, CSV export
 //! ```
 //!
 //! * [`spec`] — declarative scenarios: node/task counts, weighted
-//!   [`TaskMix`], arrival schedules, churn, overload windows.
+//!   [`TaskMix`], arrival schedules, churn, (optionally skewed) overload
+//!   windows, and the [`RebalanceSpec`] feedback loop; plain-text
+//!   round-trip via [`textio`].
 //! * [`placer`] — cross-node admission: candidate ordering policies over
 //!   per-node reserved bandwidth, backed by the
-//!   [`selftune_analysis::min_bandwidth_single`] schedulability test.
+//!   [`selftune_analysis::min_bandwidth_single`] schedulability test,
+//!   plus the feedback rebalance pass over live [`FeedbackView`]s.
 //! * [`node`] — one machine: kernel, tracer and self-tuning manager
-//!   bundled, with lifetime leases and overload injection.
+//!   bundled, with lifetime leases, overload injection, per-epoch
+//!   [`NodeFeedback`] snapshots and running-task extraction.
 //! * [`runner`] — the parallel scenario runner with stateless per-task
-//!   seed derivation; same `(spec, seed)` ⇒ byte-identical aggregates at
-//!   any thread count.
-//! * [`aggregate`] — fleet-wide reducers and CSV export.
+//!   seed derivation and barrier-synchronised rebalance epochs; same
+//!   `(spec, seed)` ⇒ byte-identical aggregates at any thread count.
+//! * [`aggregate`] — fleet-wide reducers, migration records and CSV
+//!   export.
 //!
 //! ## Determinism
 //!
@@ -41,8 +50,12 @@
 //! spawned: the plan (kinds, arrivals, lifetimes, per-task workload
 //! seeds) and the placement. Worker threads only execute disjoint,
 //! pre-assigned node simulations; reports are reassembled in node-id
-//! order. [`AggregateMetrics::summary_csv`] over 1 thread and N threads
-//! is byte-identical — a property test enforces it.
+//! order. With rebalancing enabled, feedback snapshots are functions of
+//! node-local state at a global virtual-time barrier and the migration
+//! decision is a pure function of the snapshots in node-id order, so
+//! thread count still cannot leak in. [`AggregateMetrics::summary_csv`]
+//! over 1 thread and N threads is byte-identical — property tests
+//! enforce it with and without rebalancing.
 //!
 //! ## Example
 //!
@@ -64,19 +77,31 @@ pub mod node;
 pub mod placer;
 pub mod runner;
 pub mod spec;
+pub mod textio;
 
-pub use aggregate::{AdmissionStats, AggregateMetrics, NodeReport, TaskReport};
-pub use node::{Lease, Node, NodeTask};
-pub use placer::{PlacementOutcome, Placer, PolicyKind};
+pub use aggregate::{
+    AdmissionStats, AggregateMetrics, MigrationRecord, NodeReport, RebalanceStats, TaskReport,
+};
+pub use node::{Lease, LiveRt, Node, NodeFeedback, NodeTask};
+pub use placer::{
+    FeedbackView, LiveTask, Migration, PlacementOutcome, Placer, PolicyKind, RebalanceOutcome,
+};
 pub use runner::{derive_task_seed, plan_fleet, ClusterRunner, FleetPlan, PlannedTask};
-pub use spec::{ArrivalSchedule, Churn, OverloadWindow, ScenarioSpec, TaskKind, TaskMix};
+pub use spec::{
+    ArrivalSchedule, Churn, NodeFilter, OverloadWindow, RebalanceSpec, ScenarioSpec, TaskKind,
+    TaskMix,
+};
 
 /// One-stop imports for fleet experiments.
 pub mod prelude {
-    pub use crate::aggregate::{AdmissionStats, AggregateMetrics, NodeReport};
-    pub use crate::placer::{PlacementOutcome, Placer, PolicyKind};
+    pub use crate::aggregate::{
+        AdmissionStats, AggregateMetrics, MigrationRecord, NodeReport, RebalanceStats,
+    };
+    pub use crate::node::NodeFeedback;
+    pub use crate::placer::{FeedbackView, PlacementOutcome, Placer, PolicyKind};
     pub use crate::runner::{plan_fleet, ClusterRunner, FleetPlan};
     pub use crate::spec::{
-        ArrivalSchedule, Churn, OverloadWindow, ScenarioSpec, TaskKind, TaskMix,
+        ArrivalSchedule, Churn, NodeFilter, OverloadWindow, RebalanceSpec, ScenarioSpec, TaskKind,
+        TaskMix,
     };
 }

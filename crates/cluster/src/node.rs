@@ -58,12 +58,80 @@ pub struct NodeTask {
     pub departure: Option<Time>,
     /// Workload RNG seed (derived deterministically by the planner).
     pub seed: u64,
+    /// Whether this incarnation was admitted through a live migration
+    /// (rather than at its original fleet arrival).
+    pub migrated: bool,
 }
 
 struct Managed {
     tid: TaskId,
     task: NodeTask,
     released: bool,
+    /// CPU consumed up to the last feedback snapshot (for epoch deltas).
+    fb_consumed: Dur,
+    /// Cached completion-mark name (None for kinds without marks), so the
+    /// per-epoch scan formats no strings.
+    mark: Option<String>,
+    /// Cached nominal period in milliseconds, for miss classification.
+    period_ms: Option<f64>,
+    /// Completion marks already scanned by previous feedback snapshots —
+    /// each epoch only walks the marks it has not seen yet.
+    fb_mark_pos: usize,
+}
+
+/// One live real-time task in a node's feedback snapshot.
+#[derive(Clone, Copy, Debug)]
+pub struct LiveRt {
+    /// Fleet-wide task id.
+    pub fleet_id: usize,
+    /// CPU bandwidth the task *measurably* consumed over the epoch — what
+    /// feedback-informed placement books instead of the nominal claim.
+    pub measured_bw: f64,
+    /// Resident on this node for the whole epoch → migration candidate. A
+    /// task that just landed has produced no feedback on its new placement
+    /// yet, and re-moving it would be thrash, not feedback.
+    pub movable: bool,
+}
+
+/// What a node *measured* over the last epoch — the live signal the fleet
+/// rebalancer feeds on, as opposed to the nominal demand the initial
+/// placement trusted.
+#[derive(Clone, Debug, Default)]
+pub struct NodeFeedback {
+    /// The reporting node.
+    pub node: usize,
+    /// CPU busy fraction over the epoch.
+    pub utilisation: f64,
+    /// Completion gaps observed during the epoch.
+    pub gaps: u64,
+    /// Gaps that exceeded the miss factor during the epoch.
+    pub misses: u64,
+    /// Supervisor grants compressed below request during the epoch.
+    pub compressions: u64,
+    /// Real-time tasks currently alive on this node (started, not exited,
+    /// not already extracted) with their measured bandwidth, sorted by
+    /// fleet id.
+    pub live_rt: Vec<LiveRt>,
+}
+
+impl NodeFeedback {
+    /// Epoch deadline-miss rate (zero when no gaps were observed).
+    pub fn miss_rate(&self) -> f64 {
+        if self.gaps == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.gaps as f64
+        }
+    }
+}
+
+/// Running totals behind the per-epoch deltas of [`NodeFeedback`] (the
+/// per-task gap positions live in each `Managed` entry).
+#[derive(Clone, Copy, Debug, Default)]
+struct FeedbackMark {
+    busy: Dur,
+    compressions: u64,
+    at: Option<Time>,
 }
 
 /// One simulated machine of the fleet.
@@ -73,6 +141,7 @@ pub struct Node {
     manager: SelfTuningManager,
     sampling: Dur,
     tasks: Vec<Managed>,
+    fb_mark: FeedbackMark,
 }
 
 impl Node {
@@ -98,6 +167,7 @@ impl Node {
             manager,
             sampling: spec.sampling,
             tasks: Vec::new(),
+            fb_mark: FeedbackMark::default(),
         }
     }
 
@@ -120,16 +190,26 @@ impl Node {
             self.manager
                 .manage(tid, &plan.label, ControllerConfig::default());
         }
+        let mark = plan.kind.mark_name(&plan.label);
+        let period_ms = plan.kind.nominal().map(|t| t.period);
         self.tasks.push(Managed {
             tid,
             task: plan,
             released: false,
+            fb_consumed: Dur::ZERO,
+            mark,
+            period_ms,
+            fb_mark_pos: 0,
         });
     }
 
     /// Injects `window.hogs_per_node` fair-class CPU hogs for the span of
-    /// the overload window.
+    /// the overload window, if this node is targeted by the window's
+    /// [`NodeFilter`](crate::spec::NodeFilter).
     pub fn inject_overload(&mut self, window: &OverloadWindow) {
+        if !window.nodes.matches(self.id) {
+            return;
+        }
         for h in 0..window.hogs_per_node {
             let hog = Box::new(CpuHog::new(window.chunk));
             let leased = Box::new(Lease::new(hog, Time::ZERO + window.end));
@@ -158,6 +238,114 @@ impl Node {
             }
             self.manager.step(&mut self.kernel);
         }
+    }
+
+    /// Publishes the feedback snapshot for the epoch ending at `now` and
+    /// re-arms the epoch counters: measured utilisation, deadline-miss
+    /// rate and supervisor compressions *since the previous snapshot*,
+    /// plus the live real-time task set.
+    ///
+    /// The gap scan is incremental — each task remembers how many
+    /// completion marks previous snapshots consumed — so an epoch
+    /// boundary costs O(new marks), not O(marks since t = 0).
+    pub fn feedback(&mut self, now: Time) -> NodeFeedback {
+        let busy = self.kernel.busy_time();
+        let compressions = self.manager.compressed_grants();
+        let span = now.saturating_since(self.fb_mark.at.unwrap_or(Time::ZERO));
+        let epoch_busy = busy.saturating_sub(self.fb_mark.busy);
+        let prev = self.fb_mark.at.unwrap_or(Time::ZERO);
+        let mut gaps = 0u64;
+        let mut misses = 0u64;
+        let mut live_rt: Vec<LiveRt> = Vec::new();
+        for m in &mut self.tasks {
+            if let (Some(name), Some(period_ms)) = (&m.mark, m.period_ms) {
+                let marks = self.kernel.metrics().marks(name);
+                while m.fb_mark_pos + 1 < marks.len() {
+                    let gap_ms = (marks[m.fb_mark_pos + 1] - marks[m.fb_mark_pos]).as_ms_f64();
+                    gaps += 1;
+                    if gap_ms / period_ms > NodeReport::MISS_FACTOR {
+                        misses += 1;
+                    }
+                    m.fb_mark_pos += 1;
+                }
+            }
+            let live = m.task.kind.is_realtime()
+                && !m.released
+                && matches!(
+                    self.kernel.task_state(m.tid),
+                    TaskState::Ready | TaskState::Blocked
+                );
+            if !live {
+                continue;
+            }
+            let consumed = self.kernel.thread_time(m.tid);
+            let epoch_consumed = consumed.saturating_sub(m.fb_consumed);
+            m.fb_consumed = consumed;
+            // Normalise by the task's *residency* in the epoch, not the
+            // whole epoch: a task that landed mid-epoch burned its share
+            // over a shorter window.
+            let resident = now.saturating_since(if m.task.arrival > prev {
+                m.task.arrival
+            } else {
+                prev
+            });
+            live_rt.push(LiveRt {
+                fleet_id: m.task.fleet_id,
+                measured_bw: if resident.is_zero() {
+                    0.0
+                } else {
+                    epoch_consumed.ratio(resident)
+                },
+                movable: m.task.arrival <= prev,
+            });
+        }
+        live_rt.sort_unstable_by_key(|t| t.fleet_id);
+        let fb = NodeFeedback {
+            node: self.id,
+            utilisation: if span.is_zero() {
+                0.0
+            } else {
+                epoch_busy.ratio(span)
+            },
+            gaps,
+            misses,
+            compressions: compressions - self.fb_mark.compressions,
+            live_rt,
+        };
+        self.fb_mark = FeedbackMark {
+            busy,
+            compressions,
+            at: Some(now),
+        };
+        fb
+    }
+
+    /// Extracts a running task for migration: releases its reservation,
+    /// terminates its kernel incarnation and returns `true`. The task's
+    /// completions so far stay in this node's report; the runner re-admits
+    /// the plan (kind, lifetime, fresh seed) on the destination node.
+    ///
+    /// Returns `false` when the task is unknown, already departed or
+    /// already extracted — the migration is then dropped.
+    pub fn extract_task(&mut self, fleet_id: usize) -> bool {
+        let Some(m) = self
+            .tasks
+            .iter_mut()
+            .find(|m| m.task.fleet_id == fleet_id && !m.released)
+        else {
+            return false;
+        };
+        let tid = m.tid;
+        let realtime = m.task.kind.is_realtime();
+        if self.kernel.task_state(tid) == TaskState::Exited {
+            return false;
+        }
+        m.released = true;
+        if realtime {
+            self.manager.unmanage(&mut self.kernel, tid);
+        }
+        self.kernel.kill(tid);
+        true
     }
 
     /// Extracts the node's contribution to the fleet aggregate.
@@ -189,6 +377,7 @@ impl Node {
                 label: m.task.label.clone(),
                 realtime: m.task.kind.is_realtime(),
                 attached: self.manager.server_of(m.tid).is_some() || m.released,
+                migrated: m.task.migrated,
                 completions,
                 misses,
                 dropped,
@@ -234,6 +423,7 @@ mod tests {
             arrival: Time::ZERO,
             departure: None,
             seed: 7,
+            migrated: false,
         });
         let horizon = Time::ZERO + spec.horizon;
         node.run_to_horizon(horizon);
@@ -261,6 +451,7 @@ mod tests {
             arrival: Time::ZERO,
             departure: Some(Time::ZERO + Dur::ms(1800)),
             seed: 7,
+            migrated: false,
         });
         let horizon = Time::ZERO + spec.horizon;
         node.run_to_horizon(horizon);
@@ -280,6 +471,7 @@ mod tests {
             end: Dur::ms(1500),
             hogs_per_node: 1,
             chunk: Dur::ms(10),
+            nodes: crate::spec::NodeFilter::All,
         });
         let horizon = Time::ZERO + spec.horizon;
         node.run_to_horizon(horizon);
@@ -290,5 +482,90 @@ mod tests {
             "utilisation {}",
             report.utilisation
         );
+    }
+
+    #[test]
+    fn overload_skips_unmatched_nodes() {
+        let spec = tiny_spec();
+        let mut node = Node::new(3, &spec);
+        node.inject_overload(&OverloadWindow {
+            start: Dur::ms(500),
+            end: Dur::ms(1500),
+            hogs_per_node: 1,
+            chunk: Dur::ms(10),
+            nodes: crate::spec::NodeFilter::First(2),
+        });
+        let horizon = Time::ZERO + spec.horizon;
+        node.run_to_horizon(horizon);
+        // Node 3 is outside First(2): no hog ran, the node stayed idle.
+        assert!(node.report(horizon).utilisation < 0.01);
+    }
+
+    fn rt_task(fleet_id: usize, label: &str) -> NodeTask {
+        NodeTask {
+            fleet_id,
+            label: label.into(),
+            kind: TaskKind::PeriodicRt {
+                wcet: Dur::ms(4),
+                period: Dur::ms(40),
+            },
+            arrival: Time::ZERO,
+            departure: None,
+            seed: 11,
+            migrated: false,
+        }
+    }
+
+    #[test]
+    fn feedback_reports_epoch_deltas_and_live_tasks() {
+        let spec = tiny_spec();
+        let mut node = Node::new(0, &spec);
+        node.add_task(rt_task(7, "t007"));
+        let e1 = Time::ZERO + Dur::ms(1_000);
+        node.run_to_horizon(e1);
+        let fb1 = node.feedback(e1);
+        assert_eq!(fb1.node, 0);
+        assert!(fb1.gaps > 10, "first epoch saw gaps: {}", fb1.gaps);
+        assert_eq!(fb1.live_rt.len(), 1);
+        assert_eq!(fb1.live_rt[0].fleet_id, 7);
+        assert!(fb1.live_rt[0].movable, "resident since t=0");
+        // A 4/40 task measurably burns ~10% CPU.
+        let bw = fb1.live_rt[0].measured_bw;
+        assert!(bw > 0.05 && bw < 0.25, "measured bw {bw}");
+        assert!(fb1.utilisation > 0.05);
+
+        // The second snapshot counts only the second epoch's gaps.
+        let e2 = Time::ZERO + Dur::ms(2_000);
+        node.run_to_horizon(e2);
+        let fb2 = node.feedback(e2);
+        assert!(
+            fb2.gaps >= 20 && fb2.gaps <= 30,
+            "epoch delta, not running total: {}",
+            fb2.gaps
+        );
+    }
+
+    #[test]
+    fn extract_task_stops_work_and_leaves_the_live_set() {
+        let spec = tiny_spec();
+        let mut node = Node::new(0, &spec);
+        node.add_task(rt_task(0, "t000"));
+        let e1 = Time::ZERO + Dur::ms(1_000);
+        node.run_to_horizon(e1);
+        assert!(node.feedback(e1).live_rt.len() == 1);
+
+        assert!(node.extract_task(0), "live task extracts");
+        assert!(!node.extract_task(0), "second extraction is a no-op");
+        assert!(!node.extract_task(99), "unknown fleet id is a no-op");
+
+        let e2 = Time::ZERO + Dur::ms(2_000);
+        node.run_to_horizon(e2);
+        let fb = node.feedback(e2);
+        assert!(fb.live_rt.is_empty(), "extracted task left the live set");
+        assert_eq!(fb.gaps, 0, "no completions after extraction");
+        // The reservation was shrunk back to (almost) nothing.
+        let report = node.report(e2);
+        assert!(report.reserved_bw < 0.05, "residual {}", report.reserved_bw);
+        assert!(report.tasks[0].completions > 0, "pre-extraction work kept");
     }
 }

@@ -13,6 +13,9 @@
 
 use selftune_analysis::{min_bandwidth_single, PeriodicTask};
 
+use crate::node::NodeFeedback;
+use crate::spec::RebalanceSpec;
+
 /// Which placement policy orders the candidate nodes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PolicyKind {
@@ -87,6 +90,84 @@ pub enum PlacementOutcome {
         /// the witness that rejection was necessary.
         best_spare: f64,
     },
+}
+
+/// The fleet's live per-node load, as reported by the nodes themselves at
+/// an epoch boundary — measurement, not nominal demand.
+#[derive(Clone, Debug, Default)]
+pub struct FeedbackView {
+    /// Per-node feedback snapshots, in node-id order.
+    pub nodes: Vec<NodeFeedback>,
+}
+
+impl FeedbackView {
+    /// Nodes reporting a busy fraction above this are never chosen as
+    /// migration destinations, even when their reservations have room —
+    /// a hog-saturated node shows no RT misses but is no place to land.
+    pub const DEST_UTIL_CAP: f64 = 0.97;
+
+    /// Migration pressure of a node: its measured deadline-miss rate over
+    /// the last epoch.
+    ///
+    /// A node with live real-time tasks, *zero* completion gaps and a
+    /// saturated CPU is not healthy — it is so starved its tasks finished
+    /// nothing all epoch, which no miss ratio can express. That state
+    /// reads as maximal pressure. (Zero gaps on an unsaturated node — a
+    /// long-period task between completions, or tasks that just arrived —
+    /// stays zero pressure.)
+    pub fn pressure(&self, node: usize) -> f64 {
+        let fb = &self.nodes[node];
+        if fb.gaps == 0 && !fb.live_rt.is_empty() && fb.utilisation > Self::DEST_UTIL_CAP {
+            return 1.0;
+        }
+        fb.miss_rate()
+    }
+
+    /// Measured CPU busy fraction of a node over the last epoch.
+    pub fn utilisation(&self, node: usize) -> f64 {
+        self.nodes[node].utilisation
+    }
+}
+
+/// One live real-time task, as seen by the rebalancer.
+#[derive(Clone, Copy, Debug)]
+pub struct LiveTask {
+    /// Fleet-wide task id.
+    pub fleet_id: usize,
+    /// Node currently running it.
+    pub node: usize,
+    /// Nominal `(C, P)` the task declared at admission.
+    pub nominal: PeriodicTask,
+    /// CPU bandwidth the task measurably consumed over the last epoch.
+    pub measured_bw: f64,
+    /// Whether the task is a migration candidate (resident on its node for
+    /// a full epoch). Non-movable tasks still count toward booked
+    /// bandwidth.
+    pub movable: bool,
+}
+
+/// One migration decision from a rebalance pass.
+#[derive(Clone, Copy, Debug)]
+pub struct Migration {
+    /// Fleet id of the task to move.
+    pub fleet_id: usize,
+    /// Source node (extract here).
+    pub from: usize,
+    /// Destination node (re-admit here).
+    pub to: usize,
+    /// Bandwidth booked on the destination.
+    pub demand: f64,
+    /// Destination booked bandwidth right after admission.
+    pub dest_reserved_after: f64,
+}
+
+/// The decisions of one rebalance pass.
+#[derive(Clone, Debug, Default)]
+pub struct RebalanceOutcome {
+    /// Migrations to apply, in decision order.
+    pub moves: Vec<Migration>,
+    /// Evictions that found no admissible destination.
+    pub failed: u64,
 }
 
 /// Fleet-level admission bookkeeping.
@@ -195,11 +276,136 @@ impl Placer {
         self.best_effort[node] += 1;
         node
     }
+
+    /// Overwrites the per-node booked bandwidth with an externally computed
+    /// live view (the rebalancer rebuilds it each epoch from the tasks the
+    /// nodes report alive, so departures and extractions are reflected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reserved` does not have one entry per node.
+    pub fn sync_reserved(&mut self, reserved: &[f64]) {
+        assert_eq!(reserved.len(), self.reserved.len(), "node count mismatch");
+        self.reserved.copy_from_slice(reserved);
+        self.releases.clear();
+    }
+
+    /// What feedback-informed placement books for a live task: the larger
+    /// of its nominal minbudget demand and its *measured* epoch bandwidth
+    /// (inflated by the headroom factor, capped at 1). A task whose claim
+    /// understates its appetite is booked at what it was seen to burn — so
+    /// a drained node cannot simply re-melt its destination.
+    pub fn effective_demand(&self, task: &LiveTask) -> f64 {
+        self.demand_of(task.nominal)
+            .max((task.measured_bw * self.headroom).min(1.0))
+    }
+
+    /// Admission for a migrating task: walks the policy's candidate order,
+    /// skipping `banned` nodes (the pressured sources and saturated
+    /// destinations), and books the first node with room for `demand`
+    /// under the same utilisation bound initial placement uses.
+    pub fn place_excluding(&mut self, demand: f64, banned: &[bool]) -> Option<usize> {
+        let order = self.policy.candidate_order(&self.reserved);
+        for node in order {
+            if banned[node] {
+                continue;
+            }
+            if self.reserved[node] + demand <= self.ulub + 1e-9 {
+                self.reserved[node] += demand;
+                return Some(node);
+            }
+        }
+        None
+    }
+
+    /// One feedback-driven rebalance pass over the live task set.
+    ///
+    /// Nodes whose measured pressure exceeds `cfg.pressure` are drained in
+    /// descending-pressure order (ties to the lower id): their movable
+    /// tasks are evicted largest-demand-first and re-placed through
+    /// [`Placer::place_excluding`], until no admissible destination
+    /// remains or the fleet-wide `cfg.max_moves` cap is reached. The drain
+    /// is deliberately *not* bounded by nominal bandwidth balance: a node
+    /// can be perfectly balanced on paper and still melting in
+    /// measurement (that gap is the whole reason this pass exists), so
+    /// pressure keeps evacuating it epoch by epoch until the feedback
+    /// clears. Pure bookkeeping: the caller applies the returned moves to
+    /// the simulated nodes.
+    pub fn rebalance(
+        &mut self,
+        view: &FeedbackView,
+        live: &[LiveTask],
+        cfg: &RebalanceSpec,
+    ) -> RebalanceOutcome {
+        let nodes = self.reserved.len();
+        let mut pressured: Vec<usize> = (0..nodes)
+            .filter(|&n| view.pressure(n) > cfg.pressure)
+            .collect();
+        pressured.sort_by(|&a, &b| {
+            view.pressure(b)
+                .partial_cmp(&view.pressure(a))
+                .expect("NaN pressure")
+                .then(a.cmp(&b))
+        });
+        // A node is no destination if it is itself pressured, or if it
+        // reports saturation (e.g. hog-bound) without any missing RT task.
+        let banned: Vec<bool> = (0..nodes)
+            .map(|n| {
+                view.pressure(n) > cfg.pressure || view.utilisation(n) > FeedbackView::DEST_UTIL_CAP
+            })
+            .collect();
+        let mut out = RebalanceOutcome::default();
+        'drain: for &from in &pressured {
+            // A task fleeing a missing node was measured while starved: it
+            // consumed what it was *granted*, not what it needs. Book it
+            // at the measurement inflated by the source's miss rate (a
+            // task slipping every deadline by a full period needs roughly
+            // twice what it was seen to burn).
+            let starvation = 1.0 + view.pressure(from);
+            let mut victims: Vec<(f64, usize)> = live
+                .iter()
+                .filter(|t| t.node == from && t.movable)
+                .map(|t| {
+                    let demand = self
+                        .demand_of(t.nominal)
+                        .max((t.measured_bw * self.headroom * starvation).min(1.0));
+                    (demand, t.fleet_id)
+                })
+                .collect();
+            // Largest demand first moves the most load per migration; ties
+            // break on the lower fleet id.
+            victims.sort_by(|a, b| {
+                b.0.partial_cmp(&a.0)
+                    .expect("NaN demand")
+                    .then(a.1.cmp(&b.1))
+            });
+            for (demand, fleet_id) in victims {
+                if out.moves.len() as u32 >= cfg.max_moves {
+                    break 'drain;
+                }
+                match self.place_excluding(demand, &banned) {
+                    Some(to) => {
+                        self.reserved[from] = (self.reserved[from] - demand).max(0.0);
+                        out.moves.push(Migration {
+                            fleet_id,
+                            from,
+                            to,
+                            demand,
+                            dest_reserved_after: self.reserved[to],
+                        });
+                    }
+                    None => out.failed += 1,
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::node::LiveRt;
 
     fn task(wcet: f64, period: f64) -> PeriodicTask {
         PeriodicTask::new(wcet, period)
@@ -291,6 +497,183 @@ mod tests {
         let d1 = p1.demand_of(t);
         let d2 = p2.demand_of(t);
         assert!(d2 > d1 * 1.49 && d2 < d1 * 1.51, "{d1} vs {d2}");
+    }
+
+    fn view(miss_rates: &[f64], utils: &[f64]) -> FeedbackView {
+        FeedbackView {
+            nodes: miss_rates
+                .iter()
+                .zip(utils)
+                .enumerate()
+                .map(|(i, (&mr, &u))| NodeFeedback {
+                    node: i,
+                    utilisation: u,
+                    gaps: 100,
+                    misses: (mr * 100.0).round() as u64,
+                    compressions: 0,
+                    live_rt: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    fn cfg(pressure: f64, max_moves: u32) -> crate::spec::RebalanceSpec {
+        crate::spec::RebalanceSpec {
+            enabled: true,
+            period: selftune_simcore::time::Dur::secs(1),
+            pressure,
+            max_moves,
+        }
+    }
+
+    #[test]
+    fn rebalance_drains_pressured_node_to_idle_ones() {
+        let mut p = Placer::new(3, 0.9, 1.0, PolicyKind::WorstFit);
+        p.sync_reserved(&[0.8, 0.1, 0.1]);
+        let live: Vec<LiveTask> = (0..4)
+            .map(|i| LiveTask {
+                fleet_id: i,
+                node: 0,
+                nominal: task(20.0, 100.0),
+                measured_bw: 0.0,
+                movable: true,
+            })
+            .collect();
+        let out = p.rebalance(
+            &view(&[0.3, 0.0, 0.0], &[0.9, 0.2, 0.2]),
+            &live,
+            &cfg(0.05, 8),
+        );
+        // The pressured node is fully evacuated (all four tasks fit
+        // elsewhere), spread across both idle nodes by worst-fit order.
+        assert_eq!(out.moves.len(), 4);
+        assert_eq!(out.failed, 0);
+        for m in &out.moves {
+            assert_eq!(m.from, 0);
+            assert!(m.to == 1 || m.to == 2, "moved to pressured node");
+            assert!(m.dest_reserved_after <= 0.9 + 1e-9);
+        }
+        assert!(out.moves.iter().any(|m| m.to == 1));
+        assert!(out.moves.iter().any(|m| m.to == 2));
+        assert!(p.reserved()[0].abs() < 1e-9, "{}", p.reserved()[0]);
+    }
+
+    #[test]
+    fn rebalance_respects_move_cap_and_bans_saturated_destinations() {
+        let mut p = Placer::new(3, 0.9, 1.0, PolicyKind::WorstFit);
+        p.sync_reserved(&[0.8, 0.0, 0.0]);
+        let live: Vec<LiveTask> = (0..4)
+            .map(|i| LiveTask {
+                fleet_id: i,
+                node: 0,
+                nominal: task(20.0, 100.0),
+                measured_bw: 0.0,
+                movable: true,
+            })
+            .collect();
+        // Node 1 is hog-saturated (util 0.99): only node 2 may receive.
+        let out = p.rebalance(
+            &view(&[0.5, 0.0, 0.0], &[1.0, 0.99, 0.1]),
+            &live,
+            &cfg(0.05, 1),
+        );
+        assert_eq!(out.moves.len(), 1);
+        assert_eq!(out.moves[0].to, 2);
+    }
+
+    #[test]
+    fn fully_starved_node_reads_as_maximal_pressure() {
+        // Node 0: live RT work, zero completions all epoch, CPU pinned —
+        // no miss ratio exists, but the node is maximally starved.
+        let starved = NodeFeedback {
+            node: 0,
+            utilisation: 1.0,
+            gaps: 0,
+            misses: 0,
+            compressions: 3,
+            live_rt: vec![LiveRt {
+                fleet_id: 0,
+                measured_bw: 0.02,
+                movable: true,
+            }],
+        };
+        // Node 1: also zero gaps, but idle with a long-period task — fine.
+        let idle = NodeFeedback {
+            node: 1,
+            utilisation: 0.05,
+            gaps: 0,
+            misses: 0,
+            compressions: 0,
+            live_rt: vec![LiveRt {
+                fleet_id: 1,
+                measured_bw: 0.01,
+                movable: true,
+            }],
+        };
+        let v = FeedbackView {
+            nodes: vec![starved, idle],
+        };
+        assert!((v.pressure(0) - 1.0).abs() < 1e-12);
+        assert!(v.pressure(1).abs() < 1e-12);
+
+        // And the rebalancer actually drains the starved node.
+        let mut p = Placer::new(2, 0.9, 1.0, PolicyKind::WorstFit);
+        p.sync_reserved(&[0.06, 0.06]);
+        let live = [LiveTask {
+            fleet_id: 0,
+            node: 0,
+            nominal: task(2.0, 40.0),
+            measured_bw: 0.02,
+            movable: true,
+        }];
+        let out = p.rebalance(&v, &live, &cfg(0.25, 4));
+        assert_eq!(out.moves.len(), 1);
+        assert_eq!(out.moves[0].from, 0);
+        assert_eq!(out.moves[0].to, 1);
+    }
+
+    #[test]
+    fn rebalance_without_pressure_is_a_noop() {
+        let mut p = Placer::new(2, 0.9, 1.0, PolicyKind::WorstFit);
+        p.sync_reserved(&[0.8, 0.1]);
+        let live = [LiveTask {
+            fleet_id: 0,
+            node: 0,
+            nominal: task(20.0, 100.0),
+            measured_bw: 0.0,
+            movable: true,
+        }];
+        let out = p.rebalance(&view(&[0.01, 0.0], &[0.9, 0.1]), &live, &cfg(0.05, 8));
+        assert!(out.moves.is_empty());
+        assert_eq!(out.failed, 0);
+        assert_eq!(p.reserved(), &[0.8, 0.1]);
+    }
+
+    #[test]
+    fn rebalance_counts_failed_moves_when_nothing_fits() {
+        let mut p = Placer::new(2, 0.5, 1.0, PolicyKind::FirstFit);
+        p.sync_reserved(&[0.45, 0.4]);
+        let live = [
+            LiveTask {
+                fleet_id: 0,
+                node: 0,
+                nominal: task(20.0, 100.0),
+                measured_bw: 0.0,
+                movable: true,
+            },
+            LiveTask {
+                fleet_id: 1,
+                node: 0,
+                nominal: task(20.0, 100.0),
+                measured_bw: 0.0,
+                movable: true,
+            },
+        ];
+        // Node 1 is nearly as full: no destination admits a 0.2 task.
+        let out = p.rebalance(&view(&[0.4, 0.0], &[0.5, 0.5]), &live, &cfg(0.05, 8));
+        assert!(out.moves.is_empty());
+        assert!(out.failed > 0);
+        assert_eq!(p.reserved(), &[0.45, 0.4]);
     }
 
     #[test]

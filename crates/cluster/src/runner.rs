@@ -13,16 +13,34 @@
 //! slowest thread — a worker that drew cheap nodes just steals the next
 //! chunk. Which thread simulates a node affects wall-clock only; reports
 //! are reassembled in node-id order.
+//!
+//! Feedback re-placement: when [`ScenarioSpec::rebalance`] is enabled the
+//! run is cut into barrier-synchronised *epochs*. Nodes are claimed once
+//! (work-stealing) in the first epoch and stay thread-bound afterwards
+//! (their tracer state is `Rc`-shared). At every epoch boundary all
+//! workers park on a barrier, each node having published a plain-data
+//! [`NodeFeedback`] snapshot; exactly one thread then runs the
+//! deterministic rebalance pass over the snapshots (sorted in node-id
+//! order) and publishes the migration commands; after a second barrier
+//! every worker applies the commands to the nodes it owns — extraction on
+//! the source, re-admission on the destination — and simulation resumes.
+//! Both the decisions and their application depend only on `(spec, seed)`
+//! and virtual time, so aggregates stay byte-identical at any thread
+//! count.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
 use std::thread;
 
+use selftune_analysis::PeriodicTask;
 use selftune_simcore::rng::{splitmix64, Rng};
 use selftune_simcore::time::{Dur, Time};
 
-use crate::aggregate::{AdmissionStats, AggregateMetrics, NodeReport};
-use crate::node::{Node, NodeTask};
-use crate::placer::{PlacementOutcome, Placer};
+use crate::aggregate::{
+    AdmissionStats, AggregateMetrics, MigrationRecord, NodeReport, RebalanceStats,
+};
+use crate::node::{Node, NodeFeedback, NodeTask};
+use crate::placer::{FeedbackView, LiveTask, Migration, PlacementOutcome, Placer};
 use crate::spec::{ArrivalSchedule, ScenarioSpec};
 
 /// Derives the workload seed of fleet task `task_id` from the base seed.
@@ -121,6 +139,7 @@ pub fn plan_fleet(spec: &ScenarioSpec, seed: u64) -> FleetPlan {
                 arrival,
                 departure,
                 seed: task_seed,
+                migrated: false,
             },
             node,
             realtime,
@@ -192,6 +211,24 @@ impl ClusterRunner {
         }
     }
 
+    /// The epoch boundaries of a run: rebalance instants, then the horizon.
+    ///
+    /// With rebalance disabled (or a period at/after the horizon) there is
+    /// a single epoch and the runner behaves exactly as before.
+    fn epoch_ends(spec: &ScenarioSpec) -> Vec<Time> {
+        let horizon = Time::ZERO + spec.horizon;
+        let mut ends = Vec::new();
+        if spec.rebalance.enabled && !spec.rebalance.period.is_zero() {
+            let mut t = Time::ZERO + spec.rebalance.period;
+            while t < horizon {
+                ends.push(t);
+                t += spec.rebalance.period;
+            }
+        }
+        ends.push(horizon);
+        ends
+    }
+
     /// Runs a pre-built plan (lets callers inspect or reuse the plan).
     pub fn run_planned(
         &self,
@@ -209,20 +246,38 @@ impl ClusterRunner {
         let workers = self.threads.min(spec.nodes).max(1);
         let chunk = self.chunk_for(spec.nodes, workers);
         let horizon = Time::ZERO + spec.horizon;
+        let ends = ClusterRunner::epoch_ends(spec);
         let mut reports: Vec<Option<NodeReport>> = Vec::new();
         for _ in 0..spec.nodes {
             reports.push(None);
         }
 
         let next = AtomicUsize::new(0);
+        let barrier = Barrier::new(workers);
+        // Feedback snapshots, one slot per node, refilled every epoch.
+        let feedback: Mutex<Vec<Option<NodeFeedback>>> = Mutex::new(vec![None; spec.nodes]);
+        // Rebalance decisions of the current epoch plus cumulative stats;
+        // written by the barrier leader, read by every worker.
+        let shared: Mutex<(Vec<Migration>, RebalanceStats)> =
+            Mutex::new((Vec::new(), RebalanceStats::default()));
+
         thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for _ in 0..workers {
                 let spec_ref = &*spec;
+                let plan_ref = &*plan;
                 let per_node = &per_node;
                 let next = &next;
+                let barrier = &barrier;
+                let feedback = &feedback;
+                let shared = &shared;
+                let ends = &ends;
                 handles.push(scope.spawn(move || {
-                    let mut out = Vec::new();
+                    // Epoch 0: claim node chunks (work-stealing), build
+                    // each node locally and run it to the first boundary.
+                    // Ownership is fixed afterwards — a node's tracer state
+                    // is thread-bound.
+                    let mut owned: Vec<Node> = Vec::new();
                     loop {
                         let base = next.fetch_add(chunk, Ordering::Relaxed);
                         if base >= spec_ref.nodes {
@@ -237,11 +292,86 @@ impl ClusterRunner {
                             for w in &spec_ref.overload {
                                 node.inject_overload(w);
                             }
-                            node.run_to_horizon(horizon);
-                            out.push((node_id, node.report(horizon)));
+                            node.run_to_horizon(ends[0]);
+                            owned.push(node);
                         }
                     }
-                    out
+
+                    for (ei, &t_end) in ends.iter().enumerate() {
+                        if ei > 0 {
+                            for node in &mut owned {
+                                node.run_to_horizon(t_end);
+                            }
+                        }
+                        if ei == ends.len() - 1 {
+                            break; // horizon reached; no rebalance there
+                        }
+
+                        // Publish this worker's snapshots, then let exactly
+                        // one thread decide for the whole fleet.
+                        {
+                            let mut slots = feedback.lock().expect("feedback lock");
+                            for node in &mut owned {
+                                let id = node.id();
+                                slots[id] = Some(node.feedback(t_end));
+                            }
+                        }
+                        if barrier.wait().is_leader() {
+                            let slots = feedback.lock().expect("feedback lock");
+                            let view = FeedbackView {
+                                nodes: slots
+                                    .iter()
+                                    .map(|s| s.clone().expect("missing node feedback"))
+                                    .collect(),
+                            };
+                            drop(slots);
+                            let outcome = rebalance_epoch(spec_ref, plan_ref, &view, t_end);
+                            let mut sh = shared.lock().expect("rebalance lock");
+                            sh.1.epochs += 1;
+                            sh.1.moves += outcome.moves.len() as u64;
+                            sh.1.failed += outcome.failed;
+                            sh.1.records
+                                .extend(outcome.moves.iter().map(|m| MigrationRecord {
+                                    epoch: ei as u64,
+                                    fleet_id: m.fleet_id,
+                                    from: m.from,
+                                    to: m.to,
+                                    demand: m.demand,
+                                    dest_reserved_after: m.dest_reserved_after,
+                                }));
+                            sh.0 = outcome.moves;
+                        }
+                        barrier.wait();
+
+                        // Apply the epoch's migrations to the owned nodes.
+                        let sh = shared.lock().expect("rebalance lock");
+                        for m in &sh.0 {
+                            for node in &mut owned {
+                                if node.id() == m.from {
+                                    node.extract_task(m.fleet_id);
+                                } else if node.id() == m.to {
+                                    let base = &plan_ref.tasks[m.fleet_id].task;
+                                    node.add_task(NodeTask {
+                                        fleet_id: base.fleet_id,
+                                        label: format!("{}e{ei}", base.label),
+                                        kind: base.kind.clone(),
+                                        arrival: t_end,
+                                        departure: base.departure,
+                                        seed: derive_task_seed(
+                                            seed ^ SEED_MIGRATION_SALT,
+                                            ((base.fleet_id as u64) << 16) | ei as u64,
+                                        ),
+                                        migrated: true,
+                                    });
+                                }
+                            }
+                        }
+                    }
+
+                    owned
+                        .iter()
+                        .map(|n| (n.id(), n.report(horizon)))
+                        .collect::<Vec<_>>()
                 }));
             }
             for h in handles {
@@ -256,12 +386,62 @@ impl ClusterRunner {
             .enumerate()
             .map(|(i, r)| r.unwrap_or_else(|| panic!("node {i} produced no report")))
             .collect();
-        AggregateMetrics::new(&spec.name, seed, plan.admission, nodes)
+        let (_, stats) = shared.into_inner().expect("rebalance lock");
+        AggregateMetrics::new(&spec.name, seed, plan.admission, nodes).with_rebalance(stats)
     }
+}
+
+/// One deterministic rebalance decision pass: rebuilds the fleet's booked
+/// bandwidth from the tasks the nodes report alive, then drains pressured
+/// nodes through the placer's minbudget admission path.
+fn rebalance_epoch(
+    spec: &ScenarioSpec,
+    plan: &FleetPlan,
+    view: &FeedbackView,
+    now: Time,
+) -> crate::placer::RebalanceOutcome {
+    let mut placer = Placer::new(spec.nodes, spec.ulub, spec.headroom, spec.policy);
+    let mut live: Vec<LiveTask> = Vec::new();
+    let mut reserved = vec![0.0f64; spec.nodes];
+    // Planned arrivals that have not started yet still hold their nominal
+    // booking on their target node — a destination about to receive them
+    // is not as empty as its live set suggests.
+    for p in &plan.tasks {
+        if p.task.arrival <= now {
+            continue;
+        }
+        if let (Some(node), Some(nominal)) = (p.node, p.task.kind.nominal()) {
+            reserved[node] += placer.demand_of(nominal);
+        }
+    }
+    for fb in &view.nodes {
+        for rt in &fb.live_rt {
+            let nominal: PeriodicTask = plan.tasks[rt.fleet_id]
+                .task
+                .kind
+                .nominal()
+                .expect("live_rt lists real-time tasks only");
+            let t = LiveTask {
+                fleet_id: rt.fleet_id,
+                node: fb.node,
+                nominal,
+                measured_bw: rt.measured_bw,
+                movable: rt.movable,
+            };
+            reserved[fb.node] += placer.effective_demand(&t);
+            live.push(t);
+        }
+    }
+    placer.sync_reserved(&reserved);
+    placer.rebalance(view, &live, &spec.rebalance)
 }
 
 /// Domain separator between the planning RNG stream and workload streams.
 const SEED_PLAN_SALT: u64 = 0x5EED_1234_ABCD_0001;
+
+/// Domain separator for migrated-incarnation workload seeds (a re-admitted
+/// task draws a fresh stream so it does not replay its start-of-run phase).
+const SEED_MIGRATION_SALT: u64 = 0x5EED_1234_ABCD_0002;
 
 #[cfg(test)]
 mod tests {

@@ -34,6 +34,19 @@ pub enum TaskKind {
         /// Release period.
         period: Dur,
     },
+    /// A legacy task whose *declared* demand understates its real
+    /// appetite: admission control sees `nominal_wcet`, the workload
+    /// actually burns `wcet` per job. Densely packing these is how a fleet
+    /// ends up nominally schedulable and measurably melting — the gap the
+    /// feedback rebalancer exists to close.
+    HungryRt {
+        /// The job cost the task *claims* (used for admission).
+        nominal_wcet: Dur,
+        /// The job cost the task actually burns.
+        wcet: Dur,
+        /// Release period.
+        period: Dur,
+    },
     /// Bursty best-effort work (never reserved, never managed).
     Aperiodic {
         /// Mean gap between bursts.
@@ -80,6 +93,14 @@ impl TaskKind {
             TaskKind::PeriodicRt { wcet, period } => {
                 Some(PeriodicTask::new(wcet.as_ms_f64(), period.as_ms_f64()))
             }
+            TaskKind::HungryRt {
+                nominal_wcet,
+                period,
+                ..
+            } => Some(PeriodicTask::new(
+                nominal_wcet.as_ms_f64(),
+                period.as_ms_f64(),
+            )),
             TaskKind::Aperiodic { .. } => None,
         }
     }
@@ -91,7 +112,7 @@ impl TaskKind {
             TaskKind::Video25 | TaskKind::Mp3 | TaskKind::Stream30 => {
                 Some(format!("{label}.frame"))
             }
-            TaskKind::PeriodicRt { .. } => Some(format!("{label}.job")),
+            TaskKind::PeriodicRt { .. } | TaskKind::HungryRt { .. } => Some(format!("{label}.job")),
             TaskKind::Aperiodic { .. } => None,
         }
     }
@@ -116,6 +137,11 @@ impl TaskKind {
                 Box::new(Streamer::new(cfg, rng))
             }
             TaskKind::PeriodicRt { wcet, period } => {
+                Box::new(PeriodicRt::new(label, *wcet, *period, 0.15, rng))
+            }
+            TaskKind::HungryRt { wcet, period, .. } => {
+                // Runs at its *actual* appetite; only admission saw the
+                // nominal figure.
                 Box::new(PeriodicRt::new(label, *wcet, *period, 0.15, rng))
             }
             TaskKind::Aperiodic {
@@ -216,6 +242,11 @@ impl TaskMix {
         ])
     }
 
+    /// The `(kind, weight)` entries of the mix, in declaration order.
+    pub fn entries(&self) -> &[(TaskKind, f64)] {
+        &self.entries
+    }
+
     /// Draws one kind according to the weights.
     pub fn sample(&self, rng: &mut Rng) -> TaskKind {
         let mut x = rng.f64() * self.total;
@@ -255,18 +286,80 @@ pub struct Churn {
     pub min_lifetime: Dur,
 }
 
-/// A fault-injection window: every node gets fair-class CPU hogs between
-/// `start` and `end`, stressing reservation isolation fleet-wide.
+/// Which nodes a fault-injection window targets.
+///
+/// `All` reproduces the original fleet-wide windows; `First` and `Stride`
+/// build *skewed* overloads — the scenario the feedback rebalancer exists
+/// for, where some nodes melt while others idle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeFilter {
+    /// Every node.
+    All,
+    /// Only nodes `0..n`.
+    First(usize),
+    /// Only nodes whose id is a multiple of `n` (`n ≥ 1`).
+    Stride(usize),
+}
+
+impl NodeFilter {
+    /// Whether `node` is targeted by this filter.
+    pub fn matches(self, node: usize) -> bool {
+        match self {
+            NodeFilter::All => true,
+            NodeFilter::First(n) => node < n,
+            NodeFilter::Stride(n) => node.is_multiple_of(n.max(1)),
+        }
+    }
+}
+
+/// A fault-injection window: the targeted nodes get fair-class CPU hogs
+/// between `start` and `end`, stressing reservation isolation.
 #[derive(Clone, Copy, Debug)]
 pub struct OverloadWindow {
     /// Window start.
     pub start: Dur,
     /// Window end.
     pub end: Dur,
-    /// Hogs injected per node.
+    /// Hogs injected per targeted node.
     pub hogs_per_node: u32,
     /// Compute chunk of each hog.
     pub chunk: Dur,
+    /// Which nodes are hit ([`NodeFilter::All`] for fleet-wide windows).
+    pub nodes: NodeFilter,
+}
+
+/// Feedback-driven re-placement configuration.
+///
+/// When enabled, the runner executes the fleet in barrier-synchronised
+/// epochs of `period`: at each boundary every node publishes a
+/// `NodeFeedback` snapshot (measured utilisation, deadline-miss rate,
+/// compression events since the last epoch) and a deterministic rebalance
+/// pass migrates running tasks off nodes whose *measured* pressure exceeds
+/// the threshold — the cluster-scale analogue of the paper's self-tuning
+/// loop, which trusts observed scheduling behaviour over nominal demand.
+#[derive(Clone, Copy, Debug)]
+pub struct RebalanceSpec {
+    /// Master switch; when `false` the runner behaves exactly as before
+    /// (placement at arrival only).
+    pub enabled: bool,
+    /// Epoch length (rebalance decisions happen at multiples of this).
+    pub period: Dur,
+    /// Pressure threshold: a node whose epoch deadline-miss rate exceeds
+    /// this is drained.
+    pub pressure: f64,
+    /// Fleet-wide cap on migrations per epoch.
+    pub max_moves: u32,
+}
+
+impl Default for RebalanceSpec {
+    fn default() -> Self {
+        RebalanceSpec {
+            enabled: false,
+            period: Dur::secs(1),
+            pressure: 0.05,
+            max_moves: 4,
+        }
+    }
 }
 
 /// A complete fleet scenario.
@@ -297,6 +390,8 @@ pub struct ScenarioSpec {
     pub headroom: f64,
     /// Manager sampling period `S` on every node.
     pub sampling: Dur,
+    /// Feedback-driven re-placement (off by default).
+    pub rebalance: RebalanceSpec,
 }
 
 impl ScenarioSpec {
@@ -317,6 +412,7 @@ impl ScenarioSpec {
             ulub: 0.9,
             headroom: 1.2,
             sampling: Dur::ms(500),
+            rebalance: RebalanceSpec::default(),
         }
     }
 
@@ -354,6 +450,78 @@ impl ScenarioSpec {
     pub fn with_ulub(mut self, ulub: f64) -> ScenarioSpec {
         assert!(ulub > 0.0 && ulub <= 1.0, "ulub {ulub} out of (0, 1]");
         self.ulub = ulub;
+        self
+    }
+
+    /// Replaces the admission headroom factor.
+    pub fn with_headroom(mut self, headroom: f64) -> ScenarioSpec {
+        assert!(headroom >= 1.0, "headroom {headroom} below 1");
+        self.headroom = headroom;
+        self
+    }
+
+    /// Replaces the manager sampling period.
+    pub fn with_sampling(mut self, sampling: Dur) -> ScenarioSpec {
+        assert!(!sampling.is_zero(), "sampling period must be positive");
+        self.sampling = sampling;
+        self
+    }
+
+    /// The canonical skewed-overload demo: first-fit packs lying legacy
+    /// tasks ([`TaskKind::HungryRt`], claimed 2 ms jobs that really burn
+    /// 6 ms) onto node 0, which a fair-class hog burst then hits.
+    /// Nominally the plan is schedulable; measurably node 0 melts while
+    /// the other nodes idle.
+    ///
+    /// This single definition backs the `cluster_rebalance` experiment,
+    /// the `cluster_rebalance_e2e` test and the `cluster_fleet` example,
+    /// so tuning it cannot desynchronise them. Rebalance is off; chain
+    /// [`ScenarioSpec::with_rebalance`] (the demo parameters are
+    /// `RebalanceSpec { enabled: true, period: 750 ms, pressure: 0.25,
+    /// max_moves: 4 }`) for the feedback run.
+    pub fn skewed_overload_demo(nodes: usize, tasks: usize) -> ScenarioSpec {
+        ScenarioSpec::new("rebalance-demo", nodes, tasks, Dur::secs(6))
+            .with_mix(TaskMix::new(vec![(
+                TaskKind::HungryRt {
+                    nominal_wcet: Dur::ms(2),
+                    wcet: Dur::ms(6),
+                    period: Dur::ms(40),
+                },
+                1.0,
+            )]))
+            .with_arrivals(ArrivalSchedule::Staggered { gap: Dur::ms(100) })
+            .with_policy(PolicyKind::FirstFit)
+            .with_ulub(0.9)
+            .with_overload(OverloadWindow {
+                start: Dur::ms(1_500),
+                end: Dur::ms(4_500),
+                hogs_per_node: 4,
+                chunk: Dur::ms(5),
+                nodes: NodeFilter::First(1),
+            })
+    }
+
+    /// The feedback-loop parameters of the skewed-overload demo.
+    pub fn demo_rebalance() -> RebalanceSpec {
+        RebalanceSpec {
+            enabled: true,
+            period: Dur::ms(750),
+            pressure: 0.25,
+            max_moves: 4,
+        }
+    }
+
+    /// Enables feedback-driven re-placement with the given parameters.
+    pub fn with_rebalance(mut self, rebalance: RebalanceSpec) -> ScenarioSpec {
+        assert!(
+            !rebalance.period.is_zero(),
+            "rebalance period must be positive"
+        );
+        assert!(
+            rebalance.pressure >= 0.0,
+            "rebalance pressure must be non-negative"
+        );
+        self.rebalance = rebalance;
         self
     }
 }
@@ -409,5 +577,51 @@ mod tests {
     #[should_panic(expected = "empty task mix")]
     fn empty_mix_panics() {
         let _ = TaskMix::new(vec![]);
+    }
+
+    #[test]
+    fn hungry_rt_understates_nominal_demand() {
+        let kind = TaskKind::HungryRt {
+            nominal_wcet: Dur::ms(2),
+            wcet: Dur::ms(6),
+            period: Dur::ms(40),
+        };
+        assert!(kind.is_realtime());
+        let nominal = kind.nominal().unwrap();
+        // Admission sees the claimed 2 ms, not the real 6 ms.
+        assert!((nominal.wcet - 2.0).abs() < 1e-9);
+        assert_eq!(kind.mark_name("t1").unwrap(), "t1.job");
+        let _ = kind.instantiate("t1", Rng::new(1));
+    }
+
+    #[test]
+    fn node_filters_target_the_right_nodes() {
+        assert!(NodeFilter::All.matches(0) && NodeFilter::All.matches(17));
+        assert!(NodeFilter::First(2).matches(1) && !NodeFilter::First(2).matches(2));
+        assert!(NodeFilter::Stride(3).matches(0) && NodeFilter::Stride(3).matches(6));
+        assert!(!NodeFilter::Stride(3).matches(4));
+    }
+
+    #[test]
+    fn rebalance_defaults_off() {
+        let spec = ScenarioSpec::new("s", 2, 4, Dur::secs(1));
+        assert!(!spec.rebalance.enabled);
+        let spec = spec.with_rebalance(RebalanceSpec {
+            enabled: true,
+            period: Dur::ms(500),
+            pressure: 0.1,
+            max_moves: 2,
+        });
+        assert!(spec.rebalance.enabled);
+        assert_eq!(spec.rebalance.max_moves, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "rebalance period")]
+    fn zero_rebalance_period_panics() {
+        let _ = ScenarioSpec::new("s", 2, 4, Dur::secs(1)).with_rebalance(RebalanceSpec {
+            period: Dur::ZERO,
+            ..RebalanceSpec::default()
+        });
     }
 }

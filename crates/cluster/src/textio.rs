@@ -1,0 +1,561 @@
+//! Plain-text scenario I/O: describe a fleet without recompiling.
+//!
+//! [`ScenarioSpec::to_text`] serialises a scenario to a `key = value`
+//! format; [`ScenarioSpec::from_text`] parses it back. The format is
+//! line-oriented, order-insensitive (except repeated `mix`/`overload`
+//! lines, which accumulate in order), ignores blank lines and `#`
+//! comments, and round-trips exactly: `to_text(from_text(t)) == t` for any
+//! `t` produced by `to_text` — a property test enforces it.
+//!
+//! ```text
+//! # selftune fleet scenario
+//! name = fleet-demo
+//! nodes = 16
+//! tasks = 128
+//! horizon_ms = 5000
+//! policy = worst-fit
+//! ulub = 0.9
+//! headroom = 1.2
+//! sampling_ms = 500
+//! arrivals = poisson 15
+//! churn = 4000 800
+//! mix = video25 3
+//! mix = periodic_rt 2 2 50
+//! overload = 2000 3500 1 10 first:2
+//! rebalance = on 1000 0.05 4
+//! ```
+
+use selftune_simcore::time::Dur;
+
+use crate::placer::PolicyKind;
+use crate::spec::{
+    ArrivalSchedule, Churn, NodeFilter, OverloadWindow, RebalanceSpec, ScenarioSpec, TaskKind,
+    TaskMix,
+};
+
+/// Formats a duration as fractional milliseconds with a shortest
+/// round-tripping representation.
+fn ms(d: Dur) -> String {
+    format!("{}", d.as_ms_f64())
+}
+
+fn parse_ms(s: &str) -> Result<Dur, String> {
+    let v: f64 = s.parse().map_err(|_| format!("bad duration (ms): {s:?}"))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(format!("bad duration (ms): {s:?}"));
+    }
+    Ok(Dur::from_ms_f64(v))
+}
+
+fn parse_f64(s: &str) -> Result<f64, String> {
+    s.parse().map_err(|_| format!("bad number: {s:?}"))
+}
+
+fn parse_usize(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("bad integer: {s:?}"))
+}
+
+fn kind_to_text(kind: &TaskKind, weight: f64) -> String {
+    match kind {
+        TaskKind::Video25 => format!("video25 {weight}"),
+        TaskKind::Mp3 => format!("mp3 {weight}"),
+        TaskKind::Stream30 => format!("stream30 {weight}"),
+        TaskKind::PeriodicRt { wcet, period } => {
+            format!("periodic_rt {weight} {} {}", ms(*wcet), ms(*period))
+        }
+        TaskKind::HungryRt {
+            nominal_wcet,
+            wcet,
+            period,
+        } => format!(
+            "hungry_rt {weight} {} {} {}",
+            ms(*nominal_wcet),
+            ms(*wcet),
+            ms(*period)
+        ),
+        TaskKind::Aperiodic {
+            mean_gap,
+            mean_work,
+            burst,
+        } => format!(
+            "aperiodic {weight} {} {} {burst}",
+            ms(*mean_gap),
+            ms(*mean_work)
+        ),
+    }
+}
+
+/// Parses a duration that the simulation requires to be strictly positive
+/// (task periods, job costs).
+fn parse_pos_ms(s: &str) -> Result<Dur, String> {
+    let d = parse_ms(s)?;
+    if d.is_zero() {
+        return Err(format!("duration must be positive: {s:?} ms"));
+    }
+    Ok(d)
+}
+
+fn parse_weight(s: &str) -> Result<f64, String> {
+    let w = parse_f64(s)?;
+    if !w.is_finite() || w <= 0.0 {
+        return Err(format!("mix weight must be positive: {s:?}"));
+    }
+    Ok(w)
+}
+
+fn kind_from_text(line: &str) -> Result<(TaskKind, f64), String> {
+    let parts: Vec<&str> = line.split_whitespace().collect();
+    let need = |n: usize| -> Result<(), String> {
+        if parts.len() == n {
+            Ok(())
+        } else {
+            Err(format!("mix line needs {n} fields: {line:?}"))
+        }
+    };
+    match parts.first().copied() {
+        Some("video25") => {
+            need(2)?;
+            Ok((TaskKind::Video25, parse_weight(parts[1])?))
+        }
+        Some("mp3") => {
+            need(2)?;
+            Ok((TaskKind::Mp3, parse_weight(parts[1])?))
+        }
+        Some("stream30") => {
+            need(2)?;
+            Ok((TaskKind::Stream30, parse_weight(parts[1])?))
+        }
+        Some("periodic_rt") => {
+            need(4)?;
+            Ok((
+                TaskKind::PeriodicRt {
+                    wcet: parse_pos_ms(parts[2])?,
+                    period: parse_pos_ms(parts[3])?,
+                },
+                parse_weight(parts[1])?,
+            ))
+        }
+        Some("hungry_rt") => {
+            need(5)?;
+            Ok((
+                TaskKind::HungryRt {
+                    nominal_wcet: parse_pos_ms(parts[2])?,
+                    wcet: parse_pos_ms(parts[3])?,
+                    period: parse_pos_ms(parts[4])?,
+                },
+                parse_weight(parts[1])?,
+            ))
+        }
+        Some("aperiodic") => {
+            need(5)?;
+            Ok((
+                TaskKind::Aperiodic {
+                    mean_gap: parse_pos_ms(parts[2])?,
+                    mean_work: parse_pos_ms(parts[3])?,
+                    burst: parts[4]
+                        .parse()
+                        .map_err(|_| format!("bad burst: {:?}", parts[4]))?,
+                },
+                parse_weight(parts[1])?,
+            ))
+        }
+        _ => Err(format!("unknown task kind in mix line: {line:?}")),
+    }
+}
+
+fn filter_to_text(f: NodeFilter) -> String {
+    match f {
+        NodeFilter::All => "all".to_owned(),
+        NodeFilter::First(n) => format!("first:{n}"),
+        NodeFilter::Stride(n) => format!("stride:{n}"),
+    }
+}
+
+fn filter_from_text(s: &str) -> Result<NodeFilter, String> {
+    if s == "all" {
+        return Ok(NodeFilter::All);
+    }
+    if let Some(n) = s.strip_prefix("first:") {
+        return Ok(NodeFilter::First(parse_usize(n)?));
+    }
+    if let Some(n) = s.strip_prefix("stride:") {
+        return Ok(NodeFilter::Stride(parse_usize(n)?));
+    }
+    Err(format!("unknown node filter: {s:?}"))
+}
+
+fn policy_from_text(s: &str) -> Result<PolicyKind, String> {
+    match s {
+        "first-fit" => Ok(PolicyKind::FirstFit),
+        "worst-fit" => Ok(PolicyKind::WorstFit),
+        "bandwidth-aware" => Ok(PolicyKind::BandwidthAware),
+        other => Err(format!("unknown policy: {other:?}")),
+    }
+}
+
+impl ScenarioSpec {
+    /// Serialises the scenario to the `key = value` text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# selftune fleet scenario\n");
+        out.push_str(&format!("name = {}\n", self.name));
+        out.push_str(&format!("nodes = {}\n", self.nodes));
+        out.push_str(&format!("tasks = {}\n", self.tasks));
+        out.push_str(&format!("horizon_ms = {}\n", ms(self.horizon)));
+        out.push_str(&format!("policy = {}\n", self.policy.name()));
+        out.push_str(&format!("ulub = {}\n", self.ulub));
+        out.push_str(&format!("headroom = {}\n", self.headroom));
+        out.push_str(&format!("sampling_ms = {}\n", ms(self.sampling)));
+        match self.arrivals {
+            ArrivalSchedule::AllAtStart => out.push_str("arrivals = all_at_start\n"),
+            ArrivalSchedule::Staggered { gap } => {
+                out.push_str(&format!("arrivals = staggered {}\n", ms(gap)));
+            }
+            ArrivalSchedule::Poisson { mean_gap } => {
+                out.push_str(&format!("arrivals = poisson {}\n", ms(mean_gap)));
+            }
+        }
+        if let Some(c) = self.churn {
+            out.push_str(&format!(
+                "churn = {} {}\n",
+                ms(c.mean_lifetime),
+                ms(c.min_lifetime)
+            ));
+        }
+        for (kind, weight) in self.mix.entries() {
+            out.push_str(&format!("mix = {}\n", kind_to_text(kind, *weight)));
+        }
+        for w in &self.overload {
+            out.push_str(&format!(
+                "overload = {} {} {} {} {}\n",
+                ms(w.start),
+                ms(w.end),
+                w.hogs_per_node,
+                ms(w.chunk),
+                filter_to_text(w.nodes)
+            ));
+        }
+        out.push_str(&format!(
+            "rebalance = {} {} {} {}\n",
+            if self.rebalance.enabled { "on" } else { "off" },
+            ms(self.rebalance.period),
+            self.rebalance.pressure,
+            self.rebalance.max_moves
+        ));
+        out
+    }
+
+    /// Parses a scenario from the text format written by
+    /// [`ScenarioSpec::to_text`].
+    ///
+    /// Unknown keys, malformed values and missing required fields (`name`,
+    /// `nodes`, `tasks`, `horizon_ms`) are reported as `Err`; everything
+    /// else falls back to the [`ScenarioSpec::new`] defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first offending line.
+    pub fn from_text(text: &str) -> Result<ScenarioSpec, String> {
+        let mut name: Option<String> = None;
+        let mut nodes: Option<usize> = None;
+        let mut tasks: Option<usize> = None;
+        let mut horizon: Option<Dur> = None;
+        let mut mix_entries: Vec<(TaskKind, f64)> = Vec::new();
+        let mut overload: Vec<OverloadWindow> = Vec::new();
+        let mut policy = None;
+        let mut ulub = None;
+        let mut headroom = None;
+        let mut sampling = None;
+        let mut arrivals = None;
+        let mut churn = None;
+        let mut rebalance = None;
+
+        for raw in text.lines() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("expected `key = value`, got {line:?}"))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "name" => name = Some(value.to_owned()),
+                "nodes" => nodes = Some(parse_usize(value)?),
+                "tasks" => tasks = Some(parse_usize(value)?),
+                "horizon_ms" => horizon = Some(parse_ms(value)?),
+                "policy" => policy = Some(policy_from_text(value)?),
+                "ulub" => ulub = Some(parse_f64(value)?),
+                "headroom" => headroom = Some(parse_f64(value)?),
+                "sampling_ms" => sampling = Some(parse_ms(value)?),
+                "arrivals" => {
+                    let parts: Vec<&str> = value.split_whitespace().collect();
+                    arrivals = Some(match parts.as_slice() {
+                        ["all_at_start"] => ArrivalSchedule::AllAtStart,
+                        ["staggered", gap] => ArrivalSchedule::Staggered {
+                            gap: parse_ms(gap)?,
+                        },
+                        ["poisson", gap] => ArrivalSchedule::Poisson {
+                            mean_gap: parse_ms(gap)?,
+                        },
+                        _ => return Err(format!("bad arrivals line: {value:?}")),
+                    });
+                }
+                "churn" => {
+                    let parts: Vec<&str> = value.split_whitespace().collect();
+                    let [mean, min] = parts.as_slice() else {
+                        return Err(format!("churn needs 2 fields: {value:?}"));
+                    };
+                    churn = Some(Churn {
+                        mean_lifetime: parse_ms(mean)?,
+                        min_lifetime: parse_ms(min)?,
+                    });
+                }
+                "mix" => mix_entries.push(kind_from_text(value)?),
+                "overload" => {
+                    let parts: Vec<&str> = value.split_whitespace().collect();
+                    let [start, end, hogs, chunk, filter] = parts.as_slice() else {
+                        return Err(format!("overload needs 5 fields: {value:?}"));
+                    };
+                    overload.push(OverloadWindow {
+                        start: parse_ms(start)?,
+                        end: parse_ms(end)?,
+                        hogs_per_node: hogs
+                            .parse()
+                            .map_err(|_| format!("bad hog count: {hogs:?}"))?,
+                        chunk: parse_ms(chunk)?,
+                        nodes: filter_from_text(filter)?,
+                    });
+                }
+                "rebalance" => {
+                    let parts: Vec<&str> = value.split_whitespace().collect();
+                    let [state, period, pressure, max_moves] = parts.as_slice() else {
+                        return Err(format!("rebalance needs 4 fields: {value:?}"));
+                    };
+                    let enabled = match *state {
+                        "on" => true,
+                        "off" => false,
+                        other => return Err(format!("rebalance must be on/off, got {other:?}")),
+                    };
+                    rebalance = Some(RebalanceSpec {
+                        enabled,
+                        period: parse_ms(period)?,
+                        pressure: parse_f64(pressure)?,
+                        max_moves: max_moves
+                            .parse()
+                            .map_err(|_| format!("bad max_moves: {max_moves:?}"))?,
+                    });
+                }
+                other => return Err(format!("unknown key: {other:?}")),
+            }
+        }
+
+        let name = name.ok_or("missing required key `name`")?;
+        let nodes = nodes.ok_or("missing required key `nodes`")?;
+        let tasks = tasks.ok_or("missing required key `tasks`")?;
+        let horizon = horizon.ok_or("missing required key `horizon_ms`")?;
+        // Domain checks up front: the builder methods below enforce the
+        // same bounds with panics, which an untrusted scenario file must
+        // never reach.
+        if nodes == 0 {
+            return Err("nodes must be at least 1".to_owned());
+        }
+        if let Some(u) = ulub {
+            if !u.is_finite() || u <= 0.0 || u > 1.0 {
+                return Err(format!("ulub {u} out of (0, 1]"));
+            }
+        }
+        if let Some(h) = headroom {
+            if !h.is_finite() || h < 1.0 {
+                return Err(format!("headroom {h} below 1"));
+            }
+        }
+        if let Some(s) = sampling {
+            if s.is_zero() {
+                return Err("sampling_ms must be positive".to_owned());
+            }
+        }
+        if let Some(r) = &rebalance {
+            if r.period.is_zero() {
+                return Err("rebalance period must be positive".to_owned());
+            }
+            if !r.pressure.is_finite() || r.pressure < 0.0 {
+                return Err(format!(
+                    "rebalance pressure {} must be non-negative",
+                    r.pressure
+                ));
+            }
+        }
+        let mut spec = ScenarioSpec::new(&name, nodes, tasks, horizon);
+        if !mix_entries.is_empty() {
+            spec = spec.with_mix(TaskMix::new(mix_entries));
+        }
+        if let Some(p) = policy {
+            spec = spec.with_policy(p);
+        }
+        if let Some(u) = ulub {
+            spec = spec.with_ulub(u);
+        }
+        if let Some(h) = headroom {
+            spec = spec.with_headroom(h);
+        }
+        if let Some(s) = sampling {
+            spec = spec.with_sampling(s);
+        }
+        if let Some(a) = arrivals {
+            spec = spec.with_arrivals(a);
+        }
+        if let Some(c) = churn {
+            spec = spec.with_churn(c);
+        }
+        if let Some(r) = rebalance {
+            spec = spec.with_rebalance(r);
+        }
+        spec.overload = overload;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_spec() -> ScenarioSpec {
+        ScenarioSpec::new("demo", 4, 24, Dur::secs(5))
+            .with_mix(TaskMix::new(vec![
+                (TaskKind::Video25, 2.0),
+                (
+                    TaskKind::PeriodicRt {
+                        wcet: Dur::ms(2),
+                        period: Dur::ms(50),
+                    },
+                    1.5,
+                ),
+                (
+                    TaskKind::HungryRt {
+                        nominal_wcet: Dur::ms(2),
+                        wcet: Dur::ms(6),
+                        period: Dur::ms(40),
+                    },
+                    1.0,
+                ),
+                (
+                    TaskKind::Aperiodic {
+                        mean_gap: Dur::ms(25),
+                        mean_work: Dur::from_ms_f64(1.5),
+                        burst: 2,
+                    },
+                    0.5,
+                ),
+            ]))
+            .with_arrivals(ArrivalSchedule::Poisson {
+                mean_gap: Dur::ms(15),
+            })
+            .with_churn(Churn {
+                mean_lifetime: Dur::secs(4),
+                min_lifetime: Dur::ms(800),
+            })
+            .with_overload(OverloadWindow {
+                start: Dur::ms(2_000),
+                end: Dur::ms(3_500),
+                hogs_per_node: 2,
+                chunk: Dur::ms(10),
+                nodes: NodeFilter::First(2),
+            })
+            .with_policy(PolicyKind::FirstFit)
+            .with_ulub(0.85)
+            .with_rebalance(RebalanceSpec {
+                enabled: true,
+                period: Dur::ms(750),
+                pressure: 0.08,
+                max_moves: 3,
+            })
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let spec = demo_spec();
+        let text = spec.to_text();
+        let parsed = ScenarioSpec::from_text(&text).expect("parse");
+        assert_eq!(parsed.to_text(), text);
+        assert_eq!(parsed.name, spec.name);
+        assert_eq!(parsed.nodes, spec.nodes);
+        assert_eq!(parsed.tasks, spec.tasks);
+        assert_eq!(parsed.horizon, spec.horizon);
+        assert_eq!(parsed.policy, spec.policy);
+        assert!(parsed.rebalance.enabled);
+        assert_eq!(parsed.rebalance.max_moves, 3);
+        assert_eq!(parsed.overload.len(), 1);
+        assert_eq!(parsed.overload[0].nodes, NodeFilter::First(2));
+    }
+
+    #[test]
+    fn parses_comments_blanks_and_defaults() {
+        let text = "# hello\n\nname = tiny\nnodes = 2\ntasks = 4\nhorizon_ms = 1000\n";
+        let spec = ScenarioSpec::from_text(text).expect("parse");
+        assert_eq!(spec.name, "tiny");
+        assert_eq!(spec.nodes, 2);
+        // Unspecified fields keep the ScenarioSpec::new defaults.
+        assert_eq!(spec.policy, PolicyKind::WorstFit);
+        assert!(!spec.rebalance.enabled);
+        assert!(spec.churn.is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(
+            ScenarioSpec::from_text("nodes = 2").is_err(),
+            "missing keys"
+        );
+        assert!(
+            ScenarioSpec::from_text("name=x\nnodes=2\ntasks=1\nhorizon_ms=1\nwat = 1").is_err()
+        );
+        assert!(ScenarioSpec::from_text("name=x\nnodes=two\ntasks=1\nhorizon_ms=1").is_err());
+        assert!(
+            ScenarioSpec::from_text("name=x\nnodes=2\ntasks=1\nhorizon_ms=1\nmix = warp 1")
+                .is_err()
+        );
+        assert!(ScenarioSpec::from_text("just some words").is_err());
+    }
+
+    #[test]
+    fn domain_invalid_values_error_instead_of_panicking() {
+        let base = "name=x\ntasks=1\nhorizon_ms=100\n";
+        for bad in [
+            "nodes = 0",
+            "nodes = 2\nulub = 1.5",
+            "nodes = 2\nulub = -0.1",
+            "nodes = 2\nheadroom = 0.5",
+            "nodes = 2\nsampling_ms = 0",
+            "nodes = 2\nrebalance = on 0 0.05 4",
+            "nodes = 2\nrebalance = on 500 -1 4",
+            "nodes = 2\nmix = periodic_rt 1 2 0",
+            "nodes = 2\nmix = hungry_rt 1 2 6 0",
+            "nodes = 2\nmix = video25 0",
+            "nodes = 2\nmix = video25 -3",
+        ] {
+            let text = format!("{base}{bad}");
+            assert!(
+                ScenarioSpec::from_text(&text).is_err(),
+                "accepted invalid input: {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fractional_durations_round_trip() {
+        let spec = ScenarioSpec::new("f", 1, 1, Dur::from_ms_f64(1234.5678)).with_arrivals(
+            ArrivalSchedule::Staggered {
+                gap: Dur::from_us_f64(333.25),
+            },
+        );
+        let parsed = ScenarioSpec::from_text(&spec.to_text()).expect("parse");
+        assert_eq!(parsed.horizon, spec.horizon);
+        match parsed.arrivals {
+            ArrivalSchedule::Staggered { gap } => {
+                assert_eq!(gap, Dur::from_us_f64(333.25));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

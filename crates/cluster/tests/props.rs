@@ -1,13 +1,17 @@
 //! Property-based tests for the fleet subsystem.
 //!
-//! Two families:
+//! Three families:
 //!
 //! * **Determinism** — the same `(spec, seed)` must produce byte-identical
-//!   aggregate CSV whether the fleet runs on 1 thread or several. These
-//!   run whole (small) fleet simulations, so the case count is reduced.
+//!   aggregate CSV whether the fleet runs on 1 thread or several, with
+//!   and without the feedback rebalancer (whose epoch barriers and
+//!   migrations must not observe the thread count). These run whole
+//!   (small) fleet simulations, so the case count is reduced.
 //! * **Placer invariants** — the placer must never book a node beyond the
 //!   utilisation bound, must only admit tasks the minbudget analysis can
-//!   schedule, and must reject only when no node had room.
+//!   schedule, must reject only when no node had room, and live
+//!   migrations must respect the destination's admission bound.
+//! * **Scenario text I/O** — `to_text`/`from_text` round-trip exactly.
 
 use proptest::prelude::*;
 use selftune_analysis::{min_bandwidth_single, PeriodicTask};
@@ -20,6 +24,52 @@ fn policy_strategy() -> impl Strategy<Value = PolicyKind> {
         Just(PolicyKind::WorstFit),
         Just(PolicyKind::BandwidthAware),
     ]
+}
+
+fn kind_strategy() -> impl Strategy<Value = TaskKind> {
+    prop_oneof![
+        Just(TaskKind::Video25),
+        Just(TaskKind::Mp3),
+        Just(TaskKind::Stream30),
+        (1u64..8, 20u64..200).prop_map(|(c, p)| TaskKind::PeriodicRt {
+            wcet: Dur::ms(c),
+            period: Dur::ms(p),
+        }),
+        (1u64..4, 4u64..12, 20u64..200).prop_map(|(n, c, p)| TaskKind::HungryRt {
+            nominal_wcet: Dur::ms(n),
+            wcet: Dur::ms(c),
+            period: Dur::ms(p),
+        }),
+        (5u64..50, 1u64..5, 1u32..4).prop_map(|(g, w, b)| TaskKind::Aperiodic {
+            mean_gap: Dur::ms(g),
+            mean_work: Dur::ms(w),
+            burst: b,
+        }),
+    ]
+}
+
+/// A fleet whose nominal demand lies (tasks claim 2 ms, burn 6 ms) and is
+/// densely packed by first-fit — the configuration that makes the
+/// feedback rebalancer actually migrate.
+fn rebalance_spec(nodes: usize, tasks: usize, pressure: f64, max_moves: u32) -> ScenarioSpec {
+    ScenarioSpec::new("prop-rebalance", nodes, tasks, Dur::ms(3_000))
+        .with_mix(TaskMix::new(vec![(
+            TaskKind::HungryRt {
+                nominal_wcet: Dur::ms(2),
+                wcet: Dur::ms(6),
+                period: Dur::ms(40),
+            },
+            1.0,
+        )]))
+        .with_arrivals(ArrivalSchedule::Staggered { gap: Dur::ms(80) })
+        .with_policy(PolicyKind::FirstFit)
+        .with_ulub(0.9)
+        .with_rebalance(RebalanceSpec {
+            enabled: true,
+            period: Dur::ms(600),
+            pressure,
+            max_moves,
+        })
 }
 
 proptest! {
@@ -57,10 +107,57 @@ proptest! {
                 end: Dur::ms(900),
                 hogs_per_node: 1,
                 chunk: Dur::ms(5),
+                nodes: NodeFilter::All,
             });
         let serial = ClusterRunner::new(1).run(&spec, seed);
         let parallel = ClusterRunner::new(threads).run(&spec, seed);
         prop_assert_eq!(serial.summary_csv(), parallel.summary_csv());
+    }
+
+    #[test]
+    fn rebalanced_runs_are_byte_identical_at_1_2_and_8_threads(
+        seed in 0u64..1_000_000,
+        nodes in 3usize..5,
+        tasks in 8usize..13,
+        pressure in 0.1f64..0.4,
+        max_moves in 2u32..5,
+    ) {
+        let spec = rebalance_spec(nodes, tasks, pressure, max_moves);
+        // Chunk 1 maximises claim interleaving; the epoch barriers and the
+        // migration decisions must not observe it.
+        let baseline = ClusterRunner::new(1).with_chunk(1).run(&spec, seed);
+        for threads in [2usize, 8] {
+            let m = ClusterRunner::new(threads).with_chunk(1).run(&spec, seed);
+            prop_assert_eq!(baseline.summary_csv(), m.summary_csv(), "{} threads", threads);
+        }
+    }
+
+    #[test]
+    fn migrations_respect_destination_admission_invariant(
+        seed in 0u64..1_000_000,
+        tasks in 10usize..14,
+    ) {
+        // A pressure threshold low enough that the packed node drains.
+        let spec = rebalance_spec(4, tasks, 0.15, 4);
+        let m = ClusterRunner::new(2).run(&spec, seed);
+        prop_assert!(m.rebalance.epochs > 0);
+        for r in &m.rebalance.records {
+            // The booked demand is at least the nominal minbudget demand
+            // (the admission floor the initial placement would have used)…
+            let nominal = PeriodicTask::new(2.0, 40.0);
+            let floor = min_bandwidth_single(nominal, nominal.period) * spec.headroom;
+            prop_assert!(r.demand >= floor - 1e-9, "booked {} under floor {}", r.demand, floor);
+            // …and the destination's booked bandwidth never exceeds the
+            // per-node utilisation bound.
+            prop_assert!(
+                r.dest_reserved_after <= spec.ulub + 1e-9,
+                "node {} overbooked: {}",
+                r.to,
+                r.dest_reserved_after
+            );
+            prop_assert!(r.from != r.to);
+            prop_assert!(r.to < spec.nodes);
+        }
     }
 }
 
@@ -121,6 +218,73 @@ proptest! {
                 prop_assert!(reserved[w[0]] >= reserved[w[1]] - 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn scenario_text_io_round_trips(
+        (nodes, tasks, horizon_ms, policy) in (1usize..9, 0usize..40, 200u64..8_000, policy_strategy()),
+        mix in prop::collection::vec((kind_strategy(), 1u64..9), 1..4),
+        (arrival_kind, gap_us) in (0u32..3, 1_000u64..100_000),
+        churn in prop_oneof![
+            Just(None),
+            (300u64..2_000, 50u64..200).prop_map(|(mean, min)| Some(Churn {
+                mean_lifetime: Dur::ms(mean),
+                min_lifetime: Dur::ms(min),
+            })),
+        ],
+        overload in prop::collection::vec(
+            (1u64..2_000, 1u32..5, 1u64..20, 0u32..3),
+            0..3,
+        ),
+        (rb_on, rb_period, rb_pressure_pct, rb_moves) in
+            (any::<bool>(), 100u64..2_000, 0u64..60, 1u32..8),
+    ) {
+        let mut spec = ScenarioSpec::new("prop-textio", nodes, tasks, Dur::ms(horizon_ms))
+            .with_mix(TaskMix::new(
+                mix.into_iter().map(|(k, w)| (k, w as f64)).collect(),
+            ))
+            .with_policy(policy)
+            .with_arrivals(match arrival_kind {
+                0 => ArrivalSchedule::AllAtStart,
+                1 => ArrivalSchedule::Staggered { gap: Dur::us(gap_us) },
+                _ => ArrivalSchedule::Poisson { mean_gap: Dur::us(gap_us) },
+            })
+            .with_rebalance(RebalanceSpec {
+                enabled: rb_on,
+                period: Dur::ms(rb_period),
+                pressure: rb_pressure_pct as f64 / 100.0,
+                max_moves: rb_moves,
+            });
+        if let Some(c) = churn {
+            spec = spec.with_churn(c);
+        }
+        for (start, hogs, chunk, filter) in overload {
+            spec = spec.with_overload(OverloadWindow {
+                start: Dur::ms(start),
+                end: Dur::ms(start + 500),
+                hogs_per_node: hogs,
+                chunk: Dur::ms(chunk),
+                nodes: match filter {
+                    0 => NodeFilter::All,
+                    1 => NodeFilter::First(hogs as usize),
+                    _ => NodeFilter::Stride(2),
+                },
+            });
+        }
+
+        let text = spec.to_text();
+        let parsed = ScenarioSpec::from_text(&text)
+            .unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
+        // The canonical form is a fixed point of the round trip.
+        prop_assert_eq!(parsed.to_text(), text);
+        prop_assert_eq!(parsed.nodes, spec.nodes);
+        prop_assert_eq!(parsed.tasks, spec.tasks);
+        prop_assert_eq!(parsed.horizon, spec.horizon);
+        prop_assert_eq!(parsed.policy, spec.policy);
+        prop_assert_eq!(parsed.overload.len(), spec.overload.len());
+        prop_assert_eq!(parsed.rebalance.enabled, spec.rebalance.enabled);
+        prop_assert_eq!(parsed.rebalance.period, spec.rebalance.period);
+        prop_assert_eq!(parsed.mix.entries(), spec.mix.entries());
     }
 
     #[test]

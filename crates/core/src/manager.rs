@@ -17,7 +17,7 @@ use selftune_simcore::kernel::{Kernel, TaskState};
 use selftune_simcore::metrics::{MetricKey, Metrics};
 use selftune_simcore::task::TaskId;
 use selftune_simcore::time::{Dur, Time};
-use selftune_tracer::{entry_times_secs, TraceReader};
+use selftune_tracer::{entry_times_into, TraceReader};
 
 /// Manager configuration.
 #[derive(Clone, Debug)]
@@ -87,6 +87,12 @@ pub struct SelfTuningManager {
     tasks: Vec<ManagedTask>,
     /// Reused event batch: one allocation serves every sampling step.
     scratch: Vec<selftune_tracer::TraceEvent>,
+    /// Reused entry-time buffer: the per-task event train is extracted into
+    /// this instead of a fresh `Vec<f64>` per task per step.
+    ev_scratch: Vec<f64>,
+    /// Grants the supervisor curbed below their request, cumulatively —
+    /// the node-level saturation signal the fleet layer feeds back on.
+    compressed_grants: u64,
 }
 
 impl SelfTuningManager {
@@ -97,12 +103,20 @@ impl SelfTuningManager {
             reader,
             tasks: Vec::new(),
             scratch: Vec::new(),
+            ev_scratch: Vec::new(),
+            compressed_grants: 0,
         }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &ManagerConfig {
         &self.cfg
+    }
+
+    /// How many grants the supervisor has compressed below their request
+    /// since the manager was created (saturation pressure sensor).
+    pub fn compressed_grants(&self) -> u64 {
+        self.compressed_grants
     }
 
     /// Puts a legacy task under management.
@@ -172,7 +186,7 @@ impl SelfTuningManager {
                 continue;
             }
             let keys = mt.keys(k.metrics_mut());
-            let ev = entry_times_secs(&self.scratch, mt.task);
+            entry_times_into(&self.scratch, mt.task, &mut self.ev_scratch);
             let consumed = k.thread_time(mt.task);
             let exhausted = mt
                 .server
@@ -188,7 +202,7 @@ impl SelfTuningManager {
             }
             let decision = mt.ctl.step(&ControllerInput {
                 now,
-                events_secs: &ev,
+                events_secs: &self.ev_scratch,
                 consumed,
                 elapsed,
                 exhausted,
@@ -200,6 +214,11 @@ impl SelfTuningManager {
             }
             match decision {
                 Decision::None => {}
+                Decision::Attach(req) | Decision::Adjust(req) if req.period.is_zero() => {
+                    // Degenerate period estimate (a starved task's trace
+                    // can collapse to a zero-width train): no reservation
+                    // can be parameterised from it — wait for better data.
+                }
                 Decision::Attach(req) => {
                     // Create the server with a floor budget; the real grant
                     // arrives through the supervisor batch below, so
@@ -235,6 +254,9 @@ impl SelfTuningManager {
         }
         let grants = self.cfg.supervisor.apply(k.sched_mut(), &requests);
         for g in &grants {
+            if g.compressed {
+                self.compressed_grants += 1;
+            }
             if let Some(mt) = self.tasks.iter().find(|t| t.server == Some(g.server)) {
                 let keys = mt.keys.expect("granted task has stepped");
                 k.metrics_mut().record_k(keys.bw, now, g.bandwidth());

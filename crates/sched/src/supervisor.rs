@@ -100,6 +100,18 @@ impl Supervisor {
     /// Servers *not* named in `reqs` keep their current bandwidth; the
     /// requesters share what remains.
     pub fn apply(&self, sched: &mut ReservationScheduler, reqs: &[BwRequest]) -> Vec<Grant> {
+        // Sanitise: a zero-period request cannot parameterise a server at
+        // all (drop it — its server keeps its current bandwidth); a zero
+        // budget becomes a tiny floor so the reservation stays alive.
+        let reqs: Vec<BwRequest> = reqs
+            .iter()
+            .filter(|r| !r.period.is_zero())
+            .map(|r| BwRequest {
+                budget: r.budget.max(Dur::us(10)).min(r.period),
+                ..*r
+            })
+            .collect();
+        let reqs = &reqs[..];
         if reqs.is_empty() {
             return Vec::new();
         }
@@ -269,6 +281,34 @@ mod tests {
         assert!((grants[0].bandwidth() - 0.1).abs() < 1e-6);
         assert!(grants[1].compressed);
         assert!((grants[1].bandwidth() - 0.3).abs() < 1e-3);
+    }
+
+    #[test]
+    fn degenerate_requests_are_sanitised_not_fatal() {
+        let (mut s, ids) = sched_with(&[(10, 100), (10, 100)]);
+        let sup = Supervisor::new(0.9);
+        let grants = sup.apply(
+            &mut s,
+            &[
+                // Zero period: unparameterisable, dropped.
+                BwRequest {
+                    server: ids[0],
+                    budget: Dur::ms(5),
+                    period: Dur::ZERO,
+                },
+                // Zero budget: floored, not zeroed.
+                BwRequest {
+                    server: ids[1],
+                    budget: Dur::ZERO,
+                    period: Dur::ms(50),
+                },
+            ],
+        );
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].server, ids[1]);
+        assert!(!grants[0].budget.is_zero());
+        // The dropped request's server keeps its old parameters.
+        assert_eq!(s.server(ids[0]).config().budget, Dur::ms(10));
     }
 
     #[test]

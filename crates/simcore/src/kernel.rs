@@ -235,6 +235,33 @@ impl<S: Scheduler> Kernel<S> {
         id
     }
 
+    /// Terminates a task from outside its workload (the fleet layer's
+    /// migration primitive: the task is extracted here and re-admitted on
+    /// another node).
+    ///
+    /// The task's pending action is discarded and the scheduler is told it
+    /// exited; a not-yet-started task never becomes ready. Pending wake or
+    /// start events for it are delivered but ignored. Returns `false` if
+    /// the task had already exited.
+    pub fn kill(&mut self, task: TaskId) -> bool {
+        let state = self.tasks[task.index()].state;
+        if state == TaskState::Exited {
+            return false;
+        }
+        let tcb = &mut self.tasks[task.index()];
+        tcb.state = TaskState::Exited;
+        tcb.pending = None;
+        tcb.debt = Dur::ZERO;
+        tcb.trace_exit = None;
+        if state != TaskState::NotStarted {
+            self.sched.on_exit(task, self.now);
+        }
+        if self.current == Some(task) {
+            self.current = None;
+        }
+        true
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> Time {
         self.now
@@ -551,7 +578,11 @@ impl<S: Scheduler> Kernel<S> {
         match ev {
             KEvent::Start(tid) => {
                 let tcb = &mut self.tasks[tid.index()];
-                debug_assert_eq!(tcb.state, TaskState::NotStarted);
+                if tcb.state == TaskState::Exited {
+                    // Killed before its start instant; ignore.
+                    return;
+                }
+                debug_assert_eq!(tcb.state, TaskState::NotStarted, "double start of {tid}");
                 tcb.state = TaskState::Ready;
                 self.sched.on_ready(tid, self.now);
             }
@@ -844,6 +875,60 @@ mod tests {
         k.run_until(t(20));
         assert_eq!(k.task_state(id), TaskState::Exited);
         assert_eq!(k.thread_time(id), Dur::ms(1));
+    }
+
+    #[test]
+    fn kill_stops_a_running_task() {
+        let mut k = Kernel::new(rr());
+        let id = k.spawn(
+            "victim",
+            Box::new(Script::once(vec![
+                Action::Compute(Dur::ms(100)),
+                Action::Exit,
+            ])),
+        );
+        k.run_until(t(5));
+        assert_eq!(k.task_state(id), TaskState::Ready);
+        assert!(k.kill(id));
+        assert_eq!(k.task_state(id), TaskState::Exited);
+        // No further CPU is consumed after the kill.
+        let exec = k.thread_time(id);
+        k.run_until(t(50));
+        assert_eq!(k.thread_time(id), exec);
+        assert_eq!(k.idle_time(), Dur::ms(45));
+        // Killing twice reports the task was already gone.
+        assert!(!k.kill(id));
+    }
+
+    #[test]
+    fn kill_blocked_and_not_started_tasks_is_safe() {
+        let mut k = Kernel::new(rr());
+        let blocked = k.spawn(
+            "sleeper",
+            Box::new(Script::once(vec![
+                Action::SleepFor(Dur::ms(20)),
+                Action::Compute(Dur::ms(1)),
+                Action::Exit,
+            ])),
+        );
+        let unborn = k.spawn_at(
+            "late",
+            Box::new(Script::once(vec![
+                Action::Compute(Dur::ms(1)),
+                Action::Exit,
+            ])),
+            t(30),
+        );
+        k.run_until(t(5));
+        assert_eq!(k.task_state(blocked), TaskState::Blocked);
+        assert!(k.kill(blocked));
+        assert!(k.kill(unborn));
+        // Their wake/start events fire later and must be ignored.
+        k.run_until(t(60));
+        assert_eq!(k.task_state(blocked), TaskState::Exited);
+        assert_eq!(k.task_state(unborn), TaskState::Exited);
+        assert_eq!(k.thread_time(blocked), Dur::ZERO);
+        assert_eq!(k.thread_time(unborn), Dur::ZERO);
     }
 
     #[test]

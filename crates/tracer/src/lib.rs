@@ -16,7 +16,9 @@ pub mod hook;
 pub mod overhead;
 pub mod ring;
 
-pub use event::{counts_by_call, entry_times_secs, wake_times_secs, Edge, TraceEvent};
+pub use event::{
+    counts_by_call, entry_times_into, entry_times_secs, wake_times_secs, Edge, TraceEvent,
+};
 pub use hook::{TraceFilter, TraceReader, Tracer, TracerConfig, TracerHook};
 pub use overhead::{OverheadParams, TracerKind};
 pub use ring::RingBuffer;

@@ -1,0 +1,89 @@
+//! Cluster e2e: feedback-driven re-placement under a skewed overload.
+//!
+//! The fleet analogue of the paper's core claim — observing *measured*
+//! scheduling behaviour beats trusting nominal demand. A first-fit
+//! placement packs every real-time task onto the first nodes; a hog burst
+//! then hits exactly those nodes. Run once with placement frozen at
+//! arrival (the pre-rebalance behaviour) and once with the feedback
+//! rebalancer on, same seed: the feedback run must migrate tasks off the
+//! melting nodes and end with strictly fewer fleet deadline misses.
+
+use selftune::cluster::prelude::*;
+
+const SEED: u64 = 42;
+
+/// The canonical skewed-overload fleet (see
+/// [`ScenarioSpec::skewed_overload_demo`]): the task kind *claims* 2 ms
+/// jobs but burns 6 ms, so first-fit admission happily packs all twelve
+/// onto node 0, which is then also hit by a fair-class hog burst.
+fn scenario(rebalance_on: bool) -> ScenarioSpec {
+    let spec = ScenarioSpec::skewed_overload_demo(4, 12);
+    if rebalance_on {
+        spec.with_rebalance(ScenarioSpec::demo_rebalance())
+    } else {
+        spec
+    }
+}
+
+#[test]
+fn feedback_replacement_cuts_fleet_misses_under_skewed_overload() {
+    let frozen = ClusterRunner::new(2).run(&scenario(false), SEED);
+    let feedback = ClusterRunner::new(2).run(&scenario(true), SEED);
+
+    // The static run concentrates misses on the hog-bound node.
+    assert!(
+        frozen.misses() > 0,
+        "skewed overload must cause misses without rebalance"
+    );
+    assert_eq!(frozen.rebalance.moves, 0);
+
+    // The feedback run actually migrated work away...
+    assert!(
+        feedback.rebalance.moves >= 1,
+        "expected at least one migration, got {}",
+        feedback.rebalance.moves
+    );
+    assert!(feedback.rebalance.epochs > 0);
+
+    // ...and it strictly reduced fleet deadline misses — in absolute
+    // count, in rate, and while completing *more* jobs.
+    assert!(
+        feedback.misses() < frozen.misses(),
+        "feedback placement must cut misses: {} (feedback) vs {} (frozen)",
+        feedback.misses(),
+        frozen.misses()
+    );
+    assert!(
+        feedback.miss_ratio() < frozen.miss_ratio(),
+        "feedback placement must cut the miss rate: {:.4} vs {:.4}",
+        feedback.miss_ratio(),
+        frozen.miss_ratio()
+    );
+    assert!(
+        feedback.completions() > frozen.completions(),
+        "unblocking the melted node must raise throughput"
+    );
+
+    // Every applied migration respected the destination admission bound.
+    for r in &feedback.rebalance.records {
+        assert!(
+            r.dest_reserved_after <= 0.9 + 1e-9,
+            "migration overbooked node {}: {}",
+            r.to,
+            r.dest_reserved_after
+        );
+        assert_ne!(r.from, r.to, "migration must change nodes");
+    }
+
+    // Migrated incarnations show up in the post-migration CDF.
+    assert!(!feedback.post_migration_cdf().is_empty());
+}
+
+#[test]
+fn rebalanced_runs_are_thread_count_invariant() {
+    let spec = scenario(true);
+    let serial = ClusterRunner::new(1).run(&spec, SEED);
+    let parallel = ClusterRunner::new(4).run(&spec, SEED);
+    assert_eq!(serial.summary_csv(), parallel.summary_csv());
+    assert!(serial.rebalance.moves >= 1);
+}
