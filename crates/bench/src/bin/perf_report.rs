@@ -153,11 +153,16 @@ fn metrics_mark_ns_per_op(interned: bool, samples: usize, iters: u64) -> f64 {
 
 /// Simulated seconds per wall second for a kernel full of periodic RT
 /// tasks under the reservation scheduler (the single-node hot loop).
-fn kernel_sim_rate(heap: bool, tasks: usize, sim: Dur, samples: usize) -> f64 {
+/// `heap` selects the pre-wheel event queue; `scan` selects the pre-cache
+/// full-scan dispatcher.
+fn kernel_sim_rate(heap: bool, scan: bool, tasks: usize, sim: Dur, samples: usize) -> f64 {
     let run = || {
         let mut kernel = Kernel::new(ReservationScheduler::new());
         if heap {
             kernel.use_heap_event_queue();
+        }
+        if scan {
+            kernel.sched_mut().use_scan_dispatch();
         }
         let mut rng = Rng::new(7);
         for i in 0..tasks {
@@ -247,8 +252,8 @@ fn kernel_report(out: &Path, smoke: bool) {
         (Dur::secs(1), 5)
     };
     for &tasks in &[16usize, 64] {
-        let after = kernel_sim_rate(false, tasks, sim, ksamples);
-        let before = kernel_sim_rate(true, tasks, sim, ksamples);
+        let after = kernel_sim_rate(false, false, tasks, sim, ksamples);
+        let before = kernel_sim_rate(true, false, tasks, sim, ksamples);
         println!(
             "kernel/periodic_rt/{tasks}: wheel {after:.0} sim-s/s, heap {before:.0} sim-s/s ({:.2}x)",
             after / before
@@ -259,6 +264,27 @@ fn kernel_report(out: &Path, smoke: bool) {
             before: Some(before),
             after,
             note: None,
+        });
+    }
+
+    // The scheduler-bound hot path (PR-2's residual bottleneck): cached
+    // EDF/timer dispatch vs the full per-iteration rescan, wheel queue in
+    // both runs so only the dispatcher differs.
+    for &tasks in &[16usize, 64] {
+        let after = kernel_sim_rate(false, false, tasks, sim, ksamples);
+        let before = kernel_sim_rate(false, true, tasks, sim, ksamples);
+        println!(
+            "kernel/sched_dispatch/{tasks}: cached {after:.0} sim-s/s, scan {before:.0} sim-s/s ({:.2}x)",
+            after / before
+        );
+        entries.push(Entry {
+            name: format!("kernel/sched_dispatch/{tasks}"),
+            metric: "sim_seconds_per_wall_second",
+            before: Some(before),
+            after,
+            note: Some(
+                "before = full EDF/timer rescan per kernel iteration, after = cached dispatch",
+            ),
         });
     }
     let sleepers = if smoke { 256 } else { 2048 };

@@ -20,5 +20,6 @@ fn main() {
     e::ablations::run(&args);
     e::cluster_scaleout::run(&args);
     e::cluster_rebalance::run(&args);
+    e::vm_consolidation::run(&args);
     println!("\nAll experiments done. CSVs in {}", args.out.display());
 }

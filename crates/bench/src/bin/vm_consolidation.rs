@@ -1,0 +1,6 @@
+//! VM consolidation experiment; see
+//! `selftune_bench::experiments::vm_consolidation`.
+fn main() {
+    let args = selftune_bench::Args::parse();
+    selftune_bench::experiments::vm_consolidation::run(&args);
+}

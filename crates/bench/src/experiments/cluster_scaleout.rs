@@ -22,7 +22,8 @@ fn scenario(nodes: usize, tasks: usize) -> ScenarioSpec {
         .with_policy(PolicyKind::WorstFit)
 }
 
-/// Runs the sweep and writes `cluster_scaleout.csv`.
+/// Runs the sweep (or the `--scenario` file's fleet alone) and writes
+/// `cluster_scaleout.csv`.
 pub fn run(args: &Args) {
     println!("== Cluster scale-out: parallel fleet runner ==");
     let hw = std::thread::available_parallelism()
@@ -34,11 +35,26 @@ pub fn run(args: &Args) {
         println!(" the identical-aggregate check below still validates the runner)");
     }
 
+    let file_spec = args.scenario_spec();
     let mut rows = Vec::new();
-    let sweep: &[(usize, usize)] = if args.fast { &SWEEP[..2] } else { &SWEEP };
-    for &(nodes, per_node) in sweep {
-        let tasks = nodes * per_node;
-        let spec = scenario(nodes, tasks);
+    let sweep: &[(usize, usize)] = match (&file_spec, args.fast) {
+        (Some(_), _) => &[],
+        (None, true) => &SWEEP[..2],
+        (None, false) => &SWEEP,
+    };
+    let specs: Vec<ScenarioSpec> = match &file_spec {
+        Some(spec) => {
+            println!("scenario file: {}", spec.name);
+            vec![spec.clone()]
+        }
+        None => sweep
+            .iter()
+            .map(|&(nodes, per_node)| scenario(nodes, nodes * per_node))
+            .collect(),
+    };
+    for spec in &specs {
+        let (nodes, tasks) = (spec.nodes, spec.tasks);
+        let spec = spec.clone();
 
         let (serial, t1_us) = time_us(|| ClusterRunner::new(1).run(&spec, args.seed));
         let (quad, t4_us) = time_us(|| ClusterRunner::new(4).run(&spec, args.seed));
@@ -84,6 +100,10 @@ pub fn run(args: &Args) {
     print_table(&header, &rows);
     write_csv(&args.out_path("cluster_scaleout.csv"), &header, &rows);
 
+    if sweep.is_empty() {
+        // File mode: the loaded scenario fixes the policy; no face-off.
+        return;
+    }
     // Policy face-off on the largest fleet: same load, three placements.
     let (nodes, per_node) = sweep[sweep.len() - 1];
     println!("\n-- placement policies at {nodes} nodes --");

@@ -18,3 +18,4 @@ pub mod fig14;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod vm_consolidation;

@@ -1,0 +1,95 @@
+//! VM consolidation: hierarchical virtual platforms vs a flat node.
+//!
+//! The `crates/virt` acceptance experiment (see `selftune_virt::demo` for
+//! the scenario shared with the e2e test and the example): a well-behaved
+//! 25 Hz tenant and a noisy neighbour consolidate onto one host at a
+//! fixed total bandwidth, solo / hierarchical / flat. The isolation and
+//! throughput claims are asserted, the per-tenant table printed and
+//! `vm_consolidation.csv` written.
+
+use selftune_simcore::time::Dur;
+use selftune_virt::demo::{self, GuestStats};
+
+use crate::{fmt, print_table, time_us, write_csv, Args};
+
+/// Horizons swept: the short one is the e2e's, the long one shows the
+/// steady state.
+const HORIZONS_SECS: [u64; 2] = [10, 30];
+
+fn row(config: &str, tenant: &str, horizon: u64, s: &GuestStats, wall_ms: f64) -> Vec<String> {
+    vec![
+        horizon.to_string(),
+        config.to_owned(),
+        tenant.to_owned(),
+        s.completions.to_string(),
+        s.gaps.to_string(),
+        s.misses.to_string(),
+        fmt(s.miss_rate(), 4),
+        fmt(wall_ms, 1),
+    ]
+}
+
+/// Runs the comparison and writes `vm_consolidation.csv`.
+pub fn run(args: &Args) {
+    println!("== VM consolidation: two-level CBS vs flat self-tuning ==");
+    let horizons: &[u64] = if args.fast {
+        &HORIZONS_SECS[..1]
+    } else {
+        &HORIZONS_SECS
+    };
+    let mut rows = Vec::new();
+    for &secs in horizons {
+        let horizon = Dur::secs(secs);
+        let (solo, t_solo) = time_us(|| demo::run_solo(horizon, args.seed));
+        let (hier, t_hier) = time_us(|| demo::run_hierarchical(horizon, args.seed));
+        let (flat, t_flat) = time_us(|| demo::run_flat(horizon, args.seed));
+
+        // The subsystem's claims, asserted on every run.
+        let envelope = (2.0 * solo.miss_rate()).max(0.05);
+        assert!(
+            hier.victim.miss_rate() <= envelope,
+            "isolation violated: hierarchical victim at {:.4} vs envelope {envelope:.4}",
+            hier.victim.miss_rate()
+        );
+        assert!(
+            flat.victim.miss_rate() > envelope,
+            "flat victim unexpectedly isolated: {:.4}",
+            flat.victim.miss_rate()
+        );
+        assert!(
+            hier.completions() >= flat.completions(),
+            "hierarchical must match flat throughput: {} < {}",
+            hier.completions(),
+            flat.completions()
+        );
+
+        rows.push(row("solo", "victim", secs, &solo, t_solo / 1e3));
+        rows.push(row(
+            "hierarchical",
+            "victim",
+            secs,
+            &hier.victim,
+            t_hier / 1e3,
+        ));
+        rows.push(row("hierarchical", "noisy", secs, &hier.noisy, 0.0));
+        rows.push(row("flat", "victim", secs, &flat.victim, t_flat / 1e3));
+        rows.push(row("flat", "noisy", secs, &flat.noisy, 0.0));
+    }
+
+    let header = [
+        "horizon_s",
+        "config",
+        "tenant",
+        "completions",
+        "gaps",
+        "misses",
+        "miss_rate",
+        "wall_ms",
+    ];
+    print_table(&header, &rows);
+    write_csv(&args.out_path("vm_consolidation.csv"), &header, &rows);
+    println!(
+        "(assertions passed: victim isolated within 2x of solo under hierarchy, \
+         flat exceeds it; hierarchical completions >= flat at equal bandwidth)"
+    );
+}

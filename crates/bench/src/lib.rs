@@ -26,6 +26,9 @@ pub struct Args {
     pub fast: bool,
     /// Results directory.
     pub out: PathBuf,
+    /// Scenario file overriding the experiment's built-in fleet (cluster
+    /// experiments only; see `ScenarioSpec::from_text` for the format).
+    pub scenario: Option<PathBuf>,
 }
 
 impl Default for Args {
@@ -34,12 +37,14 @@ impl Default for Args {
             seed: 42,
             fast: false,
             out: PathBuf::from("results"),
+            scenario: None,
         }
     }
 }
 
 impl Args {
-    /// Parses `--seed N`, `--fast` and `--out DIR` from `std::env::args`.
+    /// Parses `--seed N`, `--fast`, `--out DIR` and `--scenario FILE`
+    /// from `std::env::args`.
     ///
     /// # Panics
     ///
@@ -58,10 +63,26 @@ impl Args {
                 "--out" => {
                     args.out = PathBuf::from(it.next().expect("--out needs a value"));
                 }
-                other => panic!("unknown argument {other:?} (try --seed/--fast/--out)"),
+                "--scenario" => {
+                    args.scenario =
+                        Some(PathBuf::from(it.next().expect("--scenario needs a file")));
+                }
+                other => panic!("unknown argument {other:?} (try --seed/--fast/--out/--scenario)"),
             }
         }
         args
+    }
+
+    /// Loads the `--scenario` file, if given.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the parse error when the file is missing or malformed
+    /// (a silently ignored scenario file would invalidate the experiment).
+    pub fn scenario_spec(&self) -> Option<selftune_cluster::ScenarioSpec> {
+        self.scenario
+            .as_deref()
+            .map(|p| load_scenario(p).unwrap_or_else(|e| panic!("{e}")))
     }
 
     /// Picks a repetition count: `full` normally, `quick` with `--fast`.
@@ -82,6 +103,20 @@ impl Args {
         std::fs::create_dir_all(&self.out).expect("create results dir");
         self.out.join(file)
     }
+}
+
+/// Loads a [`selftune_cluster::ScenarioSpec`] from a text file (the
+/// `ScenarioSpec::to_text` format).
+///
+/// # Errors
+///
+/// A human-readable message naming the file for I/O failures or the first
+/// offending line for parse failures.
+pub fn load_scenario(path: &Path) -> Result<selftune_cluster::ScenarioSpec, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("reading scenario {}: {e}", path.display()))?;
+    selftune_cluster::ScenarioSpec::from_text(&text)
+        .map_err(|e| format!("parsing scenario {}: {e}", path.display()))
 }
 
 /// Prints an aligned text table.
@@ -149,5 +184,46 @@ mod tests {
     #[test]
     fn fmt_decimals() {
         assert_eq!(fmt(1.23456, 2), "1.23");
+    }
+
+    #[test]
+    fn load_scenario_reports_missing_files() {
+        let err = load_scenario(Path::new("/nonexistent/fleet.txt")).unwrap_err();
+        assert!(err.contains("/nonexistent/fleet.txt"), "{err}");
+        assert!(err.contains("reading scenario"), "{err}");
+    }
+
+    #[test]
+    fn load_scenario_reports_malformed_content() {
+        let dir = std::env::temp_dir().join("selftune-bench-scenario-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.txt");
+        std::fs::write(
+            &path,
+            "name = x\nnodes = two\ntasks = 1\nhorizon_ms = 100\n",
+        )
+        .unwrap();
+        let err = load_scenario(&path).unwrap_err();
+        assert!(err.contains("parsing scenario"), "{err}");
+        assert!(err.contains("bad integer"), "{err}");
+        // And a well-formed file round-trips through the loader.
+        let good = dir.join("good.txt");
+        std::fs::write(
+            &good,
+            "name = tiny\nnodes = 2\ntasks = 4\nhorizon_ms = 500\nvm = 3 10 1 video25\n",
+        )
+        .unwrap();
+        let spec = load_scenario(&good).expect("well-formed scenario");
+        assert_eq!(spec.nodes, 2);
+        assert_eq!(spec.vms.len(), 1);
+    }
+
+    #[test]
+    fn checked_in_example_scenario_parses() {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/fleet_demo.txt");
+        let spec = load_scenario(&path).expect("examples/fleet_demo.txt must stay parseable");
+        assert!(spec.nodes >= 2);
+        assert!(spec.rebalance.enabled, "the demo exercises the rebalancer");
+        assert!(!spec.vms.is_empty(), "the demo places a VM");
     }
 }

@@ -31,6 +31,11 @@ pub struct TaskReport {
     pub dropped: u64,
     /// Completion gaps normalised by the nominal period (1.0 = on time).
     pub ift_norm: Vec<f64>,
+    /// Milliseconds from arrival to the manager attaching a reservation
+    /// (`None` while detection is still running, or for best-effort
+    /// tasks). Warm-started migrations report 0 — the hand-over gap the
+    /// carried controller state eliminates.
+    pub attach_delay_ms: Option<f64>,
 }
 
 /// One node's contribution to the aggregate.
@@ -74,6 +79,10 @@ pub struct AdmissionStats {
     pub best_effort: u64,
     /// Candidate-node rejections that migrated a request onward.
     pub migrations: u64,
+    /// Virtual platforms admitted onto some node.
+    pub vms_admitted: u64,
+    /// Virtual platforms no node could take.
+    pub vms_rejected: u64,
 }
 
 /// One applied live migration, as recorded by the rebalance pass.
@@ -81,13 +90,16 @@ pub struct AdmissionStats {
 pub struct MigrationRecord {
     /// Epoch index (0 = first rebalance boundary).
     pub epoch: u64,
-    /// Fleet id of the migrated task.
+    /// Fleet id of the migrated unit (task id, or VM id when `vm`).
     pub fleet_id: usize,
-    /// Node the task was extracted from.
+    /// Whether the unit was a whole virtual platform.
+    pub vm: bool,
+    /// Node the unit was extracted from.
     pub from: usize,
-    /// Node the task was re-admitted on.
+    /// Node the unit was re-admitted on.
     pub to: usize,
-    /// Bandwidth booked on the destination (minbudget × headroom).
+    /// Bandwidth booked on the destination (minbudget × headroom for a
+    /// task; the share for a VM).
     pub demand: f64,
     /// Destination's booked bandwidth right after admission — the witness
     /// that the move respected the admission bound.
@@ -247,6 +259,27 @@ impl AggregateMetrics {
             .collect()
     }
 
+    /// Mean attach delay (ms) of *migrated* incarnations that attached —
+    /// the hand-over gap. Warm-started task migrations pull this toward
+    /// zero; guests of a migrated VM re-detect inside the re-admitted VM
+    /// (their managers cold-start), so fleets mixing VM and task
+    /// migrations report a blend. `None` when nothing
+    /// migrated-and-attached.
+    pub fn mean_migrated_attach_delay_ms(&self) -> Option<f64> {
+        let delays: Vec<f64> = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.tasks.iter())
+            .filter(|t| t.migrated)
+            .filter_map(|t| t.attach_delay_ms)
+            .collect();
+        if delays.is_empty() {
+            None
+        } else {
+            Some(stats::mean(&delays))
+        }
+    }
+
     /// Histogram of per-node utilisation over `[0, 1]`.
     pub fn utilisation_histogram(&self) -> Vec<(f64, u64)> {
         let u: Vec<f64> = self.nodes.iter().map(|n| n.utilisation).collect();
@@ -298,15 +331,30 @@ impl AggregateMetrics {
             self.admission.best_effort,
             self.admission.migrations,
         ));
+        if self.admission.vms_admitted + self.admission.vms_rejected > 0 {
+            out.push_str(&format!(
+                "vms_admitted,{}\nvms_rejected,{}\n",
+                self.admission.vms_admitted, self.admission.vms_rejected,
+            ));
+        }
         out.push_str(&format!(
             "rb_epochs,{}\nrb_moves,{}\nrb_failed,{}\n",
             self.rebalance.epochs, self.rebalance.moves, self.rebalance.failed,
         ));
         for r in &self.rebalance.records {
             out.push_str(&format!(
-                "move,{},{},{},{},{:.6},{:.6}\n",
-                r.epoch, r.fleet_id, r.from, r.to, r.demand, r.dest_reserved_after,
+                "move,{},{},{},{},{},{:.6},{:.6}\n",
+                r.epoch,
+                if r.vm { "vm" } else { "task" },
+                r.fleet_id,
+                r.from,
+                r.to,
+                r.demand,
+                r.dest_reserved_after,
             ));
+        }
+        if let Some(d) = self.mean_migrated_attach_delay_ms() {
+            out.push_str(&format!("migrated_attach_delay_ms,{d:.3}\n"));
         }
         out.push_str(&format!(
             "completions,{}\nmisses,{}\nmiss_ratio,{:.6}\nmean_utilisation,{:.6}\n",
@@ -370,6 +418,7 @@ impl AggregateMetrics {
             .map(|r| {
                 vec![
                     r.epoch.to_string(),
+                    if r.vm { "vm" } else { "task" }.to_owned(),
                     r.fleet_id.to_string(),
                     r.from.to_string(),
                     r.to.to_string(),
@@ -382,6 +431,7 @@ impl AggregateMetrics {
             dir.join("cluster_migrations.csv"),
             &[
                 "epoch",
+                "unit",
                 "fleet_id",
                 "from",
                 "to",
@@ -470,6 +520,7 @@ mod tests {
                 misses: ift.iter().filter(|&&x| x > NodeReport::MISS_FACTOR).count() as u64,
                 dropped: 0,
                 ift_norm: ift,
+                attach_delay_ms: None,
             }],
             utilisation: util,
             reserved_bw: util * 0.8,
@@ -537,6 +588,7 @@ mod tests {
             records: vec![MigrationRecord {
                 epoch: 1,
                 fleet_id: 1,
+                vm: false,
                 from: 0,
                 to: 1,
                 demand: 0.25,
@@ -547,7 +599,7 @@ mod tests {
         assert!(csv.contains("rb_epochs,3"));
         assert!(csv.contains("rb_moves,1"));
         assert!(csv.contains("rb_failed,2"));
-        assert!(csv.contains("move,1,1,0,1,0.250000,0.250000"));
+        assert!(csv.contains("move,1,task,1,0,1,0.250000,0.250000"));
         // The post-migration CDF covers only the migrated incarnation's
         // gaps, all of which sit at or below 1.1.
         let pm = m.post_migration_cdf();

@@ -82,14 +82,15 @@ pub mod textio;
 pub use aggregate::{
     AdmissionStats, AggregateMetrics, MigrationRecord, NodeReport, RebalanceStats, TaskReport,
 };
-pub use node::{Lease, LiveRt, Node, NodeFeedback, NodeTask};
+pub use node::{Lease, LiveRt, LiveVm, Node, NodeFeedback, NodeTask, NodeVm, WarmStart};
 pub use placer::{
-    FeedbackView, LiveTask, Migration, PlacementOutcome, Placer, PolicyKind, RebalanceOutcome,
+    FeedbackView, LiveTask, LiveVmUnit, Migration, PlacementOutcome, Placer, PolicyKind,
+    RebalanceOutcome,
 };
-pub use runner::{derive_task_seed, plan_fleet, ClusterRunner, FleetPlan, PlannedTask};
+pub use runner::{derive_task_seed, plan_fleet, ClusterRunner, FleetPlan, PlannedTask, PlannedVm};
 pub use spec::{
     ArrivalSchedule, Churn, NodeFilter, OverloadWindow, RebalanceSpec, ScenarioSpec, TaskKind,
-    TaskMix,
+    TaskMix, VmSpec,
 };
 
 /// One-stop imports for fleet experiments.
@@ -97,11 +98,11 @@ pub mod prelude {
     pub use crate::aggregate::{
         AdmissionStats, AggregateMetrics, MigrationRecord, NodeReport, RebalanceStats,
     };
-    pub use crate::node::NodeFeedback;
+    pub use crate::node::{NodeFeedback, WarmStart};
     pub use crate::placer::{FeedbackView, PlacementOutcome, Placer, PolicyKind};
     pub use crate::runner::{plan_fleet, ClusterRunner, FleetPlan};
     pub use crate::spec::{
         ArrivalSchedule, Churn, NodeFilter, OverloadWindow, RebalanceSpec, ScenarioSpec, TaskKind,
-        TaskMix,
+        TaskMix, VmSpec,
     };
 }

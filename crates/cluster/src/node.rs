@@ -1,20 +1,22 @@
-//! One fleet node: a kernel + tracer + self-tuning manager bundle that
-//! runs its share of the scenario to the horizon.
+//! One fleet node: a virtualised kernel + tracers + self-tuning managers
+//! bundle that runs its share of the scenario to the horizon.
 //!
-//! A node is exactly the paper's single-machine stack — the cluster layer
-//! replicates it. Nodes are built *inside* their worker thread (the tracer
-//! shares state through `Rc`, so a node never crosses threads); everything
-//! needed to build one — the task plans — is plain `Send` data.
+//! A node is the paper's single-machine stack, virtualised: flat tasks run
+//! under the host-level self-tuning manager exactly as before, while each
+//! placed [`NodeVm`] is a whole tenant — a host CBS share containing a
+//! nested scheduler and its own per-guest manager (see `selftune-virt`).
+//! Nodes are built *inside* their worker thread (tracer state is shared
+//! through `Rc`, so a node never crosses threads); everything needed to
+//! build one — the task and VM plans — is plain `Send` data.
 
 use selftune_apps::CpuHog;
-use selftune_core::{ControllerConfig, ManagerConfig, SelfTuningManager};
-use selftune_sched::{CbsMode, ReservationScheduler, Supervisor};
+use selftune_core::{ControllerConfig, ManagerConfig};
+use selftune_sched::{CbsMode, Supervisor};
 use selftune_simcore::kernel::TaskState;
 use selftune_simcore::rng::Rng;
 use selftune_simcore::task::{Action, TaskCtx, TaskId, Workload};
 use selftune_simcore::time::{Dur, Time};
-use selftune_simcore::Kernel;
-use selftune_tracer::{Tracer, TracerConfig};
+use selftune_virt::{GuestPolicy, VirtPlatform, VmConfig, VmId};
 
 use crate::aggregate::{NodeReport, TaskReport};
 use crate::spec::{OverloadWindow, ScenarioSpec, TaskKind};
@@ -43,6 +45,16 @@ impl Workload for Lease {
     }
 }
 
+/// Controller state carried across a live migration: the source node's
+/// granted reservation, used to warm-start the destination.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WarmStart {
+    /// Granted budget at extraction time.
+    pub budget: Dur,
+    /// Reservation period (the detected task period).
+    pub period: Dur,
+}
+
 /// A task assigned to this node (the node-local slice of the fleet plan).
 #[derive(Clone, Debug)]
 pub struct NodeTask {
@@ -60,6 +72,28 @@ pub struct NodeTask {
     pub seed: u64,
     /// Whether this incarnation was admitted through a live migration
     /// (rather than at its original fleet arrival).
+    pub migrated: bool,
+    /// Carried controller state for a warm-started migration.
+    pub warm: Option<WarmStart>,
+}
+
+/// A virtual platform assigned to this node: placed (and migrated) as one
+/// unit, booked at its share.
+#[derive(Clone, Debug)]
+pub struct NodeVm {
+    /// Fleet-wide VM index (its own id space, disjoint from task ids).
+    pub fleet_vm_id: usize,
+    /// Label, unique fleet-wide (e.g. `"v03"`).
+    pub label: String,
+    /// Share budget per share period.
+    pub budget: Dur,
+    /// Share period.
+    pub period: Dur,
+    /// Guest task plans.
+    pub guests: Vec<NodeTask>,
+    /// Arrival instant of this incarnation (t = 0, or the migration epoch).
+    pub arrival: Time,
+    /// Whether this incarnation arrived through a live migration.
     pub migrated: bool,
 }
 
@@ -79,6 +113,15 @@ struct Managed {
     fb_mark_pos: usize,
 }
 
+struct VmRt {
+    vm: VmId,
+    plan: NodeVm,
+    guests: Vec<Managed>,
+    released: bool,
+    /// VM share consumption up to the last feedback snapshot.
+    fb_consumed: Dur,
+}
+
 /// One live real-time task in a node's feedback snapshot.
 #[derive(Clone, Copy, Debug)]
 pub struct LiveRt {
@@ -91,6 +134,23 @@ pub struct LiveRt {
     /// task that just landed has produced no feedback on its new placement
     /// yet, and re-moving it would be thrash, not feedback.
     pub movable: bool,
+    /// The task's currently granted reservation `(budget, period)`, if its
+    /// manager attached one — the controller state a warm-started
+    /// migration carries to the destination.
+    pub granted: Option<(Dur, Dur)>,
+}
+
+/// One live virtual platform in a node's feedback snapshot.
+#[derive(Clone, Copy, Debug)]
+pub struct LiveVm {
+    /// Fleet-wide VM id.
+    pub fleet_vm_id: usize,
+    /// The share currently granted to the VM, `Q/T`.
+    pub share: f64,
+    /// CPU bandwidth the VM measurably consumed over the epoch.
+    pub measured_bw: f64,
+    /// Resident for a full epoch → migration candidate.
+    pub movable: bool,
 }
 
 /// What a node *measured* over the last epoch — the live signal the fleet
@@ -102,16 +162,20 @@ pub struct NodeFeedback {
     pub node: usize,
     /// CPU busy fraction over the epoch.
     pub utilisation: f64,
-    /// Completion gaps observed during the epoch.
+    /// Completion gaps observed during the epoch (flat + guest tasks).
     pub gaps: u64,
     /// Gaps that exceeded the miss factor during the epoch.
     pub misses: u64,
-    /// Supervisor grants compressed below request during the epoch.
+    /// Supervisor grants compressed below request during the epoch, on the
+    /// host manager and inside every guest manager.
     pub compressions: u64,
-    /// Real-time tasks currently alive on this node (started, not exited,
-    /// not already extracted) with their measured bandwidth, sorted by
-    /// fleet id.
+    /// Real-time flat tasks currently alive on this node (started, not
+    /// exited, not already extracted) with their measured bandwidth,
+    /// sorted by fleet id.
     pub live_rt: Vec<LiveRt>,
+    /// Virtual platforms currently alive on this node, sorted by fleet VM
+    /// id.
+    pub live_vms: Vec<LiveVm>,
 }
 
 impl NodeFeedback {
@@ -137,36 +201,27 @@ struct FeedbackMark {
 /// One simulated machine of the fleet.
 pub struct Node {
     id: usize,
-    kernel: Kernel<ReservationScheduler>,
-    manager: SelfTuningManager,
+    platform: VirtPlatform,
     sampling: Dur,
     tasks: Vec<Managed>,
+    vms: Vec<VmRt>,
     fb_mark: FeedbackMark,
 }
 
 impl Node {
     /// Builds the node's kernel/tracer/manager stack per the spec.
     pub fn new(id: usize, spec: &ScenarioSpec) -> Node {
-        let mut kernel = Kernel::new(ReservationScheduler::with_fair_slice(Dur::ms(4)));
-        let (hook, reader) = Tracer::create(TracerConfig {
-            capacity: 1 << 16,
-            ..TracerConfig::default()
+        let platform = VirtPlatform::new(ManagerConfig {
+            sampling: spec.sampling,
+            supervisor: Supervisor::new(spec.ulub),
+            cbs_mode: CbsMode::Hard,
         });
-        kernel.install_hook(Box::new(hook));
-        let manager = SelfTuningManager::new(
-            ManagerConfig {
-                sampling: spec.sampling,
-                supervisor: Supervisor::new(spec.ulub),
-                cbs_mode: CbsMode::Hard,
-            },
-            reader,
-        );
         Node {
             id,
-            kernel,
-            manager,
+            platform,
             sampling: spec.sampling,
             tasks: Vec::new(),
+            vms: Vec::new(),
             fb_mark: FeedbackMark::default(),
         }
     }
@@ -176,23 +231,21 @@ impl Node {
         self.id
     }
 
-    /// Adds a planned task: spawns its workload at the arrival instant
-    /// (wrapped in a [`Lease`] when it departs) and, for real-time kinds,
-    /// puts it under the self-tuning manager.
-    pub fn add_task(&mut self, plan: NodeTask) {
-        let rng = Rng::new(plan.seed);
-        let mut workload = plan.kind.instantiate(&plan.label, rng);
+    /// Builds a plan's workload, lease-wrapped when it departs — shared
+    /// by the flat-task and VM-guest admission paths so lifetime handling
+    /// cannot diverge between them.
+    fn leased_workload(plan: &NodeTask) -> Box<dyn Workload> {
+        let mut workload = plan.kind.instantiate(&plan.label, Rng::new(plan.seed));
         if let Some(dep) = plan.departure {
             workload = Box::new(Lease::new(workload, dep));
         }
-        let tid = self.kernel.spawn_at(&plan.label, workload, plan.arrival);
-        if plan.kind.is_realtime() {
-            self.manager
-                .manage(tid, &plan.label, ControllerConfig::default());
-        }
+        workload
+    }
+
+    fn managed_of(plan: NodeTask, tid: TaskId) -> Managed {
         let mark = plan.kind.mark_name(&plan.label);
         let period_ms = plan.kind.nominal().map(|t| t.period);
-        self.tasks.push(Managed {
+        Managed {
             tid,
             task: plan,
             released: false,
@@ -200,6 +253,87 @@ impl Node {
             mark,
             period_ms,
             fb_mark_pos: 0,
+        }
+    }
+
+    /// Adds a planned task: spawns its workload at the arrival instant
+    /// (wrapped in a [`Lease`] when it departs) and, for real-time kinds,
+    /// puts it under the host self-tuning manager — warm-started from the
+    /// carried controller state when the plan brings one.
+    pub fn add_task(&mut self, plan: NodeTask) {
+        let workload = Node::leased_workload(&plan);
+        let tid = self
+            .platform
+            .kernel_mut()
+            .spawn_at(&plan.label, workload, plan.arrival);
+        if plan.kind.is_realtime() {
+            match plan.warm {
+                Some(w) => self.platform.manage_host_warm(
+                    tid,
+                    &plan.label,
+                    ControllerConfig::default(),
+                    w.budget,
+                    w.period,
+                ),
+                None => self
+                    .platform
+                    .manage_host(tid, &plan.label, ControllerConfig::default()),
+            }
+        }
+        self.tasks.push(Node::managed_of(plan, tid));
+    }
+
+    /// Adds a planned virtual platform: admits its share, spawns every
+    /// guest into it and puts real-time guests under the VM's own manager.
+    ///
+    /// The share goes through the curbed admission path: the placer's
+    /// booked model can drift from this node's live self-tuned grants
+    /// (a flat task that idled all epoch reports near-zero measured
+    /// bandwidth while its grant stays large), so a migrated VM may land
+    /// on a node with less room than the rebalancer believed. It is then
+    /// compressed rather than rejected — the next feedback epoch sees the
+    /// resulting pressure and moves work again.
+    pub fn add_vm(&mut self, plan: NodeVm) {
+        let (vm, _granted) = self.platform.create_vm_curbed(VmConfig {
+            label: plan.label.clone(),
+            budget: plan.budget,
+            period: plan.period,
+            policy: GuestPolicy::SelfTuning(ManagerConfig {
+                sampling: self.sampling,
+                supervisor: Supervisor::new(1.0),
+                cbs_mode: CbsMode::Hard,
+            }),
+        });
+        let mut guests = Vec::with_capacity(plan.guests.len());
+        for g in &plan.guests {
+            let workload = Node::leased_workload(g);
+            let tid = self
+                .platform
+                .spawn_in_vm_at(vm, &g.label, workload, g.arrival);
+            if g.kind.is_realtime() {
+                match g.warm {
+                    Some(w) => self.platform.manage_warm_in_vm(
+                        vm,
+                        tid,
+                        &g.label,
+                        ControllerConfig::default(),
+                        w.budget,
+                        w.period,
+                    ),
+                    None => {
+                        self.platform
+                            .manage_in_vm(vm, tid, &g.label, ControllerConfig::default())
+                    }
+                }
+            }
+            guests.push(Node::managed_of(g.clone(), tid));
+        }
+        self.vms.push(VmRt {
+            vm,
+            plan,
+            guests,
+            released: false,
+            fb_consumed: Dur::ZERO,
         });
     }
 
@@ -213,7 +347,7 @@ impl Node {
         for h in 0..window.hogs_per_node {
             let hog = Box::new(CpuHog::new(window.chunk));
             let leased = Box::new(Lease::new(hog, Time::ZERO + window.end));
-            self.kernel.spawn_at(
+            self.platform.kernel_mut().spawn_at(
                 &format!("hog{}w{h}", self.id),
                 leased,
                 Time::ZERO + window.start,
@@ -221,36 +355,70 @@ impl Node {
         }
     }
 
-    /// Runs to the horizon, stepping the manager every sampling period and
-    /// releasing the reservations of departed tasks along the way.
+    /// Runs to the horizon, stepping every manager every sampling period
+    /// and releasing the reservations of departed tasks along the way.
     pub fn run_to_horizon(&mut self, horizon: Time) {
-        while self.kernel.now() < horizon {
-            let next = (self.kernel.now() + self.sampling).min(horizon);
-            self.kernel.run_until(next);
+        while self.platform.now() < horizon {
+            let next = (self.platform.now() + self.sampling).min(horizon);
+            self.platform.kernel_mut().run_until(next);
             for m in &mut self.tasks {
                 if !m.released
                     && m.task.kind.is_realtime()
-                    && self.kernel.task_state(m.tid) == TaskState::Exited
+                    && self.platform.kernel().task_state(m.tid) == TaskState::Exited
                 {
-                    self.manager.unmanage(&mut self.kernel, m.tid);
+                    self.platform.unmanage_host(m.tid);
                     m.released = true;
                 }
             }
-            self.manager.step(&mut self.kernel);
+            for rt in &mut self.vms {
+                if rt.released {
+                    continue;
+                }
+                for m in &mut rt.guests {
+                    if !m.released
+                        && m.task.kind.is_realtime()
+                        && self.platform.kernel().task_state(m.tid) == TaskState::Exited
+                    {
+                        self.platform.unmanage_in_vm(rt.vm, m.tid);
+                        m.released = true;
+                    }
+                }
+            }
+            self.platform.step_managers();
+        }
+    }
+
+    /// Walks a task's fresh completion marks, updating the epoch counters.
+    fn scan_marks(platform: &VirtPlatform, m: &mut Managed, gaps: &mut u64, misses: &mut u64) {
+        if let (Some(name), Some(period_ms)) = (&m.mark, m.period_ms) {
+            let marks = platform.kernel().metrics().marks(name);
+            while m.fb_mark_pos + 1 < marks.len() {
+                let gap_ms = (marks[m.fb_mark_pos + 1] - marks[m.fb_mark_pos]).as_ms_f64();
+                *gaps += 1;
+                if gap_ms / period_ms > NodeReport::MISS_FACTOR {
+                    *misses += 1;
+                }
+                m.fb_mark_pos += 1;
+            }
         }
     }
 
     /// Publishes the feedback snapshot for the epoch ending at `now` and
     /// re-arms the epoch counters: measured utilisation, deadline-miss
     /// rate and supervisor compressions *since the previous snapshot*,
-    /// plus the live real-time task set.
+    /// plus the live real-time task set and the live VM set.
     ///
     /// The gap scan is incremental — each task remembers how many
     /// completion marks previous snapshots consumed — so an epoch
     /// boundary costs O(new marks), not O(marks since t = 0).
     pub fn feedback(&mut self, now: Time) -> NodeFeedback {
-        let busy = self.kernel.busy_time();
-        let compressions = self.manager.compressed_grants();
+        let busy = self.platform.kernel().busy_time();
+        let mut compressions = self.platform.host_manager().compressed_grants();
+        for rt in &self.vms {
+            if let Some(mgr) = self.platform.guest_manager(rt.vm) {
+                compressions += mgr.compressed_grants();
+            }
+        }
         let span = now.saturating_since(self.fb_mark.at.unwrap_or(Time::ZERO));
         let epoch_busy = busy.saturating_sub(self.fb_mark.busy);
         let prev = self.fb_mark.at.unwrap_or(Time::ZERO);
@@ -258,27 +426,17 @@ impl Node {
         let mut misses = 0u64;
         let mut live_rt: Vec<LiveRt> = Vec::new();
         for m in &mut self.tasks {
-            if let (Some(name), Some(period_ms)) = (&m.mark, m.period_ms) {
-                let marks = self.kernel.metrics().marks(name);
-                while m.fb_mark_pos + 1 < marks.len() {
-                    let gap_ms = (marks[m.fb_mark_pos + 1] - marks[m.fb_mark_pos]).as_ms_f64();
-                    gaps += 1;
-                    if gap_ms / period_ms > NodeReport::MISS_FACTOR {
-                        misses += 1;
-                    }
-                    m.fb_mark_pos += 1;
-                }
-            }
+            Node::scan_marks(&self.platform, m, &mut gaps, &mut misses);
             let live = m.task.kind.is_realtime()
                 && !m.released
                 && matches!(
-                    self.kernel.task_state(m.tid),
+                    self.platform.kernel().task_state(m.tid),
                     TaskState::Ready | TaskState::Blocked
                 );
             if !live {
                 continue;
             }
-            let consumed = self.kernel.thread_time(m.tid);
+            let consumed = self.platform.kernel().thread_time(m.tid);
             let epoch_consumed = consumed.saturating_sub(m.fb_consumed);
             m.fb_consumed = consumed;
             // Normalise by the task's *residency* in the epoch, not the
@@ -289,6 +447,10 @@ impl Node {
             } else {
                 prev
             });
+            let granted = self.platform.host_manager().server_of(m.tid).map(|sid| {
+                let cfg = self.platform.kernel().sched().host().server(sid).config();
+                (cfg.budget, cfg.period)
+            });
             live_rt.push(LiveRt {
                 fleet_id: m.task.fleet_id,
                 measured_bw: if resident.is_zero() {
@@ -297,9 +459,38 @@ impl Node {
                     epoch_consumed.ratio(resident)
                 },
                 movable: m.task.arrival <= prev,
+                granted,
             });
         }
         live_rt.sort_unstable_by_key(|t| t.fleet_id);
+        let mut live_vms: Vec<LiveVm> = Vec::new();
+        for rt in &mut self.vms {
+            for m in &mut rt.guests {
+                Node::scan_marks(&self.platform, m, &mut gaps, &mut misses);
+            }
+            if rt.released {
+                continue;
+            }
+            let consumed = self.platform.vm_consumed(rt.vm);
+            let epoch_consumed = consumed.saturating_sub(rt.fb_consumed);
+            rt.fb_consumed = consumed;
+            let resident = now.saturating_since(if rt.plan.arrival > prev {
+                rt.plan.arrival
+            } else {
+                prev
+            });
+            live_vms.push(LiveVm {
+                fleet_vm_id: rt.plan.fleet_vm_id,
+                share: self.platform.vm_share(rt.vm),
+                measured_bw: if resident.is_zero() {
+                    0.0
+                } else {
+                    epoch_consumed.ratio(resident)
+                },
+                movable: rt.plan.arrival <= prev,
+            });
+        }
+        live_vms.sort_unstable_by_key(|v| v.fleet_vm_id);
         let fb = NodeFeedback {
             node: self.id,
             utilisation: if span.is_zero() {
@@ -311,6 +502,7 @@ impl Node {
             misses,
             compressions: compressions - self.fb_mark.compressions,
             live_rt,
+            live_vms,
         };
         self.fb_mark = FeedbackMark {
             busy,
@@ -321,70 +513,116 @@ impl Node {
     }
 
     /// Extracts a running task for migration: releases its reservation,
-    /// terminates its kernel incarnation and returns `true`. The task's
-    /// completions so far stay in this node's report; the runner re-admits
-    /// the plan (kind, lifetime, fresh seed) on the destination node.
+    /// terminates its kernel incarnation and returns the carried
+    /// controller state (`Some(None)` when it had no reservation yet).
+    /// The task's completions so far stay in this node's report; the
+    /// runner re-admits the plan (kind, lifetime, fresh seed) on the
+    /// destination node.
     ///
-    /// Returns `false` when the task is unknown, already departed or
+    /// Returns `None` when the task is unknown, already departed or
     /// already extracted — the migration is then dropped.
-    pub fn extract_task(&mut self, fleet_id: usize) -> bool {
-        let Some(m) = self
+    pub fn extract_task(&mut self, fleet_id: usize) -> Option<Option<WarmStart>> {
+        let m = self
             .tasks
             .iter_mut()
-            .find(|m| m.task.fleet_id == fleet_id && !m.released)
+            .find(|m| m.task.fleet_id == fleet_id && !m.released)?;
+        let tid = m.tid;
+        let realtime = m.task.kind.is_realtime();
+        if self.platform.kernel().task_state(tid) == TaskState::Exited {
+            return None;
+        }
+        m.released = true;
+        let warm = self.platform.host_manager().server_of(tid).map(|sid| {
+            let cfg = self.platform.kernel().sched().host().server(sid).config();
+            WarmStart {
+                budget: cfg.budget,
+                period: cfg.period,
+            }
+        });
+        if realtime {
+            self.platform.unmanage_host(tid);
+        }
+        self.platform.kernel_mut().kill(tid);
+        Some(warm)
+    }
+
+    /// Extracts a whole virtual platform for migration: kills every guest
+    /// task and releases the VM's share. Completions so far stay in this
+    /// node's report. Returns `false` when the VM is unknown or already
+    /// extracted.
+    pub fn extract_vm(&mut self, fleet_vm_id: usize) -> bool {
+        let Some(rt) = self
+            .vms
+            .iter_mut()
+            .find(|rt| rt.plan.fleet_vm_id == fleet_vm_id && !rt.released)
         else {
             return false;
         };
-        let tid = m.tid;
-        let realtime = m.task.kind.is_realtime();
-        if self.kernel.task_state(tid) == TaskState::Exited {
-            return false;
+        rt.released = true;
+        for m in &mut rt.guests {
+            m.released = true;
         }
-        m.released = true;
-        if realtime {
-            self.manager.unmanage(&mut self.kernel, tid);
+        self.platform.kill_vm(rt.vm)
+    }
+
+    fn task_report(&self, m: &Managed, vm_mgr: Option<VmId>) -> TaskReport {
+        let metrics = self.platform.kernel().metrics();
+        let nominal = m.task.kind.nominal();
+        let (completions, ift_norm) = match (&m.mark, &nominal) {
+            (Some(name), Some(t)) => {
+                let gaps = metrics.inter_mark_times_ms(name);
+                let norm: Vec<f64> = gaps.iter().map(|&g| g / t.period).collect();
+                (metrics.marks(name).len() as u64, norm)
+            }
+            _ => (0, Vec::new()),
+        };
+        let misses = ift_norm
+            .iter()
+            .filter(|&&x| x > NodeReport::MISS_FACTOR)
+            .count() as u64;
+        let dropped = metrics.counter(&format!("{}.dropped", m.task.label));
+        let attached = match vm_mgr {
+            Some(vm) => self
+                .platform
+                .guest_manager(vm)
+                .is_some_and(|mgr| mgr.server_of(m.tid).is_some()),
+            None => self.platform.host_manager().server_of(m.tid).is_some(),
+        } || m.released;
+        let attach_delay_ms = metrics
+            .marks(&format!("{}.attached", m.task.label))
+            .first()
+            .map(|&t| t.saturating_since(m.task.arrival).as_ms_f64());
+        TaskReport {
+            fleet_id: m.task.fleet_id,
+            label: m.task.label.clone(),
+            realtime: m.task.kind.is_realtime(),
+            attached,
+            migrated: m.task.migrated,
+            completions,
+            misses,
+            dropped,
+            ift_norm,
+            attach_delay_ms,
         }
-        self.kernel.kill(tid);
-        true
     }
 
     /// Extracts the node's contribution to the fleet aggregate.
     ///
     /// Deadline misses are derived from completion gaps: a task with
     /// nominal period `P` misses when a completion-to-completion gap
-    /// exceeds [`NodeReport::MISS_FACTOR`]` × P`.
+    /// exceeds [`NodeReport::MISS_FACTOR`]` × P`. Guest tasks report after
+    /// the node's flat tasks, in (VM, spawn) order.
     pub fn report(&self, horizon: Time) -> NodeReport {
-        let metrics = self.kernel.metrics();
         let mut tasks = Vec::new();
         for m in &self.tasks {
-            let nominal = m.task.kind.nominal();
-            let mark = m.task.kind.mark_name(&m.task.label);
-            let (completions, ift_norm) = match (&mark, &nominal) {
-                (Some(name), Some(t)) => {
-                    let gaps = metrics.inter_mark_times_ms(name);
-                    let norm: Vec<f64> = gaps.iter().map(|&g| g / t.period).collect();
-                    (metrics.marks(name).len() as u64, norm)
-                }
-                _ => (0, Vec::new()),
-            };
-            let misses = ift_norm
-                .iter()
-                .filter(|&&x| x > NodeReport::MISS_FACTOR)
-                .count() as u64;
-            let dropped = metrics.counter(&format!("{}.dropped", m.task.label));
-            tasks.push(TaskReport {
-                fleet_id: m.task.fleet_id,
-                label: m.task.label.clone(),
-                realtime: m.task.kind.is_realtime(),
-                attached: self.manager.server_of(m.tid).is_some() || m.released,
-                migrated: m.task.migrated,
-                completions,
-                misses,
-                dropped,
-                ift_norm,
-            });
+            tasks.push(self.task_report(m, None));
         }
-        let busy = self.kernel.busy_time();
+        for rt in &self.vms {
+            for m in &rt.guests {
+                tasks.push(self.task_report(m, Some(rt.vm)));
+            }
+        }
+        let busy = self.platform.kernel().busy_time();
         let span = horizon.saturating_since(Time::ZERO);
         NodeReport {
             node: self.id,
@@ -394,8 +632,8 @@ impl Node {
             } else {
                 busy.ratio(span)
             },
-            reserved_bw: self.kernel.sched().total_reserved_bandwidth(),
-            ctx_switches: self.kernel.context_switches(),
+            reserved_bw: self.platform.host_reserved_bandwidth(),
+            ctx_switches: self.platform.kernel().context_switches(),
         }
     }
 }
@@ -409,21 +647,29 @@ mod tests {
         ScenarioSpec::new("node-test", 1, 0, Dur::secs(3))
     }
 
-    #[test]
-    fn node_attaches_and_reports() {
-        let spec = tiny_spec();
-        let mut node = Node::new(0, &spec);
-        node.add_task(NodeTask {
-            fleet_id: 0,
-            label: "t000".into(),
+    fn rt_task(fleet_id: usize, label: &str) -> NodeTask {
+        NodeTask {
+            fleet_id,
+            label: label.into(),
             kind: TaskKind::PeriodicRt {
                 wcet: Dur::ms(4),
                 period: Dur::ms(40),
             },
             arrival: Time::ZERO,
             departure: None,
-            seed: 7,
+            seed: 11,
             migrated: false,
+            warm: None,
+        }
+    }
+
+    #[test]
+    fn node_attaches_and_reports() {
+        let spec = tiny_spec();
+        let mut node = Node::new(0, &spec);
+        node.add_task(NodeTask {
+            seed: 7,
+            ..rt_task(0, "t000")
         });
         let horizon = Time::ZERO + spec.horizon;
         node.run_to_horizon(horizon);
@@ -433,6 +679,10 @@ mod tests {
         let t = &report.tasks[0];
         assert!(t.attached, "manager attached a reservation");
         assert!(t.completions > 50, "jobs completed: {}", t.completions);
+        assert!(
+            t.attach_delay_ms.expect("attached") > 0.0,
+            "cold start detects first"
+        );
         assert!(report.utilisation > 0.05 && report.utilisation < 0.5);
         assert!(report.reserved_bw > 0.05);
     }
@@ -442,16 +692,9 @@ mod tests {
         let spec = tiny_spec();
         let mut node = Node::new(0, &spec);
         node.add_task(NodeTask {
-            fleet_id: 0,
-            label: "t000".into(),
-            kind: TaskKind::PeriodicRt {
-                wcet: Dur::ms(4),
-                period: Dur::ms(40),
-            },
-            arrival: Time::ZERO,
             departure: Some(Time::ZERO + Dur::ms(1800)),
             seed: 7,
-            migrated: false,
+            ..rt_task(0, "t000")
         });
         let horizon = Time::ZERO + spec.horizon;
         node.run_to_horizon(horizon);
@@ -501,21 +744,6 @@ mod tests {
         assert!(node.report(horizon).utilisation < 0.01);
     }
 
-    fn rt_task(fleet_id: usize, label: &str) -> NodeTask {
-        NodeTask {
-            fleet_id,
-            label: label.into(),
-            kind: TaskKind::PeriodicRt {
-                wcet: Dur::ms(4),
-                period: Dur::ms(40),
-            },
-            arrival: Time::ZERO,
-            departure: None,
-            seed: 11,
-            migrated: false,
-        }
-    }
-
     #[test]
     fn feedback_reports_epoch_deltas_and_live_tasks() {
         let spec = tiny_spec();
@@ -534,7 +762,8 @@ mod tests {
         assert!(bw > 0.05 && bw < 0.25, "measured bw {bw}");
         assert!(fb1.utilisation > 0.05);
 
-        // The second snapshot counts only the second epoch's gaps.
+        // The second snapshot counts only the second epoch's gaps, and by
+        // now the manager has attached — the granted pair rides along.
         let e2 = Time::ZERO + Dur::ms(2_000);
         node.run_to_horizon(e2);
         let fb2 = node.feedback(e2);
@@ -543,27 +772,120 @@ mod tests {
             "epoch delta, not running total: {}",
             fb2.gaps
         );
+        let (budget, period) = fb2.live_rt[0].granted.expect("attached by 2s");
+        assert!((period.as_ms_f64() - 40.0).abs() < 2.0, "{period}");
+        assert!(budget > Dur::ms(2) && budget < Dur::ms(12), "{budget}");
     }
 
     #[test]
-    fn extract_task_stops_work_and_leaves_the_live_set() {
+    fn extract_task_stops_work_and_carries_warm_state() {
         let spec = tiny_spec();
         let mut node = Node::new(0, &spec);
         node.add_task(rt_task(0, "t000"));
-        let e1 = Time::ZERO + Dur::ms(1_000);
+        let e1 = Time::ZERO + Dur::ms(2_000);
         node.run_to_horizon(e1);
         assert!(node.feedback(e1).live_rt.len() == 1);
 
-        assert!(node.extract_task(0), "live task extracts");
-        assert!(!node.extract_task(0), "second extraction is a no-op");
-        assert!(!node.extract_task(99), "unknown fleet id is a no-op");
+        let warm = node.extract_task(0).expect("live task extracts");
+        let warm = warm.expect("attached task carries its grant");
+        assert!((warm.period.as_ms_f64() - 40.0).abs() < 2.0);
+        assert!(node.extract_task(0).is_none(), "second extraction no-ops");
+        assert!(node.extract_task(99).is_none(), "unknown fleet id no-ops");
 
-        let e2 = Time::ZERO + Dur::ms(2_000);
+        let e2 = Time::ZERO + Dur::ms(3_000);
         node.run_to_horizon(e2);
         let fb = node.feedback(e2);
         assert!(fb.live_rt.is_empty(), "extracted task left the live set");
         assert_eq!(fb.gaps, 0, "no completions after extraction");
         // The reservation was shrunk back to (almost) nothing.
+        let report = node.report(e2);
+        assert!(report.reserved_bw < 0.05, "residual {}", report.reserved_bw);
+        assert!(report.tasks[0].completions > 0, "pre-extraction work kept");
+    }
+
+    #[test]
+    fn warm_started_task_attaches_at_arrival() {
+        let spec = tiny_spec();
+        let mut node = Node::new(0, &spec);
+        node.add_task(NodeTask {
+            migrated: true,
+            warm: Some(WarmStart {
+                budget: Dur::ms(5),
+                period: Dur::ms(40),
+            }),
+            ..rt_task(0, "t000m")
+        });
+        let horizon = Time::ZERO + Dur::ms(1500);
+        node.run_to_horizon(horizon);
+        let report = node.report(horizon);
+        let t = &report.tasks[0];
+        assert!(t.attached);
+        assert_eq!(t.attach_delay_ms, Some(0.0), "no hand-over gap");
+        assert!(t.completions > 30, "ran from the start: {}", t.completions);
+    }
+
+    fn vm_plan(fleet_vm_id: usize) -> NodeVm {
+        NodeVm {
+            fleet_vm_id,
+            label: format!("v{fleet_vm_id:02}"),
+            budget: Dur::ms(3),
+            period: Dur::ms(10),
+            guests: vec![NodeTask {
+                seed: 5,
+                ..rt_task(1000 + fleet_vm_id, &format!("v{fleet_vm_id:02}g0"))
+            }],
+            arrival: Time::ZERO,
+            migrated: false,
+        }
+    }
+
+    #[test]
+    fn vm_guests_run_under_their_own_manager_and_report() {
+        let spec = tiny_spec();
+        let mut node = Node::new(0, &spec);
+        node.add_task(rt_task(0, "t000"));
+        node.add_vm(vm_plan(0));
+        let horizon = Time::ZERO + spec.horizon;
+        node.run_to_horizon(horizon);
+        let report = node.report(horizon);
+        assert_eq!(report.tasks.len(), 2, "flat task + guest task");
+        let guest = &report.tasks[1];
+        assert_eq!(guest.fleet_id, 1000);
+        assert!(guest.attached, "guest attached inside the VM");
+        assert!(guest.completions > 40, "guest ran: {}", guest.completions);
+        // The host books the flat task's reservation plus the VM share.
+        assert!(report.reserved_bw > 0.3, "booked {}", report.reserved_bw);
+
+        let mut node2 = Node::new(0, &spec);
+        node2.add_vm(vm_plan(0));
+        let e1 = Time::ZERO + Dur::ms(1000);
+        node2.run_to_horizon(e1);
+        let fb = node2.feedback(e1);
+        assert_eq!(fb.live_vms.len(), 1);
+        assert!((fb.live_vms[0].share - 0.3).abs() < 1e-9);
+        assert!(fb.live_vms[0].measured_bw > 0.05);
+        assert!(fb.live_vms[0].movable);
+        assert!(fb.gaps > 10, "guest gaps feed node pressure: {}", fb.gaps);
+    }
+
+    #[test]
+    fn extract_vm_releases_share_and_stops_guests() {
+        let spec = tiny_spec();
+        let mut node = Node::new(0, &spec);
+        node.add_vm(vm_plan(3));
+        let e1 = Time::ZERO + Dur::ms(1000);
+        node.run_to_horizon(e1);
+        assert_eq!(node.feedback(e1).live_vms.len(), 1);
+
+        assert!(node.extract_vm(3));
+        assert!(!node.extract_vm(3), "second extraction is a no-op");
+        assert!(!node.extract_vm(99), "unknown VM is a no-op");
+
+        let e2 = Time::ZERO + Dur::ms(2000);
+        node.run_to_horizon(e2);
+        let fb = node.feedback(e2);
+        assert!(fb.live_vms.is_empty());
+        assert_eq!(fb.gaps, 0, "no guest completions after extraction");
         let report = node.report(e2);
         assert!(report.reserved_bw < 0.05, "residual {}", report.reserved_bw);
         assert!(report.tasks[0].completions > 0, "pre-extraction work kept");

@@ -13,7 +13,7 @@
 
 use selftune_analysis::{min_bandwidth_single, PeriodicTask};
 
-use crate::node::NodeFeedback;
+use crate::node::{NodeFeedback, WarmStart};
 use crate::spec::RebalanceSpec;
 
 /// Which placement policy orders the candidate nodes.
@@ -98,6 +98,10 @@ pub enum PlacementOutcome {
 pub struct FeedbackView {
     /// Per-node feedback snapshots, in node-id order.
     pub nodes: Vec<NodeFeedback>,
+    /// Cross-epoch smoothed pressure per node, when the caller maintains
+    /// one (the runner's EWMA); eviction then reads this instead of the
+    /// raw epoch signal, giving threshold oscillation hysteresis.
+    pub smoothed: Option<Vec<f64>>,
 }
 
 impl FeedbackView {
@@ -106,21 +110,46 @@ impl FeedbackView {
     /// a hog-saturated node shows no RT misses but is no place to land.
     pub const DEST_UTIL_CAP: f64 = 0.97;
 
-    /// Migration pressure of a node: its measured deadline-miss rate over
-    /// the last epoch.
+    /// Weight of the per-task compression-event rate in the raw pressure
+    /// signal: a node whose supervisor curbs one grant per live task per
+    /// epoch reads as this much extra pressure.
+    pub const COMPRESSION_WEIGHT: f64 = 0.1;
+
+    /// Raw (single-epoch) migration pressure of a node: its measured
+    /// deadline-miss rate over the last epoch.
     ///
-    /// A node with live real-time tasks, *zero* completion gaps and a
+    /// A node with live real-time work, *zero* completion gaps and a
     /// saturated CPU is not healthy — it is so starved its tasks finished
     /// nothing all epoch, which no miss ratio can express. That state
     /// reads as maximal pressure. (Zero gaps on an unsaturated node — a
     /// long-period task between completions, or tasks that just arrived —
     /// stays zero pressure.)
-    pub fn pressure(&self, node: usize) -> f64 {
+    pub fn raw_pressure(&self, node: usize) -> f64 {
         let fb = &self.nodes[node];
-        if fb.gaps == 0 && !fb.live_rt.is_empty() && fb.utilisation > Self::DEST_UTIL_CAP {
+        let live = !fb.live_rt.is_empty() || !fb.live_vms.is_empty();
+        if fb.gaps == 0 && live && fb.utilisation > Self::DEST_UTIL_CAP {
             return 1.0;
         }
         fb.miss_rate()
+    }
+
+    /// Raw pressure plus the supervisor-compression term: the per-epoch
+    /// signal the runner's EWMA accumulates. Compression events are a
+    /// leading indicator — grants get curbed before misses pile up.
+    pub fn raw_signal(&self, node: usize) -> f64 {
+        let fb = &self.nodes[node];
+        let units = (fb.live_rt.len() + fb.live_vms.len()).max(1) as f64;
+        let compression = Self::COMPRESSION_WEIGHT * (fb.compressions as f64 / units);
+        (self.raw_pressure(node) + compression).min(1.0)
+    }
+
+    /// The pressure eviction acts on: the smoothed signal when present,
+    /// the raw per-epoch pressure otherwise.
+    pub fn pressure(&self, node: usize) -> f64 {
+        match &self.smoothed {
+            Some(s) => s[node],
+            None => self.raw_pressure(node),
+        }
     }
 
     /// Measured CPU busy fraction of a node over the last epoch.
@@ -144,13 +173,32 @@ pub struct LiveTask {
     /// a full epoch). Non-movable tasks still count toward booked
     /// bandwidth.
     pub movable: bool,
+    /// The granted reservation at snapshot time — carried to the
+    /// destination for a warm start when the task migrates.
+    pub granted: Option<WarmStart>,
+}
+
+/// One live virtual platform, as seen by the rebalancer: a single move
+/// unit booked at its share.
+#[derive(Clone, Copy, Debug)]
+pub struct LiveVmUnit {
+    /// Fleet-wide VM id.
+    pub fleet_vm_id: usize,
+    /// Node currently hosting it.
+    pub node: usize,
+    /// The VM's granted share `Q/T` — what a destination must book.
+    pub share: f64,
+    /// Whether the VM is a migration candidate.
+    pub movable: bool,
 }
 
 /// One migration decision from a rebalance pass.
 #[derive(Clone, Copy, Debug)]
 pub struct Migration {
-    /// Fleet id of the task to move.
+    /// Fleet id of the unit to move (task id, or VM id when `vm`).
     pub fleet_id: usize,
+    /// Whether the unit is a whole virtual platform.
+    pub vm: bool,
     /// Source node (extract here).
     pub from: usize,
     /// Destination node (re-admit here).
@@ -159,6 +207,9 @@ pub struct Migration {
     pub demand: f64,
     /// Destination booked bandwidth right after admission.
     pub dest_reserved_after: f64,
+    /// Carried controller state for warm-starting the destination (tasks
+    /// only).
+    pub warm: Option<WarmStart>,
 }
 
 /// The decisions of one rebalance pass.
@@ -243,8 +294,19 @@ impl Placer {
         now_ns: u64,
         departs_ns: Option<u64>,
     ) -> PlacementOutcome {
-        self.release_due(now_ns);
         let demand = self.demand_of(task);
+        self.place_demand(demand, now_ns, departs_ns)
+    }
+
+    /// Places an explicit bandwidth demand (a VM's share, which is booked
+    /// as given rather than derived from a nominal task).
+    pub fn place_demand(
+        &mut self,
+        demand: f64,
+        now_ns: u64,
+        departs_ns: Option<u64>,
+    ) -> PlacementOutcome {
+        self.release_due(now_ns);
         let order = self.policy.candidate_order(&self.reserved);
         for (migrations, node) in order.into_iter().enumerate() {
             if self.reserved[node] + demand <= self.ulub + 1e-9 {
@@ -335,6 +397,7 @@ impl Placer {
         &mut self,
         view: &FeedbackView,
         live: &[LiveTask],
+        vms: &[LiveVmUnit],
         cfg: &RebalanceSpec,
     ) -> RebalanceOutcome {
         let nodes = self.reserved.len();
@@ -362,24 +425,43 @@ impl Placer {
             // task slipping every deadline by a full period needs roughly
             // twice what it was seen to burn).
             let starvation = 1.0 + view.pressure(from);
-            let mut victims: Vec<(f64, usize)> = live
+            // Victim candidates: movable flat tasks, plus whole virtual
+            // platforms (booked at their share — a VM's consumption cannot
+            // exceed it, so no starvation inflation applies).
+            let mut victims: Vec<(f64, bool, usize, Option<WarmStart>)> = live
                 .iter()
                 .filter(|t| t.node == from && t.movable)
                 .map(|t| {
                     let demand = self
                         .demand_of(t.nominal)
                         .max((t.measured_bw * self.headroom * starvation).min(1.0));
-                    (demand, t.fleet_id)
+                    // The warm hand-over keeps the source's *period* (the
+                    // expensive-to-learn state) but sizes the budget at
+                    // what this pass books on the destination: the
+                    // source's granted budget was measured under
+                    // compression, and re-creating that starved grant
+                    // would make the destination re-live the melt.
+                    let warm = t.granted.map(|g| WarmStart {
+                        budget: g.budget.max(g.period.mul_f64(demand)).min(g.period),
+                        period: g.period,
+                    });
+                    (demand, false, t.fleet_id, warm)
                 })
                 .collect();
+            victims.extend(
+                vms.iter()
+                    .filter(|v| v.node == from && v.movable)
+                    .map(|v| (v.share, true, v.fleet_vm_id, None)),
+            );
             // Largest demand first moves the most load per migration; ties
-            // break on the lower fleet id.
+            // break tasks before VMs, then on the lower id.
             victims.sort_by(|a, b| {
                 b.0.partial_cmp(&a.0)
                     .expect("NaN demand")
                     .then(a.1.cmp(&b.1))
+                    .then(a.2.cmp(&b.2))
             });
-            for (demand, fleet_id) in victims {
+            for (demand, vm, fleet_id, warm) in victims {
                 if out.moves.len() as u32 >= cfg.max_moves {
                     break 'drain;
                 }
@@ -388,10 +470,12 @@ impl Placer {
                         self.reserved[from] = (self.reserved[from] - demand).max(0.0);
                         out.moves.push(Migration {
                             fleet_id,
+                            vm,
                             from,
                             to,
                             demand,
                             dest_reserved_after: self.reserved[to],
+                            warm,
                         });
                     }
                     None => out.failed += 1,
@@ -512,8 +596,10 @@ mod tests {
                     misses: (mr * 100.0).round() as u64,
                     compressions: 0,
                     live_rt: Vec::new(),
+                    live_vms: Vec::new(),
                 })
                 .collect(),
+            smoothed: None,
         }
     }
 
@@ -523,6 +609,7 @@ mod tests {
             period: selftune_simcore::time::Dur::secs(1),
             pressure,
             max_moves,
+            ..crate::spec::RebalanceSpec::default()
         }
     }
 
@@ -537,11 +624,13 @@ mod tests {
                 nominal: task(20.0, 100.0),
                 measured_bw: 0.0,
                 movable: true,
+                granted: None,
             })
             .collect();
         let out = p.rebalance(
             &view(&[0.3, 0.0, 0.0], &[0.9, 0.2, 0.2]),
             &live,
+            &[],
             &cfg(0.05, 8),
         );
         // The pressured node is fully evacuated (all four tasks fit
@@ -569,12 +658,14 @@ mod tests {
                 nominal: task(20.0, 100.0),
                 measured_bw: 0.0,
                 movable: true,
+                granted: None,
             })
             .collect();
         // Node 1 is hog-saturated (util 0.99): only node 2 may receive.
         let out = p.rebalance(
             &view(&[0.5, 0.0, 0.0], &[1.0, 0.99, 0.1]),
             &live,
+            &[],
             &cfg(0.05, 1),
         );
         assert_eq!(out.moves.len(), 1);
@@ -595,7 +686,9 @@ mod tests {
                 fleet_id: 0,
                 measured_bw: 0.02,
                 movable: true,
+                granted: None,
             }],
+            live_vms: Vec::new(),
         };
         // Node 1: also zero gaps, but idle with a long-period task — fine.
         let idle = NodeFeedback {
@@ -608,10 +701,13 @@ mod tests {
                 fleet_id: 1,
                 measured_bw: 0.01,
                 movable: true,
+                granted: None,
             }],
+            live_vms: Vec::new(),
         };
         let v = FeedbackView {
             nodes: vec![starved, idle],
+            smoothed: None,
         };
         assert!((v.pressure(0) - 1.0).abs() < 1e-12);
         assert!(v.pressure(1).abs() < 1e-12);
@@ -625,8 +721,9 @@ mod tests {
             nominal: task(2.0, 40.0),
             measured_bw: 0.02,
             movable: true,
+            granted: None,
         }];
-        let out = p.rebalance(&v, &live, &cfg(0.25, 4));
+        let out = p.rebalance(&v, &live, &[], &cfg(0.25, 4));
         assert_eq!(out.moves.len(), 1);
         assert_eq!(out.moves[0].from, 0);
         assert_eq!(out.moves[0].to, 1);
@@ -642,8 +739,9 @@ mod tests {
             nominal: task(20.0, 100.0),
             measured_bw: 0.0,
             movable: true,
+            granted: None,
         }];
-        let out = p.rebalance(&view(&[0.01, 0.0], &[0.9, 0.1]), &live, &cfg(0.05, 8));
+        let out = p.rebalance(&view(&[0.01, 0.0], &[0.9, 0.1]), &live, &[], &cfg(0.05, 8));
         assert!(out.moves.is_empty());
         assert_eq!(out.failed, 0);
         assert_eq!(p.reserved(), &[0.8, 0.1]);
@@ -660,6 +758,7 @@ mod tests {
                 nominal: task(20.0, 100.0),
                 measured_bw: 0.0,
                 movable: true,
+                granted: None,
             },
             LiveTask {
                 fleet_id: 1,
@@ -667,10 +766,11 @@ mod tests {
                 nominal: task(20.0, 100.0),
                 measured_bw: 0.0,
                 movable: true,
+                granted: None,
             },
         ];
         // Node 1 is nearly as full: no destination admits a 0.2 task.
-        let out = p.rebalance(&view(&[0.4, 0.0], &[0.5, 0.5]), &live, &cfg(0.05, 8));
+        let out = p.rebalance(&view(&[0.4, 0.0], &[0.5, 0.5]), &live, &[], &cfg(0.05, 8));
         assert!(out.moves.is_empty());
         assert!(out.failed > 0);
         assert_eq!(p.reserved(), &[0.45, 0.4]);

@@ -39,8 +39,8 @@ use selftune_simcore::time::{Dur, Time};
 use crate::aggregate::{
     AdmissionStats, AggregateMetrics, MigrationRecord, NodeReport, RebalanceStats,
 };
-use crate::node::{Node, NodeFeedback, NodeTask};
-use crate::placer::{FeedbackView, LiveTask, Migration, PlacementOutcome, Placer};
+use crate::node::{Node, NodeFeedback, NodeTask, NodeVm};
+use crate::placer::{FeedbackView, LiveTask, LiveVmUnit, Migration, PlacementOutcome, Placer};
 use crate::spec::{ArrivalSchedule, ScenarioSpec};
 
 /// Derives the workload seed of fleet task `task_id` from the base seed.
@@ -64,11 +64,23 @@ pub struct PlannedTask {
     pub realtime: bool,
 }
 
-/// The fleet plan: every task, its placement, and admission statistics.
+/// One planned virtual platform with its placement.
+#[derive(Clone, Debug)]
+pub struct PlannedVm {
+    /// The node-local plan (share, guest task plans).
+    pub vm: NodeVm,
+    /// Node the VM was placed on; `None` if admission rejected it.
+    pub node: Option<usize>,
+}
+
+/// The fleet plan: every task and VM, their placement, and admission
+/// statistics.
 #[derive(Clone, Debug)]
 pub struct FleetPlan {
     /// All planned tasks, in fleet-id order.
     pub tasks: Vec<PlannedTask>,
+    /// All planned virtual platforms, in fleet-VM-id order.
+    pub vms: Vec<PlannedVm>,
     /// Admission statistics.
     pub admission: AdmissionStats,
 }
@@ -98,6 +110,54 @@ pub fn plan_fleet(spec: &ScenarioSpec, seed: u64) -> FleetPlan {
     let horizon = Time::ZERO + spec.horizon;
     let mut placer = Placer::new(spec.nodes, spec.ulub, spec.headroom, spec.policy);
     let mut admission = AdmissionStats::default();
+
+    // Virtual platforms are placed first, as whole units booked at their
+    // share: tenants hold their bandwidth from t = 0, and flat tasks fill
+    // in around them.
+    let mut vms = Vec::with_capacity(spec.vms.len());
+    let mut guest_fleet_id = spec.tasks;
+    for (i, vm_spec) in spec.vms.iter().enumerate() {
+        let node = match placer.place_demand(vm_spec.share(), 0, None) {
+            PlacementOutcome::Admitted { node, .. } => {
+                admission.vms_admitted += 1;
+                Some(node)
+            }
+            PlacementOutcome::Rejected { .. } => {
+                admission.vms_rejected += 1;
+                None
+            }
+        };
+        let label = format!("v{i:02}");
+        let guests = (0..vm_spec.guests)
+            .map(|g| {
+                let fleet_id = guest_fleet_id;
+                guest_fleet_id += 1;
+                NodeTask {
+                    fleet_id,
+                    label: format!("{label}g{g}"),
+                    kind: vm_spec.kind.clone(),
+                    arrival: Time::ZERO,
+                    departure: None,
+                    seed: derive_task_seed(seed ^ SEED_VM_SALT, fleet_id as u64),
+                    migrated: false,
+                    warm: None,
+                }
+            })
+            .collect();
+        vms.push(PlannedVm {
+            vm: NodeVm {
+                fleet_vm_id: i,
+                label,
+                budget: vm_spec.budget,
+                period: vm_spec.period,
+                guests,
+                arrival: Time::ZERO,
+                migrated: false,
+            },
+            node,
+        });
+    }
+
     let mut tasks = Vec::with_capacity(spec.tasks);
     for (i, &arrival) in arrivals.iter().enumerate() {
         let kind = spec.mix.sample(&mut rng);
@@ -140,12 +200,17 @@ pub fn plan_fleet(spec: &ScenarioSpec, seed: u64) -> FleetPlan {
                 departure,
                 seed: task_seed,
                 migrated: false,
+                warm: None,
             },
             node,
             realtime,
         });
     }
-    FleetPlan { tasks, admission }
+    FleetPlan {
+        tasks,
+        vms,
+        admission,
+    }
 }
 
 /// Executes fleet scenarios across OS threads.
@@ -242,6 +307,12 @@ impl ClusterRunner {
                 per_node[node].push(p.task.clone());
             }
         }
+        let mut per_node_vms: Vec<Vec<NodeVm>> = vec![Vec::new(); spec.nodes];
+        for p in &plan.vms {
+            if let Some(node) = p.node {
+                per_node_vms[node].push(p.vm.clone());
+            }
+        }
 
         let workers = self.threads.min(spec.nodes).max(1);
         let chunk = self.chunk_for(spec.nodes, workers);
@@ -256,10 +327,11 @@ impl ClusterRunner {
         let barrier = Barrier::new(workers);
         // Feedback snapshots, one slot per node, refilled every epoch.
         let feedback: Mutex<Vec<Option<NodeFeedback>>> = Mutex::new(vec![None; spec.nodes]);
-        // Rebalance decisions of the current epoch plus cumulative stats;
-        // written by the barrier leader, read by every worker.
-        let shared: Mutex<(Vec<Migration>, RebalanceStats)> =
-            Mutex::new((Vec::new(), RebalanceStats::default()));
+        // Rebalance decisions of the current epoch, cumulative stats and
+        // the cross-epoch EWMA pressure state; written by the barrier
+        // leader, read by every worker.
+        let shared: Mutex<(Vec<Migration>, RebalanceStats, Vec<f64>)> =
+            Mutex::new((Vec::new(), RebalanceStats::default(), vec![0.0; spec.nodes]));
 
         thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
@@ -267,6 +339,7 @@ impl ClusterRunner {
                 let spec_ref = &*spec;
                 let plan_ref = &*plan;
                 let per_node = &per_node;
+                let per_node_vms = &per_node_vms;
                 let next = &next;
                 let barrier = &barrier;
                 let feedback = &feedback;
@@ -286,6 +359,9 @@ impl ClusterRunner {
                         let end = (base + chunk).min(spec_ref.nodes);
                         for (node_id, tasks) in per_node.iter().enumerate().take(end).skip(base) {
                             let mut node = Node::new(node_id, spec_ref);
+                            for vm in &per_node_vms[node_id] {
+                                node.add_vm(vm.clone());
+                            }
                             for t in tasks {
                                 node.add_task(t.clone());
                             }
@@ -318,15 +394,27 @@ impl ClusterRunner {
                         }
                         if barrier.wait().is_leader() {
                             let slots = feedback.lock().expect("feedback lock");
-                            let view = FeedbackView {
+                            let mut view = FeedbackView {
                                 nodes: slots
                                     .iter()
                                     .map(|s| s.clone().expect("missing node feedback"))
                                     .collect(),
+                                smoothed: None,
                             };
                             drop(slots);
-                            let outcome = rebalance_epoch(spec_ref, plan_ref, &view, t_end);
                             let mut sh = shared.lock().expect("rebalance lock");
+                            // Cross-epoch hysteresis: fold this epoch's raw
+                            // signal (miss rate + compression rate) into the
+                            // EWMA, and let eviction act on the smoothed
+                            // value. Pure f64 folds over node-id order — the
+                            // thread count cannot leak in.
+                            let alpha = spec_ref.rebalance.ewma_alpha;
+                            for n in 0..spec_ref.nodes {
+                                let raw = view.raw_signal(n);
+                                sh.2[n] = alpha * raw + (1.0 - alpha) * sh.2[n];
+                            }
+                            view.smoothed = Some(sh.2.clone());
+                            let outcome = rebalance_epoch(spec_ref, plan_ref, &view, t_end);
                             sh.1.epochs += 1;
                             sh.1.moves += outcome.moves.len() as u64;
                             sh.1.failed += outcome.failed;
@@ -334,11 +422,24 @@ impl ClusterRunner {
                                 .extend(outcome.moves.iter().map(|m| MigrationRecord {
                                     epoch: ei as u64,
                                     fleet_id: m.fleet_id,
+                                    vm: m.vm,
                                     from: m.from,
                                     to: m.to,
                                     demand: m.demand,
                                     dest_reserved_after: m.dest_reserved_after,
                                 }));
+                            // A drained node sheds its pressure history with
+                            // its load; keeping the old EWMA would drain it
+                            // again next epoch on stale evidence. Halved
+                            // once per drained *node*, however many units
+                            // left it this epoch.
+                            let mut drained = vec![false; spec_ref.nodes];
+                            for m in &outcome.moves {
+                                if !drained[m.from] {
+                                    drained[m.from] = true;
+                                    sh.2[m.from] *= 0.5;
+                                }
+                            }
                             sh.0 = outcome.moves;
                         }
                         barrier.wait();
@@ -347,7 +448,14 @@ impl ClusterRunner {
                         let sh = shared.lock().expect("rebalance lock");
                         for m in &sh.0 {
                             for node in &mut owned {
-                                if node.id() == m.from {
+                                if m.vm {
+                                    if node.id() == m.from {
+                                        node.extract_vm(m.fleet_id);
+                                    } else if node.id() == m.to {
+                                        let base = &plan_ref.vms[m.fleet_id].vm;
+                                        node.add_vm(migrated_vm_incarnation(base, t_end, seed, ei));
+                                    }
+                                } else if node.id() == m.from {
                                     node.extract_task(m.fleet_id);
                                 } else if node.id() == m.to {
                                     let base = &plan_ref.tasks[m.fleet_id].task;
@@ -362,6 +470,11 @@ impl ClusterRunner {
                                             ((base.fleet_id as u64) << 16) | ei as u64,
                                         ),
                                         migrated: true,
+                                        warm: if spec_ref.rebalance.warm_start {
+                                            m.warm
+                                        } else {
+                                            None
+                                        },
                                     });
                                 }
                             }
@@ -386,14 +499,44 @@ impl ClusterRunner {
             .enumerate()
             .map(|(i, r)| r.unwrap_or_else(|| panic!("node {i} produced no report")))
             .collect();
-        let (_, stats) = shared.into_inner().expect("rebalance lock");
+        let (_, stats, _) = shared.into_inner().expect("rebalance lock");
         AggregateMetrics::new(&spec.name, seed, plan.admission, nodes).with_rebalance(stats)
     }
 }
 
+/// The re-admitted incarnation of a migrated VM: same share and guest
+/// kinds, fresh labels and workload seeds, arriving at the epoch boundary.
+fn migrated_vm_incarnation(base: &NodeVm, at: Time, seed: u64, epoch: usize) -> NodeVm {
+    NodeVm {
+        fleet_vm_id: base.fleet_vm_id,
+        label: format!("{}e{epoch}", base.label),
+        budget: base.budget,
+        period: base.period,
+        guests: base
+            .guests
+            .iter()
+            .map(|g| NodeTask {
+                fleet_id: g.fleet_id,
+                label: format!("{}e{epoch}", g.label),
+                kind: g.kind.clone(),
+                arrival: at,
+                departure: g.departure,
+                seed: derive_task_seed(
+                    seed ^ SEED_MIGRATION_SALT,
+                    ((g.fleet_id as u64) << 16) | epoch as u64,
+                ),
+                migrated: true,
+                warm: None,
+            })
+            .collect(),
+        arrival: at,
+        migrated: true,
+    }
+}
+
 /// One deterministic rebalance decision pass: rebuilds the fleet's booked
-/// bandwidth from the tasks the nodes report alive, then drains pressured
-/// nodes through the placer's minbudget admission path.
+/// bandwidth from the tasks and VMs the nodes report alive, then drains
+/// pressured nodes through the placer's admission path.
 fn rebalance_epoch(
     spec: &ScenarioSpec,
     plan: &FleetPlan,
@@ -402,6 +545,7 @@ fn rebalance_epoch(
 ) -> crate::placer::RebalanceOutcome {
     let mut placer = Placer::new(spec.nodes, spec.ulub, spec.headroom, spec.policy);
     let mut live: Vec<LiveTask> = Vec::new();
+    let mut live_vms: Vec<LiveVmUnit> = Vec::new();
     let mut reserved = vec![0.0f64; spec.nodes];
     // Planned arrivals that have not started yet still hold their nominal
     // booking on their target node — a destination about to receive them
@@ -427,13 +571,25 @@ fn rebalance_epoch(
                 nominal,
                 measured_bw: rt.measured_bw,
                 movable: rt.movable,
+                granted: rt
+                    .granted
+                    .map(|(budget, period)| crate::node::WarmStart { budget, period }),
             };
             reserved[fb.node] += placer.effective_demand(&t);
             live.push(t);
         }
+        for vm in &fb.live_vms {
+            reserved[fb.node] += vm.share;
+            live_vms.push(LiveVmUnit {
+                fleet_vm_id: vm.fleet_vm_id,
+                node: fb.node,
+                share: vm.share,
+                movable: vm.movable,
+            });
+        }
     }
     placer.sync_reserved(&reserved);
-    placer.rebalance(view, &live, &spec.rebalance)
+    placer.rebalance(view, &live, &live_vms, &spec.rebalance)
 }
 
 /// Domain separator between the planning RNG stream and workload streams.
@@ -442,6 +598,9 @@ const SEED_PLAN_SALT: u64 = 0x5EED_1234_ABCD_0001;
 /// Domain separator for migrated-incarnation workload seeds (a re-admitted
 /// task draws a fresh stream so it does not replay its start-of-run phase).
 const SEED_MIGRATION_SALT: u64 = 0x5EED_1234_ABCD_0002;
+
+/// Domain separator for VM guest workload seeds.
+const SEED_VM_SALT: u64 = 0x5EED_1234_ABCD_0003;
 
 #[cfg(test)]
 mod tests {

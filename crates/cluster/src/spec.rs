@@ -337,6 +337,12 @@ pub struct OverloadWindow {
 /// pass migrates running tasks off nodes whose *measured* pressure exceeds
 /// the threshold — the cluster-scale analogue of the paper's self-tuning
 /// loop, which trusts observed scheduling behaviour over nominal demand.
+///
+/// The eviction signal is an exponentially weighted moving average of the
+/// per-epoch pressure (miss rate plus compression-event rate): a node
+/// oscillating around the threshold no longer alternates drain/idle every
+/// epoch, because one good epoch only decays — not erases — the pressure
+/// history. `ewma_alpha = 1` reproduces the memoryless behaviour.
 #[derive(Clone, Copy, Debug)]
 pub struct RebalanceSpec {
     /// Master switch; when `false` the runner behaves exactly as before
@@ -344,11 +350,18 @@ pub struct RebalanceSpec {
     pub enabled: bool,
     /// Epoch length (rebalance decisions happen at multiples of this).
     pub period: Dur,
-    /// Pressure threshold: a node whose epoch deadline-miss rate exceeds
-    /// this is drained.
+    /// Pressure threshold: a node whose smoothed pressure exceeds this is
+    /// drained.
     pub pressure: f64,
     /// Fleet-wide cap on migrations per epoch.
     pub max_moves: u32,
+    /// EWMA smoothing factor in `(0, 1]`: weight of the current epoch's
+    /// raw pressure (1 = no smoothing, the pre-hysteresis behaviour).
+    pub ewma_alpha: f64,
+    /// Carry controller state across migrations: the destination seeds its
+    /// manager and reservation from the source's granted budget and
+    /// period estimate instead of re-detecting from scratch.
+    pub warm_start: bool,
 }
 
 impl Default for RebalanceSpec {
@@ -358,7 +371,34 @@ impl Default for RebalanceSpec {
             period: Dur::secs(1),
             pressure: 0.05,
             max_moves: 4,
+            ewma_alpha: 1.0,
+            warm_start: false,
         }
+    }
+}
+
+/// One virtual platform in the fleet: a whole tenant placed — and, under
+/// feedback re-placement, migrated — as a single unit.
+///
+/// The VM's host share `(budget, period)` is what the placer books; the
+/// guest tasks run under the VM's own self-tuning manager (for real-time
+/// kinds), invisible to fleet-level admission.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VmSpec {
+    /// Share budget granted per share period.
+    pub budget: Dur,
+    /// Share period (granularity of the VM's CPU supply).
+    pub period: Dur,
+    /// Number of guest tasks.
+    pub guests: usize,
+    /// Kind of every guest task.
+    pub kind: TaskKind,
+}
+
+impl VmSpec {
+    /// The share of one node this VM books, `Q/T`.
+    pub fn share(&self) -> f64 {
+        self.budget.ratio(self.period)
     }
 }
 
@@ -371,6 +411,8 @@ pub struct ScenarioSpec {
     pub nodes: usize,
     /// Fleet-wide number of tasks to place.
     pub tasks: usize,
+    /// Virtual platforms to place as whole units (may be empty).
+    pub vms: Vec<VmSpec>,
     /// Virtual-time horizon each node runs to.
     pub horizon: Dur,
     /// Task mix sampled per arrival.
@@ -403,6 +445,7 @@ impl ScenarioSpec {
             name: name.to_owned(),
             nodes,
             tasks,
+            vms: Vec::new(),
             horizon,
             mix: TaskMix::media_heavy(),
             arrivals: ArrivalSchedule::Staggered { gap: Dur::ms(20) },
@@ -419,6 +462,22 @@ impl ScenarioSpec {
     /// Replaces the task mix.
     pub fn with_mix(mut self, mix: TaskMix) -> ScenarioSpec {
         self.mix = mix;
+        self
+    }
+
+    /// Adds a virtual platform to place as a unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the share is degenerate (zero budget/period or
+    /// `budget > period`) or the VM has no guests.
+    pub fn with_vm(mut self, vm: VmSpec) -> ScenarioSpec {
+        assert!(
+            !vm.budget.is_zero() && !vm.period.is_zero() && vm.budget <= vm.period,
+            "degenerate VM share"
+        );
+        assert!(vm.guests > 0, "a VM needs at least one guest task");
+        self.vms.push(vm);
         self
     }
 
@@ -501,13 +560,16 @@ impl ScenarioSpec {
             })
     }
 
-    /// The feedback-loop parameters of the skewed-overload demo.
+    /// The feedback-loop parameters of the skewed-overload demo: EWMA
+    /// smoothing on and controller state carried across migrations.
     pub fn demo_rebalance() -> RebalanceSpec {
         RebalanceSpec {
             enabled: true,
             period: Dur::ms(750),
             pressure: 0.25,
             max_moves: 4,
+            ewma_alpha: 0.6,
+            warm_start: true,
         }
     }
 
@@ -520,6 +582,10 @@ impl ScenarioSpec {
         assert!(
             rebalance.pressure >= 0.0,
             "rebalance pressure must be non-negative"
+        );
+        assert!(
+            rebalance.ewma_alpha > 0.0 && rebalance.ewma_alpha <= 1.0,
+            "rebalance ewma_alpha must be in (0, 1]"
         );
         self.rebalance = rebalance;
         self
@@ -611,6 +677,7 @@ mod tests {
             period: Dur::ms(500),
             pressure: 0.1,
             max_moves: 2,
+            ..RebalanceSpec::default()
         });
         assert!(spec.rebalance.enabled);
         assert_eq!(spec.rebalance.max_moves, 2);

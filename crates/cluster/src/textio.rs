@@ -21,16 +21,22 @@
 //! churn = 4000 800
 //! mix = video25 3
 //! mix = periodic_rt 2 2 50
+//! vm = 3 10 2 periodic_rt 4 40
 //! overload = 2000 3500 1 10 first:2
-//! rebalance = on 1000 0.05 4
+//! rebalance = on 1000 0.05 4 0.6 warm
 //! ```
+//!
+//! `vm` lines declare whole virtual platforms (`budget_ms period_ms
+//! guests kind...`), placed and migrated as single units. The
+//! `rebalance` line accepts the legacy 4-field form or the 6-field form
+//! adding the EWMA smoothing factor and warm/cold migration hand-over.
 
 use selftune_simcore::time::Dur;
 
 use crate::placer::PolicyKind;
 use crate::spec::{
     ArrivalSchedule, Churn, NodeFilter, OverloadWindow, RebalanceSpec, ScenarioSpec, TaskKind,
-    TaskMix,
+    TaskMix, VmSpec,
 };
 
 /// Formats a duration as fractional milliseconds with a shortest
@@ -53,6 +59,34 @@ fn parse_f64(s: &str) -> Result<f64, String> {
 
 fn parse_usize(s: &str) -> Result<usize, String> {
     s.parse().map_err(|_| format!("bad integer: {s:?}"))
+}
+
+/// Serialises a kind without a leading weight (shared by `mix` lines,
+/// which prepend one, and `vm` lines, which do not).
+fn kind_body(kind: &TaskKind) -> String {
+    match kind {
+        TaskKind::Video25 => "video25".to_owned(),
+        TaskKind::Mp3 => "mp3".to_owned(),
+        TaskKind::Stream30 => "stream30".to_owned(),
+        TaskKind::PeriodicRt { wcet, period } => {
+            format!("periodic_rt {} {}", ms(*wcet), ms(*period))
+        }
+        TaskKind::HungryRt {
+            nominal_wcet,
+            wcet,
+            period,
+        } => format!(
+            "hungry_rt {} {} {}",
+            ms(*nominal_wcet),
+            ms(*wcet),
+            ms(*period)
+        ),
+        TaskKind::Aperiodic {
+            mean_gap,
+            mean_work,
+            burst,
+        } => format!("aperiodic {} {} {burst}", ms(*mean_gap), ms(*mean_work)),
+    }
 }
 
 fn kind_to_text(kind: &TaskKind, weight: f64) -> String {
@@ -82,6 +116,58 @@ fn kind_to_text(kind: &TaskKind, weight: f64) -> String {
             ms(*mean_gap),
             ms(*mean_work)
         ),
+    }
+}
+
+/// Parses a kind without a leading weight (the `vm` line form).
+fn kind_body_from_text(line: &str) -> Result<TaskKind, String> {
+    let parts: Vec<&str> = line.split_whitespace().collect();
+    let need = |n: usize| -> Result<(), String> {
+        if parts.len() == n {
+            Ok(())
+        } else {
+            Err(format!("task kind needs {n} fields: {line:?}"))
+        }
+    };
+    match parts.first().copied() {
+        Some("video25") => {
+            need(1)?;
+            Ok(TaskKind::Video25)
+        }
+        Some("mp3") => {
+            need(1)?;
+            Ok(TaskKind::Mp3)
+        }
+        Some("stream30") => {
+            need(1)?;
+            Ok(TaskKind::Stream30)
+        }
+        Some("periodic_rt") => {
+            need(3)?;
+            Ok(TaskKind::PeriodicRt {
+                wcet: parse_pos_ms(parts[1])?,
+                period: parse_pos_ms(parts[2])?,
+            })
+        }
+        Some("hungry_rt") => {
+            need(4)?;
+            Ok(TaskKind::HungryRt {
+                nominal_wcet: parse_pos_ms(parts[1])?,
+                wcet: parse_pos_ms(parts[2])?,
+                period: parse_pos_ms(parts[3])?,
+            })
+        }
+        Some("aperiodic") => {
+            need(4)?;
+            Ok(TaskKind::Aperiodic {
+                mean_gap: parse_pos_ms(parts[1])?,
+                mean_work: parse_pos_ms(parts[2])?,
+                burst: parts[3]
+                    .parse()
+                    .map_err(|_| format!("bad burst: {:?}", parts[3]))?,
+            })
+        }
+        _ => Err(format!("unknown task kind: {line:?}")),
     }
 }
 
@@ -225,6 +311,15 @@ impl ScenarioSpec {
         for (kind, weight) in self.mix.entries() {
             out.push_str(&format!("mix = {}\n", kind_to_text(kind, *weight)));
         }
+        for vm in &self.vms {
+            out.push_str(&format!(
+                "vm = {} {} {} {}\n",
+                ms(vm.budget),
+                ms(vm.period),
+                vm.guests,
+                kind_body(&vm.kind)
+            ));
+        }
         for w in &self.overload {
             out.push_str(&format!(
                 "overload = {} {} {} {} {}\n",
@@ -236,11 +331,17 @@ impl ScenarioSpec {
             ));
         }
         out.push_str(&format!(
-            "rebalance = {} {} {} {}\n",
+            "rebalance = {} {} {} {} {} {}\n",
             if self.rebalance.enabled { "on" } else { "off" },
             ms(self.rebalance.period),
             self.rebalance.pressure,
-            self.rebalance.max_moves
+            self.rebalance.max_moves,
+            self.rebalance.ewma_alpha,
+            if self.rebalance.warm_start {
+                "warm"
+            } else {
+                "cold"
+            }
         ));
         out
     }
@@ -261,6 +362,7 @@ impl ScenarioSpec {
         let mut tasks: Option<usize> = None;
         let mut horizon: Option<Dur> = None;
         let mut mix_entries: Vec<(TaskKind, f64)> = Vec::new();
+        let mut vms: Vec<VmSpec> = Vec::new();
         let mut overload: Vec<OverloadWindow> = Vec::new();
         let mut policy = None;
         let mut ulub = None;
@@ -327,15 +429,62 @@ impl ScenarioSpec {
                         nodes: filter_from_text(filter)?,
                     });
                 }
+                "vm" => {
+                    // Whitespace-tolerant like every other key: the first
+                    // three fields, then the kind tail verbatim.
+                    let mut parts = value.split_whitespace();
+                    let (Some(budget), Some(period), Some(guests)) =
+                        (parts.next(), parts.next(), parts.next())
+                    else {
+                        return Err(format!(
+                            "vm needs `budget_ms period_ms guests kind...`: {value:?}"
+                        ));
+                    };
+                    let kind = parts.collect::<Vec<_>>().join(" ");
+                    if kind.is_empty() {
+                        return Err(format!(
+                            "vm needs `budget_ms period_ms guests kind...`: {value:?}"
+                        ));
+                    }
+                    let budget = parse_pos_ms(budget)?;
+                    let period = parse_pos_ms(period)?;
+                    if budget > period {
+                        return Err(format!("vm share budget exceeds its period: {value:?}"));
+                    }
+                    let guests = parse_usize(guests)?;
+                    if guests == 0 {
+                        return Err(format!("vm needs at least one guest: {value:?}"));
+                    }
+                    vms.push(VmSpec {
+                        budget,
+                        period,
+                        guests,
+                        kind: kind_body_from_text(&kind)?,
+                    });
+                }
                 "rebalance" => {
                     let parts: Vec<&str> = value.split_whitespace().collect();
-                    let [state, period, pressure, max_moves] = parts.as_slice() else {
-                        return Err(format!("rebalance needs 4 fields: {value:?}"));
+                    // 4-field form (pre-hysteresis) or 6-field form with
+                    // the EWMA factor and warm/cold hand-over.
+                    let (state, period, pressure, max_moves, alpha, warm) = match parts.as_slice() {
+                        [s, p, pr, mm] => (*s, *p, *pr, *mm, None, None),
+                        [s, p, pr, mm, a, w] => (*s, *p, *pr, *mm, Some(*a), Some(*w)),
+                        _ => {
+                            return Err(format!("rebalance needs 4 or 6 fields: {value:?}"));
+                        }
                     };
-                    let enabled = match *state {
+                    let enabled = match state {
                         "on" => true,
                         "off" => false,
                         other => return Err(format!("rebalance must be on/off, got {other:?}")),
+                    };
+                    let warm_start = match warm {
+                        None => RebalanceSpec::default().warm_start,
+                        Some("warm") => true,
+                        Some("cold") => false,
+                        Some(other) => {
+                            return Err(format!("rebalance hand-over must be warm/cold: {other:?}"))
+                        }
                     };
                     rebalance = Some(RebalanceSpec {
                         enabled,
@@ -344,6 +493,11 @@ impl ScenarioSpec {
                         max_moves: max_moves
                             .parse()
                             .map_err(|_| format!("bad max_moves: {max_moves:?}"))?,
+                        ewma_alpha: match alpha {
+                            Some(a) => parse_f64(a)?,
+                            None => RebalanceSpec::default().ewma_alpha,
+                        },
+                        warm_start,
                     });
                 }
                 other => return Err(format!("unknown key: {other:?}")),
@@ -385,6 +539,12 @@ impl ScenarioSpec {
                     r.pressure
                 ));
             }
+            if !r.ewma_alpha.is_finite() || r.ewma_alpha <= 0.0 || r.ewma_alpha > 1.0 {
+                return Err(format!(
+                    "rebalance ewma_alpha {} out of (0, 1]",
+                    r.ewma_alpha
+                ));
+            }
         }
         let mut spec = ScenarioSpec::new(&name, nodes, tasks, horizon);
         if !mix_entries.is_empty() {
@@ -410,6 +570,9 @@ impl ScenarioSpec {
         }
         if let Some(r) = rebalance {
             spec = spec.with_rebalance(r);
+        }
+        for vm in vms {
+            spec = spec.with_vm(vm);
         }
         spec.overload = overload;
         Ok(spec)
@@ -469,6 +632,23 @@ mod tests {
                 period: Dur::ms(750),
                 pressure: 0.08,
                 max_moves: 3,
+                ewma_alpha: 0.5,
+                warm_start: true,
+            })
+            .with_vm(VmSpec {
+                budget: Dur::ms(3),
+                period: Dur::ms(10),
+                guests: 2,
+                kind: TaskKind::PeriodicRt {
+                    wcet: Dur::ms(4),
+                    period: Dur::ms(40),
+                },
+            })
+            .with_vm(VmSpec {
+                budget: Dur::ms(5),
+                period: Dur::ms(10),
+                guests: 1,
+                kind: TaskKind::Video25,
             })
     }
 
@@ -485,8 +665,36 @@ mod tests {
         assert_eq!(parsed.policy, spec.policy);
         assert!(parsed.rebalance.enabled);
         assert_eq!(parsed.rebalance.max_moves, 3);
+        assert!((parsed.rebalance.ewma_alpha - 0.5).abs() < 1e-12);
+        assert!(parsed.rebalance.warm_start);
         assert_eq!(parsed.overload.len(), 1);
         assert_eq!(parsed.overload[0].nodes, NodeFilter::First(2));
+        assert_eq!(parsed.vms, spec.vms);
+    }
+
+    #[test]
+    fn vm_lines_tolerate_extra_whitespace() {
+        let text =
+            "name=x\nnodes=2\ntasks=1\nhorizon_ms=100\nvm =  3   10  2   periodic_rt  4  40\n";
+        let spec = ScenarioSpec::from_text(text).expect("aligned columns parse");
+        assert_eq!(spec.vms.len(), 1);
+        assert_eq!(spec.vms[0].guests, 2);
+        assert_eq!(
+            spec.vms[0].kind,
+            TaskKind::PeriodicRt {
+                wcet: Dur::ms(4),
+                period: Dur::ms(40),
+            }
+        );
+    }
+
+    #[test]
+    fn four_field_rebalance_form_still_parses() {
+        let text = "name=x\nnodes=2\ntasks=1\nhorizon_ms=100\nrebalance = on 500 0.1 2\n";
+        let spec = ScenarioSpec::from_text(text).expect("legacy form");
+        assert!(spec.rebalance.enabled);
+        assert!((spec.rebalance.ewma_alpha - 1.0).abs() < 1e-12);
+        assert!(!spec.rebalance.warm_start);
     }
 
     #[test]
@@ -533,6 +741,14 @@ mod tests {
             "nodes = 2\nmix = hungry_rt 1 2 6 0",
             "nodes = 2\nmix = video25 0",
             "nodes = 2\nmix = video25 -3",
+            "nodes = 2\nrebalance = on 500 0.1 2 1.5 warm",
+            "nodes = 2\nrebalance = on 500 0.1 2 0.5 tepid",
+            "nodes = 2\nrebalance = on 500 0.1 2 0.5",
+            "nodes = 2\nvm = 3 10 2",
+            "nodes = 2\nvm = 3 10 0 video25",
+            "nodes = 2\nvm = 20 10 1 video25",
+            "nodes = 2\nvm = 3 10 1 warp",
+            "nodes = 2\nvm = 3 10 1 periodic_rt 0 40",
         ] {
             let text = format!("{base}{bad}");
             assert!(

@@ -69,6 +69,7 @@ fn rebalance_spec(nodes: usize, tasks: usize, pressure: f64, max_moves: u32) -> 
             period: Dur::ms(600),
             pressure,
             max_moves,
+            ..RebalanceSpec::default()
         })
 }
 
@@ -126,6 +127,53 @@ proptest! {
         // Chunk 1 maximises claim interleaving; the epoch barriers and the
         // migration decisions must not observe it.
         let baseline = ClusterRunner::new(1).with_chunk(1).run(&spec, seed);
+        for threads in [2usize, 8] {
+            let m = ClusterRunner::new(threads).with_chunk(1).run(&spec, seed);
+            prop_assert_eq!(baseline.summary_csv(), m.summary_csv(), "{} threads", threads);
+        }
+    }
+
+    #[test]
+    fn vm_fleets_with_ewma_and_warm_start_are_thread_count_invariant(
+        seed in 0u64..1_000_000,
+        alpha_pct in 30u64..101,
+        guests in 1usize..3,
+        warm in any::<bool>(),
+    ) {
+        // A fleet mixing flat tasks and whole virtual platforms, with the
+        // EWMA hysteresis and warm hand-over active: the epoch barriers,
+        // the smoothed pressure fold and VM migrations must all be
+        // invariant in the worker-thread count.
+        let spec = rebalance_spec(4, 6, 0.2, 4)
+            .with_vm(VmSpec {
+                budget: Dur::ms(3),
+                period: Dur::ms(10),
+                guests,
+                kind: TaskKind::PeriodicRt {
+                    wcet: Dur::ms(4),
+                    period: Dur::ms(40),
+                },
+            })
+            .with_vm(VmSpec {
+                budget: Dur::ms(2),
+                period: Dur::ms(10),
+                guests: 1,
+                kind: TaskKind::HungryRt {
+                    nominal_wcet: Dur::ms(1),
+                    wcet: Dur::ms(4),
+                    period: Dur::ms(40),
+                },
+            })
+            .with_rebalance(RebalanceSpec {
+                enabled: true,
+                period: Dur::ms(600),
+                pressure: 0.2,
+                max_moves: 4,
+                ewma_alpha: alpha_pct as f64 / 100.0,
+                warm_start: warm,
+            });
+        let baseline = ClusterRunner::new(1).with_chunk(1).run(&spec, seed);
+        prop_assert!(baseline.admission.vms_admitted >= 1);
         for threads in [2usize, 8] {
             let m = ClusterRunner::new(threads).with_chunk(1).run(&spec, seed);
             prop_assert_eq!(baseline.summary_csv(), m.summary_csv(), "{} threads", threads);
@@ -254,6 +302,8 @@ proptest! {
                 period: Dur::ms(rb_period),
                 pressure: rb_pressure_pct as f64 / 100.0,
                 max_moves: rb_moves,
+                ewma_alpha: (rb_pressure_pct.max(10) as f64 / 100.0).min(1.0),
+                warm_start: rb_on,
             });
         if let Some(c) = churn {
             spec = spec.with_churn(c);

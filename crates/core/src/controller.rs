@@ -127,6 +127,19 @@ impl TaskController {
         }
     }
 
+    /// Creates a controller seeded with an initial period belief — the
+    /// warm-start path for a task migrated from another node, where the
+    /// source already detected the period. Unlike `fixed_period` the
+    /// belief stays *live*: fresh estimates on the destination can still
+    /// revise it through the usual hysteresis/confirmation machinery.
+    pub fn with_initial_period(cfg: ControllerConfig, period: Dur) -> TaskController {
+        let mut ctl = TaskController::new(cfg);
+        if ctl.period.is_none() && !period.is_zero() {
+            ctl.period = Some(period);
+        }
+        ctl
+    }
+
     /// The currently believed task period, if any.
     pub fn period(&self) -> Option<Dur> {
         self.period

@@ -15,6 +15,7 @@ use selftune_sched::{BwRequest, CbsMode, ReservationScheduler, ServerConfig, Ser
 use selftune_sched::{Place, Supervisor};
 use selftune_simcore::kernel::{Kernel, TaskState};
 use selftune_simcore::metrics::{MetricKey, Metrics};
+use selftune_simcore::scheduler::Scheduler;
 use selftune_simcore::task::TaskId;
 use selftune_simcore::time::{Dur, Time};
 use selftune_tracer::{entry_times_into, TraceReader};
@@ -150,6 +151,17 @@ impl SelfTuningManager {
     ///
     /// Returns `true` if the task was under management.
     pub fn unmanage(&mut self, k: &mut Kernel<ReservationScheduler>, task: TaskId) -> bool {
+        self.unmanage_in(k, |s| s, task)
+    }
+
+    /// [`SelfTuningManager::unmanage`] against a reservation scheduler
+    /// embedded in a larger policy (see [`SelfTuningManager::step_in`]).
+    pub fn unmanage_in<S: Scheduler>(
+        &mut self,
+        k: &mut Kernel<S>,
+        mut res: impl FnMut(&mut S) -> &mut ReservationScheduler,
+        task: TaskId,
+    ) -> bool {
         let Some(pos) = self.tasks.iter().position(|t| t.task == task) else {
             return false;
         };
@@ -157,16 +169,83 @@ impl SelfTuningManager {
         if let Some(sid) = mt.server {
             let now = k.now();
             match k.task_state(task) {
-                TaskState::Ready => k.sched_mut().place_ready(task, Place::Fair, now),
-                _ => k.sched_mut().place(task, Place::Fair),
+                TaskState::Ready => res(k.sched_mut()).place_ready(task, Place::Fair, now),
+                _ => res(k.sched_mut()).place(task, Place::Fair),
             }
             // Release the bandwidth: shrink to the admission floor (the
             // scheduler keeps the server object; ids stay stable).
-            let period = k.sched_mut().server(sid).config().period;
+            let period = res(k.sched_mut()).server(sid).config().period;
             let floor = self.cfg.supervisor.min_budget.min(period).max(Dur::us(10));
-            k.sched_mut().server_mut(sid).set_params(floor, period);
+            res(k.sched_mut()).server_mut(sid).set_params(floor, period);
         }
         true
+    }
+
+    /// Puts a migrated task under management with the source node's
+    /// controller state: the reservation is created *immediately* with the
+    /// carried `(budget, period)` (granted through the supervisor, so
+    /// compression under saturation still applies) and the controller
+    /// starts from the carried period belief instead of re-detecting from
+    /// scratch. The warm incarnation marks `"<label>.attached"` at once —
+    /// the hand-over gap is the spawn-to-attach delay, which this path
+    /// collapses to zero.
+    #[allow(clippy::too_many_arguments)] // a projection + full hand-over state
+    pub fn manage_warm_in<S: Scheduler>(
+        &mut self,
+        k: &mut Kernel<S>,
+        mut res: impl FnMut(&mut S) -> &mut ReservationScheduler,
+        task: TaskId,
+        label: &str,
+        ctl_cfg: ControllerConfig,
+        budget: Dur,
+        period: Dur,
+    ) {
+        if period.is_zero() || budget.is_zero() {
+            // Degenerate hand-over state: fall back to cold-start.
+            self.manage(task, label, ctl_cfg);
+            return;
+        }
+        let now = k.now();
+        let floor = self.cfg.supervisor.min_budget.min(period).max(Dur::us(10));
+        let sid = res(k.sched_mut())
+            .create_server(ServerConfig::new(floor, period).with_mode(self.cfg.cbs_mode));
+        match k.task_state(task) {
+            TaskState::Ready => res(k.sched_mut()).place_ready(task, Place::Server(sid), now),
+            _ => res(k.sched_mut()).place(task, Place::Server(sid)),
+        }
+        let grants = self.cfg.supervisor.apply(
+            res(k.sched_mut()),
+            &[BwRequest {
+                server: sid,
+                budget,
+                period,
+            }],
+        );
+        if grants.iter().any(|g| g.compressed) {
+            self.compressed_grants += 1;
+        }
+        k.metrics_mut().mark(&format!("{label}.attached"), now);
+        self.tasks.push(ManagedTask {
+            task,
+            label: label.to_owned(),
+            keys: None,
+            ctl: TaskController::with_initial_period(ctl_cfg, period),
+            server: Some(sid),
+            last_step: None,
+        });
+    }
+
+    /// Flat-kernel wrapper of [`SelfTuningManager::manage_warm_in`].
+    pub fn manage_warm(
+        &mut self,
+        k: &mut Kernel<ReservationScheduler>,
+        task: TaskId,
+        label: &str,
+        ctl_cfg: ControllerConfig,
+        budget: Dur,
+        period: Dur,
+    ) {
+        self.manage_warm_in(k, |s| s, task, label, ctl_cfg, budget, period);
     }
 
     /// One sampling step against the kernel.
@@ -176,6 +255,20 @@ impl SelfTuningManager {
     /// * `"<label>.period_est_ms"` — period-estimate series,
     /// * `"<label>.attached"` mark — when the reservation was created.
     pub fn step(&mut self, k: &mut Kernel<ReservationScheduler>) {
+        self.step_in(k, |s| s);
+    }
+
+    /// One sampling step against a reservation scheduler embedded in a
+    /// larger policy: `res` projects the kernel's scheduler to the
+    /// [`ReservationScheduler`] this manager owns. The flat single-level
+    /// stack passes the identity; the `selftune-virt` layer projects to a
+    /// *guest* scheduler so each virtual platform runs its own manager —
+    /// per-tenant self-tuning inside a host reservation.
+    pub fn step_in<S: Scheduler>(
+        &mut self,
+        k: &mut Kernel<S>,
+        mut res: impl FnMut(&mut S) -> &mut ReservationScheduler,
+    ) {
         let now = k.now();
         // One batch buffer serves every step (disjoint field borrows let
         // the task loop read it directly).
@@ -190,7 +283,7 @@ impl SelfTuningManager {
             let consumed = k.thread_time(mt.task);
             let exhausted = mt
                 .server
-                .map(|sid| k.sched_mut().server_mut(sid).take_exhausted_flag())
+                .map(|sid| res(k.sched_mut()).server_mut(sid).take_exhausted_flag())
                 .unwrap_or(false);
             let elapsed = match mt.last_step {
                 Some(t) => now.saturating_since(t),
@@ -224,15 +317,15 @@ impl SelfTuningManager {
                     // arrives through the supervisor batch below, so
                     // compression under saturation applies from the start.
                     let floor = self.cfg.supervisor.min_budget.min(req.period);
-                    let sid = k.sched_mut().create_server(
+                    let sid = res(k.sched_mut()).create_server(
                         ServerConfig::new(floor.max(Dur::us(10)), req.period)
                             .with_mode(self.cfg.cbs_mode),
                     );
                     match k.task_state(mt.task) {
                         TaskState::Ready => {
-                            k.sched_mut().place_ready(mt.task, Place::Server(sid), now);
+                            res(k.sched_mut()).place_ready(mt.task, Place::Server(sid), now);
                         }
-                        _ => k.sched_mut().place(mt.task, Place::Server(sid)),
+                        _ => res(k.sched_mut()).place(mt.task, Place::Server(sid)),
                     }
                     mt.server = Some(sid);
                     k.metrics_mut().mark_k(keys.attached, now);
@@ -252,7 +345,7 @@ impl SelfTuningManager {
                 }
             }
         }
-        let grants = self.cfg.supervisor.apply(k.sched_mut(), &requests);
+        let grants = self.cfg.supervisor.apply(res(k.sched_mut()), &requests);
         for g in &grants {
             if g.compressed {
                 self.compressed_grants += 1;
@@ -270,6 +363,21 @@ impl SelfTuningManager {
             let next = (k.now() + self.cfg.sampling).min(until);
             k.run_until(next);
             self.step(k);
+        }
+    }
+
+    /// [`SelfTuningManager::run`] against an embedded reservation
+    /// scheduler (see [`SelfTuningManager::step_in`]).
+    pub fn run_in<S: Scheduler>(
+        &mut self,
+        k: &mut Kernel<S>,
+        mut res: impl FnMut(&mut S) -> &mut ReservationScheduler,
+        until: Time,
+    ) {
+        while k.now() < until {
+            let next = (k.now() + self.cfg.sampling).min(until);
+            k.run_until(next);
+            self.step_in(k, &mut res);
         }
     }
 }
@@ -347,6 +455,46 @@ mod tests {
         assert!(k.metrics().marks("mplayer.frame").len() > frames_before);
         // Unmanaging twice is a no-op.
         assert!(!mgr.unmanage(&mut k, tid));
+    }
+
+    #[test]
+    fn manage_warm_attaches_immediately_with_carried_state() {
+        let mut k = Kernel::new(ReservationScheduler::new());
+        let (hook, reader) = Tracer::create(TracerConfig::default());
+        k.install_hook(Box::new(hook));
+        let player = MediaPlayer::new(MediaConfig::mplayer_video_25fps(), Rng::new(3));
+        let tid = k.spawn("mplayer", Box::new(player));
+        let mut mgr = SelfTuningManager::new(ManagerConfig::default(), reader);
+        // A migrated incarnation arrives with the source's grant: 14 ms
+        // every 40 ms, period already detected.
+        mgr.manage_warm(
+            &mut k,
+            tid,
+            "mplayer",
+            ControllerConfig::default(),
+            Dur::ms(14),
+            Dur::ms(40),
+        );
+        // Attached at spawn: no detection gap at all.
+        let sid = mgr.server_of(tid).expect("warm start attaches at once");
+        assert_eq!(k.sched().server(sid).config().budget, Dur::ms(14));
+        assert_eq!(k.sched().server(sid).config().period, Dur::ms(40));
+        let marks = k.metrics().marks("mplayer.attached");
+        assert_eq!(marks, &[Time::ZERO], "attach mark at hand-over instant");
+        let ctl = mgr.controller_of(tid).expect("managed");
+        assert_eq!(ctl.period(), Some(Dur::ms(40)));
+
+        // The controller keeps adapting from the carried state: after a
+        // few samples the budget tracks the real demand instead of
+        // sticking to the carried figure.
+        mgr.run(&mut k, Time::ZERO + Dur::secs(6));
+        let bw = k.sched().server(sid).config().bandwidth();
+        let u = MediaConfig::mplayer_video_25fps().utilisation();
+        assert!(bw > u * 0.9 && bw < u * 2.0, "adapted bw {bw} vs {u}");
+        // And the QoS held from the first frame (no cold-start misses).
+        let half = k.metrics().marks("mplayer.frame").len() / 2;
+        let (m, _) = mean_std_of(k.metrics().inter_mark_iter("mplayer.frame").skip(half));
+        assert!((m - 40.0).abs() < 2.0, "steady IFT mean {m}");
     }
 
     #[test]

@@ -285,7 +285,12 @@ impl Server {
 
     /// Charges `ran` of execution ending at `now` and applies the depletion
     /// rule when the budget runs out.
-    pub fn charge(&mut self, ran: Dur, now: Time) {
+    ///
+    /// Returns `true` when the charge changed the server's dispatch state
+    /// (depletion handled: throttle, postponement or immediate replenish) —
+    /// the signal the scheduler's dispatch cache invalidates on. A plain
+    /// budget decrement leaves the EDF key and runnability untouched.
+    pub fn charge(&mut self, ran: Dur, now: Time) -> bool {
         self.stats.consumed += ran;
         self.budget = self.budget.saturating_sub(ran);
         if self.budget.is_zero() && self.state == ServerState::Active {
@@ -312,11 +317,14 @@ impl Server {
                     self.stats.postponements += 1;
                 }
             }
+            return true;
         }
+        false
     }
 
-    /// Performs the pending replenishment if due at `now`.
-    pub fn replenish_if_due(&mut self, now: Time) {
+    /// Performs the pending replenishment if due at `now`; returns `true`
+    /// if a replenishment happened (dispatch state changed).
+    pub fn replenish_if_due(&mut self, now: Time) -> bool {
         if let Some(t) = self.repl_at {
             if t <= now {
                 self.repl_at = None;
@@ -328,8 +336,10 @@ impl Server {
                 } else {
                     ServerState::Active
                 };
+                return true;
             }
         }
+        false
     }
 
     /// Applies new reservation parameters `(Q, T)` immediately.

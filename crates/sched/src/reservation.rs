@@ -12,16 +12,18 @@ use crate::cbs::{Server, ServerConfig, ServerId};
 use selftune_simcore::scheduler::{RoundRobin, Scheduler};
 use selftune_simcore::task::TaskId;
 use selftune_simcore::time::{Dur, Time};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::cell::Cell;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Where a task is scheduled.
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
 pub enum Place {
     /// Inside a CBS reservation.
     Server(ServerId),
     /// Fixed-priority RT class (lower value = higher priority).
     Fifo(u32),
     /// Best-effort round-robin class (the default).
+    #[default]
     Fair,
 }
 
@@ -31,14 +33,38 @@ pub enum Place {
 ///
 /// Reservations (EDF among runnable servers) > FIFO > fair. This mirrors
 /// AQuoSA, where the CBS hooks sit above the stock Linux policies.
+///
+/// # Dispatch caching
+///
+/// The EDF winner and the earliest replenishment instant are cached
+/// between state changes: the kernel calls [`Scheduler::pick`] and
+/// [`Scheduler::next_timer`] on every loop iteration, but the underlying
+/// inputs (server deadlines, runnability, pending replenishments) only
+/// change on wake/block/depletion/replenish/parameter events. Every
+/// mutating entry point invalidates the caches; plain budget decrements
+/// do not (see [`Server::charge`]). The pre-cache full-scan dispatcher is
+/// kept behind [`ReservationScheduler::use_scan_dispatch`] for
+/// before/after benchmarking and differential testing.
 pub struct ReservationScheduler {
     servers: Vec<Server>,
-    placement: HashMap<TaskId, Place>,
+    /// Dense task placement, indexed by `TaskId` (default fair). Dense
+    /// because every `on_ready`/`charge`/`horizon` resolves a placement.
+    placement: Vec<Place>,
     fifo: BTreeMap<u32, VecDeque<TaskId>>,
     fair: RoundRobin,
     /// Deadline-miss bookkeeping for experiments: server deadline at the
     /// instant each reserved task last became ready.
     running_server: Option<ServerId>,
+    /// Cached EDF winner (`None` = dirty, recompute on next pick).
+    edf_cache: Option<Option<ServerId>>,
+    /// Cached earliest replenishment (`None` = dirty). A `Cell` because
+    /// [`Scheduler::next_timer`] takes `&self`.
+    timer_cache: Cell<Option<Option<Time>>>,
+    /// Benchmark toggle: bypass both caches and rescan on every query.
+    scan_dispatch: bool,
+    /// Reused EDF-order buffer for [`ReservationScheduler::pick_with`]:
+    /// one allocation serves every nested dispatch.
+    order_scratch: Vec<(Time, u32)>,
 }
 
 impl Default for ReservationScheduler {
@@ -57,17 +83,37 @@ impl ReservationScheduler {
     pub fn with_fair_slice(slice: Dur) -> ReservationScheduler {
         ReservationScheduler {
             servers: Vec::new(),
-            placement: HashMap::new(),
+            placement: Vec::new(),
             fifo: BTreeMap::new(),
             fair: RoundRobin::new(slice),
             running_server: None,
+            edf_cache: None,
+            timer_cache: Cell::new(None),
+            scan_dispatch: false,
+            order_scratch: Vec::new(),
         }
+    }
+
+    /// Disables the dispatch caches: every `pick`/`next_timer` rescans all
+    /// servers (the pre-cache implementation), for before/after
+    /// benchmarking and differential testing only.
+    #[doc(hidden)]
+    pub fn use_scan_dispatch(&mut self) {
+        self.scan_dispatch = true;
+        self.touch();
+    }
+
+    /// Invalidates the cached dispatch decision and timer.
+    fn touch(&mut self) {
+        self.edf_cache = None;
+        self.timer_cache.set(None);
     }
 
     /// Creates a new server and returns its id.
     pub fn create_server(&mut self, cfg: ServerConfig) -> ServerId {
         let id = ServerId(self.servers.len() as u32);
         self.servers.push(Server::new(cfg));
+        self.touch();
         id
     }
 
@@ -77,7 +123,12 @@ impl ReservationScheduler {
     }
 
     /// Mutable access to a server (parameter changes, sensor reads).
+    ///
+    /// Conservatively invalidates the dispatch caches: the caller may
+    /// change parameters, deadlines or throttle state through the returned
+    /// reference.
     pub fn server_mut(&mut self, id: ServerId) -> &mut Server {
+        self.touch();
         &mut self.servers[id.index()]
     }
 
@@ -93,7 +144,10 @@ impl ReservationScheduler {
 
     /// Current placement of a task (fair if never placed).
     pub fn place_of(&self, task: TaskId) -> Place {
-        self.placement.get(&task).copied().unwrap_or(Place::Fair)
+        self.placement
+            .get(task.index())
+            .copied()
+            .unwrap_or(Place::Fair)
     }
 
     /// Sets the scheduling class of a task that is blocked or not yet
@@ -109,7 +163,10 @@ impl ReservationScheduler {
         if let Place::Server(sid) = place {
             assert!(sid.index() < self.servers.len(), "unknown {sid}");
         }
-        self.placement.insert(task, place);
+        if self.placement.len() <= task.index() {
+            self.placement.resize(task.index() + 1, Place::Fair);
+        }
+        self.placement[task.index()] = place;
     }
 
     /// Migrates a *ready* task to a new scheduling class at `now`: removes
@@ -127,7 +184,7 @@ impl ReservationScheduler {
         self.on_ready(task, now); // enqueue in the new class
     }
 
-    /// The EDF-minimal runnable server, if any.
+    /// The EDF-minimal runnable server, if any (full scan).
     fn edf_pick(&self) -> Option<ServerId> {
         self.servers
             .iter()
@@ -137,18 +194,82 @@ impl ReservationScheduler {
             .map(|(i, _)| ServerId(i as u32))
     }
 
+    /// The EDF-minimal runnable server, through the dispatch cache.
+    fn edf_winner(&mut self) -> Option<ServerId> {
+        if self.scan_dispatch {
+            return self.edf_pick();
+        }
+        match self.edf_cache {
+            Some(cached) => cached,
+            None => {
+                let winner = self.edf_pick();
+                self.edf_cache = Some(winner);
+                winner
+            }
+        }
+    }
+
     fn fifo_pick(&self) -> Option<TaskId> {
         self.fifo
             .values()
             .find(|q| !q.is_empty())
             .and_then(|q| q.front().copied())
     }
+
+    /// Dispatch with an external per-server task chooser — the nested
+    /// scheduling hook the `selftune-virt` layer builds on.
+    ///
+    /// Walks the *runnable* servers in EDF order and asks `choose` which
+    /// task the server would run; a server may decline (return `None`, e.g.
+    /// a guest scheduler whose inner reservations are all throttled), in
+    /// which case the next server in deadline order is offered the CPU.
+    /// Falls back to the FIFO and fair classes when no server dispatches.
+    ///
+    /// Plain [`Scheduler::pick`] is equivalent to `pick_with` where every
+    /// server chooses its own [`Server::front_task`].
+    pub fn pick_with(
+        &mut self,
+        now: Time,
+        mut choose: impl FnMut(ServerId, &Server) -> Option<TaskId>,
+    ) -> Option<TaskId> {
+        let mut order = core::mem::take(&mut self.order_scratch);
+        order.clear();
+        order.extend(
+            self.servers
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.runnable())
+                .map(|(i, s)| (s.deadline(), i as u32)),
+        );
+        order.sort_unstable();
+        let mut picked = None;
+        for &(_, i) in &order {
+            let sid = ServerId(i);
+            if let Some(t) = choose(sid, &self.servers[sid.index()]) {
+                self.running_server = Some(sid);
+                picked = Some(t);
+                break;
+            }
+        }
+        self.order_scratch = order;
+        if picked.is_some() {
+            return picked;
+        }
+        self.running_server = None;
+        if let Some(t) = self.fifo_pick() {
+            return Some(t);
+        }
+        self.fair.pick(now)
+    }
 }
 
 impl Scheduler for ReservationScheduler {
     fn on_ready(&mut self, task: TaskId, now: Time) {
         match self.place_of(task) {
-            Place::Server(sid) => self.servers[sid.index()].wake(task, now),
+            Place::Server(sid) => {
+                self.servers[sid.index()].wake(task, now);
+                self.touch();
+            }
             Place::Fifo(p) => self.fifo.entry(p).or_default().push_back(task),
             Place::Fair => self.fair.on_ready(task, now),
         }
@@ -156,7 +277,10 @@ impl Scheduler for ReservationScheduler {
 
     fn on_block(&mut self, task: TaskId, now: Time) {
         match self.place_of(task) {
-            Place::Server(sid) => self.servers[sid.index()].remove(task, now),
+            Place::Server(sid) => {
+                self.servers[sid.index()].remove(task, now);
+                self.touch();
+            }
             Place::Fifo(p) => {
                 if let Some(q) = self.fifo.get_mut(&p) {
                     q.retain(|&t| t != task);
@@ -172,14 +296,18 @@ impl Scheduler for ReservationScheduler {
 
     fn charge(&mut self, task: TaskId, ran: Dur, now: Time) {
         match self.place_of(task) {
-            Place::Server(sid) => self.servers[sid.index()].charge(ran, now),
+            Place::Server(sid) => {
+                if self.servers[sid.index()].charge(ran, now) {
+                    self.touch();
+                }
+            }
             Place::Fifo(_) => {}
             Place::Fair => self.fair.charge(task, ran, now),
         }
     }
 
     fn pick(&mut self, now: Time) -> Option<TaskId> {
-        if let Some(sid) = self.edf_pick() {
+        if let Some(sid) = self.edf_winner() {
             self.running_server = Some(sid);
             return self.servers[sid.index()].front_task();
         }
@@ -199,12 +327,24 @@ impl Scheduler for ReservationScheduler {
     }
 
     fn next_timer(&self, _now: Time) -> Option<Time> {
-        self.servers.iter().filter_map(Server::replenish_at).min()
+        if self.scan_dispatch {
+            return self.servers.iter().filter_map(Server::replenish_at).min();
+        }
+        if let Some(cached) = self.timer_cache.get() {
+            return cached;
+        }
+        let t = self.servers.iter().filter_map(Server::replenish_at).min();
+        self.timer_cache.set(Some(t));
+        t
     }
 
     fn on_timer(&mut self, now: Time) {
+        let mut changed = false;
         for s in &mut self.servers {
-            s.replenish_if_due(now);
+            changed |= s.replenish_if_due(now);
+        }
+        if changed {
+            self.touch();
         }
     }
 }
@@ -348,6 +488,70 @@ mod tests {
         s.charge(TaskId(1), Dur::ms(10), t(15));
         assert_eq!(s.server(a).state(), ServerState::Throttled);
         assert_eq!(s.pick(t(15)), None);
+    }
+
+    #[test]
+    fn pick_with_lets_a_server_decline() {
+        let (mut s, a, b) = sched_with_two_servers();
+        s.place(TaskId(1), Place::Server(a));
+        s.place(TaskId(2), Place::Server(b));
+        s.on_ready(TaskId(1), T0); // deadline 50ms: EDF winner
+        s.on_ready(TaskId(2), T0); // deadline 100ms
+                                   // Server a declines (a nested guest with nothing dispatchable):
+                                   // the CPU falls through to server b in deadline order.
+        let picked = s.pick_with(
+            T0,
+            |sid, srv| {
+                if sid == a {
+                    None
+                } else {
+                    srv.front_task()
+                }
+            },
+        );
+        assert_eq!(picked, Some(TaskId(2)));
+        // With every server choosing its own front task, pick_with and
+        // pick agree.
+        let via_hook = s.pick_with(T0, |_, srv| srv.front_task());
+        assert_eq!(via_hook, s.pick(T0));
+    }
+
+    #[test]
+    fn pick_with_falls_back_to_fifo_and_fair() {
+        let mut s = ReservationScheduler::new();
+        s.place(TaskId(2), Place::Fifo(1));
+        s.on_ready(TaskId(2), T0);
+        s.on_ready(TaskId(3), T0); // fair
+        assert_eq!(s.pick_with(T0, |_, _| None), Some(TaskId(2)));
+        s.on_block(TaskId(2), t(1));
+        assert_eq!(s.pick_with(t(1), |_, _| None), Some(TaskId(3)));
+    }
+
+    #[test]
+    fn cached_dispatch_tracks_state_changes() {
+        let (mut s, a, b) = sched_with_two_servers();
+        s.place(TaskId(1), Place::Server(a));
+        s.place(TaskId(2), Place::Server(b));
+        s.on_ready(TaskId(1), T0);
+        // Repeated picks hit the cache and stay stable.
+        assert_eq!(s.pick(T0), Some(TaskId(1)));
+        assert_eq!(s.pick(T0), Some(TaskId(1)));
+        // A wake changes the EDF input; the cache must notice... but the
+        // earlier deadline still wins.
+        s.on_ready(TaskId(2), T0);
+        assert_eq!(s.pick(T0), Some(TaskId(1)));
+        // Depleting server a flips the winner and arms a replenishment.
+        s.charge(TaskId(1), Dur::ms(10), t(10));
+        assert_eq!(s.pick(t(10)), Some(TaskId(2)));
+        assert_eq!(s.next_timer(t(10)), Some(t(50)));
+        assert_eq!(s.next_timer(t(10)), Some(t(50))); // cached
+        s.on_timer(t(50));
+        assert_eq!(s.next_timer(t(50)), None);
+        assert_eq!(s.pick(t(50)), Some(TaskId(1)));
+        // Parameter changes through server_mut invalidate conservatively.
+        s.server_mut(a).set_params(Dur::ms(1), Dur::ms(200));
+        s.charge(TaskId(1), Dur::ms(1), t(51));
+        assert_eq!(s.pick(t(51)), Some(TaskId(2)));
     }
 
     #[test]

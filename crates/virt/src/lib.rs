@@ -1,0 +1,60 @@
+//! # selftune-virt
+//!
+//! Hierarchical virtual platforms for the `selftune` reproduction of
+//! *"Self-tuning Schedulers for Legacy Real-Time Applications"*
+//! (EuroSys 2010): the paper's mechanism — CBS reservations whose budgets
+//! are self-tuned from traced activation spectra — composed one level up,
+//! the way the authors' follow-on IRMOS line deploys it for consolidated
+//! and virtualised workloads.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!   Kernel<VirtScheduler>
+//!        │
+//!        ├── host ReservationScheduler ──── flat tasks (fair / FIFO /
+//!        │     │                            own CBS servers, managed by
+//!        │     │                            the host SelfTuningManager)
+//!        │     ├── VM₀ share (CBS server) ─► guest scheduler (EDF / FP /
+//!        │     │                             nested ReservationScheduler)
+//!        │     │                               ▲ per-guest tracer +
+//!        │     │                               │ SelfTuningManager
+//!        │     └── VM₁ share (CBS server) ─► ...
+//!        │
+//!        └── host Supervisor: Σ shares + flat reservations ≤ U_lub
+//! ```
+//!
+//! * [`sched`] — [`VirtScheduler`]: two-level dispatch (host EDF over VM
+//!   shares, guest policy inside each share) with double charging — guest
+//!   runtime depletes both the inner reservation and the VM share.
+//! * [`platform`] — [`VirtPlatform`]: the runnable bundle. VM shares are
+//!   admitted through the host [`selftune_sched::Supervisor`]; each
+//!   self-tuning guest gets its own tracer (via [`TraceMux`]) and
+//!   [`selftune_core::SelfTuningManager`] whose supervisor is clamped to
+//!   the VM's share — compression under tenant overload stays inside the
+//!   tenant.
+//! * [`demo`] — the canonical two-tenant consolidation scenario backing
+//!   the `vm_consolidation` experiment, example and e2e test.
+//!
+//! ## Why hierarchical
+//!
+//! On a flat node, one misbehaving legacy task inflates its bandwidth
+//! request and the supervisor's proportional compression curbs *every*
+//! task on the node. With virtual platforms, the host supervisor
+//! arbitrates fixed shares *across* tenants while each tenant's manager
+//! arbitrates *within* its share: a noisy neighbour can only melt itself.
+//! The `vm_consolidation` e2e demonstrates both halves (isolation, and
+//! completion throughput no worse than flat at equal total bandwidth).
+
+pub mod demo;
+pub mod platform;
+pub mod sched;
+
+pub use platform::{GuestPolicy, TraceMux, VirtPlatform, VmAdmissionError, VmConfig};
+pub use sched::{GuestSched, VirtScheduler, VmId};
+
+/// One-stop imports for virtual-platform experiments.
+pub mod prelude {
+    pub use crate::platform::{GuestPolicy, VirtPlatform, VmAdmissionError, VmConfig};
+    pub use crate::sched::{GuestSched, VirtScheduler, VmId};
+}

@@ -1,0 +1,556 @@
+//! The virtual-platform bundle: a host kernel running VM servers, each
+//! with its own tracer and (optionally) its own self-tuning manager.
+//!
+//! [`VirtPlatform`] is the virtualised counterpart of the paper's
+//! single-machine stack. The host side is unchanged — a kernel, a tracer
+//! and a [`SelfTuningManager`] for host-level (non-VM) legacy tasks. Each
+//! VM adds:
+//!
+//! * a **host CBS server** — the VM's CPU share, admitted through the
+//!   *host* [`Supervisor`] exactly like any other reservation, so the
+//!   host-level bound Σ Qᵢ/Tᵢ ≤ U_lub arbitrates bandwidth *across*
+//!   tenants;
+//! * a **guest scheduler** over the VM's own task set; and, for
+//!   self-tuning guests,
+//! * a **per-guest tracer + [`SelfTuningManager`]** whose supervisor is
+//!   bounded by the VM's share — periods are detected and budgets adapted
+//!   *inside* the VM, and compression under tenant overload curbs that
+//!   tenant's tasks only.
+//!
+//! Syscall tracing is demultiplexed per VM by [`TraceMux`], so each guest
+//! manager sees exactly its own tenant's event train — the virtualised
+//! analogue of one `qtrace` device per machine.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use selftune_core::{ControllerConfig, ManagerConfig, SelfTuningManager};
+use selftune_sched::{
+    BwRequest, EdfScheduler, FixedPriority, ReservationScheduler, Server, ServerConfig, Supervisor,
+};
+use selftune_simcore::kernel::{Kernel, SyscallHook};
+use selftune_simcore::syscall::SyscallNr;
+use selftune_simcore::task::{TaskId, Workload};
+use selftune_simcore::time::{Dur, Time};
+use selftune_tracer::{Tracer, TracerConfig, TracerHook};
+
+use crate::sched::{GuestSched, VirtScheduler, VmId};
+
+/// The scheduling regime inside one VM.
+#[derive(Clone, Debug)]
+pub enum GuestPolicy {
+    /// Task-level EDF (register deadlines via
+    /// [`VirtPlatform::set_guest_deadline`]).
+    Edf,
+    /// Preemptive fixed priority (register priorities via
+    /// [`VirtPlatform::set_guest_priority`]).
+    FixedPriority,
+    /// Nested CBS reservations driven by a per-guest self-tuning manager.
+    /// The manager's supervisor bound is clamped to the VM's share — a
+    /// tenant cannot self-tune its way past what the host granted.
+    SelfTuning(ManagerConfig),
+}
+
+/// Static description of one VM.
+#[derive(Clone, Debug)]
+pub struct VmConfig {
+    /// Label used in diagnostics.
+    pub label: String,
+    /// Share budget `Q` granted per share period.
+    pub budget: Dur,
+    /// Share period `T` (granularity of the VM's CPU supply).
+    pub period: Dur,
+    /// Guest scheduling regime.
+    pub policy: GuestPolicy,
+}
+
+impl VmConfig {
+    /// A self-tuning VM with the given share and default manager
+    /// configuration (supervisor bound clamped to the share).
+    pub fn self_tuning(label: &str, budget: Dur, period: Dur) -> VmConfig {
+        VmConfig {
+            label: label.to_owned(),
+            budget,
+            period,
+            policy: GuestPolicy::SelfTuning(ManagerConfig::default()),
+        }
+    }
+
+    /// The VM's share of the CPU, `Q/T`.
+    pub fn share(&self) -> f64 {
+        self.budget.ratio(self.period)
+    }
+}
+
+/// Why a VM could not be created.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VmAdmissionError {
+    /// The host supervisor's bound cannot fit the requested share.
+    Rejected {
+        /// The requested share `Q/T`.
+        requested: f64,
+        /// Host bandwidth still unreserved under the bound.
+        available: f64,
+    },
+}
+
+impl core::fmt::Display for VmAdmissionError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            VmAdmissionError::Rejected {
+                requested,
+                available,
+            } => write!(
+                f,
+                "VM share {requested:.3} rejected: only {available:.3} available"
+            ),
+        }
+    }
+}
+
+/// Routes syscall trace edges to the tracer of the task's VM (slot 0 is
+/// the host tracer).
+pub struct TraceMux {
+    route: Rc<RefCell<Vec<u16>>>,
+    hooks: Rc<RefCell<Vec<TracerHook>>>,
+}
+
+impl TraceMux {
+    fn slot_of(&self, task: TaskId) -> usize {
+        self.route.borrow().get(task.index()).copied().unwrap_or(0) as usize
+    }
+}
+
+impl SyscallHook for TraceMux {
+    fn on_enter(&mut self, task: TaskId, nr: SyscallNr, now: Time) -> Dur {
+        let slot = self.slot_of(task);
+        self.hooks.borrow_mut()[slot].on_enter(task, nr, now)
+    }
+
+    fn on_exit(&mut self, task: TaskId, nr: SyscallNr, now: Time) -> Dur {
+        let slot = self.slot_of(task);
+        self.hooks.borrow_mut()[slot].on_exit(task, nr, now)
+    }
+
+    fn on_wake(&mut self, task: TaskId, now: Time) -> Dur {
+        let slot = self.slot_of(task);
+        self.hooks.borrow_mut()[slot].on_wake(task, now)
+    }
+}
+
+struct VmRuntime {
+    label: String,
+    mgr: Option<SelfTuningManager>,
+    /// Trace-mux slot of this VM's tracer (0 = shares the host tracer,
+    /// for guests without a manager).
+    slot: u16,
+    tasks: Vec<TaskId>,
+    killed: bool,
+}
+
+/// A host kernel running virtual machines (see the module docs).
+pub struct VirtPlatform {
+    kernel: Kernel<VirtScheduler>,
+    cfg: ManagerConfig,
+    host_mgr: SelfTuningManager,
+    vms: Vec<VmRuntime>,
+    route: Rc<RefCell<Vec<u16>>>,
+    hooks: Rc<RefCell<Vec<TracerHook>>>,
+}
+
+impl VirtPlatform {
+    /// Creates a platform. `cfg` configures the host side: the sampling
+    /// period, the host supervisor (which admits both flat reservations
+    /// and VM shares) and the CBS mode of host-level servers.
+    pub fn new(cfg: ManagerConfig) -> VirtPlatform {
+        let mut kernel = Kernel::new(VirtScheduler::new());
+        let (host_hook, host_reader) = Tracer::create(TracerConfig::default());
+        let route = Rc::new(RefCell::new(Vec::new()));
+        let hooks = Rc::new(RefCell::new(vec![host_hook]));
+        kernel.install_hook(Box::new(TraceMux {
+            route: Rc::clone(&route),
+            hooks: Rc::clone(&hooks),
+        }));
+        let host_mgr = SelfTuningManager::new(cfg.clone(), host_reader);
+        VirtPlatform {
+            kernel,
+            cfg,
+            host_mgr,
+            vms: Vec::new(),
+            route,
+            hooks,
+        }
+    }
+
+    /// Creates a VM, admitting its share through the host supervisor.
+    ///
+    /// The share server is created at the admission floor and immediately
+    /// parameterised through [`Supervisor::apply`] — the same path every
+    /// task reservation takes, so the host bound arbitrates VM shares and
+    /// flat reservations uniformly.
+    ///
+    /// # Errors
+    ///
+    /// [`VmAdmissionError::Rejected`] when the share does not fit under
+    /// the host bound; nothing is created in that case. Use
+    /// [`VirtPlatform::create_vm_curbed`] when a compressed share is
+    /// acceptable.
+    pub fn create_vm(&mut self, vm_cfg: VmConfig) -> Result<VmId, VmAdmissionError> {
+        let requested = vm_cfg.share();
+        if !self
+            .cfg
+            .supervisor
+            .admits(self.kernel.sched().host(), vm_cfg.budget, vm_cfg.period)
+        {
+            let available = (self.cfg.supervisor.ulub
+                - self.kernel.sched().host().total_reserved_bandwidth())
+            .max(0.0);
+            return Err(VmAdmissionError::Rejected {
+                requested,
+                available,
+            });
+        }
+        Ok(self.create_vm_unchecked(vm_cfg))
+    }
+
+    /// Creates a VM like [`VirtPlatform::create_vm`], but never rejects:
+    /// a share that does not fit is *compressed* to what the host bound
+    /// allows (possibly down to the floor), exactly as an oversubscribed
+    /// task grant would be. Returns the VM and its granted share `Q/T`.
+    ///
+    /// This is the live-migration admission path: the fleet rebalancer
+    /// books destinations from its own model, which can drift from a
+    /// node's self-tuned grants — a curbed landing beats a crashed node.
+    pub fn create_vm_curbed(&mut self, vm_cfg: VmConfig) -> (VmId, f64) {
+        let vm = self.create_vm_unchecked(vm_cfg);
+        (vm, self.vm_share(vm))
+    }
+
+    fn create_vm_unchecked(&mut self, vm_cfg: VmConfig) -> VmId {
+        let (guest, pending_mgr, slot) = match &vm_cfg.policy {
+            GuestPolicy::Edf => (GuestSched::Edf(EdfScheduler::new()), None, 0),
+            GuestPolicy::FixedPriority => {
+                (GuestSched::FixedPriority(FixedPriority::new()), None, 0)
+            }
+            GuestPolicy::SelfTuning(mgr_cfg) => {
+                let (hook, reader) = Tracer::create(TracerConfig::default());
+                let slot = self.hooks.borrow().len() as u16;
+                self.hooks.borrow_mut().push(hook);
+                (
+                    GuestSched::Reservation(ReservationScheduler::new()),
+                    Some((mgr_cfg.clone(), reader)),
+                    slot,
+                )
+            }
+        };
+        let floor = self
+            .cfg
+            .supervisor
+            .min_budget
+            .min(vm_cfg.period)
+            .max(Dur::us(10));
+        let vm = self.kernel.sched_mut().create_vm(
+            ServerConfig::new(floor, vm_cfg.period).with_mode(self.cfg.cbs_mode),
+            guest,
+        );
+        let sid = self.kernel.sched_mut().vm_server_id(vm);
+        self.cfg.supervisor.apply(
+            self.kernel.sched_mut().host_mut(),
+            &[BwRequest {
+                server: sid,
+                budget: vm_cfg.budget,
+                period: vm_cfg.period,
+            }],
+        );
+        // The tenant's inner bound never exceeds what the host actually
+        // *granted* — on the curbed path that can be well below the
+        // requested share, and a guest supervisor bounded by the request
+        // would hand out uncompressed grants (and report no compression
+        // pressure) against supply that does not exist.
+        let granted = self.vm_share(vm);
+        let mgr = pending_mgr.map(|(mut mgr_cfg, reader)| {
+            mgr_cfg.supervisor.ulub = mgr_cfg.supervisor.ulub.min(granted).max(1e-6);
+            SelfTuningManager::new(mgr_cfg, reader)
+        });
+        self.vms.push(VmRuntime {
+            label: vm_cfg.label,
+            mgr,
+            slot,
+            tasks: Vec::new(),
+            killed: false,
+        });
+        vm
+    }
+
+    /// Re-requests a VM's share mid-run through the host supervisor (the
+    /// grant may be compressed under saturation). Returns the granted
+    /// share `Q/T`.
+    pub fn request_vm_share(&mut self, vm: VmId, budget: Dur, period: Dur) -> f64 {
+        let sid = self.kernel.sched_mut().vm_server_id(vm);
+        let grants = self.cfg.supervisor.apply(
+            self.kernel.sched_mut().host_mut(),
+            &[BwRequest {
+                server: sid,
+                budget,
+                period,
+            }],
+        );
+        grants.first().map(|g| g.bandwidth()).unwrap_or(0.0)
+    }
+
+    /// Spawns a workload inside a VM, ready at `start`.
+    pub fn spawn_in_vm_at(
+        &mut self,
+        vm: VmId,
+        name: &str,
+        workload: Box<dyn Workload>,
+        start: Time,
+    ) -> TaskId {
+        let tid = self.kernel.spawn_at(name, workload, start);
+        self.kernel.sched_mut().assign(tid, vm);
+        let mut route = self.route.borrow_mut();
+        if route.len() <= tid.index() {
+            route.resize(tid.index() + 1, 0);
+        }
+        route[tid.index()] = self.vms[vm.index()].slot;
+        drop(route);
+        self.vms[vm.index()].tasks.push(tid);
+        tid
+    }
+
+    /// Spawns a workload inside a VM, ready immediately.
+    pub fn spawn_in_vm(&mut self, vm: VmId, name: &str, workload: Box<dyn Workload>) -> TaskId {
+        self.spawn_in_vm_at(vm, name, workload, self.kernel.now())
+    }
+
+    /// Spawns a host-level (non-VM) workload.
+    pub fn spawn_host(&mut self, name: &str, workload: Box<dyn Workload>) -> TaskId {
+        self.kernel.spawn(name, workload)
+    }
+
+    /// Puts a guest task under its VM's self-tuning manager.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM is not a [`GuestPolicy::SelfTuning`] guest.
+    pub fn manage_in_vm(&mut self, vm: VmId, task: TaskId, label: &str, cfg: ControllerConfig) {
+        self.vms[vm.index()]
+            .mgr
+            .as_mut()
+            .unwrap_or_else(|| panic!("{vm} is not self-tuning"))
+            .manage(task, label, cfg);
+    }
+
+    /// Warm-starts a guest task under its VM's manager with carried
+    /// controller state (see [`SelfTuningManager::manage_warm_in`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM is not a [`GuestPolicy::SelfTuning`] guest.
+    pub fn manage_warm_in_vm(
+        &mut self,
+        vm: VmId,
+        task: TaskId,
+        label: &str,
+        cfg: ControllerConfig,
+        budget: Dur,
+        period: Dur,
+    ) {
+        let kernel = &mut self.kernel;
+        self.vms[vm.index()]
+            .mgr
+            .as_mut()
+            .unwrap_or_else(|| panic!("{vm} is not self-tuning"))
+            .manage_warm_in(
+                kernel,
+                |s| s.guest_reservations_mut(vm),
+                task,
+                label,
+                cfg,
+                budget,
+                period,
+            );
+    }
+
+    /// Puts a host-level task under the host self-tuning manager.
+    pub fn manage_host(&mut self, task: TaskId, label: &str, cfg: ControllerConfig) {
+        self.host_mgr.manage(task, label, cfg);
+    }
+
+    /// Warm-starts a host-level task (see
+    /// [`SelfTuningManager::manage_warm_in`]).
+    pub fn manage_host_warm(
+        &mut self,
+        task: TaskId,
+        label: &str,
+        cfg: ControllerConfig,
+        budget: Dur,
+        period: Dur,
+    ) {
+        self.host_mgr.manage_warm_in(
+            &mut self.kernel,
+            VirtScheduler::host_mut,
+            task,
+            label,
+            cfg,
+            budget,
+            period,
+        );
+    }
+
+    /// Stops managing a host-level task (reservation released).
+    pub fn unmanage_host(&mut self, task: TaskId) -> bool {
+        self.host_mgr
+            .unmanage_in(&mut self.kernel, VirtScheduler::host_mut, task)
+    }
+
+    /// Stops managing a guest task inside its VM.
+    pub fn unmanage_in_vm(&mut self, vm: VmId, task: TaskId) -> bool {
+        match self.vms[vm.index()].mgr.as_mut() {
+            Some(mgr) => mgr.unmanage_in(&mut self.kernel, |s| s.guest_reservations_mut(vm), task),
+            None => false,
+        }
+    }
+
+    /// Registers a relative deadline with a VM's EDF guest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM's guest is not [`GuestPolicy::Edf`].
+    pub fn set_guest_deadline(&mut self, vm: VmId, task: TaskId, rel: Dur) {
+        match self.kernel.sched_mut().guest_mut(vm) {
+            GuestSched::Edf(e) => e.set_relative_deadline(task, rel),
+            _ => panic!("{vm} is not an EDF guest"),
+        }
+    }
+
+    /// Registers a fixed priority with a VM's fixed-priority guest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM's guest is not [`GuestPolicy::FixedPriority`].
+    pub fn set_guest_priority(&mut self, vm: VmId, task: TaskId, prio: u32) {
+        match self.kernel.sched_mut().guest_mut(vm) {
+            GuestSched::FixedPriority(f) => f.set_priority(task, prio),
+            _ => panic!("{vm} is not a fixed-priority guest"),
+        }
+    }
+
+    /// Kills a VM: every guest task is unmanaged and terminated, and the
+    /// VM's share shrinks to the admission floor — its bandwidth returns
+    /// to the host pool. Returns `false` if the VM was already killed.
+    pub fn kill_vm(&mut self, vm: VmId) -> bool {
+        let rt = &mut self.vms[vm.index()];
+        if rt.killed {
+            return false;
+        }
+        rt.killed = true;
+        let tasks = core::mem::take(&mut rt.tasks);
+        for &t in &tasks {
+            if let Some(mgr) = rt.mgr.as_mut() {
+                mgr.unmanage_in(&mut self.kernel, |s| s.guest_reservations_mut(vm), t);
+            }
+            self.kernel.kill(t);
+        }
+        rt.tasks = tasks;
+        self.kernel.sched_mut().release_vm(vm);
+        true
+    }
+
+    /// One sampling step of every manager (host first, then VMs in id
+    /// order — a deterministic schedule).
+    pub fn step_managers(&mut self) {
+        self.host_mgr
+            .step_in(&mut self.kernel, VirtScheduler::host_mut);
+        for (i, rt) in self.vms.iter_mut().enumerate() {
+            if rt.killed {
+                continue;
+            }
+            if let Some(mgr) = rt.mgr.as_mut() {
+                let vm = VmId(i as u32);
+                mgr.step_in(&mut self.kernel, |s| s.guest_reservations_mut(vm));
+            }
+        }
+    }
+
+    /// Drives the kernel to `until`, stepping every manager at the host
+    /// sampling period.
+    pub fn run(&mut self, until: Time) {
+        while self.kernel.now() < until {
+            let next = (self.kernel.now() + self.cfg.sampling).min(until);
+            self.kernel.run_until(next);
+            self.step_managers();
+        }
+    }
+
+    /// The underlying kernel.
+    pub fn kernel(&self) -> &Kernel<VirtScheduler> {
+        &self.kernel
+    }
+
+    /// Mutable access to the underlying kernel.
+    pub fn kernel_mut(&mut self) -> &mut Kernel<VirtScheduler> {
+        &mut self.kernel
+    }
+
+    /// The host-level manager (flat legacy tasks).
+    pub fn host_manager(&self) -> &SelfTuningManager {
+        &self.host_mgr
+    }
+
+    /// The per-guest manager of a VM, if it is self-tuning.
+    pub fn guest_manager(&self, vm: VmId) -> Option<&SelfTuningManager> {
+        self.vms[vm.index()].mgr.as_ref()
+    }
+
+    /// Number of VMs created.
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// The VM's label.
+    pub fn vm_label(&self, vm: VmId) -> &str {
+        &self.vms[vm.index()].label
+    }
+
+    /// Guest tasks spawned into the VM, in spawn order.
+    pub fn vm_tasks(&self, vm: VmId) -> &[TaskId] {
+        &self.vms[vm.index()].tasks
+    }
+
+    /// Whether the VM has been killed.
+    pub fn vm_is_killed(&self, vm: VmId) -> bool {
+        self.vms[vm.index()].killed
+    }
+
+    /// The host server backing the VM's share.
+    pub fn vm_server(&self, vm: VmId) -> &Server {
+        self.kernel.sched().vm_server(vm)
+    }
+
+    /// The VM's currently granted share `Q/T`.
+    pub fn vm_share(&self, vm: VmId) -> f64 {
+        self.vm_server(vm).config().bandwidth()
+    }
+
+    /// Cumulative CPU consumed by the VM (all guest tasks).
+    pub fn vm_consumed(&self, vm: VmId) -> Dur {
+        self.vm_server(vm).stats().consumed
+    }
+
+    /// Total host bandwidth currently reserved (VM shares + flat
+    /// reservations).
+    pub fn host_reserved_bandwidth(&self) -> f64 {
+        self.kernel.sched().host().total_reserved_bandwidth()
+    }
+
+    /// The host supervisor in force.
+    pub fn supervisor(&self) -> &Supervisor {
+        &self.cfg.supervisor
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.kernel.now()
+    }
+}

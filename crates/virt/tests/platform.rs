@@ -1,0 +1,263 @@
+//! Platform-level tests: per-guest self-tuning inside VM shares, VM
+//! lifecycle, and host supervisor arbitration under nesting.
+
+use selftune_apps::PeriodicRt;
+use selftune_core::{ControllerConfig, ManagerConfig};
+use selftune_sched::Supervisor;
+use selftune_simcore::kernel::TaskState;
+use selftune_simcore::rng::Rng;
+use selftune_simcore::time::{Dur, Time};
+use selftune_virt::prelude::*;
+
+fn platform(ulub: f64) -> VirtPlatform {
+    VirtPlatform::new(ManagerConfig {
+        supervisor: Supervisor::new(ulub),
+        ..ManagerConfig::default()
+    })
+}
+
+fn rt(label: &str, wcet_ms: u64, period_ms: u64, seed: u64) -> Box<PeriodicRt> {
+    Box::new(PeriodicRt::new(
+        label,
+        Dur::ms(wcet_ms),
+        Dur::ms(period_ms),
+        0.1,
+        Rng::new(seed),
+    ))
+}
+
+#[test]
+fn per_guest_manager_detects_and_attaches_inside_the_vm() {
+    let mut p = platform(0.95);
+    let vm = p
+        .create_vm(VmConfig::self_tuning("tenant", Dur::ms(4), Dur::ms(10)))
+        .expect("share fits");
+    let tid = p.spawn_in_vm(vm, "app", rt("app", 4, 40, 5));
+    p.manage_in_vm(vm, tid, "app", ControllerConfig::default());
+    p.run(Time::ZERO + Dur::secs(8));
+
+    // The guest manager detected the period and attached an *inner*
+    // reservation, bounded by the VM's 0.4 share.
+    let mgr = p.guest_manager(vm).expect("self-tuning guest");
+    let ctl = mgr.controller_of(tid).expect("managed");
+    let period = ctl.period().expect("period detected inside the VM");
+    assert!((period.as_ms_f64() - 40.0).abs() < 2.0, "{period}");
+    assert!(mgr.server_of(tid).is_some(), "inner reservation attached");
+    // Jobs hold their cadence through the share.
+    let gaps = p.kernel().metrics().inter_mark_times_ms("app.job");
+    let late = gaps.iter().filter(|&&g| g > 60.0).count();
+    assert!(gaps.len() > 150, "jobs completed: {}", gaps.len());
+    assert!(late * 20 < gaps.len(), "{late} of {} late", gaps.len());
+    // The host only sees the VM's share; the inner reservation does not
+    // leak into host accounting.
+    assert!(p.host_reserved_bandwidth() < 0.45);
+}
+
+#[test]
+fn tenant_overload_compresses_inside_its_own_vm() {
+    let mut p = platform(0.95);
+    let quiet = p
+        .create_vm(VmConfig::self_tuning("quiet", Dur::ms(3), Dur::ms(10)))
+        .expect("fits");
+    let greedy = p
+        .create_vm(VmConfig::self_tuning("greedy", Dur::ms(5), Dur::ms(10)))
+        .expect("fits");
+    let q = p.spawn_in_vm(quiet, "q", rt("q", 2, 40, 1));
+    p.manage_in_vm(quiet, q, "q", ControllerConfig::default());
+    for i in 0..2 {
+        let label = format!("g{i}");
+        let t = p.spawn_in_vm(greedy, &label, rt(&label, 30, 40, 2 + i));
+        p.manage_in_vm(greedy, t, &label, ControllerConfig::default());
+    }
+    p.run(Time::ZERO + Dur::secs(8));
+
+    // The greedy tenant's manager had to compress grants (its tasks want
+    // 1.5 CPUs inside a 0.5 share); the quiet tenant's manager did not.
+    let greedy_mgr = p.guest_manager(greedy).expect("self-tuning");
+    let quiet_mgr = p.guest_manager(quiet).expect("self-tuning");
+    assert!(
+        greedy_mgr.compressed_grants() > 0,
+        "tenant overload must compress inside the tenant"
+    );
+    assert_eq!(
+        quiet_mgr.compressed_grants(),
+        0,
+        "the quiet tenant must not be compressed by its neighbour"
+    );
+    // And the quiet tenant's jobs still complete on time.
+    let gaps = p.kernel().metrics().inter_mark_times_ms("q.job");
+    let late = gaps.iter().filter(|&&g| g > 60.0).count();
+    assert!(late * 10 < gaps.len(), "{late} of {}", gaps.len());
+}
+
+#[test]
+fn vm_admission_rejects_overcommitted_shares() {
+    let mut p = platform(0.8);
+    p.create_vm(VmConfig::self_tuning("a", Dur::ms(6), Dur::ms(10)))
+        .expect("0.6 fits under 0.8");
+    let err = p
+        .create_vm(VmConfig::self_tuning("b", Dur::ms(3), Dur::ms(10)))
+        .expect_err("0.6 + 0.3 > 0.8");
+    match err {
+        VmAdmissionError::Rejected {
+            requested,
+            available,
+        } => {
+            assert!((requested - 0.3).abs() < 1e-9);
+            assert!(available < 0.3);
+        }
+    }
+    // The rejected VM left nothing behind.
+    assert_eq!(p.vm_count(), 1);
+    assert!(p.host_reserved_bandwidth() < 0.7);
+}
+
+#[test]
+fn curbed_admission_compresses_instead_of_rejecting() {
+    let mut p = platform(0.8);
+    p.create_vm(VmConfig::self_tuning("a", Dur::ms(6), Dur::ms(10)))
+        .expect("0.6 fits under 0.8");
+    // A 0.6 share on top of 0.6 does not fit; the curbed path lands it
+    // anyway at what remains (~0.2) — the live-migration behaviour.
+    let (vm, granted) = p.create_vm_curbed(VmConfig::self_tuning("b", Dur::ms(6), Dur::ms(10)));
+    assert!(granted > 0.1 && granted < 0.3, "curbed to {granted}");
+    assert!((p.vm_share(vm) - granted).abs() < 1e-9);
+    assert!(p.host_reserved_bandwidth() <= 0.8 + 1e-9);
+    // The curbed VM still runs guests.
+    let t = p.spawn_in_vm(vm, "g", rt("g", 2, 40, 9));
+    p.manage_in_vm(vm, t, "g", ControllerConfig::default());
+    p.run(Time::ZERO + Dur::secs(3));
+    assert!(!p.kernel().metrics().marks("g.job").is_empty());
+}
+
+#[test]
+fn kill_vm_releases_the_full_reservation_and_stops_guests() {
+    let mut p = platform(0.95);
+    let a = p
+        .create_vm(VmConfig::self_tuning("a", Dur::ms(4), Dur::ms(10)))
+        .expect("fits");
+    let b = p
+        .create_vm(VmConfig::self_tuning("b", Dur::ms(3), Dur::ms(10)))
+        .expect("fits");
+    let ta = p.spawn_in_vm(a, "a0", rt("a0", 3, 40, 3));
+    p.manage_in_vm(a, ta, "a0", ControllerConfig::default());
+    let tb = p.spawn_in_vm(b, "b0", rt("b0", 3, 40, 4));
+    p.manage_in_vm(b, tb, "b0", ControllerConfig::default());
+    p.run(Time::ZERO + Dur::secs(3));
+    assert!(p.host_reserved_bandwidth() > 0.65);
+
+    assert!(p.kill_vm(a));
+    assert!(!p.kill_vm(a), "double kill is a no-op");
+    // The killed VM's whole share returned to the host pool (only b's 0.3
+    // plus the floor residue remains).
+    assert!(
+        p.host_reserved_bandwidth() < 0.35,
+        "residual {}",
+        p.host_reserved_bandwidth()
+    );
+    assert_eq!(p.kernel().task_state(ta), TaskState::Exited);
+    // The survivor keeps running.
+    let before = p.kernel().metrics().marks("b0.job").len();
+    p.run(Time::ZERO + Dur::secs(5));
+    assert!(p.kernel().metrics().marks("b0.job").len() > before);
+    // Freed bandwidth is reusable: a new VM with the released share fits.
+    p.create_vm(VmConfig::self_tuning("c", Dur::ms(4), Dur::ms(10)))
+        .expect("released share is reusable");
+}
+
+#[test]
+fn edf_and_fixed_priority_guests_dispatch_by_their_policy() {
+    let mut p = platform(0.95);
+    let vm = p
+        .create_vm(VmConfig {
+            label: "edf".into(),
+            budget: Dur::ms(9),
+            period: Dur::ms(10),
+            policy: GuestPolicy::Edf,
+        })
+        .expect("fits");
+    let t1 = p.spawn_in_vm(vm, "slow", rt("slow", 4, 80, 1));
+    let t2 = p.spawn_in_vm(vm, "fast", rt("fast", 2, 20, 2));
+    p.set_guest_deadline(vm, t1, Dur::ms(80));
+    p.set_guest_deadline(vm, t2, Dur::ms(20));
+    p.run(Time::ZERO + Dur::secs(2));
+    // Both make their rates under guest EDF inside the shared 0.9 share.
+    assert!(p.kernel().metrics().marks("fast.job").len() > 90);
+    assert!(p.kernel().metrics().marks("slow.job").len() > 20);
+}
+
+mod nesting_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Satellite invariant: however guests re-request mid-run, the
+        /// *host* bandwidth (VM shares + flat reservations) never exceeds
+        /// the host bound, and killing a VM releases its full share.
+        #[test]
+        fn host_bound_holds_under_guest_rerequests_and_kills(
+            seed in 0u64..10_000,
+            ulub_pct in 60u64..96,
+            shares in prop::collection::vec((1u64..8, 0u64..3), 1..5),
+            rerequests in prop::collection::vec((0usize..5, 1u64..12), 0..6),
+            kill_first in any::<bool>(),
+        ) {
+            let ulub = ulub_pct as f64 / 100.0;
+            let mut p = platform(ulub);
+            let mut vms = Vec::new();
+            for (i, &(budget_ms, _)) in shares.iter().enumerate() {
+                let cfg = VmConfig::self_tuning(
+                    &format!("vm{i}"),
+                    Dur::ms(budget_ms),
+                    Dur::ms(10),
+                );
+                if let Ok(vm) = p.create_vm(cfg) {
+                    // A guest task that keeps the tenant's manager busy
+                    // re-requesting (demand above most shares).
+                    let label = format!("t{i}");
+                    let t = p.spawn_in_vm(vm, &label, rt(&label, 5, 40, seed ^ i as u64));
+                    p.manage_in_vm(vm, t, &label, ControllerConfig::default());
+                    vms.push(vm);
+                }
+                prop_assert!(p.host_reserved_bandwidth() <= ulub + 1e-9);
+            }
+            // Run with periodic mid-run share re-requests.
+            let mut t = Time::ZERO;
+            for (step, &(which, budget_ms)) in rerequests.iter().enumerate() {
+                t += Dur::ms(400 + 100 * step as u64);
+                p.run(t);
+                if !vms.is_empty() {
+                    let vm = vms[which % vms.len()];
+                    let granted = p.request_vm_share(vm, Dur::ms(budget_ms), Dur::ms(10));
+                    prop_assert!(granted <= ulub + 1e-9);
+                }
+                prop_assert!(
+                    p.host_reserved_bandwidth() <= ulub + 1e-9,
+                    "host bound violated: {} > {}",
+                    p.host_reserved_bandwidth(),
+                    ulub
+                );
+            }
+            p.run(t + Dur::ms(500));
+            prop_assert!(p.host_reserved_bandwidth() <= ulub + 1e-9);
+
+            // Killing a VM releases its share (modulo the tiny floor).
+            if kill_first {
+                if let Some(&vm) = vms.first() {
+                    let share = p.vm_share(vm);
+                    let before = p.host_reserved_bandwidth();
+                    prop_assert!(p.kill_vm(vm));
+                    let after = p.host_reserved_bandwidth();
+                    // The floor residue is 10us per 10ms period = 1e-3.
+                    prop_assert!(
+                        after <= before - share + 2e-3,
+                        "kill released {} of {share}",
+                        before - after
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Two tenants consolidated onto one host under hierarchical scheduling:
+//! a well-behaved 25 Hz application in one VM, a noisy neighbour in
+//! another — each VM a CBS share containing its own self-tuning manager.
+//!
+//! ```text
+//! cargo run --release --example vm_consolidation
+//! ```
+//!
+//! The host supervisor arbitrates bandwidth *across* the tenants (fixed
+//! shares under Σ Q/T ≤ U_lub); each tenant's manager detects periods and
+//! adapts budgets *inside* its share, so the neighbour's overload
+//! compresses only its own tasks. The same task set under one flat
+//! manager — same total bandwidth — melts the victim instead.
+
+use selftune::simcore::time::Dur;
+use selftune::virt::demo;
+
+fn main() {
+    let horizon = Dur::secs(12);
+    let seed = 42;
+
+    let solo = demo::run_solo(horizon, seed);
+    let hier = demo::run_hierarchical(horizon, seed);
+    let flat = demo::run_flat(horizon, seed);
+
+    println!(
+        "VM consolidation at equal total bandwidth ({:.0}%):",
+        100.0 * demo::TOTAL_BANDWIDTH
+    );
+    println!(
+        "  solo baseline   victim: {:>4} jobs, miss rate {:.3}",
+        solo.completions,
+        solo.miss_rate()
+    );
+    println!(
+        "  hierarchical    victim: {:>4} jobs, miss rate {:.3}   noisy: {:>4} jobs, miss rate {:.3}",
+        hier.victim.completions,
+        hier.victim.miss_rate(),
+        hier.noisy.completions,
+        hier.noisy.miss_rate()
+    );
+    println!(
+        "  flat            victim: {:>4} jobs, miss rate {:.3}   noisy: {:>4} jobs, miss rate {:.3}",
+        flat.victim.completions,
+        flat.victim.miss_rate(),
+        flat.noisy.completions,
+        flat.noisy.miss_rate()
+    );
+    println!(
+        "  totals: hierarchical {} vs flat {} completions",
+        hier.completions(),
+        flat.completions()
+    );
+    println!(
+        "\nThe noisy tenant saturates its VM either way; only the flat\n\
+         configuration lets that saturation compress the victim's grant."
+    );
+}

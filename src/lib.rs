@@ -58,6 +58,7 @@ pub use selftune_sched as sched;
 pub use selftune_simcore as simcore;
 pub use selftune_spectrum as spectrum;
 pub use selftune_tracer as tracer;
+pub use selftune_virt as virt;
 
 /// One-stop imports for the common experiment setup.
 pub mod prelude {
@@ -77,4 +78,5 @@ pub mod prelude {
     };
     pub use selftune_spectrum::{AnalyserConfig, PeakConfig, PeriodAnalyser, SpectrumConfig};
     pub use selftune_tracer::{TraceFilter, Tracer, TracerConfig, TracerKind};
+    pub use selftune_virt::{GuestPolicy, GuestSched, VirtPlatform, VirtScheduler, VmConfig, VmId};
 }

@@ -87,3 +87,36 @@ fn rebalanced_runs_are_thread_count_invariant() {
     assert_eq!(serial.summary_csv(), parallel.summary_csv());
     assert!(serial.rebalance.moves >= 1);
 }
+
+#[test]
+fn warm_start_shrinks_the_hand_over_gap() {
+    // Same feedback loop, hand-over state carried vs. re-detected: the
+    // mean arrival-to-attach delay of migrated incarnations must shrink.
+    // A cold destination re-runs period detection (≥ one sampling period);
+    // a warm one attaches the moment the task lands.
+    let warm_spec = scenario(true); // demo_rebalance carries state
+    assert!(warm_spec.rebalance.warm_start);
+    let cold_spec = warm_spec.clone().with_rebalance(RebalanceSpec {
+        warm_start: false,
+        ..ScenarioSpec::demo_rebalance()
+    });
+
+    let warm = ClusterRunner::new(2).run(&warm_spec, SEED);
+    let cold = ClusterRunner::new(2).run(&cold_spec, SEED);
+    assert!(warm.rebalance.moves >= 1 && cold.rebalance.moves >= 1);
+
+    let warm_gap = warm
+        .mean_migrated_attach_delay_ms()
+        .expect("warm migrations attached");
+    let cold_gap = cold
+        .mean_migrated_attach_delay_ms()
+        .expect("cold migrations attached");
+    assert!(
+        warm_gap < cold_gap,
+        "hand-over gap must shrink: warm {warm_gap:.1} ms vs cold {cold_gap:.1} ms"
+    );
+    // Warm incarnations attach the instant they land.
+    assert!(warm_gap < 1.0, "warm hand-over gap {warm_gap:.1} ms");
+    // And the cold gap is real detection latency, not noise.
+    assert!(cold_gap >= 500.0, "cold hand-over gap {cold_gap:.1} ms");
+}
