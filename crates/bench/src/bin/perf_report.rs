@@ -19,12 +19,13 @@ use std::time::Instant;
 
 use selftune_apps::PeriodicRt;
 use selftune_cluster::prelude::*;
-use selftune_sched::{Place, ReservationScheduler, ServerConfig};
+use selftune_sched::{EdfScheduler, Place, ReservationScheduler, ServerConfig};
 use selftune_simcore::event::EventQueue;
 use selftune_simcore::rng::Rng;
 use selftune_simcore::task::{Action, Script};
 use selftune_simcore::time::{Dur, Time};
 use selftune_simcore::{Kernel, Metrics};
+use selftune_virt::{GuestSched, VirtScheduler};
 
 /// One before/after measurement.
 struct Entry {
@@ -184,6 +185,46 @@ fn kernel_sim_rate(heap: bool, scan: bool, tasks: usize, sim: Dur, samples: usiz
     rates[rates.len() / 2]
 }
 
+/// Simulated seconds per wall second for a *VM-hosting* kernel: `vms`
+/// virtual platforms (EDF guests, two periodic tasks each) under the
+/// two-level scheduler. With any VM present every pick takes the
+/// `pick_with` nested-dispatch path; `scan` disables the host's cached
+/// EDF order (and winner/timer caches), reproducing the
+/// rescan-every-iteration behaviour this PR's nested dispatch caching
+/// replaced.
+fn vm_kernel_sim_rate(scan: bool, vms: usize, sim: Dur, samples: usize) -> f64 {
+    let run = || {
+        let mut kernel = Kernel::new(VirtScheduler::new());
+        if scan {
+            kernel.sched_mut().host_mut().use_scan_dispatch();
+        }
+        let mut rng = Rng::new(7);
+        let share = 0.85 / vms as f64;
+        for v in 0..vms {
+            let vm = kernel.sched_mut().create_vm(
+                ServerConfig::new(Dur::ms(10).mul_f64(share), Dur::ms(10)),
+                GuestSched::Edf(EdfScheduler::new()),
+            );
+            for g in 0..2usize {
+                let period = Dur::ms(5 + ((v * 2 + g) as u64 % 7) * 3);
+                let wcet = period.mul_f64(0.3 * share).max(Dur::us(20));
+                let w = PeriodicRt::new("t", wcet, period, 0.05, rng.fork());
+                let tid = kernel.spawn("t", Box::new(w));
+                kernel.sched_mut().assign(tid, vm);
+                if let GuestSched::Edf(e) = kernel.sched_mut().guest_mut(vm) {
+                    e.set_relative_deadline(tid, period);
+                }
+            }
+        }
+        let start = Instant::now();
+        kernel.run_for(sim);
+        sim.as_secs_f64() / start.elapsed().as_secs_f64()
+    };
+    let mut rates: Vec<f64> = (0..samples).map(|_| run()).collect();
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("NaN rate"));
+    rates[rates.len() / 2]
+}
+
 /// Simulated seconds per wall second for a timer-only kernel: `tasks`
 /// sleepers re-arming staggered timers — the dense-timer event loop seen
 /// end to end through the engine.
@@ -284,6 +325,27 @@ fn kernel_report(out: &Path, smoke: bool) {
             after,
             note: Some(
                 "before = full EDF/timer rescan per kernel iteration, after = cached dispatch",
+            ),
+        });
+    }
+    // The VM-hosting node (PR 4's residual bottleneck): any VM forces the
+    // nested pick_with path, which used to rebuild and sort the host EDF
+    // order on every kernel iteration. After: order cached across
+    // unchanged states, stacked timer cached by dispatch epoch.
+    for &vms in &[4usize, 16] {
+        let after = vm_kernel_sim_rate(false, vms, sim, ksamples);
+        let before = vm_kernel_sim_rate(true, vms, sim, ksamples);
+        println!(
+            "kernel/vm_sched_dispatch/{vms}: cached {after:.0} sim-s/s, scan {before:.0} sim-s/s ({:.2}x)",
+            after / before
+        );
+        entries.push(Entry {
+            name: format!("kernel/vm_sched_dispatch/{vms}"),
+            metric: "sim_seconds_per_wall_second",
+            before: Some(before),
+            after,
+            note: Some(
+                "before = nested EDF order rebuilt+sorted per pick, after = epoch-cached order and stacked timer",
             ),
         });
     }

@@ -21,5 +21,6 @@ fn main() {
     e::cluster_scaleout::run(&args);
     e::cluster_rebalance::run(&args);
     e::vm_consolidation::run(&args);
+    e::vm_elasticity::run(&args);
     println!("\nAll experiments done. CSVs in {}", args.out.display());
 }

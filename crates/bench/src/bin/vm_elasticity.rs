@@ -1,0 +1,6 @@
+//! VM elasticity experiment; see
+//! `selftune_bench::experiments::vm_elasticity`.
+fn main() {
+    let args = selftune_bench::Args::parse();
+    selftune_bench::experiments::vm_elasticity::run(&args);
+}

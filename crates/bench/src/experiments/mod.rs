@@ -19,3 +19,4 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod vm_consolidation;
+pub mod vm_elasticity;

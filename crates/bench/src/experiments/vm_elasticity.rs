@@ -1,0 +1,162 @@
+//! VM elasticity: host-level share adaptation vs static shares.
+//!
+//! The acceptance experiment of the elastic-share controller plane (see
+//! `selftune_virt::elastic` and `selftune_virt::demo::run_two_phase` /
+//! `run_runaway` for the scenarios shared with the e2e test):
+//!
+//! * **reclaim** — a tenant whose guest goes idle mid-run has its share
+//!   reclaimed and re-granted to a hungry sibling, which completes more
+//!   jobs than under static shares at equal total admitted bandwidth;
+//! * **containment** — a runaway elastic tenant is pinned at the host
+//!   cap and its statically-shared sibling keeps its solo miss rate.
+//!
+//! Both claims are asserted on every run; the per-tenant table is printed
+//! and `vm_elasticity.csv` written.
+
+use selftune_simcore::time::Dur;
+use selftune_virt::demo::{self, GuestStats};
+
+use crate::{fmt, print_table, time_us, write_csv, Args};
+
+/// Horizons swept: the short one is the e2e's, the long one shows the
+/// steady state after the idle-phase hand-over.
+const HORIZONS_SECS: [u64; 2] = [10, 30];
+
+/// Host bound of the demo platform.
+const HOST_ULUB: f64 = 0.95;
+
+#[allow(clippy::too_many_arguments)] // a flat CSV row
+fn row(
+    horizon: u64,
+    config: &str,
+    tenant: &str,
+    s: &GuestStats,
+    share: f64,
+    wall_ms: f64,
+) -> Vec<String> {
+    vec![
+        horizon.to_string(),
+        config.to_owned(),
+        tenant.to_owned(),
+        s.completions.to_string(),
+        s.gaps.to_string(),
+        s.misses.to_string(),
+        fmt(s.miss_rate(), 4),
+        fmt(share, 3),
+        fmt(wall_ms, 1),
+    ]
+}
+
+/// Runs the comparison and writes `vm_elasticity.csv`.
+pub fn run(args: &Args) {
+    println!("== VM elasticity: closed-loop host shares vs static admission ==");
+    let horizons: &[u64] = if args.fast {
+        &HORIZONS_SECS[..1]
+    } else {
+        &HORIZONS_SECS
+    };
+    let mut rows = Vec::new();
+    for &secs in horizons {
+        let horizon = Dur::secs(secs);
+        let (stat, t_stat) = time_us(|| demo::run_two_phase(horizon, args.seed, false));
+        let (elas, t_elas) = time_us(|| demo::run_two_phase(horizon, args.seed, true));
+        let (runaway, t_run) = time_us(|| demo::run_runaway(horizon, args.seed));
+        let solo = demo::run_solo(horizon, args.seed);
+
+        // The subsystem's claims, asserted on every run.
+        assert!(
+            elas.hungry.completions > stat.hungry.completions,
+            "reclaim failed: {} (elastic) <= {} (static)",
+            elas.hungry.completions,
+            stat.hungry.completions
+        );
+        assert!(
+            elas.hungry_share > stat.hungry_share && elas.phased_share < stat.phased_share,
+            "shares did not move: {:.3}/{:.3} vs {:.3}/{:.3}",
+            elas.phased_share,
+            elas.hungry_share,
+            stat.phased_share,
+            stat.hungry_share
+        );
+        let cap = HOST_ULUB - runaway.victim_share;
+        assert!(
+            runaway.runaway_peak_share <= cap + 1e-9,
+            "runaway escaped the cap: {:.4} > {cap:.4}",
+            runaway.runaway_peak_share
+        );
+        let envelope = (2.0 * solo.miss_rate()).max(0.05);
+        assert!(
+            runaway.victim.miss_rate() <= envelope,
+            "victim leaked: {:.4} > {envelope:.4}",
+            runaway.victim.miss_rate()
+        );
+
+        rows.push(row(
+            secs,
+            "static",
+            "phased",
+            &stat.phased,
+            stat.phased_share,
+            t_stat / 1e3,
+        ));
+        rows.push(row(
+            secs,
+            "static",
+            "hungry",
+            &stat.hungry,
+            stat.hungry_share,
+            0.0,
+        ));
+        rows.push(row(
+            secs,
+            "elastic",
+            "phased",
+            &elas.phased,
+            elas.phased_share,
+            t_elas / 1e3,
+        ));
+        rows.push(row(
+            secs,
+            "elastic",
+            "hungry",
+            &elas.hungry,
+            elas.hungry_share,
+            0.0,
+        ));
+        rows.push(row(
+            secs,
+            "runaway",
+            "victim",
+            &runaway.victim,
+            runaway.victim_share,
+            t_run / 1e3,
+        ));
+        rows.push(row(
+            secs,
+            "runaway",
+            "runaway",
+            &runaway.runaway,
+            runaway.runaway_peak_share,
+            0.0,
+        ));
+    }
+
+    let header = [
+        "horizon_s",
+        "config",
+        "tenant",
+        "completions",
+        "gaps",
+        "misses",
+        "miss_rate",
+        "share",
+        "wall_ms",
+    ];
+    print_table(&header, &rows);
+    write_csv(&args.out_path("vm_elasticity.csv"), &header, &rows);
+    println!(
+        "(assertions passed: hungry sibling gains completions from the reclaimed idle \
+         share; runaway elastic VM pinned at the host cap with its sibling at the solo \
+         baseline)"
+    );
+}

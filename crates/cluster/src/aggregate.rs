@@ -23,6 +23,10 @@ pub struct TaskReport {
     pub attached: bool,
     /// Whether this incarnation arrived through a live migration.
     pub migrated: bool,
+    /// Whether the task ran as a guest inside a virtual platform (its
+    /// attach delay is then a *guest-manager* property, reported
+    /// separately from flat-task hand-over gaps).
+    pub in_vm: bool,
     /// Completed jobs/frames.
     pub completions: u64,
     /// Completion gaps exceeding the miss factor.
@@ -259,18 +263,12 @@ impl AggregateMetrics {
             .collect()
     }
 
-    /// Mean attach delay (ms) of *migrated* incarnations that attached —
-    /// the hand-over gap. Warm-started task migrations pull this toward
-    /// zero; guests of a migrated VM re-detect inside the re-admitted VM
-    /// (their managers cold-start), so fleets mixing VM and task
-    /// migrations report a blend. `None` when nothing
-    /// migrated-and-attached.
-    pub fn mean_migrated_attach_delay_ms(&self) -> Option<f64> {
+    fn mean_attach_delay_where(&self, pred: impl Fn(&TaskReport) -> bool) -> Option<f64> {
         let delays: Vec<f64> = self
             .nodes
             .iter()
             .flat_map(|n| n.tasks.iter())
-            .filter(|t| t.migrated)
+            .filter(|t| t.migrated && pred(t))
             .filter_map(|t| t.attach_delay_ms)
             .collect();
         if delays.is_empty() {
@@ -278,6 +276,24 @@ impl AggregateMetrics {
         } else {
             Some(stats::mean(&delays))
         }
+    }
+
+    /// Mean attach delay (ms) of migrated *flat-task* incarnations that
+    /// attached — the hand-over gap. Warm-started migrations pull this to
+    /// zero. Guests of migrated VMs are excluded (see
+    /// [`AggregateMetrics::mean_migrated_vm_guest_attach_delay_ms`]);
+    /// blending the two regimes made the metric unreadable on fleets
+    /// mixing VM and task moves. `None` when nothing migrated-and-attached.
+    pub fn mean_migrated_attach_delay_ms(&self) -> Option<f64> {
+        self.mean_attach_delay_where(|t| !t.in_vm)
+    }
+
+    /// Mean attach delay (ms) of guests re-admitted inside a *migrated
+    /// VM*. With per-guest warm-start the destination seeds each guest's
+    /// detected period and a demand-sized budget, so this collapses to
+    /// zero; cold guests re-run detection inside the re-admitted VM.
+    pub fn mean_migrated_vm_guest_attach_delay_ms(&self) -> Option<f64> {
+        self.mean_attach_delay_where(|t| t.in_vm)
     }
 
     /// Histogram of per-node utilisation over `[0, 1]`.
@@ -355,6 +371,9 @@ impl AggregateMetrics {
         }
         if let Some(d) = self.mean_migrated_attach_delay_ms() {
             out.push_str(&format!("migrated_attach_delay_ms,{d:.3}\n"));
+        }
+        if let Some(d) = self.mean_migrated_vm_guest_attach_delay_ms() {
+            out.push_str(&format!("vm_guest_attach_delay_ms,{d:.3}\n"));
         }
         out.push_str(&format!(
             "completions,{}\nmisses,{}\nmiss_ratio,{:.6}\nmean_utilisation,{:.6}\n",
@@ -516,6 +535,7 @@ mod tests {
                 realtime: true,
                 attached: true,
                 migrated: false,
+                in_vm: false,
                 completions: ift.len() as u64 + 1,
                 misses: ift.iter().filter(|&&x| x > NodeReport::MISS_FACTOR).count() as u64,
                 dropped: 0,

@@ -16,7 +16,7 @@ use selftune_simcore::kernel::TaskState;
 use selftune_simcore::rng::Rng;
 use selftune_simcore::task::{Action, TaskCtx, TaskId, Workload};
 use selftune_simcore::time::{Dur, Time};
-use selftune_virt::{GuestPolicy, VirtPlatform, VmConfig, VmId};
+use selftune_virt::{GuestPolicy, VirtPlatform, VmConfig, VmElasticConfig, VmId};
 
 use crate::aggregate::{NodeReport, TaskReport};
 use crate::spec::{OverloadWindow, ScenarioSpec, TaskKind};
@@ -53,6 +53,21 @@ pub struct WarmStart {
     pub budget: Dur,
     /// Reservation period (the detected task period).
     pub period: Dur,
+}
+
+impl WarmStart {
+    /// A hand-over grant that keeps the source's *period* (the
+    /// expensive-to-learn state) but sizes the budget at no less than
+    /// `demand` (a CPU fraction), clamped into the period. The single
+    /// source of the "never carry a compressed grant verbatim" rule: a
+    /// budget measured under compression re-creates the starvation on the
+    /// destination, so it is floored at the demand the hand-over books.
+    pub fn demand_sized(granted: Dur, period: Dur, demand: f64) -> WarmStart {
+        WarmStart {
+            budget: granted.max(period.mul_f64(demand)).min(period),
+            period,
+        }
+    }
 }
 
 /// A task assigned to this node (the node-local slice of the fleet plan).
@@ -95,6 +110,8 @@ pub struct NodeVm {
     pub arrival: Time,
     /// Whether this incarnation arrived through a live migration.
     pub migrated: bool,
+    /// Whether the node runs a host-level share controller for this VM.
+    pub elastic: bool,
 }
 
 struct Managed {
@@ -141,16 +158,32 @@ pub struct LiveRt {
 }
 
 /// One live virtual platform in a node's feedback snapshot.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct LiveVm {
     /// Fleet-wide VM id.
     pub fleet_vm_id: usize,
-    /// The share currently granted to the VM, `Q/T`.
+    /// The share currently *granted* to the VM, `Q/T` — under an elastic
+    /// controller this is the live re-granted value, not the nominal
+    /// `VmSpec` share, so fleet decisions see the bandwidth the VM really
+    /// holds (an elastically-shrunk VM frees real placement headroom).
     pub share: f64,
     /// CPU bandwidth the VM measurably consumed over the epoch.
     pub measured_bw: f64,
     /// Resident for a full epoch → migration candidate.
     pub movable: bool,
+    /// Whether a host-level share controller is absorbing this VM's
+    /// pressure locally. Elastic VMs are never rebalance victims: evicting
+    /// a tenant whose share is already being re-sized on the spot would
+    /// fight the inner loop.
+    pub elastic: bool,
+    /// The inner reservation of each currently-attached guest,
+    /// `(fleet task id, grant)` in guest spawn order — the controller
+    /// state a warm-started VM migration carries to the destination. The
+    /// budget is sized at no less than the guest's measured demand (plus
+    /// headroom): a grant compressed inside an overloaded tenant is not
+    /// carried verbatim. Empty unless the scenario can consume it
+    /// (rebalance with `warm_start`, non-elastic VM).
+    pub guest_grants: Vec<(usize, WarmStart)>,
 }
 
 /// What a node *measured* over the last epoch — the live signal the fleet
@@ -203,6 +236,13 @@ pub struct Node {
     id: usize,
     platform: VirtPlatform,
     sampling: Dur,
+    /// Admission headroom factor (scenario `headroom`), used to size
+    /// warm hand-over budgets from measured demand.
+    headroom: f64,
+    /// Whether feedback snapshots should carry per-guest grants for
+    /// warm-started VM migrations (rebalance enabled with `warm_start`;
+    /// building them is wasted work otherwise).
+    guest_warm_carry: bool,
     tasks: Vec<Managed>,
     vms: Vec<VmRt>,
     fb_mark: FeedbackMark,
@@ -220,6 +260,8 @@ impl Node {
             id,
             platform,
             sampling: spec.sampling,
+            headroom: spec.headroom,
+            guest_warm_carry: spec.rebalance.enabled && spec.rebalance.warm_start,
             tasks: Vec::new(),
             vms: Vec::new(),
             fb_mark: FeedbackMark::default(),
@@ -304,6 +346,10 @@ impl Node {
                 cbs_mode: CbsMode::Hard,
             }),
         });
+        if plan.elastic {
+            self.platform
+                .make_vm_elastic(vm, VmElasticConfig::default());
+        }
         let mut guests = Vec::with_capacity(plan.guests.len());
         for g in &plan.guests {
             let workload = Node::leased_workload(g);
@@ -465,8 +511,34 @@ impl Node {
         live_rt.sort_unstable_by_key(|t| t.fleet_id);
         let mut live_vms: Vec<LiveVm> = Vec::new();
         for rt in &mut self.vms {
+            // Per-guest epoch bandwidth rides along with the mark scan:
+            // it sizes the warm hand-over budget below (a guest grant
+            // measured under tenant-internal compression must not be
+            // re-created verbatim on a migration destination).
+            let mut guest_bw = Vec::with_capacity(rt.guests.len());
+            // Grants (and the per-guest bandwidth that sizes them) are
+            // only built where a warm VM migration can consume them:
+            // rebalance with warm hand-over on, and not an elastic VM
+            // (those are never eviction victims) nor a released one.
+            let carry = self.guest_warm_carry && !rt.plan.elastic && !rt.released;
             for m in &mut rt.guests {
                 Node::scan_marks(&self.platform, m, &mut gaps, &mut misses);
+                if !carry {
+                    continue;
+                }
+                let consumed = self.platform.kernel().thread_time(m.tid);
+                let delta = consumed.saturating_sub(m.fb_consumed);
+                m.fb_consumed = consumed;
+                let resident = now.saturating_since(if m.task.arrival > prev {
+                    m.task.arrival
+                } else {
+                    prev
+                });
+                guest_bw.push(if resident.is_zero() {
+                    0.0
+                } else {
+                    delta.ratio(resident)
+                });
             }
             if rt.released {
                 continue;
@@ -479,6 +551,30 @@ impl Node {
             } else {
                 prev
             });
+            let guest_grants = match (
+                carry.then(|| self.platform.guest_manager(rt.vm)).flatten(),
+                self.platform.kernel().sched().guest(rt.vm),
+            ) {
+                (Some(mgr), selftune_virt::GuestSched::Reservation(g)) => rt
+                    .guests
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| !m.released)
+                    .filter_map(|(i, m)| {
+                        let cfg = g.server(mgr.server_of(m.tid)?).config();
+                        // The source's grant may have been compressed
+                        // inside the tenant; floor the carried budget at
+                        // the measured demand plus headroom (see
+                        // `WarmStart::demand_sized`).
+                        let demand = (guest_bw[i] * self.headroom).min(1.0);
+                        Some((
+                            m.task.fleet_id,
+                            WarmStart::demand_sized(cfg.budget, cfg.period, demand),
+                        ))
+                    })
+                    .collect(),
+                _ => Vec::new(),
+            };
             live_vms.push(LiveVm {
                 fleet_vm_id: rt.plan.fleet_vm_id,
                 share: self.platform.vm_share(rt.vm),
@@ -488,6 +584,8 @@ impl Node {
                     epoch_consumed.ratio(resident)
                 },
                 movable: rt.plan.arrival <= prev,
+                elastic: rt.plan.elastic,
+                guest_grants,
             });
         }
         live_vms.sort_unstable_by_key(|v| v.fleet_vm_id);
@@ -598,6 +696,7 @@ impl Node {
             realtime: m.task.kind.is_realtime(),
             attached,
             migrated: m.task.migrated,
+            in_vm: vm_mgr.is_some(),
             completions,
             misses,
             dropped,
@@ -641,7 +740,7 @@ impl Node {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::ScenarioSpec;
+    use crate::spec::{RebalanceSpec, ScenarioSpec};
 
     fn tiny_spec() -> ScenarioSpec {
         ScenarioSpec::new("node-test", 1, 0, Dur::secs(3))
@@ -836,6 +935,7 @@ mod tests {
             }],
             arrival: Time::ZERO,
             migrated: false,
+            elastic: false,
         }
     }
 
@@ -866,6 +966,64 @@ mod tests {
         assert!(fb.live_vms[0].measured_bw > 0.05);
         assert!(fb.live_vms[0].movable);
         assert!(fb.gaps > 10, "guest gaps feed node pressure: {}", fb.gaps);
+    }
+
+    #[test]
+    fn elastic_vm_feedback_reports_granted_share_and_guest_grants() {
+        // Warm rebalance on, so the node carries guest grants for the
+        // (non-elastic) migratable VM.
+        let spec = tiny_spec().with_rebalance(RebalanceSpec {
+            enabled: true,
+            warm_start: true,
+            ..RebalanceSpec::default()
+        });
+        let mut node = Node::new(0, &spec);
+        node.add_vm(NodeVm {
+            elastic: true,
+            ..vm_plan(0)
+        });
+        node.add_vm(vm_plan(1));
+        let e1 = Time::ZERO + Dur::ms(2_500);
+        node.run_to_horizon(e1);
+        let fb = node.feedback(e1);
+        assert_eq!(fb.live_vms.len(), 2);
+
+        let elastic = &fb.live_vms[0];
+        assert!(elastic.elastic, "elastic flag must reach the rebalancer");
+        // Elastic VMs are never eviction victims, so no warm state is
+        // built for them.
+        assert!(elastic.guest_grants.is_empty());
+        // The reported share is the controller's live grant: the guest
+        // books ~0.1 + margin, well below the nominal 0.3 — the
+        // controller sheds the slack, freeing real placement headroom.
+        assert!(
+            elastic.share < 0.3 - 1e-9,
+            "elastic share did not adapt below nominal: {}",
+            elastic.share
+        );
+        assert!(
+            elastic.share > 0.05,
+            "share collapsed under demand: {}",
+            elastic.share
+        );
+
+        // The static VM carries its attached guest's grant for a
+        // warm-started migration, budget at no less than measured demand.
+        let stat = &fb.live_vms[1];
+        assert!(!stat.elastic);
+        assert!((stat.share - 0.3).abs() < 1e-9, "static share frozen");
+        assert_eq!(stat.guest_grants.len(), 1);
+        let (fleet_id, warm) = stat.guest_grants[0];
+        assert_eq!(fleet_id, 1001);
+        assert!((warm.period.as_ms_f64() - 40.0).abs() < 2.0, "{:?}", warm);
+        // A 4/40 guest burns ~0.1; the carried budget covers at least
+        // that demand (with headroom) within the period.
+        assert!(
+            warm.budget >= warm.period.mul_f64(0.08),
+            "carried budget below measured demand: {:?}",
+            warm
+        );
+        assert!(warm.budget <= warm.period);
     }
 
     #[test]

@@ -179,21 +179,30 @@ pub struct LiveTask {
 }
 
 /// One live virtual platform, as seen by the rebalancer: a single move
-/// unit booked at its share.
-#[derive(Clone, Copy, Debug)]
+/// unit booked at its *granted* share.
+#[derive(Clone, Debug)]
 pub struct LiveVmUnit {
     /// Fleet-wide VM id.
     pub fleet_vm_id: usize,
     /// Node currently hosting it.
     pub node: usize,
-    /// The VM's granted share `Q/T` — what a destination must book.
+    /// The VM's granted share `Q/T` — what a destination must book. For
+    /// an elastic VM this is the controller's live grant, so a shrunk
+    /// tenant frees real placement headroom.
     pub share: f64,
     /// Whether the VM is a migration candidate.
     pub movable: bool,
+    /// Whether a host-level share controller absorbs this VM's pressure
+    /// locally; elastic VMs are never chosen as eviction victims.
+    pub elastic: bool,
+    /// Granted inner reservations of the VM's attached guests,
+    /// `(fleet task id, grant)` — carried to the destination for
+    /// per-guest warm starts.
+    pub guest_grants: Vec<(usize, WarmStart)>,
 }
 
 /// One migration decision from a rebalance pass.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Migration {
     /// Fleet id of the unit to move (task id, or VM id when `vm`).
     pub fleet_id: usize,
@@ -207,9 +216,13 @@ pub struct Migration {
     pub demand: f64,
     /// Destination booked bandwidth right after admission.
     pub dest_reserved_after: f64,
-    /// Carried controller state for warm-starting the destination (tasks
-    /// only).
+    /// Carried controller state for warm-starting the destination (flat
+    /// tasks only).
     pub warm: Option<WarmStart>,
+    /// Carried per-guest grants for a VM move: the destination seeds each
+    /// guest's manager with its detected period and a demand-sized budget
+    /// instead of cold-starting the whole tenant.
+    pub guest_warm: Vec<(usize, WarmStart)>,
 }
 
 /// The decisions of one rebalance pass.
@@ -418,6 +431,13 @@ impl Placer {
             })
             .collect();
         let mut out = RebalanceOutcome::default();
+        struct Victim {
+            demand: f64,
+            vm: bool,
+            fleet_id: usize,
+            warm: Option<WarmStart>,
+            guest_warm: Vec<(usize, WarmStart)>,
+        }
         'drain: for &from in &pressured {
             // A task fleeing a missing node was measured while starved: it
             // consumed what it was *granted*, not what it needs. Book it
@@ -426,56 +446,70 @@ impl Placer {
             // twice what it was seen to burn).
             let starvation = 1.0 + view.pressure(from);
             // Victim candidates: movable flat tasks, plus whole virtual
-            // platforms (booked at their share — a VM's consumption cannot
-            // exceed it, so no starvation inflation applies).
-            let mut victims: Vec<(f64, bool, usize, Option<WarmStart>)> = live
+            // platforms (booked at their granted share — a VM's
+            // consumption cannot exceed it, so no starvation inflation
+            // applies). *Elastic* VMs are exempt: their pressure is
+            // already being absorbed by the host-level share controller,
+            // and yanking the tenant would discard that loop's state for
+            // a problem it is actively solving.
+            let mut victims: Vec<Victim> = live
                 .iter()
                 .filter(|t| t.node == from && t.movable)
                 .map(|t| {
                     let demand = self
                         .demand_of(t.nominal)
                         .max((t.measured_bw * self.headroom * starvation).min(1.0));
-                    // The warm hand-over keeps the source's *period* (the
-                    // expensive-to-learn state) but sizes the budget at
-                    // what this pass books on the destination: the
-                    // source's granted budget was measured under
-                    // compression, and re-creating that starved grant
-                    // would make the destination re-live the melt.
-                    let warm = t.granted.map(|g| WarmStart {
-                        budget: g.budget.max(g.period.mul_f64(demand)).min(g.period),
-                        period: g.period,
-                    });
-                    (demand, false, t.fleet_id, warm)
+                    // The warm hand-over budget is floored at what this
+                    // pass books on the destination (see
+                    // `WarmStart::demand_sized`).
+                    let warm = t
+                        .granted
+                        .map(|g| WarmStart::demand_sized(g.budget, g.period, demand));
+                    Victim {
+                        demand,
+                        vm: false,
+                        fleet_id: t.fleet_id,
+                        warm,
+                        guest_warm: Vec::new(),
+                    }
                 })
                 .collect();
             victims.extend(
                 vms.iter()
-                    .filter(|v| v.node == from && v.movable)
-                    .map(|v| (v.share, true, v.fleet_vm_id, None)),
+                    .filter(|v| v.node == from && v.movable && !v.elastic)
+                    .map(|v| Victim {
+                        demand: v.share,
+                        vm: true,
+                        fleet_id: v.fleet_vm_id,
+                        warm: None,
+                        guest_warm: v.guest_grants.clone(),
+                    }),
             );
             // Largest demand first moves the most load per migration; ties
             // break tasks before VMs, then on the lower id.
             victims.sort_by(|a, b| {
-                b.0.partial_cmp(&a.0)
+                b.demand
+                    .partial_cmp(&a.demand)
                     .expect("NaN demand")
-                    .then(a.1.cmp(&b.1))
-                    .then(a.2.cmp(&b.2))
+                    .then(a.vm.cmp(&b.vm))
+                    .then(a.fleet_id.cmp(&b.fleet_id))
             });
-            for (demand, vm, fleet_id, warm) in victims {
+            for v in victims {
                 if out.moves.len() as u32 >= cfg.max_moves {
                     break 'drain;
                 }
-                match self.place_excluding(demand, &banned) {
+                match self.place_excluding(v.demand, &banned) {
                     Some(to) => {
-                        self.reserved[from] = (self.reserved[from] - demand).max(0.0);
+                        self.reserved[from] = (self.reserved[from] - v.demand).max(0.0);
                         out.moves.push(Migration {
-                            fleet_id,
-                            vm,
+                            fleet_id: v.fleet_id,
+                            vm: v.vm,
                             from,
                             to,
-                            demand,
+                            demand: v.demand,
                             dest_reserved_after: self.reserved[to],
-                            warm,
+                            warm: v.warm,
+                            guest_warm: v.guest_warm,
                         });
                     }
                     None => out.failed += 1,

@@ -128,14 +128,16 @@ pub fn plan_fleet(spec: &ScenarioSpec, seed: u64) -> FleetPlan {
             }
         };
         let label = format!("v{i:02}");
-        let guests = (0..vm_spec.guests)
-            .map(|g| {
+        let guests = vm_spec
+            .guest_kinds()
+            .enumerate()
+            .map(|(g, kind)| {
                 let fleet_id = guest_fleet_id;
                 guest_fleet_id += 1;
                 NodeTask {
                     fleet_id,
                     label: format!("{label}g{g}"),
-                    kind: vm_spec.kind.clone(),
+                    kind: kind.clone(),
                     arrival: Time::ZERO,
                     departure: None,
                     seed: derive_task_seed(seed ^ SEED_VM_SALT, fleet_id as u64),
@@ -153,6 +155,7 @@ pub fn plan_fleet(spec: &ScenarioSpec, seed: u64) -> FleetPlan {
                 guests,
                 arrival: Time::ZERO,
                 migrated: false,
+                elastic: vm_spec.elastic,
             },
             node,
         });
@@ -453,7 +456,16 @@ impl ClusterRunner {
                                         node.extract_vm(m.fleet_id);
                                     } else if node.id() == m.to {
                                         let base = &plan_ref.vms[m.fleet_id].vm;
-                                        node.add_vm(migrated_vm_incarnation(base, t_end, seed, ei));
+                                        // `guest_warm` is already gated at the
+                                        // producer: nodes only build grants
+                                        // when rebalance runs with warm_start.
+                                        node.add_vm(migrated_vm_incarnation(
+                                            base,
+                                            t_end,
+                                            seed,
+                                            ei,
+                                            &m.guest_warm,
+                                        ));
                                     }
                                 } else if node.id() == m.from {
                                     node.extract_task(m.fleet_id);
@@ -506,7 +518,16 @@ impl ClusterRunner {
 
 /// The re-admitted incarnation of a migrated VM: same share and guest
 /// kinds, fresh labels and workload seeds, arriving at the epoch boundary.
-fn migrated_vm_incarnation(base: &NodeVm, at: Time, seed: u64, epoch: usize) -> NodeVm {
+/// `guest_warm` carries the source's granted inner reservations (by fleet
+/// task id): each matching guest seeds its detected period and a
+/// demand-sized budget inside the re-admitted VM instead of cold-starting.
+fn migrated_vm_incarnation(
+    base: &NodeVm,
+    at: Time,
+    seed: u64,
+    epoch: usize,
+    guest_warm: &[(usize, crate::node::WarmStart)],
+) -> NodeVm {
     NodeVm {
         fleet_vm_id: base.fleet_vm_id,
         label: format!("{}e{epoch}", base.label),
@@ -526,11 +547,15 @@ fn migrated_vm_incarnation(base: &NodeVm, at: Time, seed: u64, epoch: usize) -> 
                     ((g.fleet_id as u64) << 16) | epoch as u64,
                 ),
                 migrated: true,
-                warm: None,
+                warm: guest_warm
+                    .iter()
+                    .find(|&&(id, _)| id == g.fleet_id)
+                    .map(|&(_, w)| w),
             })
             .collect(),
         arrival: at,
         migrated: true,
+        elastic: base.elastic,
     }
 }
 
@@ -579,12 +604,16 @@ fn rebalance_epoch(
             live.push(t);
         }
         for vm in &fb.live_vms {
+            // Booked at the *granted* share: an elastically-shrunk VM
+            // frees real headroom on its node, a grown one eats it.
             reserved[fb.node] += vm.share;
             live_vms.push(LiveVmUnit {
                 fleet_vm_id: vm.fleet_vm_id,
                 node: fb.node,
                 share: vm.share,
                 movable: vm.movable,
+                elastic: vm.elastic,
+                guest_grants: vm.guest_grants.clone(),
             });
         }
     }

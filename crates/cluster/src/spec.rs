@@ -382,23 +382,59 @@ impl Default for RebalanceSpec {
 ///
 /// The VM's host share `(budget, period)` is what the placer books; the
 /// guest tasks run under the VM's own self-tuning manager (for real-time
-/// kinds), invisible to fleet-level admission.
+/// kinds), invisible to fleet-level admission. The guest population is a
+/// *mix*: `(count, kind)` groups, so one tenant can consolidate
+/// heterogeneous applications (a video player next to synthetic RT
+/// services) behind a single share.
 #[derive(Clone, Debug, PartialEq)]
 pub struct VmSpec {
     /// Share budget granted per share period.
     pub budget: Dur,
     /// Share period (granularity of the VM's CPU supply).
     pub period: Dur,
-    /// Number of guest tasks.
-    pub guests: usize,
-    /// Kind of every guest task.
-    pub kind: TaskKind,
+    /// Guest task groups, `(count, kind)` in declaration order.
+    pub guests: Vec<(usize, TaskKind)>,
+    /// Whether the VM's host share is *elastic*: the node runs a
+    /// `selftune_virt::VmShareController` for it, re-requesting the share
+    /// from measured guest demand every control period. Elastic VMs are
+    /// never rebalance victims — the host-level loop absorbs their
+    /// pressure locally (and their *granted* share, not this nominal one,
+    /// is what fleet decisions book).
+    pub elastic: bool,
 }
 
 impl VmSpec {
+    /// A VM whose guests are all of one kind (the pre-mix form).
+    pub fn uniform(budget: Dur, period: Dur, guests: usize, kind: TaskKind) -> VmSpec {
+        VmSpec {
+            budget,
+            period,
+            guests: vec![(guests, kind)],
+            elastic: false,
+        }
+    }
+
+    /// Marks the VM's share elastic (builder-style).
+    pub fn with_elastic(mut self) -> VmSpec {
+        self.elastic = true;
+        self
+    }
+
     /// The share of one node this VM books, `Q/T`.
     pub fn share(&self) -> f64 {
         self.budget.ratio(self.period)
+    }
+
+    /// Total guest tasks across all groups.
+    pub fn guest_count(&self) -> usize {
+        self.guests.iter().map(|&(n, _)| n).sum()
+    }
+
+    /// The guest kinds flattened in declaration order, one per task.
+    pub fn guest_kinds(&self) -> impl Iterator<Item = &TaskKind> {
+        self.guests
+            .iter()
+            .flat_map(|(n, kind)| std::iter::repeat_n(kind, *n))
     }
 }
 
@@ -476,7 +512,11 @@ impl ScenarioSpec {
             !vm.budget.is_zero() && !vm.period.is_zero() && vm.budget <= vm.period,
             "degenerate VM share"
         );
-        assert!(vm.guests > 0, "a VM needs at least one guest task");
+        assert!(vm.guest_count() > 0, "a VM needs at least one guest task");
+        assert!(
+            vm.guests.iter().all(|&(n, _)| n > 0),
+            "empty guest group in VM mix"
+        );
         self.vms.push(vm);
         self
     }

@@ -22,14 +22,18 @@
 //! mix = video25 3
 //! mix = periodic_rt 2 2 50
 //! vm = 3 10 2 periodic_rt 4 40
+//! vm = 4 10 elastic 1 video25 + 2 periodic_rt 2 50
 //! overload = 2000 3500 1 10 first:2
 //! rebalance = on 1000 0.05 4 0.6 warm
 //! ```
 //!
 //! `vm` lines declare whole virtual platforms (`budget_ms period_ms
-//! guests kind...`), placed and migrated as single units. The
-//! `rebalance` line accepts the legacy 4-field form or the 6-field form
-//! adding the EWMA smoothing factor and warm/cold migration hand-over.
+//! [elastic] count kind... [+ count kind...]`), placed and migrated as
+//! single units: the optional `elastic` token puts the share under a
+//! host-level controller, and `+`-separated guest groups give one tenant
+//! a heterogeneous task mix. The `rebalance` line accepts the legacy
+//! 4-field form or the 6-field form adding the EWMA smoothing factor and
+//! warm/cold migration hand-over.
 
 use selftune_simcore::time::Dur;
 
@@ -312,12 +316,17 @@ impl ScenarioSpec {
             out.push_str(&format!("mix = {}\n", kind_to_text(kind, *weight)));
         }
         for vm in &self.vms {
+            let groups: Vec<String> = vm
+                .guests
+                .iter()
+                .map(|(n, kind)| format!("{n} {}", kind_body(kind)))
+                .collect();
             out.push_str(&format!(
-                "vm = {} {} {} {}\n",
+                "vm = {} {}{} {}\n",
                 ms(vm.budget),
                 ms(vm.period),
-                vm.guests,
-                kind_body(&vm.kind)
+                if vm.elastic { " elastic" } else { "" },
+                groups.join(" + ")
             ));
         }
         for w in &self.overload {
@@ -430,36 +439,51 @@ impl ScenarioSpec {
                     });
                 }
                 "vm" => {
-                    // Whitespace-tolerant like every other key: the first
-                    // three fields, then the kind tail verbatim.
-                    let mut parts = value.split_whitespace();
-                    let (Some(budget), Some(period), Some(guests)) =
-                        (parts.next(), parts.next(), parts.next())
-                    else {
-                        return Err(format!(
-                            "vm needs `budget_ms period_ms guests kind...`: {value:?}"
-                        ));
+                    // `budget_ms period_ms [elastic] count kind...
+                    //  [+ count kind...]` — whitespace-tolerant, guest
+                    // groups separated by standalone `+` tokens.
+                    let usage = || {
+                        format!(
+                            "vm needs `budget_ms period_ms [elastic] count kind... \
+                             [+ count kind...]`: {value:?}"
+                        )
                     };
-                    let kind = parts.collect::<Vec<_>>().join(" ");
-                    if kind.is_empty() {
-                        return Err(format!(
-                            "vm needs `budget_ms period_ms guests kind...`: {value:?}"
-                        ));
-                    }
+                    let mut parts = value.split_whitespace().peekable();
+                    let (Some(budget), Some(period)) = (parts.next(), parts.next()) else {
+                        return Err(usage());
+                    };
                     let budget = parse_pos_ms(budget)?;
                     let period = parse_pos_ms(period)?;
                     if budget > period {
                         return Err(format!("vm share budget exceeds its period: {value:?}"));
                     }
-                    let guests = parse_usize(guests)?;
-                    if guests == 0 {
-                        return Err(format!("vm needs at least one guest: {value:?}"));
+                    let elastic = parts.peek() == Some(&"elastic");
+                    if elastic {
+                        parts.next();
+                    }
+                    let rest: Vec<&str> = parts.collect();
+                    if rest.is_empty() {
+                        return Err(usage());
+                    }
+                    let mut guests: Vec<(usize, TaskKind)> = Vec::new();
+                    for group in rest.split(|&t| t == "+") {
+                        let [count, kind @ ..] = group else {
+                            return Err(format!("empty guest group in vm line: {value:?}"));
+                        };
+                        let count = parse_usize(count)?;
+                        if count == 0 {
+                            return Err(format!("vm guest group needs count >= 1: {value:?}"));
+                        }
+                        if kind.is_empty() {
+                            return Err(usage());
+                        }
+                        guests.push((count, kind_body_from_text(&kind.join(" "))?));
                     }
                     vms.push(VmSpec {
                         budget,
                         period,
                         guests,
-                        kind: kind_body_from_text(&kind)?,
+                        elastic,
                     });
                 }
                 "rebalance" => {
@@ -635,21 +659,33 @@ mod tests {
                 ewma_alpha: 0.5,
                 warm_start: true,
             })
-            .with_vm(VmSpec {
-                budget: Dur::ms(3),
-                period: Dur::ms(10),
-                guests: 2,
-                kind: TaskKind::PeriodicRt {
+            .with_vm(VmSpec::uniform(
+                Dur::ms(3),
+                Dur::ms(10),
+                2,
+                TaskKind::PeriodicRt {
                     wcet: Dur::ms(4),
                     period: Dur::ms(40),
                 },
-            })
-            .with_vm(VmSpec {
-                budget: Dur::ms(5),
-                period: Dur::ms(10),
-                guests: 1,
-                kind: TaskKind::Video25,
-            })
+            ))
+            .with_vm(
+                VmSpec {
+                    budget: Dur::ms(5),
+                    period: Dur::ms(10),
+                    guests: vec![
+                        (1, TaskKind::Video25),
+                        (
+                            2,
+                            TaskKind::PeriodicRt {
+                                wcet: Dur::ms(2),
+                                period: Dur::ms(50),
+                            },
+                        ),
+                    ],
+                    elastic: false,
+                }
+                .with_elastic(),
+            )
     }
 
     #[test]
@@ -678,14 +714,35 @@ mod tests {
             "name=x\nnodes=2\ntasks=1\nhorizon_ms=100\nvm =  3   10  2   periodic_rt  4  40\n";
         let spec = ScenarioSpec::from_text(text).expect("aligned columns parse");
         assert_eq!(spec.vms.len(), 1);
-        assert_eq!(spec.vms[0].guests, 2);
+        assert_eq!(spec.vms[0].guest_count(), 2);
+        assert!(!spec.vms[0].elastic);
         assert_eq!(
-            spec.vms[0].kind,
-            TaskKind::PeriodicRt {
-                wcet: Dur::ms(4),
-                period: Dur::ms(40),
-            }
+            spec.vms[0].guests,
+            vec![(
+                2,
+                TaskKind::PeriodicRt {
+                    wcet: Dur::ms(4),
+                    period: Dur::ms(40),
+                }
+            )]
         );
+    }
+
+    #[test]
+    fn vm_lines_parse_elastic_flag_and_guest_mixes() {
+        let text = "name=x\nnodes=2\ntasks=1\nhorizon_ms=100\n\
+                    vm = 4 10 elastic 1 video25 + 2 periodic_rt 2 50 + 1 mp3\n";
+        let spec = ScenarioSpec::from_text(text).expect("mixed vm parses");
+        let vm = &spec.vms[0];
+        assert!(vm.elastic);
+        assert_eq!(vm.guest_count(), 4);
+        assert_eq!(vm.guests.len(), 3);
+        assert_eq!(vm.guests[0], (1, TaskKind::Video25));
+        assert_eq!(vm.guests[2], (1, TaskKind::Mp3));
+        let kinds: Vec<_> = vm.guest_kinds().collect();
+        assert_eq!(kinds.len(), 4);
+        assert_eq!(kinds[0], &TaskKind::Video25);
+        assert_eq!(kinds[3], &TaskKind::Mp3);
     }
 
     #[test]
@@ -749,6 +806,12 @@ mod tests {
             "nodes = 2\nvm = 20 10 1 video25",
             "nodes = 2\nvm = 3 10 1 warp",
             "nodes = 2\nvm = 3 10 1 periodic_rt 0 40",
+            "nodes = 2\nvm = 3 10 elastic",
+            "nodes = 2\nvm = 3 10 elastique 2 video25",
+            "nodes = 2\nvm = 3 10 2 video25 +",
+            "nodes = 2\nvm = 3 10 2 video25 + 0 mp3",
+            "nodes = 2\nvm = 3 10 2 video25 + 1",
+            "nodes = 2\nvm = 3 10 elastic 1 video25 + 1 warp",
         ] {
             let text = format!("{base}{bad}");
             assert!(

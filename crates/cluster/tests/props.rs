@@ -145,25 +145,25 @@ proptest! {
         // the smoothed pressure fold and VM migrations must all be
         // invariant in the worker-thread count.
         let spec = rebalance_spec(4, 6, 0.2, 4)
-            .with_vm(VmSpec {
-                budget: Dur::ms(3),
-                period: Dur::ms(10),
+            .with_vm(VmSpec::uniform(
+                Dur::ms(3),
+                Dur::ms(10),
                 guests,
-                kind: TaskKind::PeriodicRt {
+                TaskKind::PeriodicRt {
                     wcet: Dur::ms(4),
                     period: Dur::ms(40),
                 },
-            })
-            .with_vm(VmSpec {
-                budget: Dur::ms(2),
-                period: Dur::ms(10),
-                guests: 1,
-                kind: TaskKind::HungryRt {
+            ))
+            .with_vm(VmSpec::uniform(
+                Dur::ms(2),
+                Dur::ms(10),
+                1,
+                TaskKind::HungryRt {
                     nominal_wcet: Dur::ms(1),
                     wcet: Dur::ms(4),
                     period: Dur::ms(40),
                 },
-            })
+            ))
             .with_rebalance(RebalanceSpec {
                 enabled: true,
                 period: Dur::ms(600),
@@ -174,6 +174,62 @@ proptest! {
             });
         let baseline = ClusterRunner::new(1).with_chunk(1).run(&spec, seed);
         prop_assert!(baseline.admission.vms_admitted >= 1);
+        for threads in [2usize, 8] {
+            let m = ClusterRunner::new(threads).with_chunk(1).run(&spec, seed);
+            prop_assert_eq!(baseline.summary_csv(), m.summary_csv(), "{} threads", threads);
+        }
+    }
+
+    #[test]
+    fn elastic_vm_fleets_are_thread_count_invariant(
+        seed in 0u64..1_000_000,
+        guests in 1usize..3,
+        hungry_wcet in 3u64..8,
+        warm in any::<bool>(),
+    ) {
+        // Elastic VMs close the host-level loop *inside* each node while
+        // the rebalancer runs the fleet-level loop around them: the
+        // controller's re-grants, the granted-share feedback and the
+        // elastic-VM eviction exemption must all stay invariant in the
+        // worker-thread count.
+        let spec = rebalance_spec(4, 6, 0.2, 4)
+            .with_vm(
+                VmSpec::uniform(
+                    Dur::ms(3),
+                    Dur::ms(10),
+                    guests,
+                    TaskKind::PeriodicRt {
+                        wcet: Dur::ms(4),
+                        period: Dur::ms(40),
+                    },
+                )
+                .with_elastic(),
+            )
+            .with_vm(
+                VmSpec::uniform(
+                    Dur::ms(2),
+                    Dur::ms(10),
+                    1,
+                    TaskKind::HungryRt {
+                        nominal_wcet: Dur::ms(1),
+                        wcet: Dur::ms(hungry_wcet),
+                        period: Dur::ms(40),
+                    },
+                )
+                .with_elastic(),
+            )
+            .with_rebalance(RebalanceSpec {
+                enabled: true,
+                period: Dur::ms(600),
+                pressure: 0.2,
+                max_moves: 4,
+                ewma_alpha: 0.6,
+                warm_start: warm,
+            });
+        let baseline = ClusterRunner::new(1).with_chunk(1).run(&spec, seed);
+        prop_assert!(baseline.admission.vms_admitted >= 1);
+        // Elastic VMs are never rebalance victims.
+        prop_assert!(baseline.rebalance.records.iter().all(|r| !r.vm));
         for threads in [2usize, 8] {
             let m = ClusterRunner::new(threads).with_chunk(1).run(&spec, seed);
             prop_assert_eq!(baseline.summary_csv(), m.summary_csv(), "{} threads", threads);
@@ -286,6 +342,10 @@ proptest! {
         ),
         (rb_on, rb_period, rb_pressure_pct, rb_moves) in
             (any::<bool>(), 100u64..2_000, 0u64..60, 1u32..8),
+        vms in prop::collection::vec(
+            (1u64..9, 1usize..4, kind_strategy(), any::<bool>()),
+            0..3,
+        ),
     ) {
         let mut spec = ScenarioSpec::new("prop-textio", nodes, tasks, Dur::ms(horizon_ms))
             .with_mix(TaskMix::new(
@@ -307,6 +367,13 @@ proptest! {
             });
         if let Some(c) = churn {
             spec = spec.with_churn(c);
+        }
+        for (budget_ms, guests, kind, elastic) in vms {
+            let mut vm = VmSpec::uniform(Dur::ms(budget_ms), Dur::ms(10), guests, kind);
+            if elastic {
+                vm = vm.with_elastic();
+            }
+            spec = spec.with_vm(vm);
         }
         for (start, hogs, chunk, filter) in overload {
             spec = spec.with_overload(OverloadWindow {
@@ -335,6 +402,7 @@ proptest! {
         prop_assert_eq!(parsed.rebalance.enabled, spec.rebalance.enabled);
         prop_assert_eq!(parsed.rebalance.period, spec.rebalance.period);
         prop_assert_eq!(parsed.mix.entries(), spec.mix.entries());
+        prop_assert_eq!(&parsed.vms, &spec.vms);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::lfs::{Lfs, LfsConfig};
 use crate::lfspp::{BudgetRequest, LfsPlusPlus, LfsPpConfig};
+use crate::share::Hysteresis;
 use selftune_simcore::time::{Dur, Time};
 use selftune_spectrum::{AnalyserConfig, PeriodAnalyser};
 
@@ -105,8 +106,9 @@ pub struct TaskController {
     analyser: PeriodAnalyser,
     feedback: Feedback,
     period: Option<Dur>,
-    /// Pending period change: `(candidate, consecutive confirmations)`.
-    pending_period: Option<(Dur, u32)>,
+    /// Period-change suppression — the same deadband/confirmation state
+    /// machine the VM-level share controller uses (see [`crate::share`]).
+    hysteresis: Hysteresis,
 }
 
 impl TaskController {
@@ -118,12 +120,13 @@ impl TaskController {
             FeedbackKind::Lfs(c) => Feedback::Lfs(Lfs::new(c.clone())),
         };
         let period = cfg.fixed_period;
+        let hysteresis = Hysteresis::new(cfg.period_hysteresis, cfg.period_confirmations);
         TaskController {
             cfg,
             analyser,
             feedback,
             period,
-            pending_period: None,
+            hysteresis,
         }
     }
 
@@ -150,11 +153,6 @@ impl TaskController {
         &self.analyser
     }
 
-    fn within_hysteresis(&self, a: Dur, b: Dur) -> bool {
-        let rel = (a.as_secs_f64() - b.as_secs_f64()).abs() / b.as_secs_f64();
-        rel <= self.cfg.period_hysteresis
-    }
-
     fn update_period(&mut self, events_secs: &[f64]) {
         self.analyser.feed(events_secs);
         let Some(est) = self.analyser.estimate() else {
@@ -164,27 +162,11 @@ impl TaskController {
         if p < self.cfg.min_period || p > self.cfg.max_period {
             return;
         }
-        let Some(old) = self.period else {
-            // Initial detection: adopt immediately (latency matters; a
-            // wrong first guess is corrected by the confirmation path).
-            self.period = Some(p);
-            return;
-        };
-        if self.within_hysteresis(p, old) {
-            // Agreeing estimate: drop any pending change.
-            self.pending_period = None;
-            return;
-        }
-        // Disagreeing estimate: count consecutive confirmations.
-        self.pending_period = match self.pending_period {
-            Some((cand, n)) if self.within_hysteresis(p, cand) => Some((cand, n + 1)),
-            _ => Some((p, 1)),
-        };
-        if let Some((cand, n)) = self.pending_period {
-            if n >= self.cfg.period_confirmations {
-                self.period = Some(cand);
-                self.pending_period = None;
-            }
+        // Deadband + confirmation counting live in the shared state
+        // machine; the controller only maps durations to seconds.
+        let current = self.period.map(|d| d.as_secs_f64());
+        if let Some(adopted) = self.hysteresis.filter(current, p.as_secs_f64()) {
+            self.period = Some(Dur::from_secs_f64(adopted));
         }
     }
 

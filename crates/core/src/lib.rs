@@ -13,15 +13,20 @@
 //! * [`manager`] — the user-space daemon: drains the tracer, drives the
 //!   controllers, executes decisions and submits requests to the
 //!   supervisor.
+//! * [`share`] — the reusable controller plane: [`DemandSignal`],
+//!   [`Hysteresis`] and the [`ShareController`] feedback law shared by
+//!   the task-level loop and `selftune-virt`'s VM-level share adaptation.
 
 pub mod controller;
 pub mod lfs;
 pub mod lfspp;
 pub mod manager;
 pub mod predictor;
+pub mod share;
 
 pub use controller::{ControllerConfig, ControllerInput, Decision, FeedbackKind, TaskController};
 pub use lfs::{Lfs, LfsConfig};
 pub use lfspp::{BudgetRequest, LfsPlusPlus, LfsPpConfig};
 pub use manager::{ManagerConfig, SelfTuningManager};
 pub use predictor::{EwmaEstimator, MeanSigmaEstimator, Predictor, QuantileEstimator};
+pub use share::{DemandSignal, Hysteresis, ShareController, ShareControllerConfig, ShareDecision};

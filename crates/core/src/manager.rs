@@ -120,6 +120,32 @@ impl SelfTuningManager {
         self.compressed_grants
     }
 
+    /// Bandwidth this manager's attached reservations currently hold in
+    /// `res`, Σ Q/T over its own servers only — the *booked* half of the
+    /// [`crate::share::DemandSignal`] a share controller one level up
+    /// aggregates (a VM's elastic host share is sized from what its guest
+    /// manager booked, not from what the tenant nominally claimed).
+    pub fn booked_bandwidth(&self, res: &ReservationScheduler) -> f64 {
+        self.tasks
+            .iter()
+            .filter_map(|t| t.server)
+            .map(|sid| res.server(sid).config().bandwidth())
+            .sum()
+    }
+
+    /// Re-bounds this manager's supervisor to `ulub` — how the adaptation
+    /// layer above propagates a changed share down to the consumer: when
+    /// an elastic VM's grant moves, its guest manager must compress (or
+    /// relax) against the *new* supply, not the admission-time one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ulub` is not in `(0, 1]`.
+    pub fn set_bandwidth_bound(&mut self, ulub: f64) {
+        assert!(ulub > 0.0 && ulub <= 1.0, "ulub {ulub} out of (0, 1]");
+        self.cfg.supervisor.ulub = ulub;
+    }
+
     /// Puts a legacy task under management.
     pub fn manage(&mut self, task: TaskId, label: &str, ctl_cfg: ControllerConfig) {
         self.tasks.push(ManagedTask {
@@ -175,7 +201,7 @@ impl SelfTuningManager {
             // Release the bandwidth: shrink to the admission floor (the
             // scheduler keeps the server object; ids stay stable).
             let period = res(k.sched_mut()).server(sid).config().period;
-            let floor = self.cfg.supervisor.min_budget.min(period).max(Dur::us(10));
+            let floor = self.cfg.supervisor.budget_floor(period);
             res(k.sched_mut()).server_mut(sid).set_params(floor, period);
         }
         true
@@ -206,7 +232,7 @@ impl SelfTuningManager {
             return;
         }
         let now = k.now();
-        let floor = self.cfg.supervisor.min_budget.min(period).max(Dur::us(10));
+        let floor = self.cfg.supervisor.budget_floor(period);
         let sid = res(k.sched_mut())
             .create_server(ServerConfig::new(floor, period).with_mode(self.cfg.cbs_mode));
         match k.task_state(task) {
@@ -316,10 +342,9 @@ impl SelfTuningManager {
                     // Create the server with a floor budget; the real grant
                     // arrives through the supervisor batch below, so
                     // compression under saturation applies from the start.
-                    let floor = self.cfg.supervisor.min_budget.min(req.period);
+                    let floor = self.cfg.supervisor.budget_floor(req.period);
                     let sid = res(k.sched_mut()).create_server(
-                        ServerConfig::new(floor.max(Dur::us(10)), req.period)
-                            .with_mode(self.cfg.cbs_mode),
+                        ServerConfig::new(floor, req.period).with_mode(self.cfg.cbs_mode),
                     );
                     match k.task_state(mt.task) {
                         TaskState::Ready => {

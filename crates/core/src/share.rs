@@ -1,0 +1,358 @@
+//! The reusable share-controller plane: demand signals, hysteresis and
+//! the bandwidth-share feedback law.
+//!
+//! The paper's loop — observe a consumer, estimate its demand, re-request
+//! its bandwidth through a supervisor that may compress the grant — runs
+//! at two levels of the stack:
+//!
+//! * **task level** — [`TaskController`](crate::TaskController) inside
+//!   [`SelfTuningManager`](crate::SelfTuningManager) adapts one task's CBS
+//!   reservation from its traced activations and consumed time;
+//! * **VM level** — `selftune-virt`'s `VmShareController` adapts a whole
+//!   tenant's host share from the demand its *guest* manager measured.
+//!
+//! Both loops need the same two ingredients this module factors out:
+//!
+//! * [`Hysteresis`] — a relative deadband with confirmation counting, so
+//!   estimator jitter cannot churn reservations (the task controller's
+//!   period adoption and the share controller's target adoption share this
+//!   exact state machine instead of duplicating it);
+//! * [`ShareController`] — the share feedback law proper: fold a
+//!   [`DemandSignal`] into a smoothed demand estimate, add the LFS++-style
+//!   margin, clamp to the configured floor/cap, and re-request only when
+//!   the hysteresis-filtered target drifts away from the current grant.
+
+/// A relative deadband with confirmation counting: the change-suppression
+/// state machine shared by the period estimator and the share controller.
+///
+/// A candidate within `band` of the current belief is absorbed (and clears
+/// any pending change); a candidate outside the band is adopted only after
+/// `confirmations` consecutive agreeing estimates. The first candidate
+/// ever seen is adopted immediately — initial latency matters more than
+/// initial stability, and a wrong first guess is corrected by the same
+/// confirmation path.
+#[derive(Clone, Debug)]
+pub struct Hysteresis {
+    band: f64,
+    confirmations: u32,
+    /// Pending change: `(candidate, consecutive confirmations)`.
+    pending: Option<(f64, u32)>,
+}
+
+impl Hysteresis {
+    /// A deadband of relative width `band`, adopting an out-of-band
+    /// candidate after `confirmations` consecutive agreeing estimates.
+    pub fn new(band: f64, confirmations: u32) -> Hysteresis {
+        Hysteresis {
+            band,
+            confirmations,
+            pending: None,
+        }
+    }
+
+    /// Whether `a` lies within the deadband around `b`.
+    pub fn within(&self, a: f64, b: f64) -> bool {
+        if b == 0.0 {
+            return a == 0.0;
+        }
+        ((a - b) / b).abs() <= self.band
+    }
+
+    /// Feeds one estimate; returns the newly adopted value, if any.
+    pub fn filter(&mut self, current: Option<f64>, candidate: f64) -> Option<f64> {
+        let Some(cur) = current else {
+            // Initial adoption: no belief to defend yet.
+            self.pending = None;
+            return Some(candidate);
+        };
+        if self.within(candidate, cur) {
+            // Agreeing estimate: drop any pending change.
+            self.pending = None;
+            return None;
+        }
+        self.pending = match self.pending {
+            Some((cand, n)) if self.within(candidate, cand) => Some((cand, n + 1)),
+            _ => Some((candidate, 1)),
+        };
+        if let Some((cand, n)) = self.pending {
+            if n >= self.confirmations {
+                self.pending = None;
+                return Some(cand);
+            }
+        }
+        None
+    }
+}
+
+/// What a share controller observed about its consumer over one control
+/// period — pure measurement, assembled by whoever owns the consumer (the
+/// virt platform for a VM, a manager for its task set).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DemandSignal {
+    /// CPU bandwidth the consumer measurably burned over the period.
+    pub consumed_bw: f64,
+    /// Bandwidth the consumer's own admission layer has booked (for a VM:
+    /// the guest manager's granted inner reservations). Booked demand
+    /// leads consumption — an idle-but-reserved consumer still needs its
+    /// booking honoured.
+    pub booked_bw: f64,
+    /// The share currently granted to the consumer.
+    pub granted_bw: f64,
+    /// Saturation events inside the consumer during the period (its inner
+    /// supervisor compressing grants): the signal that demand exceeds the
+    /// current share, however much the bounded booking hides it.
+    pub compressions: u64,
+}
+
+/// Configuration of a [`ShareController`].
+#[derive(Clone, Copy, Debug)]
+pub struct ShareControllerConfig {
+    /// Headroom requested above the estimated demand (the LFS++ margin
+    /// `x`: request `(1 + x) ×` the estimate).
+    pub margin: f64,
+    /// Relative deadband of target adoption (see [`Hysteresis`]).
+    pub hysteresis: f64,
+    /// Consecutive out-of-band estimates before the target moves.
+    pub confirmations: u32,
+    /// Never request below this share (keeps a starved consumer's
+    /// controller observable, mirroring the supervisor's budget floor).
+    pub min_share: f64,
+    /// Never request above this share. The VM-level controller sets this
+    /// to the host supervisor's bound — an elastic consumer can never ask
+    /// its way past what the node could grant anyone.
+    pub max_share: f64,
+    /// EWMA weight of the newest demand sample in `(0, 1]`.
+    pub ewma_alpha: f64,
+    /// Saturated-growth factor: while the consumer reports compressions,
+    /// its true demand is unobservable (the grant clips it), so the raw
+    /// sample reads as at least `growth ×` the current grant — the
+    /// controller probes upward until compression stops or the cap binds.
+    pub growth: f64,
+}
+
+impl Default for ShareControllerConfig {
+    fn default() -> Self {
+        ShareControllerConfig {
+            margin: 0.15,
+            hysteresis: 0.1,
+            confirmations: 2,
+            min_share: 0.01,
+            max_share: 1.0,
+            ewma_alpha: 0.5,
+            growth: 1.5,
+        }
+    }
+}
+
+/// What the owner should do with the consumer's share this period.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ShareDecision {
+    /// The grant tracks the target; leave the share alone.
+    Hold,
+    /// Re-request the share at this bandwidth (the supervisor may still
+    /// compress the actual grant).
+    Request(f64),
+}
+
+/// The share feedback law (see the module docs).
+#[derive(Clone, Debug)]
+pub struct ShareController {
+    cfg: ShareControllerConfig,
+    hyst: Hysteresis,
+    /// Smoothed demand estimate.
+    demand: Option<f64>,
+    /// Hysteresis-adopted request target.
+    target: Option<f64>,
+}
+
+impl ShareController {
+    /// Creates a controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration (non-positive cap, empty
+    /// `(min, max)` interval, `ewma_alpha` outside `(0, 1]`).
+    pub fn new(cfg: ShareControllerConfig) -> ShareController {
+        assert!(
+            cfg.max_share > 0.0 && cfg.min_share <= cfg.max_share,
+            "degenerate share bounds [{}, {}]",
+            cfg.min_share,
+            cfg.max_share
+        );
+        assert!(
+            cfg.ewma_alpha > 0.0 && cfg.ewma_alpha <= 1.0,
+            "ewma_alpha {} out of (0, 1]",
+            cfg.ewma_alpha
+        );
+        let hyst = Hysteresis::new(cfg.hysteresis, cfg.confirmations);
+        ShareController {
+            cfg,
+            hyst,
+            demand: None,
+            target: None,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ShareControllerConfig {
+        &self.cfg
+    }
+
+    /// The smoothed demand estimate, if any sample arrived yet.
+    pub fn demand(&self) -> Option<f64> {
+        self.demand
+    }
+
+    /// The current hysteresis-adopted request target, if any.
+    pub fn target(&self) -> Option<f64> {
+        self.target
+    }
+
+    /// Folds one control period's observation and decides.
+    pub fn step(&mut self, sig: &DemandSignal) -> ShareDecision {
+        let mut raw = sig.consumed_bw.max(sig.booked_bw);
+        if sig.compressions > 0 {
+            // Saturated: the observable samples are clipped at the grant.
+            raw = raw.max(sig.granted_bw * self.cfg.growth);
+        }
+        let alpha = self.cfg.ewma_alpha;
+        let demand = match self.demand {
+            Some(d) => alpha * raw + (1.0 - alpha) * d,
+            None => raw,
+        };
+        self.demand = Some(demand);
+        let candidate =
+            (demand * (1.0 + self.cfg.margin)).clamp(self.cfg.min_share, self.cfg.max_share);
+        if let Some(adopted) = self.hyst.filter(self.target, candidate) {
+            self.target = Some(adopted);
+        }
+        match self.target {
+            // A target tracking the grant within the deadband holds: the
+            // share only moves on confirmed drift, not estimator jitter.
+            Some(t) if !self.hyst.within(t, sig.granted_bw.max(1e-12)) => ShareDecision::Request(t),
+            _ => ShareDecision::Hold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(consumed: f64, booked: f64, granted: f64, compressions: u64) -> DemandSignal {
+        DemandSignal {
+            consumed_bw: consumed,
+            booked_bw: booked,
+            granted_bw: granted,
+            compressions,
+        }
+    }
+
+    #[test]
+    fn hysteresis_adopts_first_and_suppresses_jitter() {
+        let mut h = Hysteresis::new(0.1, 3);
+        assert_eq!(h.filter(None, 0.5), Some(0.5));
+        // Within-band estimates are absorbed.
+        assert_eq!(h.filter(Some(0.5), 0.52), None);
+        assert_eq!(h.filter(Some(0.5), 0.46), None);
+        // An out-of-band change needs 3 consecutive confirmations.
+        assert_eq!(h.filter(Some(0.5), 0.8), None);
+        assert_eq!(h.filter(Some(0.5), 0.82), None);
+        assert_eq!(h.filter(Some(0.5), 0.79), Some(0.8));
+        // A within-band estimate resets a pending change.
+        assert_eq!(h.filter(Some(0.5), 0.8), None);
+        assert_eq!(h.filter(Some(0.5), 0.5), None);
+        assert_eq!(h.filter(Some(0.5), 0.8), None);
+    }
+
+    #[test]
+    fn grows_under_compression_until_cap() {
+        let mut c = ShareController::new(ShareControllerConfig {
+            max_share: 0.9,
+            confirmations: 1,
+            ..ShareControllerConfig::default()
+        });
+        // Saturated at a 0.3 grant: the controller probes upward.
+        let d = c.step(&sig(0.29, 0.3, 0.3, 4));
+        match d {
+            ShareDecision::Request(t) => assert!(t > 0.3, "grew to {t}"),
+            other => panic!("expected growth, got {other:?}"),
+        }
+        // Still compressed at larger grants: requests rise toward the cap
+        // and never past it (the hysteresis band may park the target just
+        // under the clamp).
+        let mut granted = 0.45;
+        for _ in 0..20 {
+            match c.step(&sig(granted, granted, granted, 1)) {
+                ShareDecision::Request(t) => {
+                    assert!(t <= 0.9 + 1e-12, "cap violated: {t}");
+                    granted = t;
+                }
+                ShareDecision::Hold => {}
+            }
+        }
+        assert!(
+            granted > 0.8 && granted <= 0.9 + 1e-12,
+            "converged near cap, got {granted}"
+        );
+    }
+
+    #[test]
+    fn shrinks_when_demand_collapses() {
+        let mut c = ShareController::new(ShareControllerConfig {
+            confirmations: 2,
+            ..ShareControllerConfig::default()
+        });
+        // Steady demand around 0.4 under a 0.5 grant.
+        for _ in 0..4 {
+            c.step(&sig(0.4, 0.42, 0.5, 0));
+        }
+        // Demand collapses (idle phase): after the EWMA decays and the
+        // confirmations pass, the controller requests a smaller share.
+        let mut last_request = None;
+        for _ in 0..12 {
+            if let ShareDecision::Request(t) = c.step(&sig(0.01, 0.02, 0.5, 0)) {
+                last_request = Some(t);
+            }
+        }
+        let t = last_request.expect("idle consumer must shed its share");
+        assert!(t < 0.1, "shrunk to {t}");
+        assert!(t >= c.config().min_share);
+    }
+
+    #[test]
+    fn holds_when_grant_tracks_target() {
+        let mut c = ShareController::new(ShareControllerConfig::default());
+        // First sample sets the target; grant already matches it.
+        let demand = 0.4;
+        let target = demand * 1.15;
+        assert_eq!(c.step(&sig(demand, demand, target, 0)), ShareDecision::Hold);
+        // Jitter within the deadband keeps holding.
+        for bump in [0.39, 0.41, 0.4] {
+            assert_eq!(c.step(&sig(bump, bump, target, 0)), ShareDecision::Hold);
+        }
+    }
+
+    #[test]
+    fn booked_demand_counts_even_when_idle() {
+        let mut c = ShareController::new(ShareControllerConfig::default());
+        // The consumer booked 0.5 but burned almost nothing this period
+        // (e.g. guests between activations): the booking drives the
+        // estimate, so the share is not yanked away mid-reservation.
+        let d = c.step(&sig(0.02, 0.5, 0.1, 0));
+        match d {
+            ShareDecision::Request(t) => assert!(t > 0.4, "{t}"),
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate share bounds")]
+    fn degenerate_bounds_panic() {
+        let _ = ShareController::new(ShareControllerConfig {
+            min_share: 0.5,
+            max_share: 0.2,
+            ..ShareControllerConfig::default()
+        });
+    }
+}

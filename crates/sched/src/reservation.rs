@@ -65,6 +65,10 @@ pub struct ReservationScheduler {
     /// Reused EDF-order buffer for [`ReservationScheduler::pick_with`]:
     /// one allocation serves every nested dispatch.
     order_scratch: Vec<(Time, u32)>,
+    /// Dispatch-state version: bumped by every [`ReservationScheduler::touch`].
+    epoch: u64,
+    /// The epoch `order_scratch` was last rebuilt at (`None` = dirty).
+    order_epoch: Option<u64>,
 }
 
 impl Default for ReservationScheduler {
@@ -91,6 +95,8 @@ impl ReservationScheduler {
             timer_cache: Cell::new(None),
             scan_dispatch: false,
             order_scratch: Vec::new(),
+            epoch: 0,
+            order_epoch: None,
         }
     }
 
@@ -103,10 +109,31 @@ impl ReservationScheduler {
         self.touch();
     }
 
+    /// Whether the scan-dispatch toggle is active (layered schedulers
+    /// disable their own caches too, so before/after comparisons measure
+    /// the whole stack).
+    #[doc(hidden)]
+    pub fn uses_scan_dispatch(&self) -> bool {
+        self.scan_dispatch
+    }
+
     /// Invalidates the cached dispatch decision and timer.
     fn touch(&mut self) {
         self.edf_cache = None;
         self.timer_cache.set(None);
+        self.epoch = self.epoch.wrapping_add(1);
+    }
+
+    /// Monotonic version of the dispatch-relevant state (server set,
+    /// deadlines, runnability, pending replenishments, parameters). Any
+    /// mutation that could change a dispatch decision bumps it — including
+    /// supervisor re-grants, which go through
+    /// [`ReservationScheduler::server_mut`]. Callers layering their own
+    /// dispatch caches on top (the virt scheduler's nested pick, its
+    /// stacked timer) validate against this instead of subscribing to
+    /// individual transitions.
+    pub fn dispatch_epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Creates a new server and returns its id.
@@ -232,16 +259,23 @@ impl ReservationScheduler {
         now: Time,
         mut choose: impl FnMut(ServerId, &Server) -> Option<TaskId>,
     ) -> Option<TaskId> {
+        // The runnable set and the deadlines only change when some
+        // transition bumps the epoch (wake/block/depletion/replenish/
+        // re-grant); between transitions the sorted order is reused —
+        // only the guests' willingness to dispatch is re-queried.
         let mut order = core::mem::take(&mut self.order_scratch);
-        order.clear();
-        order.extend(
-            self.servers
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| s.runnable())
-                .map(|(i, s)| (s.deadline(), i as u32)),
-        );
-        order.sort_unstable();
+        if self.scan_dispatch || self.order_epoch != Some(self.epoch) {
+            order.clear();
+            order.extend(
+                self.servers
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.runnable())
+                    .map(|(i, s)| (s.deadline(), i as u32)),
+            );
+            order.sort_unstable();
+            self.order_epoch = Some(self.epoch);
+        }
         let mut picked = None;
         for &(_, i) in &order {
             let sid = ServerId(i);

@@ -88,6 +88,15 @@ impl Supervisor {
         }
     }
 
+    /// The smallest budget a fresh server is parameterised with at
+    /// `period`: the compression floor clamped into `(0, period]` (a
+    /// 10 µs hard minimum keeps degenerate floors schedulable). Shared by
+    /// every creation path — task reservations, VM shares, elastic
+    /// re-grants — so the floor rule cannot diverge between layers.
+    pub fn budget_floor(&self, period: Dur) -> Dur {
+        self.min_budget.min(period).max(Dur::us(10))
+    }
+
     /// Would admitting a brand-new reservation `(budget, period)` keep the
     /// system schedulable, given what is already reserved?
     pub fn admits(&self, sched: &ReservationScheduler, budget: Dur, period: Dur) -> bool {

@@ -119,6 +119,12 @@ proptest! {
             }
             prop_assert_eq!(cached.pick(now), scan.pick(now));
             prop_assert_eq!(cached.next_timer(now), scan.next_timer(now));
+            // The nested-dispatch path caches the sorted EDF order across
+            // unchanged states; with every server choosing its own front
+            // task it must agree with the always-rescanning scheduler.
+            let via_hook = cached.pick_with(now, |_, srv| srv.front_task());
+            let via_scan = scan.pick_with(now, |_, srv| srv.front_task());
+            prop_assert_eq!(via_hook, via_scan, "pick_with diverged");
         }
     }
 }

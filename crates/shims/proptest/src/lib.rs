@@ -260,7 +260,13 @@ pub mod strategy {
         )*};
     }
 
-    tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+    tuple_strategy!(
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4),
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    );
 }
 
 pub mod arbitrary {
@@ -351,6 +357,19 @@ macro_rules! proptest {
     };
 }
 
+/// Skips the current case when its inputs fail a precondition. In the
+/// real crate this rejects the case (with global rejection accounting);
+/// here the case simply passes vacuously — `proptest!` expands bodies
+/// inside a per-case loop, so `continue` moves to the next case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
 /// Asserts a property-test condition (panics on failure; no shrinking).
 #[macro_export]
 macro_rules! prop_assert {
@@ -389,7 +408,9 @@ pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// Mirror of the real crate's `prelude::prop` module.
     pub mod prop {

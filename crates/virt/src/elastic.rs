@@ -1,0 +1,196 @@
+//! Elastic VM shares: the host-level instance of the paper's feedback
+//! loop.
+//!
+//! PR 4's virtual platforms admit VM shares statically: a tenant whose
+//! measured demand shrinks keeps hoarding host bandwidth, and a tenant
+//! whose demand grows compresses its own guests even when the host has
+//! slack. [`VmShareController`] closes the same loop one level up — each
+//! control period it folds what the VM *measurably* did (share
+//! consumption, the guest manager's booked reservations, compression
+//! events inside the tenant) into a
+//! [`selftune_core::share::ShareController`] and decides whether to
+//! re-request the host share through
+//! [`VirtPlatform::request_vm_share`](crate::VirtPlatform::request_vm_share).
+//!
+//! The controller is pure decision logic, exactly like the task-level
+//! [`selftune_core::TaskController`]: the platform feeds it a
+//! [`VmObservation`] and executes the resulting request (the host
+//! supervisor may still compress the grant, and the grant is propagated
+//! down into the guest manager's bound). Keeping kernel access out of
+//! this type makes the host-level law unit testable in isolation.
+
+use selftune_core::share::{DemandSignal, ShareController, ShareControllerConfig, ShareDecision};
+use selftune_simcore::time::{Dur, Time};
+
+/// Configuration of one VM's elastic-share loop.
+#[derive(Clone, Copy, Debug)]
+pub struct VmElasticConfig {
+    /// How often the share is reconsidered. Defaults to 500 ms — one
+    /// manager sampling period, so the guest loop gets a fresh sample
+    /// between host-level decisions (the paper's remark against `S = P`
+    /// applies across levels too).
+    pub control_period: Dur,
+    /// The share feedback law. `max_share` is additionally clamped to the
+    /// host supervisor's bound at attach time, so an elastic VM can never
+    /// request its way past what the node could grant anyone.
+    pub controller: ShareControllerConfig,
+}
+
+impl Default for VmElasticConfig {
+    fn default() -> Self {
+        VmElasticConfig {
+            control_period: Dur::ms(500),
+            controller: ShareControllerConfig::default(),
+        }
+    }
+}
+
+/// What the platform observed about one VM since the previous control
+/// step.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VmObservation {
+    /// The share currently granted, `Q/T`.
+    pub granted: f64,
+    /// Bandwidth the guest manager's inner reservations hold (0 for
+    /// guests without a manager).
+    pub booked: f64,
+    /// Share consumption since the previous step.
+    pub consumed_delta: Dur,
+    /// Wall (virtual) time since the previous step.
+    pub elapsed: Dur,
+    /// Guest-supervisor compressions since the previous step.
+    pub compressions_delta: u64,
+}
+
+/// The per-VM share controller (see the module docs).
+#[derive(Clone, Debug)]
+pub struct VmShareController {
+    cfg: VmElasticConfig,
+    ctl: ShareController,
+    /// Instant of the next control step.
+    next_at: Time,
+    /// Decisions that actually re-requested the share.
+    rerequests: u64,
+}
+
+impl VmShareController {
+    /// Creates a controller; the first control step is due one control
+    /// period after `now`.
+    pub fn new(cfg: VmElasticConfig, now: Time) -> VmShareController {
+        assert!(
+            !cfg.control_period.is_zero(),
+            "control period must be positive"
+        );
+        VmShareController {
+            cfg,
+            ctl: ShareController::new(cfg.controller),
+            next_at: now + cfg.control_period,
+            rerequests: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &VmElasticConfig {
+        &self.cfg
+    }
+
+    /// The smoothed demand estimate, if any sample arrived yet.
+    pub fn demand(&self) -> Option<f64> {
+        self.ctl.demand()
+    }
+
+    /// The current hysteresis-adopted share target, if any.
+    pub fn target(&self) -> Option<f64> {
+        self.ctl.target()
+    }
+
+    /// How many control steps re-requested the share so far.
+    pub fn rerequests(&self) -> u64 {
+        self.rerequests
+    }
+
+    /// Whether a control step is due at `now`.
+    pub fn due(&self, now: Time) -> bool {
+        now >= self.next_at
+    }
+
+    /// One control step: folds the observation and decides the share to
+    /// re-request, if any. The caller (the platform) executes the request
+    /// through the host supervisor and feeds the resulting grant back via
+    /// the next observation.
+    pub fn step(&mut self, obs: &VmObservation, now: Time) -> ShareDecision {
+        self.next_at = now + self.cfg.control_period;
+        let consumed_bw = if obs.elapsed.is_zero() {
+            0.0
+        } else {
+            obs.consumed_delta.ratio(obs.elapsed)
+        };
+        let decision = self.ctl.step(&DemandSignal {
+            consumed_bw,
+            booked_bw: obs.booked,
+            granted_bw: obs.granted,
+            compressions: obs.compressions_delta,
+        });
+        if matches!(decision, ShareDecision::Request(_)) {
+            self.rerequests += 1;
+        }
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(granted: f64, booked: f64, consumed_ms: u64, compressions: u64) -> VmObservation {
+        VmObservation {
+            granted,
+            booked,
+            consumed_delta: Dur::ms(consumed_ms),
+            elapsed: Dur::ms(500),
+            compressions_delta: compressions,
+        }
+    }
+
+    #[test]
+    fn schedules_itself_on_the_control_period() {
+        let mut c = VmShareController::new(VmElasticConfig::default(), Time::ZERO);
+        assert!(!c.due(Time::ZERO));
+        let t1 = Time::ZERO + Dur::ms(500);
+        assert!(c.due(t1));
+        let _ = c.step(&obs(0.3, 0.2, 100, 0), t1);
+        assert!(!c.due(t1));
+        assert!(c.due(t1 + Dur::ms(500)));
+    }
+
+    #[test]
+    fn compressed_tenant_grows_idle_tenant_shrinks() {
+        let cfg = VmElasticConfig {
+            controller: ShareControllerConfig {
+                confirmations: 1,
+                ..ShareControllerConfig::default()
+            },
+            ..VmElasticConfig::default()
+        };
+        let mut hungry = VmShareController::new(cfg, Time::ZERO);
+        let t = Time::ZERO + Dur::secs(1);
+        // A tenant saturating its 0.3 share (compressions inside): grow.
+        match hungry.step(&obs(0.3, 0.3, 150, 3), t) {
+            ShareDecision::Request(s) => assert!(s > 0.3, "grew to {s}"),
+            other => panic!("expected growth, got {other:?}"),
+        }
+        assert_eq!(hungry.rerequests(), 1);
+
+        // A tenant burning ~nothing with nothing booked: shrink.
+        let mut idle = VmShareController::new(cfg, Time::ZERO);
+        let mut last = None;
+        for i in 0..10 {
+            let at = Time::ZERO + Dur::ms(500 * (i + 1));
+            if let ShareDecision::Request(s) = idle.step(&obs(0.4, 0.01, 2, 0), at) {
+                last = Some(s);
+            }
+        }
+        let s = last.expect("idle tenant must shed its share");
+        assert!(s < 0.1, "shrunk to {s}");
+    }
+}

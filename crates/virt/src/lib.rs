@@ -33,8 +33,14 @@
 //!   [`selftune_core::SelfTuningManager`] whose supervisor is clamped to
 //!   the VM's share — compression under tenant overload stays inside the
 //!   tenant.
-//! * [`demo`] — the canonical two-tenant consolidation scenario backing
-//!   the `vm_consolidation` experiment, example and e2e test.
+//! * [`elastic`] — the host-level share loop: [`VmShareController`]
+//!   re-requests each elastic VM's share from measured guest demand
+//!   (bookings, consumption, compression events) through the host
+//!   supervisor every control period, built on the reusable
+//!   [`selftune_core::share`] controller plane.
+//! * [`demo`] — the canonical two-tenant consolidation and elasticity
+//!   scenarios backing the `vm_consolidation` / `vm_elasticity`
+//!   experiments, examples and e2e tests.
 //!
 //! ## Why hierarchical
 //!
@@ -47,14 +53,17 @@
 //! completion throughput no worse than flat at equal total bandwidth).
 
 pub mod demo;
+pub mod elastic;
 pub mod platform;
 pub mod sched;
 
+pub use elastic::{VmElasticConfig, VmObservation, VmShareController};
 pub use platform::{GuestPolicy, TraceMux, VirtPlatform, VmAdmissionError, VmConfig};
 pub use sched::{GuestSched, VirtScheduler, VmId};
 
 /// One-stop imports for virtual-platform experiments.
 pub mod prelude {
+    pub use crate::elastic::{VmElasticConfig, VmObservation, VmShareController};
     pub use crate::platform::{GuestPolicy, VirtPlatform, VmAdmissionError, VmConfig};
     pub use crate::sched::{GuestSched, VirtScheduler, VmId};
 }

@@ -24,16 +24,19 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use selftune_core::share::ShareDecision;
 use selftune_core::{ControllerConfig, ManagerConfig, SelfTuningManager};
 use selftune_sched::{
     BwRequest, EdfScheduler, FixedPriority, ReservationScheduler, Server, ServerConfig, Supervisor,
 };
 use selftune_simcore::kernel::{Kernel, SyscallHook};
+use selftune_simcore::metrics::MetricKey;
 use selftune_simcore::syscall::SyscallNr;
 use selftune_simcore::task::{TaskId, Workload};
 use selftune_simcore::time::{Dur, Time};
 use selftune_tracer::{Tracer, TracerConfig, TracerHook};
 
+use crate::elastic::{VmElasticConfig, VmObservation, VmShareController};
 use crate::sched::{GuestSched, VirtScheduler, VmId};
 
 /// The scheduling regime inside one VM.
@@ -138,6 +141,17 @@ impl SyscallHook for TraceMux {
     }
 }
 
+/// The elastic-share loop state of one VM: the controller plus the
+/// last-seen cumulative sensors it differentiates.
+struct ElasticRt {
+    ctl: VmShareController,
+    last_consumed: Dur,
+    last_compressions: u64,
+    last_at: Time,
+    /// Interned `"<label>.share"` key for the granted-share series.
+    share_key: Option<MetricKey>,
+}
+
 struct VmRuntime {
     label: String,
     mgr: Option<SelfTuningManager>,
@@ -146,6 +160,8 @@ struct VmRuntime {
     slot: u16,
     tasks: Vec<TaskId>,
     killed: bool,
+    /// Present when the VM's host share is elastic.
+    elastic: Option<ElasticRt>,
 }
 
 /// A host kernel running virtual machines (see the module docs).
@@ -243,12 +259,7 @@ impl VirtPlatform {
                 )
             }
         };
-        let floor = self
-            .cfg
-            .supervisor
-            .min_budget
-            .min(vm_cfg.period)
-            .max(Dur::us(10));
+        let floor = self.cfg.supervisor.budget_floor(vm_cfg.period);
         let vm = self.kernel.sched_mut().create_vm(
             ServerConfig::new(floor, vm_cfg.period).with_mode(self.cfg.cbs_mode),
             guest,
@@ -278,8 +289,95 @@ impl VirtPlatform {
             slot,
             tasks: Vec::new(),
             killed: false,
+            elastic: None,
         });
         vm
+    }
+
+    /// Puts the VM's host share under a [`VmShareController`]: every
+    /// control period the share is re-requested from the tenant's
+    /// *measured* demand (guest bookings, share consumption, compression
+    /// events) through the host supervisor. The controller's cap is
+    /// clamped to the host bound, so an elastic VM can never oversubscribe
+    /// the node; grants are propagated down into the guest manager's own
+    /// bound, so tenant-internal compression always reflects the live
+    /// supply.
+    pub fn make_vm_elastic(&mut self, vm: VmId, mut cfg: VmElasticConfig) {
+        cfg.controller.max_share = cfg.controller.max_share.min(self.cfg.supervisor.ulub);
+        cfg.controller.min_share = cfg.controller.min_share.min(cfg.controller.max_share);
+        let now = self.kernel.now();
+        let consumed = self.vm_consumed(vm);
+        let rt = &mut self.vms[vm.index()];
+        let last_compressions = rt
+            .mgr
+            .as_ref()
+            .map_or(0, SelfTuningManager::compressed_grants);
+        rt.elastic = Some(ElasticRt {
+            ctl: VmShareController::new(cfg, now),
+            last_consumed: consumed,
+            last_compressions,
+            last_at: now,
+            share_key: None,
+        });
+    }
+
+    /// The VM's elastic-share controller, if
+    /// [`VirtPlatform::make_vm_elastic`] attached one.
+    pub fn vm_share_controller(&self, vm: VmId) -> Option<&VmShareController> {
+        self.vms[vm.index()].elastic.as_ref().map(|e| &e.ctl)
+    }
+
+    /// One elastic control step of a VM whose controller is due: gathers
+    /// the observation, folds it, executes any re-request through the host
+    /// supervisor and re-bounds the guest manager at the new grant.
+    fn step_vm_share(&mut self, vm: VmId) {
+        let now = self.kernel.now();
+        let Some(mut el) = self.vms[vm.index()].elastic.take() else {
+            return;
+        };
+        if el.ctl.due(now) {
+            let granted = self.vm_share(vm);
+            let booked = match (&self.vms[vm.index()].mgr, self.kernel.sched().guest(vm)) {
+                (Some(mgr), GuestSched::Reservation(g)) => mgr.booked_bandwidth(g),
+                _ => 0.0,
+            };
+            let consumed = self.vm_consumed(vm);
+            let compressions = self.vms[vm.index()]
+                .mgr
+                .as_ref()
+                .map_or(0, SelfTuningManager::compressed_grants);
+            let obs = VmObservation {
+                granted,
+                booked,
+                consumed_delta: consumed.saturating_sub(el.last_consumed),
+                elapsed: now.saturating_since(el.last_at),
+                compressions_delta: compressions - el.last_compressions,
+            };
+            el.last_consumed = consumed;
+            el.last_compressions = compressions;
+            el.last_at = now;
+            if let ShareDecision::Request(target) = el.ctl.step(&obs, now) {
+                let period = self.vm_server(vm).config().period;
+                let floor = self.cfg.supervisor.budget_floor(period);
+                let budget = period.mul_f64(target).max(floor).min(period);
+                let granted = self.request_vm_share(vm, budget, period);
+                if let Some(mgr) = self.vms[vm.index()].mgr.as_mut() {
+                    mgr.set_bandwidth_bound(granted.clamp(1e-6, 1.0));
+                }
+            }
+            let share = self.vm_share(vm);
+            let key = match el.share_key {
+                Some(k) => k,
+                None => {
+                    let label = &self.vms[vm.index()].label;
+                    let k = self.kernel.metrics_mut().key(&format!("{label}.share"));
+                    el.share_key = Some(k);
+                    k
+                }
+            };
+            self.kernel.metrics_mut().record_k(key, now, share);
+        }
+        self.vms[vm.index()].elastic = Some(el);
     }
 
     /// Re-requests a VM's share mid-run through the host supervisor (the
@@ -453,12 +551,15 @@ impl VirtPlatform {
             self.kernel.kill(t);
         }
         rt.tasks = tasks;
+        rt.elastic = None;
         self.kernel.sched_mut().release_vm(vm);
         true
     }
 
     /// One sampling step of every manager (host first, then VMs in id
-    /// order — a deterministic schedule).
+    /// order, then due elastic share controllers in id order — a
+    /// deterministic schedule where share decisions always see the guest
+    /// managers' freshest bookings).
     pub fn step_managers(&mut self) {
         self.host_mgr
             .step_in(&mut self.kernel, VirtScheduler::host_mut);
@@ -470,6 +571,12 @@ impl VirtPlatform {
                 let vm = VmId(i as u32);
                 mgr.step_in(&mut self.kernel, |s| s.guest_reservations_mut(vm));
             }
+        }
+        for i in 0..self.vms.len() {
+            if self.vms[i].killed {
+                continue;
+            }
+            self.step_vm_share(VmId(i as u32));
         }
     }
 

@@ -29,6 +29,7 @@ use selftune_sched::{Place, Server};
 use selftune_simcore::scheduler::Scheduler;
 use selftune_simcore::task::TaskId;
 use selftune_simcore::time::{Dur, Time};
+use std::cell::Cell;
 
 /// Identifier of a virtual machine within one [`VirtScheduler`].
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -82,6 +83,19 @@ struct VmEntry {
 }
 
 /// Two-level scheduler: host reservations containing guest schedulers.
+///
+/// # Dispatch caching
+///
+/// With VMs present every pick takes the host's
+/// [`ReservationScheduler::pick_with`] path, whose sorted EDF order is
+/// cached inside the host scheduler and validated against
+/// [`ReservationScheduler::dispatch_epoch`] — any share transition
+/// (wake/block/depletion/replenish, and supervisor re-grants including an
+/// elastic controller's) bumps the epoch and forces a rescan. The stacked
+/// `next_timer` is cached here the same way, keyed by the *sum* of the
+/// host epoch and every nested reservation guest's epoch (EDF and
+/// fixed-priority guests own no timers); epochs only grow, so the sum is
+/// monotone and two concurrent changes cannot cancel out.
 pub struct VirtScheduler {
     host: ReservationScheduler,
     vms: Vec<VmEntry>,
@@ -90,6 +104,8 @@ pub struct VirtScheduler {
     /// VM index, dense by host server id (`None` = plain host server),
     /// so the per-pick server-to-guest routing is an array read.
     vm_by_sid: Vec<Option<u32>>,
+    /// Cached stacked timer: `(stack epoch it was computed at, value)`.
+    timer_cache: Cell<Option<(u64, Option<Time>)>>,
 }
 
 impl Default for VirtScheduler {
@@ -111,7 +127,22 @@ impl VirtScheduler {
             vms: Vec::new(),
             vm_of: Vec::new(),
             vm_by_sid: Vec::new(),
+            timer_cache: Cell::new(None),
         }
+    }
+
+    /// The stacked dispatch version: host epoch plus every nested
+    /// reservation guest's epoch. Guest schedulers without timers or
+    /// budgets (EDF, fixed priority) cannot change the stacked timer or
+    /// the host order, so they do not participate.
+    fn stack_epoch(&self) -> u64 {
+        let mut e = self.host.dispatch_epoch();
+        for v in &self.vms {
+            if let GuestSched::Reservation(g) = &v.guest {
+                e = e.wrapping_add(g.dispatch_epoch());
+            }
+        }
+        e
     }
 
     /// The host-level reservation scheduler (flat tasks, VM shares).
@@ -276,6 +307,18 @@ impl Scheduler for VirtScheduler {
     }
 
     fn next_timer(&self, now: Time) -> Option<Time> {
+        if self.vms.is_empty() {
+            return self.host.next_timer(now);
+        }
+        let cached = !self.host.uses_scan_dispatch();
+        let epoch = self.stack_epoch();
+        if cached {
+            if let Some((e, t)) = self.timer_cache.get() {
+                if e == epoch {
+                    return t;
+                }
+            }
+        }
         let mut next = self.host.next_timer(now);
         for v in &self.vms {
             let t = v.guest.as_scheduler().next_timer(now);
@@ -283,6 +326,9 @@ impl Scheduler for VirtScheduler {
                 (Some(a), Some(b)) => Some(a.min(b)),
                 (n, t) => n.or(t),
             };
+        }
+        if cached {
+            self.timer_cache.set(Some((epoch, next)));
         }
         next
     }
@@ -406,6 +452,45 @@ mod tests {
         s.charge(TaskId(1), Dur::ms(5), t(5));
         assert_eq!(s.pick(t(5)), Some(TaskId(2)));
         assert_eq!(s.next_timer(t(5)), Some(t(50)));
+    }
+
+    #[test]
+    fn stacked_timer_cache_tracks_both_levels() {
+        let mut s = VirtScheduler::new();
+        let mut guest = ReservationScheduler::new();
+        let inner = guest.create_server(ServerConfig::new(Dur::ms(2), Dur::ms(20)));
+        guest.place(TaskId(1), Place::Server(inner));
+        let vm = s.create_vm(
+            ServerConfig::new(Dur::ms(30), Dur::ms(60)),
+            GuestSched::Reservation(guest),
+        );
+        s.assign(TaskId(1), vm);
+        s.on_ready(TaskId(1), T0);
+        // No pending replenishment anywhere: cached None is stable.
+        assert_eq!(s.next_timer(T0), None);
+        assert_eq!(s.next_timer(T0), None);
+        // Depleting the *inner* reservation arms a guest-level timer; the
+        // stacked cache must notice the guest transition.
+        s.charge(TaskId(1), Dur::ms(2), t(2));
+        assert_eq!(s.next_timer(t(2)), Some(t(20)));
+        assert_eq!(s.next_timer(t(2)), Some(t(20)));
+        s.on_timer(t(20));
+        assert_eq!(s.next_timer(t(20)), None);
+        // Depleting the VM share arms a *host* timer through the same
+        // cache: both levels invalidate it. (The inner server's deadline
+        // already passed, so it replenishes immediately and owns no
+        // pending timer; only the throttled share does.)
+        s.charge(TaskId(1), Dur::ms(28), t(48));
+        assert_eq!(s.next_timer(t(48)), Some(t(60)));
+        assert_eq!(s.pick(t(48)), None, "share throttled");
+        // A share re-grant (what an elastic controller does mid-run) also
+        // invalidates: the budget increase lifts the throttle, and both
+        // the cached order and the cached timer must notice.
+        let sid = s.vm_server_id(vm);
+        s.host_mut()
+            .server_mut(sid)
+            .set_params(Dur::ms(35), Dur::ms(60));
+        assert_eq!(s.pick(t(48)), Some(TaskId(1)), "re-grant reopens dispatch");
     }
 
     #[test]

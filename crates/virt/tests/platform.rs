@@ -189,9 +189,94 @@ fn edf_and_fixed_priority_guests_dispatch_by_their_policy() {
 mod nesting_props {
     use super::*;
     use proptest::prelude::*;
+    use selftune_core::share::ShareControllerConfig;
+    use selftune_virt::VmElasticConfig;
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Satellite invariant: under arbitrary *elastic* re-request
+        /// sequences (controllers probing up under compression, shedding
+        /// idle shares, every knob randomised) the host bandwidth bound
+        /// is never exceeded, and killing a VM releases its full
+        /// re-granted share — not the admission-time nominal one.
+        #[test]
+        fn elastic_controllers_never_exceed_host_bound_and_kill_releases(
+            seed in 0u64..10_000,
+            ulub_pct in 60u64..96,
+            vms_cfg in prop::collection::vec(
+                // (share budget ms, guest wcet ms, guest period slot, margin %, alpha %)
+                (1u64..8, 1u64..30, 0u64..3, 5u64..40, 20u64..101),
+                1..4,
+            ),
+            chunks in 2usize..5,
+        ) {
+            let ulub = ulub_pct as f64 / 100.0;
+            let mut p = platform(ulub);
+            let mut vms = Vec::new();
+            for (i, &(budget_ms, wcet_ms, pslot, margin_pct, alpha_pct)) in
+                vms_cfg.iter().enumerate()
+            {
+                let cfg = VmConfig::self_tuning(
+                    &format!("vm{i}"),
+                    Dur::ms(budget_ms),
+                    Dur::ms(10),
+                );
+                let Ok(vm) = p.create_vm(cfg) else { continue };
+                let period_ms = 30 + 25 * pslot;
+                let wcet = Dur::ms(wcet_ms.min(period_ms - 1));
+                let label = format!("t{i}");
+                let t = p.spawn_in_vm(
+                    vm,
+                    &label,
+                    Box::new(PeriodicRt::new(
+                        &label,
+                        wcet,
+                        Dur::ms(period_ms),
+                        0.1,
+                        Rng::new(seed ^ i as u64),
+                    )),
+                );
+                p.manage_in_vm(vm, t, &label, ControllerConfig::default());
+                p.make_vm_elastic(vm, VmElasticConfig {
+                    control_period: Dur::ms(400),
+                    controller: ShareControllerConfig {
+                        margin: margin_pct as f64 / 100.0,
+                        ewma_alpha: alpha_pct as f64 / 100.0,
+                        confirmations: 1 + (seed % 3) as u32,
+                        ..ShareControllerConfig::default()
+                    },
+                });
+                vms.push(vm);
+            }
+            prop_assume!(!vms.is_empty());
+            let mut t = Time::ZERO;
+            for step in 0..chunks {
+                t += Dur::ms(600 + 100 * step as u64);
+                p.run(t);
+                prop_assert!(
+                    p.host_reserved_bandwidth() <= ulub + 1e-9,
+                    "elastic re-requests oversubscribed the host: {} > {}",
+                    p.host_reserved_bandwidth(),
+                    ulub
+                );
+            }
+            // Kill the first VM: however far its controller re-granted the
+            // share (up or down), the *entire* live grant returns to the
+            // host pool (modulo the 10 us floor residue).
+            let vm = vms[0];
+            let share = p.vm_share(vm);
+            let before = p.host_reserved_bandwidth();
+            prop_assert!(p.kill_vm(vm));
+            let after = p.host_reserved_bandwidth();
+            prop_assert!(
+                after <= before - share + 2e-3,
+                "kill released {} of the re-granted {share}",
+                before - after
+            );
+            // The freed bandwidth is genuinely reusable under the bound.
+            prop_assert!(after <= ulub + 1e-9);
+        }
 
         /// Satellite invariant: however guests re-request mid-run, the
         /// *host* bandwidth (VM shares + flat reservations) never exceeds

@@ -9,6 +9,7 @@
 //! melting nodes and end with strictly fewer fleet deadline misses.
 
 use selftune::cluster::prelude::*;
+use selftune::simcore::time::Dur;
 
 const SEED: u64 = 42;
 
@@ -119,4 +120,66 @@ fn warm_start_shrinks_the_hand_over_gap() {
     assert!(warm_gap < 1.0, "warm hand-over gap {warm_gap:.1} ms");
     // And the cold gap is real detection latency, not noise.
     assert!(cold_gap >= 500.0, "cold hand-over gap {cold_gap:.1} ms");
+}
+
+/// The skewed-overload fleet with a whole virtual platform packed onto
+/// the melting node: the VM (the largest booked unit there) is what the
+/// rebalancer evicts first.
+fn vm_scenario(warm_start: bool) -> ScenarioSpec {
+    ScenarioSpec::skewed_overload_demo(4, 12)
+        .with_vm(VmSpec::uniform(
+            Dur::ms(4),
+            Dur::ms(10),
+            2,
+            TaskKind::PeriodicRt {
+                wcet: Dur::ms(4),
+                period: Dur::ms(40),
+            },
+        ))
+        .with_rebalance(RebalanceSpec {
+            warm_start,
+            ..ScenarioSpec::demo_rebalance()
+        })
+}
+
+#[test]
+fn migrated_vm_guests_warm_start_inside_the_readmitted_vm() {
+    let warm = ClusterRunner::new(2).run(&vm_scenario(true), SEED);
+    let cold = ClusterRunner::new(2).run(&vm_scenario(false), SEED);
+
+    // A whole VM actually moved in both runs (the hand-over comparison is
+    // about the same migration, warm vs cold).
+    assert!(
+        warm.rebalance.records.iter().any(|r| r.vm),
+        "expected a VM migration, got {:?}",
+        warm.rebalance.records
+    );
+    assert!(cold.rebalance.records.iter().any(|r| r.vm));
+
+    // Per-guest warm start: the re-admitted guests attach the instant the
+    // VM lands — the hand-over gap collapses to zero...
+    let warm_gap = warm
+        .mean_migrated_vm_guest_attach_delay_ms()
+        .expect("warm VM guests attached");
+    assert!(warm_gap < 1.0, "warm guest hand-over gap {warm_gap:.1} ms");
+    // ...while cold guests re-run detection inside the re-admitted VM.
+    let cold_gap = cold
+        .mean_migrated_vm_guest_attach_delay_ms()
+        .expect("cold VM guests attached");
+    assert!(
+        cold_gap >= 500.0,
+        "cold guest hand-over gap {cold_gap:.1} ms"
+    );
+
+    // The flat-task hand-over metric no longer blends guest delays: in
+    // the warm run it stays a pure task metric (and also collapses), even
+    // though VM guests report through their own channel.
+    if let Some(task_gap) = warm.mean_migrated_attach_delay_ms() {
+        assert!(task_gap < 1.0, "task hand-over gap {task_gap:.1} ms");
+    }
+    let csv = warm.summary_csv();
+    assert!(
+        csv.contains("vm_guest_attach_delay_ms"),
+        "guest hand-over channel missing from the aggregate"
+    );
 }

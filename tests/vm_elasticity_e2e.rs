@@ -1,0 +1,133 @@
+//! VM-elasticity e2e: the acceptance run of the host-level control loop
+//! (`selftune_virt::elastic`).
+//!
+//! Two claims, the two directions of elasticity (see
+//! `selftune_virt::demo::run_two_phase` / `run_runaway`):
+//!
+//! * **(a) reclaim** — when a tenant's measured demand collapses mid-run,
+//!   its elastic share is reclaimed and re-granted to a hungry sibling:
+//!   at equal total admitted bandwidth the sibling completes more jobs
+//!   (and misses less) than under static shares, while the phased tenant
+//!   loses nothing during its busy phase.
+//! * **(b) containment** — a runaway elastic tenant (guests wanting ~1.9
+//!   CPUs) is pinned at the host cap: its grants never exceed the host
+//!   bound minus its sibling's fixed share, and the sibling's miss rate
+//!   stays at its solo baseline.
+
+use selftune::simcore::time::Dur;
+use selftune::virt::demo;
+
+const SEED: u64 = 42;
+const HORIZON: Dur = Dur::secs(10);
+
+/// Host bound of the demo platform (see `demo::host_manager_config`).
+const HOST_ULUB: f64 = 0.95;
+
+#[test]
+fn elastic_shares_reclaim_idle_bandwidth_for_the_hungry_sibling() {
+    let stat = demo::run_two_phase(HORIZON, SEED, false);
+    let elas = demo::run_two_phase(HORIZON, SEED, true);
+
+    // The static baseline shows the problem: the hungry tenant is
+    // compressed inside its frozen 0.45 share for the whole run...
+    assert!(
+        stat.hungry.miss_rate() > 0.5,
+        "static hungry tenant unexpectedly healthy: {:.3}",
+        stat.hungry.miss_rate()
+    );
+    // ...while the phased tenant's share idles after its busy phase.
+    assert!((stat.phased_share - 0.45).abs() < 1e-9);
+    assert!((stat.hungry_share - 0.45).abs() < 1e-9);
+
+    // (a) Reclaim: the elastic run re-grants the idle bandwidth — the
+    // hungry sibling completes strictly more at equal total bandwidth...
+    assert!(
+        elas.hungry.completions > stat.hungry.completions,
+        "hungry sibling must gain completions: {} (elastic) vs {} (static)",
+        elas.hungry.completions,
+        stat.hungry.completions
+    );
+    assert!(
+        elas.hungry.miss_rate() < stat.hungry.miss_rate(),
+        "hungry sibling must miss less: {:.3} vs {:.3}",
+        elas.hungry.miss_rate(),
+        stat.hungry.miss_rate()
+    );
+    // ...and the share actually moved: the hungry VM ends above its
+    // static 0.45, the phased VM below it.
+    assert!(
+        elas.hungry_share > 0.47,
+        "hungry share did not grow: {:.3}",
+        elas.hungry_share
+    );
+    assert!(
+        elas.phased_share < 0.45,
+        "phased share was not reclaimed: {:.3}",
+        elas.phased_share
+    );
+
+    // The phased tenant's busy phase is untouched by elasticity: same
+    // completions (its workload finishes its busy phase either way) and
+    // no worse misses.
+    assert!(
+        elas.phased.completions * 10 >= stat.phased.completions * 9,
+        "phased tenant lost work: {} vs {}",
+        elas.phased.completions,
+        stat.phased.completions
+    );
+
+    // Elasticity never oversubscribed the node: the two grants fit under
+    // the host bound at the horizon.
+    assert!(elas.phased_share + elas.hungry_share <= HOST_ULUB + 1e-9);
+}
+
+#[test]
+fn runaway_elastic_vm_is_pinned_at_the_host_cap() {
+    let solo = demo::run_solo(HORIZON, SEED);
+    let run = demo::run_runaway(HORIZON, SEED);
+
+    // (b) Containment: the runaway controller probes upward forever, but
+    // no grant ever exceeds what the host bound leaves next to the
+    // victim's fixed 0.6 share.
+    let cap = HOST_ULUB - run.victim_share;
+    assert!(
+        run.runaway_peak_share <= cap + 1e-9,
+        "runaway grant escaped the cap: {:.4} > {cap:.4}",
+        run.runaway_peak_share
+    );
+    // It did grow up to that cap (the elastic loop is live, not frozen).
+    assert!(
+        run.runaway_peak_share > 0.3 + 1e-9,
+        "runaway never grew past its initial share: {:.4}",
+        run.runaway_peak_share
+    );
+    // The victim's share is untouched and its miss rate stays at the
+    // solo baseline envelope.
+    assert!((run.victim_share - 0.6).abs() < 1e-9);
+    let envelope = (2.0 * solo.miss_rate()).max(0.05);
+    assert!(
+        run.victim.miss_rate() <= envelope,
+        "victim leaked under a runaway elastic sibling: {:.4} > {envelope:.4}",
+        run.victim.miss_rate()
+    );
+    // The runaway tenant saturated its own VM (the pressure was real).
+    assert!(run.runaway.miss_rate() > 0.9);
+}
+
+#[test]
+fn elasticity_claims_hold_across_seeds() {
+    for seed in [7u64, 99] {
+        let stat = demo::run_two_phase(HORIZON, seed, false);
+        let elas = demo::run_two_phase(HORIZON, seed, true);
+        assert!(
+            elas.hungry.completions > stat.hungry.completions,
+            "seed {seed}: {} vs {}",
+            elas.hungry.completions,
+            stat.hungry.completions
+        );
+        let run = demo::run_runaway(HORIZON, seed);
+        assert!(run.runaway_peak_share <= HOST_ULUB - run.victim_share + 1e-9);
+        let solo = demo::run_solo(HORIZON, seed);
+        assert!(run.victim.miss_rate() <= (2.0 * solo.miss_rate()).max(0.05));
+    }
+}
