@@ -1,0 +1,5 @@
+//! Decision journal: record, replay-verify, what-if counterfactuals.
+fn main() {
+    let args = selftune_bench::Args::parse();
+    selftune_bench::experiments::journal_whatif::run(&args);
+}

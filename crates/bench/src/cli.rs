@@ -1,0 +1,236 @@
+//! Shared command-line handling for the experiment binaries.
+//!
+//! Every binary in `src/bin/` accepts the same flags; parsing lives here
+//! once so a new flag (such as `--journal`) reaches all of them in one
+//! place instead of being hand-rolled per binary.
+
+use std::path::{Path, PathBuf};
+
+use selftune_cluster::ScenarioSpec;
+use selftune_journal::Journal;
+
+/// Common command-line arguments of the experiment binaries.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Reduce repetitions for a quick smoke run.
+    pub fast: bool,
+    /// Results directory.
+    pub out: PathBuf,
+    /// Scenario file overriding the experiment's built-in fleet (cluster
+    /// experiments only; see `ScenarioSpec::from_text` for the format).
+    pub scenario: Option<PathBuf>,
+    /// Decision-journal output file (cluster experiments only): the
+    /// experiment's primary scenario is recorded through
+    /// [`selftune_journal::Journal`] and written here.
+    pub journal: Option<PathBuf>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            seed: 42,
+            fast: false,
+            out: PathBuf::from("results"),
+            scenario: None,
+            journal: None,
+        }
+    }
+}
+
+impl Args {
+    /// Parses `--seed N`, `--fast`, `--out DIR`, `--scenario FILE` and
+    /// `--journal FILE` from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed arguments (these are experiment binaries; a
+    /// loud failure beats a silently wrong configuration).
+    pub fn parse() -> Args {
+        Args::parse_from(std::env::args().skip(1))
+    }
+
+    /// [`Args::parse`] over an explicit argument iterator (testable core).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed or unknown arguments.
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Args {
+        let mut out = Args::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--seed" => {
+                    let v = it.next().expect("--seed needs a value");
+                    out.seed = v.parse().expect("--seed must be an integer");
+                }
+                "--fast" => out.fast = true,
+                "--out" => {
+                    out.out = PathBuf::from(it.next().expect("--out needs a value"));
+                }
+                "--scenario" => {
+                    out.scenario = Some(PathBuf::from(it.next().expect("--scenario needs a file")));
+                }
+                "--journal" => {
+                    out.journal = Some(PathBuf::from(it.next().expect("--journal needs a file")));
+                }
+                other => panic!(
+                    "unknown argument {other:?} (try --seed/--fast/--out/--scenario/--journal)"
+                ),
+            }
+        }
+        out
+    }
+
+    /// Loads the `--scenario` file, if given.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the parse error when the file is missing or malformed
+    /// (a silently ignored scenario file would invalidate the experiment).
+    pub fn scenario_spec(&self) -> Option<ScenarioSpec> {
+        self.scenario
+            .as_deref()
+            .map(|p| load_scenario(p).unwrap_or_else(|e| panic!("{e}")))
+    }
+
+    /// Picks a repetition count: `full` normally, `quick` with `--fast`.
+    pub fn reps(&self, full: usize, quick: usize) -> usize {
+        if self.fast {
+            quick
+        } else {
+            full
+        }
+    }
+
+    /// Ensures the results directory exists and returns a path inside it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created.
+    pub fn out_path(&self, file: &str) -> PathBuf {
+        std::fs::create_dir_all(&self.out).expect("create results dir");
+        self.out.join(file)
+    }
+
+    /// Writes an already-recorded decision journal to the `--journal`
+    /// path. A no-op without the flag.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors (experiment binaries).
+    pub fn write_journal(&self, journal: &Journal) {
+        let Some(path) = &self.journal else {
+            return;
+        };
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| panic!("creating {}: {e}", dir.display()));
+            }
+        }
+        std::fs::write(path, journal.to_text())
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("[wrote {}]", path.display());
+    }
+
+    /// Records a fresh decision journal of `spec` under the experiment
+    /// seed and writes it to the `--journal` path. A no-op without the
+    /// flag; cluster experiments call this once on their primary
+    /// scenario.
+    pub fn record_journal(&self, spec: &ScenarioSpec) {
+        if self.journal.is_some() {
+            let (_, journal) = Journal::record(2, spec, self.seed);
+            self.write_journal(&journal);
+        }
+    }
+}
+
+/// Loads a [`ScenarioSpec`] from a text file (the `ScenarioSpec::to_text`
+/// format).
+///
+/// # Errors
+///
+/// A human-readable message naming the file for I/O failures or the first
+/// offending line for parse failures.
+pub fn load_scenario(path: &Path) -> Result<ScenarioSpec, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("reading scenario {}: {e}", path.display()))?;
+    ScenarioSpec::from_text(&text).map_err(|e| format!("parsing scenario {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parse_from_covers_every_flag() {
+        let a = Args::parse_from(strings(&[
+            "--seed",
+            "7",
+            "--fast",
+            "--out",
+            "elsewhere",
+            "--scenario",
+            "fleet.txt",
+            "--journal",
+            "run.journal",
+        ]));
+        assert_eq!(a.seed, 7);
+        assert!(a.fast);
+        assert_eq!(a.out, PathBuf::from("elsewhere"));
+        assert_eq!(a.scenario.as_deref(), Some(Path::new("fleet.txt")));
+        assert_eq!(a.journal.as_deref(), Some(Path::new("run.journal")));
+    }
+
+    #[test]
+    fn parse_from_defaults_without_flags() {
+        let a = Args::parse_from(Vec::new());
+        assert_eq!(a.seed, 42);
+        assert!(!a.fast);
+        assert!(a.scenario.is_none());
+        assert!(a.journal.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn parse_from_rejects_unknown_flags() {
+        Args::parse_from(strings(&["--bogus"]));
+    }
+
+    #[test]
+    fn record_journal_round_trips_through_the_flag_path() {
+        let dir = std::env::temp_dir().join("selftune-bench-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("demo.journal");
+        let args = Args {
+            journal: Some(path.clone()),
+            ..Args::default()
+        };
+        let spec = selftune_cluster::ScenarioSpec::new(
+            "cli-demo",
+            2,
+            4,
+            selftune_simcore::time::Dur::ms(500),
+        );
+        args.record_journal(&spec);
+        let text = std::fs::read_to_string(&path).expect("journal written");
+        let journal = Journal::from_text(&text).expect("journal parses");
+        assert_eq!(journal.seed, args.seed);
+        assert_eq!(journal.scenario, spec);
+    }
+
+    #[test]
+    fn write_journal_without_flag_is_a_no_op() {
+        let args = Args::default();
+        // No path set: nothing to write, nothing to panic about.
+        let spec =
+            selftune_cluster::ScenarioSpec::new("noop", 2, 2, selftune_simcore::time::Dur::ms(200));
+        args.record_journal(&spec);
+    }
+}

@@ -61,6 +61,11 @@ pub fn run(args: &Args) {
             })
             .collect(),
     };
+    // `--journal FILE`: record the primary (feedback) scenario's decision
+    // journal for later replay / what-if analysis.
+    if let Some((_, feedback_spec, _)) = configs.first() {
+        args.record_journal(feedback_spec);
+    }
     let mut rows = Vec::new();
     for (frozen_spec, feedback_spec, assert_improvement) in configs {
         let (nodes, tasks) = (frozen_spec.nodes, frozen_spec.tasks);

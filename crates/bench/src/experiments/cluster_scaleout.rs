@@ -52,6 +52,10 @@ pub fn run(args: &Args) {
             .map(|&(nodes, per_node)| scenario(nodes, nodes * per_node))
             .collect(),
     };
+    // `--journal FILE`: record the first scenario's decision journal.
+    if let Some(spec) = specs.first() {
+        args.record_journal(spec);
+    }
     for spec in &specs {
         let (nodes, tasks) = (spec.nodes, spec.tasks);
         let spec = spec.clone();

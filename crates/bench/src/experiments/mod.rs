@@ -15,6 +15,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig13;
 pub mod fig14;
+pub mod journal_whatif;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -9,115 +9,19 @@
 //! * every experiment prints a human-readable table/series to stdout and
 //!   writes CSV into `results/`;
 //! * `--seed N` changes the RNG seed, `--fast` cuts repetition counts for
-//!   smoke runs, `--out DIR` overrides the results directory.
+//!   smoke runs, `--out DIR` overrides the results directory;
+//! * cluster experiments additionally take `--scenario FILE` (declarative
+//!   fleet override) and `--journal FILE` (record the primary scenario's
+//!   decision journal); parsing lives once in [`cli`].
 
+pub mod cli;
 pub mod experiments;
 pub mod setups;
 
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::time::Instant;
 
-/// Common command-line arguments of the experiment binaries.
-#[derive(Clone, Debug)]
-pub struct Args {
-    /// Base RNG seed.
-    pub seed: u64,
-    /// Reduce repetitions for a quick smoke run.
-    pub fast: bool,
-    /// Results directory.
-    pub out: PathBuf,
-    /// Scenario file overriding the experiment's built-in fleet (cluster
-    /// experiments only; see `ScenarioSpec::from_text` for the format).
-    pub scenario: Option<PathBuf>,
-}
-
-impl Default for Args {
-    fn default() -> Self {
-        Args {
-            seed: 42,
-            fast: false,
-            out: PathBuf::from("results"),
-            scenario: None,
-        }
-    }
-}
-
-impl Args {
-    /// Parses `--seed N`, `--fast`, `--out DIR` and `--scenario FILE`
-    /// from `std::env::args`.
-    ///
-    /// # Panics
-    ///
-    /// Panics on malformed arguments (these are experiment binaries; a
-    /// loud failure beats a silently wrong configuration).
-    pub fn parse() -> Args {
-        let mut args = Args::default();
-        let mut it = std::env::args().skip(1);
-        while let Some(a) = it.next() {
-            match a.as_str() {
-                "--seed" => {
-                    let v = it.next().expect("--seed needs a value");
-                    args.seed = v.parse().expect("--seed must be an integer");
-                }
-                "--fast" => args.fast = true,
-                "--out" => {
-                    args.out = PathBuf::from(it.next().expect("--out needs a value"));
-                }
-                "--scenario" => {
-                    args.scenario =
-                        Some(PathBuf::from(it.next().expect("--scenario needs a file")));
-                }
-                other => panic!("unknown argument {other:?} (try --seed/--fast/--out/--scenario)"),
-            }
-        }
-        args
-    }
-
-    /// Loads the `--scenario` file, if given.
-    ///
-    /// # Panics
-    ///
-    /// Panics with the parse error when the file is missing or malformed
-    /// (a silently ignored scenario file would invalidate the experiment).
-    pub fn scenario_spec(&self) -> Option<selftune_cluster::ScenarioSpec> {
-        self.scenario
-            .as_deref()
-            .map(|p| load_scenario(p).unwrap_or_else(|e| panic!("{e}")))
-    }
-
-    /// Picks a repetition count: `full` normally, `quick` with `--fast`.
-    pub fn reps(&self, full: usize, quick: usize) -> usize {
-        if self.fast {
-            quick
-        } else {
-            full
-        }
-    }
-
-    /// Ensures the results directory exists and returns a path inside it.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the directory cannot be created.
-    pub fn out_path(&self, file: &str) -> PathBuf {
-        std::fs::create_dir_all(&self.out).expect("create results dir");
-        self.out.join(file)
-    }
-}
-
-/// Loads a [`selftune_cluster::ScenarioSpec`] from a text file (the
-/// `ScenarioSpec::to_text` format).
-///
-/// # Errors
-///
-/// A human-readable message naming the file for I/O failures or the first
-/// offending line for parse failures.
-pub fn load_scenario(path: &Path) -> Result<selftune_cluster::ScenarioSpec, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("reading scenario {}: {e}", path.display()))?;
-    selftune_cluster::ScenarioSpec::from_text(&text)
-        .map_err(|e| format!("parsing scenario {}: {e}", path.display()))
-}
+pub use cli::{load_scenario, Args};
 
 /// Prints an aligned text table.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {

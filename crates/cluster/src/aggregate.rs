@@ -73,7 +73,7 @@ impl NodeReport {
 }
 
 /// Fleet-level admission statistics (from the placement plan).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct AdmissionStats {
     /// Real-time tasks admitted onto some node.
     pub admitted: u64,

@@ -1,0 +1,270 @@
+//! Plain-data fleet decision events: everything a decision journal needs
+//! to make a run explainable and replayable, with none of the runner's
+//! machinery attached.
+//!
+//! The runner emits these from exactly three places — the fleet plan
+//! (admissions and churn kills), the barrier leader (per-epoch
+//! compressions, rebalance passes and migrations) and the nodes
+//! themselves (executed elastic share re-grants) — and merges them into
+//! one deterministic stream via [`sort_events`]. `selftune-journal`
+//! converts the stream into its on-disk records; keeping the event type
+//! here (and free of journal types) is what breaks the dependency cycle
+//! between the two crates.
+
+use selftune_core::share::ClampReason;
+use selftune_simcore::time::Time;
+
+use crate::node::WarmStart;
+
+/// One node's smoothed pressure and utilisation inside a rebalance pass —
+/// the feedback snapshot the drain decision was computed from.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeSnap {
+    /// The node.
+    pub node: usize,
+    /// Smoothed pressure signal (EWMA of miss + compression rate).
+    pub pressure: f64,
+    /// Measured utilisation over the epoch.
+    pub utilisation: f64,
+}
+
+/// One fleet-level decision, in the order and with the inputs that pinned
+/// it (see the module docs).
+#[derive(Clone, Debug, PartialEq)]
+pub enum FleetEvent {
+    /// A real-time task walked the placer's admission path.
+    TaskAdmission {
+        /// Arrival instant (placement happens at plan time, but the
+        /// booking is dated at the arrival).
+        at: Time,
+        /// Fleet task id.
+        fleet_id: usize,
+        /// The minbudget demand the placer booked (headroom included).
+        demand: f64,
+        /// Destination node; `None` when admission rejected the task.
+        node: Option<usize>,
+        /// Release-retry passes the placement needed ("migrations" in the
+        /// admission statistics).
+        retries: u32,
+        /// Largest spare capacity any node could offer (the rejection
+        /// witness; equals spare capacity of some node on acceptance too).
+        best_spare: f64,
+    },
+    /// A virtual platform walked the placer's admission path.
+    VmAdmission {
+        /// Admission instant (VMs are placed at plan time, t = 0).
+        at: Time,
+        /// Fleet VM id.
+        fleet_vm_id: usize,
+        /// The share booked on the destination.
+        demand: f64,
+        /// Destination node; `None` when admission rejected the VM.
+        node: Option<usize>,
+        /// Release-retry passes the placement needed.
+        retries: u32,
+        /// Largest spare capacity any node could offer.
+        best_spare: f64,
+    },
+    /// A churned task's lease expires: the node kills it at this instant.
+    Kill {
+        /// The departure instant from the plan.
+        at: Time,
+        /// Node the task was living on.
+        node: usize,
+        /// Fleet task id.
+        fleet_id: usize,
+    },
+    /// One *executed* elastic VM share re-grant, with the controller
+    /// inputs (demand signal, hysteresis state, clamp reason) and the
+    /// host supervisor's arithmetic.
+    ShareGrant {
+        /// When the control step ran.
+        at: Time,
+        /// Node hosting the VM.
+        node: usize,
+        /// Fleet VM id.
+        fleet_vm_id: usize,
+        /// Smoothed demand estimate behind the request.
+        demand: f64,
+        /// The hysteresis-adopted target requested.
+        target: f64,
+        /// The share the host supervisor granted.
+        granted: f64,
+        /// Whether the supervisor curbed the request.
+        compressed: bool,
+        /// Which controller bound clipped the candidate.
+        clamp: ClampReason,
+        /// Unconfirmed hysteresis change after the step, if any.
+        pending: Option<(f64, u32)>,
+        /// Host bandwidth the request competed for.
+        available: f64,
+    },
+    /// One node's supervisor compressions over one epoch (only nodes with
+    /// a non-zero count are journalled).
+    Compression {
+        /// Epoch boundary the count was sampled at.
+        at: Time,
+        /// Rebalance epoch index.
+        epoch: usize,
+        /// The node.
+        node: usize,
+        /// Compressions during the epoch (host + guest supervisors).
+        count: u64,
+    },
+    /// One rebalance decision pass: the feedback snapshot it saw and what
+    /// it decided.
+    Rebalance {
+        /// Epoch boundary the pass ran at.
+        at: Time,
+        /// Rebalance epoch index.
+        epoch: usize,
+        /// Smoothed pressure / utilisation per node, in node-id order.
+        snapshot: Vec<NodeSnap>,
+        /// Moves planned (each detailed in a following `Migration`).
+        moves: u64,
+        /// Victims with no admissible destination.
+        failed: u64,
+    },
+    /// One migration the pass planned, in decision order (`seq`), with
+    /// the booking math that admitted it on the destination.
+    Migration {
+        /// Epoch boundary the move executes at.
+        at: Time,
+        /// Rebalance epoch index.
+        epoch: usize,
+        /// Position in the epoch's decision order — replay applies moves
+        /// in exactly this order.
+        seq: u32,
+        /// Fleet task id (or fleet VM id when `vm`).
+        fleet_id: usize,
+        /// Whether a whole virtual platform moved.
+        vm: bool,
+        /// Source node (pressured).
+        from: usize,
+        /// Destination node.
+        to: usize,
+        /// What the pass booked on the destination (starvation-inflated
+        /// live booking for tasks, granted share for VMs).
+        demand: f64,
+        /// Destination booking right after this move.
+        dest_reserved_after: f64,
+        /// Warm-start hand-over for a task victim.
+        warm: Option<WarmStart>,
+        /// Warm-start hand-overs for a VM victim's guests, by fleet id.
+        guest_warm: Vec<(usize, WarmStart)>,
+    },
+}
+
+impl FleetEvent {
+    /// The instant the decision is dated at.
+    pub fn at(&self) -> Time {
+        match self {
+            FleetEvent::TaskAdmission { at, .. }
+            | FleetEvent::VmAdmission { at, .. }
+            | FleetEvent::Kill { at, .. }
+            | FleetEvent::ShareGrant { at, .. }
+            | FleetEvent::Compression { at, .. }
+            | FleetEvent::Rebalance { at, .. }
+            | FleetEvent::Migration { at, .. } => *at,
+        }
+    }
+
+    /// Rank of the event class at equal instants: admissions before
+    /// kills, epoch bookkeeping (compressions, then the rebalance pass,
+    /// then its migrations) before the share grants of the next epoch.
+    fn class(&self) -> u8 {
+        match self {
+            FleetEvent::VmAdmission { .. } => 0,
+            FleetEvent::TaskAdmission { .. } => 1,
+            FleetEvent::Kill { .. } => 2,
+            FleetEvent::Compression { .. } => 3,
+            FleetEvent::Rebalance { .. } => 4,
+            FleetEvent::Migration { .. } => 5,
+            FleetEvent::ShareGrant { .. } => 6,
+        }
+    }
+
+    /// Tie-break key inside one class at one instant. Migrations order by
+    /// their decision sequence; everything else by `(node, unit id)`.
+    fn tie(&self) -> (usize, usize) {
+        match self {
+            FleetEvent::TaskAdmission { fleet_id, node, .. } => {
+                (node.unwrap_or(usize::MAX), *fleet_id)
+            }
+            FleetEvent::VmAdmission {
+                fleet_vm_id, node, ..
+            } => (node.unwrap_or(usize::MAX), *fleet_vm_id),
+            FleetEvent::Kill { node, fleet_id, .. } => (*node, *fleet_id),
+            FleetEvent::ShareGrant {
+                node, fleet_vm_id, ..
+            } => (*node, *fleet_vm_id),
+            FleetEvent::Compression { node, .. } => (*node, 0),
+            FleetEvent::Rebalance { epoch, .. } => (*epoch, 0),
+            FleetEvent::Migration { epoch, seq, .. } => (*epoch, *seq as usize),
+        }
+    }
+}
+
+/// Sorts a merged event stream into its canonical order:
+/// `(instant, class, tie-break)`. Every producer is deterministic on its
+/// own; this fixes the *interleaving* so the merged stream cannot depend
+/// on which worker thread claimed which node.
+pub fn sort_events(events: &mut [FleetEvent]) {
+    events.sort_by(|a, b| {
+        (a.at(), a.class(), a.tie())
+            .partial_cmp(&(b.at(), b.class(), b.tie()))
+            .expect("total event order")
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kill(at_ms: u64, node: usize, fleet_id: usize) -> FleetEvent {
+        FleetEvent::Kill {
+            at: Time::ZERO + selftune_simcore::time::Dur::ms(at_ms),
+            node,
+            fleet_id,
+        }
+    }
+
+    #[test]
+    fn canonical_order_is_time_class_then_tie() {
+        let reb = FleetEvent::Rebalance {
+            at: Time::ZERO + selftune_simcore::time::Dur::ms(5),
+            epoch: 0,
+            snapshot: Vec::new(),
+            moves: 1,
+            failed: 0,
+        };
+        let mig = FleetEvent::Migration {
+            at: Time::ZERO + selftune_simcore::time::Dur::ms(5),
+            epoch: 0,
+            seq: 0,
+            fleet_id: 9,
+            vm: false,
+            from: 1,
+            to: 0,
+            demand: 0.2,
+            dest_reserved_after: 0.2,
+            warm: None,
+            guest_warm: Vec::new(),
+        };
+        let mut events = vec![kill(5, 2, 3), mig.clone(), kill(1, 9, 9), reb.clone()];
+        sort_events(&mut events);
+        assert_eq!(events[0], kill(1, 9, 9));
+        assert_eq!(events[1], kill(5, 2, 3));
+        assert_eq!(events[2], reb);
+        assert_eq!(events[3], mig);
+    }
+
+    #[test]
+    fn sort_is_invariant_under_input_permutation() {
+        let mut a = vec![kill(3, 0, 1), kill(3, 0, 0), kill(2, 1, 5), kill(3, 1, 0)];
+        let mut b: Vec<FleetEvent> = a.iter().rev().cloned().collect();
+        sort_events(&mut a);
+        sort_events(&mut b);
+        assert_eq!(a, b);
+    }
+}

@@ -73,6 +73,7 @@
 //! ```
 
 pub mod aggregate;
+pub mod events;
 pub mod node;
 pub mod placer;
 pub mod runner;
@@ -82,12 +83,16 @@ pub mod textio;
 pub use aggregate::{
     AdmissionStats, AggregateMetrics, MigrationRecord, NodeReport, RebalanceStats, TaskReport,
 };
+pub use events::{sort_events, FleetEvent, NodeSnap};
 pub use node::{Lease, LiveRt, LiveVm, Node, NodeFeedback, NodeTask, NodeVm, WarmStart};
 pub use placer::{
     FeedbackView, LiveTask, LiveVmUnit, Migration, PlacementOutcome, Placer, PolicyKind,
     RebalanceOutcome,
 };
-pub use runner::{derive_task_seed, plan_fleet, ClusterRunner, FleetPlan, PlannedTask, PlannedVm};
+pub use runner::{
+    derive_task_seed, plan_fleet, plan_fleet_pinned, ClusterRunner, EpochDecision, FleetPlan,
+    PinnedMoves, PinnedPlan, PlannedTask, PlannedVm,
+};
 pub use spec::{
     ArrivalSchedule, Churn, NodeFilter, OverloadWindow, RebalanceSpec, ScenarioSpec, TaskKind,
     TaskMix, VmSpec,
@@ -98,9 +103,13 @@ pub mod prelude {
     pub use crate::aggregate::{
         AdmissionStats, AggregateMetrics, MigrationRecord, NodeReport, RebalanceStats,
     };
+    pub use crate::events::{sort_events, FleetEvent, NodeSnap};
     pub use crate::node::{NodeFeedback, WarmStart};
-    pub use crate::placer::{FeedbackView, PlacementOutcome, Placer, PolicyKind};
-    pub use crate::runner::{plan_fleet, ClusterRunner, FleetPlan};
+    pub use crate::placer::{FeedbackView, Migration, PlacementOutcome, Placer, PolicyKind};
+    pub use crate::runner::{
+        plan_fleet, plan_fleet_pinned, ClusterRunner, EpochDecision, FleetPlan, PinnedMoves,
+        PinnedPlan,
+    };
     pub use crate::spec::{
         ArrivalSchedule, Churn, NodeFilter, OverloadWindow, RebalanceSpec, ScenarioSpec, TaskKind,
         TaskMix, VmSpec,

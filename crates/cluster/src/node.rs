@@ -19,6 +19,7 @@ use selftune_simcore::time::{Dur, Time};
 use selftune_virt::{GuestPolicy, VirtPlatform, VmConfig, VmElasticConfig, VmId};
 
 use crate::aggregate::{NodeReport, TaskReport};
+use crate::events::FleetEvent;
 use crate::spec::{OverloadWindow, ScenarioSpec, TaskKind};
 
 /// A task's lifetime lease: delegates to the inner workload until the
@@ -608,6 +609,34 @@ impl Node {
             at: Some(now),
         };
         fb
+    }
+
+    /// Drains the platform's executed elastic share re-grants into fleet
+    /// decision events, mapping kernel VM ids back to fleet VM ids.
+    /// Grants of a VM that was since extracted are dropped — its fleet
+    /// identity now lives (re-granted afresh) on the destination node.
+    pub fn drain_share_events(&mut self) -> Vec<FleetEvent> {
+        let vms = &self.vms;
+        let id = self.id;
+        self.platform
+            .drain_share_grants()
+            .into_iter()
+            .filter_map(|e| {
+                let rt = vms.iter().find(|rt| rt.vm == e.vm && !rt.released)?;
+                Some(FleetEvent::ShareGrant {
+                    at: e.at,
+                    node: id,
+                    fleet_vm_id: rt.plan.fleet_vm_id,
+                    demand: e.demand,
+                    target: e.target,
+                    granted: e.granted,
+                    compressed: e.compressed,
+                    clamp: e.clamp,
+                    pending: e.pending,
+                    available: e.available,
+                })
+            })
+            .collect()
     }
 
     /// Extracts a running task for migration: releases its reservation,

@@ -365,14 +365,24 @@ impl Placer {
         self.releases.clear();
     }
 
-    /// What feedback-informed placement books for a live task: the larger
-    /// of its nominal minbudget demand and its *measured* epoch bandwidth
-    /// (inflated by the headroom factor, capped at 1). A task whose claim
-    /// understates its appetite is booked at what it was seen to burn — so
-    /// a drained node cannot simply re-melt its destination.
+    /// What feedback-informed placement books for a live real-time task:
+    /// the larger of its nominal minbudget demand and its *measured* epoch
+    /// bandwidth (inflated by the headroom factor and the caller's
+    /// `starvation` multiplier, capped at 1). This is the single booking
+    /// rule shared by the epoch reserved-state rebuild (`starvation = 1`)
+    /// and the rebalancer's victim sizing — journal records and live
+    /// decisions can never disagree on the math.
+    pub fn live_booking(&self, nominal: PeriodicTask, measured_bw: f64, starvation: f64) -> f64 {
+        self.demand_of(nominal)
+            .max((measured_bw * self.headroom * starvation).min(1.0))
+    }
+
+    /// [`Placer::live_booking`] of a live task with no starvation
+    /// inflation: a task whose claim understates its appetite is booked at
+    /// what it was seen to burn — so a drained node cannot simply re-melt
+    /// its destination.
     pub fn effective_demand(&self, task: &LiveTask) -> f64 {
-        self.demand_of(task.nominal)
-            .max((task.measured_bw * self.headroom).min(1.0))
+        self.live_booking(task.nominal, task.measured_bw, 1.0)
     }
 
     /// Admission for a migrating task: walks the policy's candidate order,
@@ -456,9 +466,7 @@ impl Placer {
                 .iter()
                 .filter(|t| t.node == from && t.movable)
                 .map(|t| {
-                    let demand = self
-                        .demand_of(t.nominal)
-                        .max((t.measured_bw * self.headroom * starvation).min(1.0));
+                    let demand = self.live_booking(t.nominal, t.measured_bw, starvation);
                     // The warm hand-over budget is floored at what this
                     // pass books on the destination (see
                     // `WarmStart::demand_sized`).
@@ -615,6 +623,30 @@ mod tests {
         let d1 = p1.demand_of(t);
         let d2 = p2.demand_of(t);
         assert!(d2 > d1 * 1.49 && d2 < d1 * 1.51, "{d1} vs {d2}");
+    }
+
+    #[test]
+    fn live_booking_is_the_single_booking_rule() {
+        let p = Placer::new(1, 0.9, 1.2, PolicyKind::FirstFit);
+        let t = LiveTask {
+            fleet_id: 0,
+            node: 0,
+            nominal: task(10.0, 100.0),
+            measured_bw: 0.3,
+            movable: true,
+            granted: None,
+        };
+        // No starvation: effective_demand IS live_booking at factor 1.
+        assert_eq!(
+            p.effective_demand(&t),
+            p.live_booking(t.nominal, t.measured_bw, 1.0)
+        );
+        // Starvation inflates the measured side only, capped at 1.
+        let inflated = p.live_booking(t.nominal, t.measured_bw, 1.5);
+        assert!((inflated - 0.3 * 1.2 * 1.5).abs() < 1e-12, "{inflated}");
+        assert_eq!(p.live_booking(t.nominal, 0.9, 2.0), 1.0);
+        // The nominal floor still wins when the measurement is tiny.
+        assert_eq!(p.live_booking(t.nominal, 0.0, 1.0), p.demand_of(t.nominal));
     }
 
     fn view(miss_rates: &[f64], utils: &[f64]) -> FeedbackView {

@@ -27,6 +27,17 @@
 //! Both the decisions and their application depend only on `(spec, seed)`
 //! and virtual time, so aggregates stay byte-identical at any thread
 //! count.
+//!
+//! Decision journalling and replay: [`ClusterRunner::run_logged`] runs a
+//! scenario while emitting the merged, canonically ordered
+//! [`FleetEvent`] stream (admissions, kills, share grants, compressions,
+//! rebalance passes, migrations) that `selftune-journal` serialises.
+//! [`plan_fleet_pinned`] and [`ClusterRunner::run_pinned`] close the
+//! loop: they re-execute a scenario with the journal's placements and
+//! per-epoch migration decisions substituted for the live ones, so a
+//! replay reproduces the recorded aggregates byte-identically — and a
+//! what-if replay can pin history up to a cut epoch and let a *swapped*
+//! policy decide from there.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex};
@@ -39,9 +50,10 @@ use selftune_simcore::time::{Dur, Time};
 use crate::aggregate::{
     AdmissionStats, AggregateMetrics, MigrationRecord, NodeReport, RebalanceStats,
 };
+use crate::events::{sort_events, FleetEvent, NodeSnap};
 use crate::node::{Node, NodeFeedback, NodeTask, NodeVm};
 use crate::placer::{FeedbackView, LiveTask, LiveVmUnit, Migration, PlacementOutcome, Placer};
-use crate::spec::{ArrivalSchedule, ScenarioSpec};
+use crate::spec::{ArrivalSchedule, ScenarioSpec, TaskKind};
 
 /// Derives the workload seed of fleet task `task_id` from the base seed.
 ///
@@ -62,6 +74,10 @@ pub struct PlannedTask {
     pub node: Option<usize>,
     /// Whether it went through reservation admission (vs. best-effort).
     pub realtime: bool,
+    /// The admission decision with its inputs (journal material). `None`
+    /// for best-effort tasks and for pinned plans, where no live decision
+    /// was taken.
+    pub outcome: Option<PlacementOutcome>,
 }
 
 /// One planned virtual platform with its placement.
@@ -71,6 +87,9 @@ pub struct PlannedVm {
     pub vm: NodeVm,
     /// Node the VM was placed on; `None` if admission rejected it.
     pub node: Option<usize>,
+    /// The admission decision with its inputs (journal material); `None`
+    /// for pinned plans.
+    pub outcome: Option<PlacementOutcome>,
 }
 
 /// The fleet plan: every task and VM, their placement, and admission
@@ -85,12 +104,69 @@ pub struct FleetPlan {
     pub admission: AdmissionStats,
 }
 
+/// Recorded placement decisions substituted for the live admission path
+/// when re-planning a journalled run (see [`plan_fleet_pinned`]).
+#[derive(Clone, Debug, Default)]
+pub struct PinnedPlan {
+    /// The recorded run's admission statistics, adopted wholesale — the
+    /// release-retry counter inside cannot be re-derived from placements
+    /// alone.
+    pub admission: AdmissionStats,
+    /// Destination per fleet task id (`None` = rejected). Only consulted
+    /// for real-time tasks; best-effort placement is re-derived (it is a
+    /// pure function of the plan walk).
+    pub task_nodes: Vec<Option<usize>>,
+    /// Destination per fleet VM id (`None` = rejected).
+    pub vm_nodes: Vec<Option<usize>>,
+}
+
+/// One journalled rebalance epoch: the decisions the leader published.
+#[derive(Clone, Debug, Default)]
+pub struct EpochDecision {
+    /// The migrations, in decision order.
+    pub moves: Vec<Migration>,
+    /// Victims that found no admissible destination.
+    pub failed: u64,
+}
+
+/// Per-epoch migration decisions for a pinned re-execution: index `i`
+/// pins rebalance epoch `i`. A `None` entry (or an epoch past the end of
+/// the vector) is decided *live* — that is the what-if cut point.
+#[derive(Clone, Debug, Default)]
+pub struct PinnedMoves {
+    /// The pinned epochs.
+    pub epochs: Vec<Option<EpochDecision>>,
+}
+
+/// What was drawn for one fleet task before placement. Splitting the
+/// draws from the placement walk keeps the planning RNG stream identical
+/// between live and pinned planning.
+struct TaskDraw {
+    arrival: Time,
+    kind: TaskKind,
+    departure: Option<Time>,
+}
+
 /// Builds the deterministic fleet plan for `(spec, seed)`.
 ///
 /// Arrival times, task kinds and lifetimes are drawn from a planning RNG
 /// seeded by `seed`; placement walks tasks in arrival order through the
 /// spec's policy.
 pub fn plan_fleet(spec: &ScenarioSpec, seed: u64) -> FleetPlan {
+    plan_fleet_impl(spec, seed, None)
+}
+
+/// Builds the fleet plan with every admission decision pinned to a
+/// recorded run: the same draws (kinds, arrivals, lifetimes, seeds), the
+/// journal's placements instead of the live placer walk. Replaying a
+/// journal through this function reproduces the recorded run's node
+/// assignment exactly, even under a scenario whose *policy* was swapped
+/// for a what-if.
+pub fn plan_fleet_pinned(spec: &ScenarioSpec, seed: u64, pinned: &PinnedPlan) -> FleetPlan {
+    plan_fleet_impl(spec, seed, Some(pinned))
+}
+
+fn plan_fleet_impl(spec: &ScenarioSpec, seed: u64, pinned: Option<&PinnedPlan>) -> FleetPlan {
     let mut rng = Rng::new(seed ^ SEED_PLAN_SALT);
     let mut arrivals: Vec<Time> = Vec::with_capacity(spec.tasks);
     let mut at = Time::ZERO;
@@ -108,6 +184,29 @@ pub fn plan_fleet(spec: &ScenarioSpec, seed: u64) -> FleetPlan {
     }
 
     let horizon = Time::ZERO + spec.horizon;
+    // Draw every task's shape before any placement: the stream order
+    // (kind, then lifetime, per task) matches the historical interleaved
+    // walk because placement itself never consumed planning randomness.
+    let draws: Vec<TaskDraw> = arrivals
+        .iter()
+        .map(|&arrival| {
+            let kind = spec.mix.sample(&mut rng);
+            let departure = spec.churn.map(|c| {
+                let life =
+                    Dur::from_secs_f64(rng.exp(1.0 / c.mean_lifetime.as_secs_f64().max(1e-12)))
+                        .max(c.min_lifetime);
+                arrival + life
+            });
+            // Lifetimes beyond the horizon are open-ended for planning.
+            let departure = departure.filter(|&d| d < horizon);
+            TaskDraw {
+                arrival,
+                kind,
+                departure,
+            }
+        })
+        .collect();
+
     let mut placer = Placer::new(spec.nodes, spec.ulub, spec.headroom, spec.policy);
     let mut admission = AdmissionStats::default();
 
@@ -117,15 +216,18 @@ pub fn plan_fleet(spec: &ScenarioSpec, seed: u64) -> FleetPlan {
     let mut vms = Vec::with_capacity(spec.vms.len());
     let mut guest_fleet_id = spec.tasks;
     for (i, vm_spec) in spec.vms.iter().enumerate() {
-        let node = match placer.place_demand(vm_spec.share(), 0, None) {
-            PlacementOutcome::Admitted { node, .. } => {
-                admission.vms_admitted += 1;
-                Some(node)
-            }
-            PlacementOutcome::Rejected { .. } => {
-                admission.vms_rejected += 1;
-                None
-            }
+        let (node, outcome) = match pinned {
+            Some(p) => (p.vm_nodes.get(i).copied().flatten(), None),
+            None => match placer.place_demand(vm_spec.share(), 0, None) {
+                o @ PlacementOutcome::Admitted { node, .. } => {
+                    admission.vms_admitted += 1;
+                    (Some(node), Some(o))
+                }
+                o @ PlacementOutcome::Rejected { .. } => {
+                    admission.vms_rejected += 1;
+                    (None, Some(o))
+                }
+            },
         };
         let label = format!("v{i:02}");
         let guests = vm_spec
@@ -158,56 +260,60 @@ pub fn plan_fleet(spec: &ScenarioSpec, seed: u64) -> FleetPlan {
                 elastic: vm_spec.elastic,
             },
             node,
+            outcome,
         });
     }
 
     let mut tasks = Vec::with_capacity(spec.tasks);
-    for (i, &arrival) in arrivals.iter().enumerate() {
-        let kind = spec.mix.sample(&mut rng);
-        let departure = spec.churn.map(|c| {
-            let life = Dur::from_secs_f64(rng.exp(1.0 / c.mean_lifetime.as_secs_f64().max(1e-12)))
-                .max(c.min_lifetime);
-            arrival + life
-        });
-        // Lifetimes beyond the horizon are open-ended for planning.
-        let departure = departure.filter(|&d| d < horizon);
+    for (i, draw) in draws.into_iter().enumerate() {
         let label = format!("t{i:04}");
         let task_seed = derive_task_seed(seed, i as u64);
-        let (node, realtime) = match kind.nominal() {
-            Some(nominal) => {
-                match placer.place(nominal, arrival.as_ns(), departure.map(|d| d.as_ns())) {
-                    PlacementOutcome::Admitted {
+        let (node, realtime, outcome) = match draw.kind.nominal() {
+            Some(nominal) => match pinned {
+                Some(p) => (p.task_nodes.get(i).copied().flatten(), true, None),
+                None => match placer.place(
+                    nominal,
+                    draw.arrival.as_ns(),
+                    draw.departure.map(|d| d.as_ns()),
+                ) {
+                    o @ PlacementOutcome::Admitted {
                         node, migrations, ..
                     } => {
                         admission.admitted += 1;
                         admission.migrations += u64::from(migrations);
-                        (Some(node), true)
+                        (Some(node), true, Some(o))
                     }
-                    PlacementOutcome::Rejected { .. } => {
+                    o @ PlacementOutcome::Rejected { .. } => {
                         admission.rejected += 1;
-                        (None, true)
+                        (None, true, Some(o))
                     }
-                }
-            }
+                },
+            },
             None => {
-                admission.best_effort += 1;
-                (Some(placer.place_best_effort()), false)
+                if pinned.is_none() {
+                    admission.best_effort += 1;
+                }
+                (Some(placer.place_best_effort()), false, None)
             }
         };
         tasks.push(PlannedTask {
             task: NodeTask {
                 fleet_id: i,
                 label,
-                kind,
-                arrival,
-                departure,
+                kind: draw.kind,
+                arrival: draw.arrival,
+                departure: draw.departure,
                 seed: task_seed,
                 migrated: false,
                 warm: None,
             },
             node,
             realtime,
+            outcome,
         });
+    }
+    if let Some(p) = pinned {
+        admission = p.admission;
     }
     FleetPlan {
         tasks,
@@ -269,6 +375,34 @@ impl ClusterRunner {
         self.run_planned(spec, seed, &plan)
     }
 
+    /// [`ClusterRunner::run`] plus the canonically ordered decision-event
+    /// stream: everything a journal needs to make the run explainable and
+    /// replayable. The stream is byte-for-byte independent of the thread
+    /// count, exactly like the aggregates.
+    pub fn run_logged(
+        &self,
+        spec: &ScenarioSpec,
+        seed: u64,
+    ) -> (AggregateMetrics, Vec<FleetEvent>) {
+        let plan = plan_fleet(spec, seed);
+        self.run_inner(spec, seed, &plan, None, true)
+    }
+
+    /// Re-executes a (usually pinned) plan with per-epoch rebalance
+    /// decisions substituted from a journal: epochs pinned in `moves`
+    /// apply the recorded migrations verbatim (the leader still folds the
+    /// pressure EWMA, so post-cut live decisions see the correct
+    /// hysteresis state); epochs past the pin are decided live.
+    pub fn run_pinned(
+        &self,
+        spec: &ScenarioSpec,
+        seed: u64,
+        plan: &FleetPlan,
+        moves: &PinnedMoves,
+    ) -> AggregateMetrics {
+        self.run_inner(spec, seed, plan, Some(moves), false).0
+    }
+
     /// The effective steal-chunk size for an `nodes`-node fleet.
     fn chunk_for(&self, nodes: usize, workers: usize) -> usize {
         match self.chunk {
@@ -282,8 +416,10 @@ impl ClusterRunner {
     /// The epoch boundaries of a run: rebalance instants, then the horizon.
     ///
     /// With rebalance disabled (or a period at/after the horizon) there is
-    /// a single epoch and the runner behaves exactly as before.
-    fn epoch_ends(spec: &ScenarioSpec) -> Vec<Time> {
+    /// a single epoch and the runner behaves exactly as before. Public so
+    /// journal replay can size its per-epoch pin table without re-deriving
+    /// the grid.
+    pub fn epoch_ends(spec: &ScenarioSpec) -> Vec<Time> {
         let horizon = Time::ZERO + spec.horizon;
         let mut ends = Vec::new();
         if spec.rebalance.enabled && !spec.rebalance.period.is_zero() {
@@ -304,6 +440,17 @@ impl ClusterRunner {
         seed: u64,
         plan: &FleetPlan,
     ) -> AggregateMetrics {
+        self.run_inner(spec, seed, plan, None, false).0
+    }
+
+    fn run_inner(
+        &self,
+        spec: &ScenarioSpec,
+        seed: u64,
+        plan: &FleetPlan,
+        pinned: Option<&PinnedMoves>,
+        log: bool,
+    ) -> (AggregateMetrics, Vec<FleetEvent>) {
         let mut per_node: Vec<Vec<NodeTask>> = vec![Vec::new(); spec.nodes];
         for p in &plan.tasks {
             if let Some(node) = p.node {
@@ -325,6 +472,8 @@ impl ClusterRunner {
         for _ in 0..spec.nodes {
             reports.push(None);
         }
+        // Per-node share-grant event logs, reassembled in node-id order.
+        let mut node_events: Vec<Vec<FleetEvent>> = vec![Vec::new(); spec.nodes];
 
         let next = AtomicUsize::new(0);
         let barrier = Barrier::new(workers);
@@ -335,6 +484,9 @@ impl ClusterRunner {
         // leader, read by every worker.
         let shared: Mutex<(Vec<Migration>, RebalanceStats, Vec<f64>)> =
             Mutex::new((Vec::new(), RebalanceStats::default(), vec![0.0; spec.nodes]));
+        // Epoch-level decision events, appended by the leader only (and
+        // therefore already in epoch order).
+        let epoch_log: Mutex<Vec<FleetEvent>> = Mutex::new(Vec::new());
 
         thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
@@ -347,6 +499,7 @@ impl ClusterRunner {
                 let barrier = &barrier;
                 let feedback = &feedback;
                 let shared = &shared;
+                let epoch_log = &epoch_log;
                 let ends = &ends;
                 handles.push(scope.spawn(move || {
                     // Epoch 0: claim node chunks (work-stealing), build
@@ -376,10 +529,23 @@ impl ClusterRunner {
                         }
                     }
 
+                    // Share-grant events of the owned nodes, drained at
+                    // every epoch boundary *before* migrations release VMs.
+                    let mut grants: Vec<(usize, Vec<FleetEvent>)> = Vec::new();
+
                     for (ei, &t_end) in ends.iter().enumerate() {
                         if ei > 0 {
                             for node in &mut owned {
                                 node.run_to_horizon(t_end);
+                            }
+                        }
+                        if log {
+                            for node in &mut owned {
+                                let id = node.id();
+                                let drained = node.drain_share_events();
+                                if !drained.is_empty() {
+                                    grants.push((id, drained));
+                                }
                             }
                         }
                         if ei == ends.len() - 1 {
@@ -417,12 +583,29 @@ impl ClusterRunner {
                                 sh.2[n] = alpha * raw + (1.0 - alpha) * sh.2[n];
                             }
                             view.smoothed = Some(sh.2.clone());
-                            let outcome = rebalance_epoch(spec_ref, plan_ref, &view, t_end);
+                            // A pinned epoch applies the journal's decisions
+                            // verbatim; an unpinned one decides live. The
+                            // EWMA fold above runs either way, so decisions
+                            // past a what-if cut see the same smoothed
+                            // pressure history the recorded run saw.
+                            let decision = match pinned
+                                .and_then(|p| p.epochs.get(ei))
+                                .and_then(Option::as_ref)
+                            {
+                                Some(d) => d.clone(),
+                                None => {
+                                    let o = rebalance_epoch(spec_ref, plan_ref, &view, t_end);
+                                    EpochDecision {
+                                        moves: o.moves,
+                                        failed: o.failed,
+                                    }
+                                }
+                            };
                             sh.1.epochs += 1;
-                            sh.1.moves += outcome.moves.len() as u64;
-                            sh.1.failed += outcome.failed;
+                            sh.1.moves += decision.moves.len() as u64;
+                            sh.1.failed += decision.failed;
                             sh.1.records
-                                .extend(outcome.moves.iter().map(|m| MigrationRecord {
+                                .extend(decision.moves.iter().map(|m| MigrationRecord {
                                     epoch: ei as u64,
                                     fleet_id: m.fleet_id,
                                     vm: m.vm,
@@ -431,19 +614,60 @@ impl ClusterRunner {
                                     demand: m.demand,
                                     dest_reserved_after: m.dest_reserved_after,
                                 }));
+                            if log {
+                                let mut lg = epoch_log.lock().expect("epoch log lock");
+                                for fb in &view.nodes {
+                                    if fb.compressions > 0 {
+                                        lg.push(FleetEvent::Compression {
+                                            at: t_end,
+                                            epoch: ei,
+                                            node: fb.node,
+                                            count: fb.compressions,
+                                        });
+                                    }
+                                }
+                                lg.push(FleetEvent::Rebalance {
+                                    at: t_end,
+                                    epoch: ei,
+                                    snapshot: (0..spec_ref.nodes)
+                                        .map(|n| NodeSnap {
+                                            node: n,
+                                            pressure: view.pressure(n),
+                                            utilisation: view.utilisation(n),
+                                        })
+                                        .collect(),
+                                    moves: decision.moves.len() as u64,
+                                    failed: decision.failed,
+                                });
+                                lg.extend(decision.moves.iter().enumerate().map(|(s, m)| {
+                                    FleetEvent::Migration {
+                                        at: t_end,
+                                        epoch: ei,
+                                        seq: s as u32,
+                                        fleet_id: m.fleet_id,
+                                        vm: m.vm,
+                                        from: m.from,
+                                        to: m.to,
+                                        demand: m.demand,
+                                        dest_reserved_after: m.dest_reserved_after,
+                                        warm: m.warm,
+                                        guest_warm: m.guest_warm.clone(),
+                                    }
+                                }));
+                            }
                             // A drained node sheds its pressure history with
                             // its load; keeping the old EWMA would drain it
                             // again next epoch on stale evidence. Halved
                             // once per drained *node*, however many units
                             // left it this epoch.
                             let mut drained = vec![false; spec_ref.nodes];
-                            for m in &outcome.moves {
+                            for m in &decision.moves {
                                 if !drained[m.from] {
                                     drained[m.from] = true;
                                     sh.2[m.from] *= 0.5;
                                 }
                             }
-                            sh.0 = outcome.moves;
+                            sh.0 = decision.moves;
                         }
                         barrier.wait();
 
@@ -493,15 +717,20 @@ impl ClusterRunner {
                         }
                     }
 
-                    owned
+                    let reports = owned
                         .iter()
                         .map(|n| (n.id(), n.report(horizon)))
-                        .collect::<Vec<_>>()
+                        .collect::<Vec<_>>();
+                    (reports, grants)
                 }));
             }
             for h in handles {
-                for (node_id, report) in h.join().expect("fleet worker panicked") {
+                let (worker_reports, worker_grants) = h.join().expect("fleet worker panicked");
+                for (node_id, report) in worker_reports {
                     reports[node_id] = Some(report);
+                }
+                for (node_id, events) in worker_grants {
+                    node_events[node_id].extend(events);
                 }
             }
         });
@@ -512,7 +741,77 @@ impl ClusterRunner {
             .map(|(i, r)| r.unwrap_or_else(|| panic!("node {i} produced no report")))
             .collect();
         let (_, stats, _) = shared.into_inner().expect("rebalance lock");
-        AggregateMetrics::new(&spec.name, seed, plan.admission, nodes).with_rebalance(stats)
+        let metrics =
+            AggregateMetrics::new(&spec.name, seed, plan.admission, nodes).with_rebalance(stats);
+
+        let mut events = Vec::new();
+        if log {
+            events.extend(plan_events(spec, plan));
+            events.extend(epoch_log.into_inner().expect("epoch log lock"));
+            // Nodes were claimed by racing workers; flattening in node-id
+            // order removes the only thread-dependent degree of freedom.
+            events.extend(node_events.into_iter().flatten());
+            sort_events(&mut events);
+        }
+        (metrics, events)
+    }
+}
+
+/// The plan-derived decision events of a run: admissions (with the
+/// placer's inputs) and the churn kills the leases will execute.
+fn plan_events(spec: &ScenarioSpec, plan: &FleetPlan) -> Vec<FleetEvent> {
+    let mut events = Vec::new();
+    for p in &plan.vms {
+        let (demand, retries, best_spare) = admission_inputs(p.outcome, || {
+            spec.vms
+                .get(p.vm.fleet_vm_id)
+                .map_or(0.0, |vm_spec| vm_spec.share())
+        });
+        events.push(FleetEvent::VmAdmission {
+            at: Time::ZERO,
+            fleet_vm_id: p.vm.fleet_vm_id,
+            demand,
+            node: p.node,
+            retries,
+            best_spare,
+        });
+    }
+    for p in &plan.tasks {
+        if p.realtime {
+            let (demand, retries, best_spare) = admission_inputs(p.outcome, || 0.0);
+            events.push(FleetEvent::TaskAdmission {
+                at: p.task.arrival,
+                fleet_id: p.task.fleet_id,
+                demand,
+                node: p.node,
+                retries,
+                best_spare,
+            });
+        }
+        // The lease kills the task wherever it lives; the planned node is
+        // recorded (a later migration event documents any relocation).
+        if let (Some(node), Some(departure)) = (p.node, p.task.departure) {
+            events.push(FleetEvent::Kill {
+                at: departure,
+                node,
+                fleet_id: p.task.fleet_id,
+            });
+        }
+    }
+    events
+}
+
+/// `(demand, retries, best_spare)` of one admission decision.
+fn admission_inputs(
+    outcome: Option<PlacementOutcome>,
+    fallback_demand: impl FnOnce() -> f64,
+) -> (f64, u32, f64) {
+    match outcome {
+        Some(PlacementOutcome::Admitted {
+            demand, migrations, ..
+        }) => (demand, migrations, 0.0),
+        Some(PlacementOutcome::Rejected { demand, best_spare }) => (demand, 0, best_spare),
+        None => (fallback_demand(), 0, 0.0),
     }
 }
 
@@ -717,5 +1016,99 @@ mod tests {
         let spec = ScenarioSpec::new("tiny", 2, 4, Dur::ms(800)).with_mix(TaskMix::rt_only());
         let m = ClusterRunner::new(16).run(&spec, 1);
         assert_eq!(m.nodes.len(), 2);
+    }
+
+    #[test]
+    fn run_logged_matches_run_and_is_thread_invariant() {
+        let spec = ScenarioSpec::skewed_overload_demo(4, 12)
+            .with_rebalance(ScenarioSpec::demo_rebalance());
+        let plain = ClusterRunner::new(2).run(&spec, 7);
+        let (logged, events) = ClusterRunner::new(2).run_logged(&spec, 7);
+        assert_eq!(plain.summary_csv(), logged.summary_csv());
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, FleetEvent::TaskAdmission { .. })),
+            "admissions journalled"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, FleetEvent::Rebalance { .. })),
+            "rebalance passes journalled"
+        );
+        for threads in [1usize, 8] {
+            let (m, ev) = ClusterRunner::new(threads).run_logged(&spec, 7);
+            assert_eq!(plain.summary_csv(), m.summary_csv(), "{threads} threads");
+            assert_eq!(events, ev, "event stream at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn pinned_plan_reproduces_live_plan() {
+        let spec = small_spec();
+        let live = plan_fleet(&spec, 11);
+        let pinned = PinnedPlan {
+            admission: live.admission,
+            task_nodes: live.tasks.iter().map(|t| t.node).collect(),
+            vm_nodes: live.vms.iter().map(|v| v.node).collect(),
+        };
+        let replay = plan_fleet_pinned(&spec, 11, &pinned);
+        assert_eq!(replay.admission, live.admission);
+        for (a, b) in live.tasks.iter().zip(&replay.tasks) {
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.task.seed, b.task.seed);
+            assert_eq!(a.task.kind, b.task.kind);
+            assert_eq!(a.task.departure, b.task.departure);
+        }
+    }
+
+    #[test]
+    fn pinned_moves_reproduce_a_rebalanced_run() {
+        let spec = ScenarioSpec::skewed_overload_demo(4, 12)
+            .with_rebalance(ScenarioSpec::demo_rebalance());
+        let (live, events) = ClusterRunner::new(2).run_logged(&spec, 42);
+        // Rebuild the per-epoch decisions from the event stream.
+        let n_epochs = ClusterRunner::epoch_ends(&spec).len() - 1;
+        let mut epochs: Vec<Option<EpochDecision>> = vec![None; n_epochs];
+        for e in &events {
+            match e {
+                FleetEvent::Rebalance { epoch, failed, .. } => {
+                    epochs[*epoch]
+                        .get_or_insert_with(EpochDecision::default)
+                        .failed = *failed;
+                }
+                FleetEvent::Migration {
+                    epoch,
+                    fleet_id,
+                    vm,
+                    from,
+                    to,
+                    demand,
+                    dest_reserved_after,
+                    warm,
+                    guest_warm,
+                    ..
+                } => {
+                    epochs[*epoch]
+                        .get_or_insert_with(EpochDecision::default)
+                        .moves
+                        .push(Migration {
+                            fleet_id: *fleet_id,
+                            vm: *vm,
+                            from: *from,
+                            to: *to,
+                            demand: *demand,
+                            dest_reserved_after: *dest_reserved_after,
+                            warm: *warm,
+                            guest_warm: guest_warm.clone(),
+                        });
+                }
+                _ => {}
+            }
+        }
+        let plan = plan_fleet(&spec, 42);
+        let replay = ClusterRunner::new(2).run_pinned(&spec, 42, &plan, &PinnedMoves { epochs });
+        assert_eq!(live.summary_csv(), replay.summary_csv());
     }
 }

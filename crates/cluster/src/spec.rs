@@ -154,7 +154,7 @@ impl TaskKind {
 }
 
 /// A weighted mix of task kinds, sampled per spawned task.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TaskMix {
     entries: Vec<(TaskKind, f64)>,
     total: f64,
@@ -261,7 +261,7 @@ impl TaskMix {
 }
 
 /// When fleet tasks arrive.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum ArrivalSchedule {
     /// Everything is running from `t = 0`.
     AllAtStart,
@@ -278,7 +278,7 @@ pub enum ArrivalSchedule {
 }
 
 /// Task churn: tasks leave after an exponentially distributed lifetime.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Churn {
     /// Mean task lifetime.
     pub mean_lifetime: Dur,
@@ -314,7 +314,7 @@ impl NodeFilter {
 
 /// A fault-injection window: the targeted nodes get fair-class CPU hogs
 /// between `start` and `end`, stressing reservation isolation.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct OverloadWindow {
     /// Window start.
     pub start: Dur,
@@ -343,7 +343,7 @@ pub struct OverloadWindow {
 /// oscillating around the threshold no longer alternates drain/idle every
 /// epoch, because one good epoch only decays — not erases — the pressure
 /// history. `ewma_alpha = 1` reproduces the memoryless behaviour.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RebalanceSpec {
     /// Master switch; when `false` the runner behaves exactly as before
     /// (placement at arrival only).
@@ -439,7 +439,7 @@ impl VmSpec {
 }
 
 /// A complete fleet scenario.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ScenarioSpec {
     /// Scenario name (used in reports and CSV).
     pub name: String,

@@ -29,4 +29,7 @@ pub use lfs::{Lfs, LfsConfig};
 pub use lfspp::{BudgetRequest, LfsPlusPlus, LfsPpConfig};
 pub use manager::{ManagerConfig, SelfTuningManager};
 pub use predictor::{EwmaEstimator, MeanSigmaEstimator, Predictor, QuantileEstimator};
-pub use share::{DemandSignal, Hysteresis, ShareController, ShareControllerConfig, ShareDecision};
+pub use share::{
+    ClampReason, DemandSignal, Hysteresis, ShareController, ShareControllerConfig, ShareDecision,
+    ShareTrace,
+};

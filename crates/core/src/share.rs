@@ -58,6 +58,13 @@ impl Hysteresis {
         ((a - b) / b).abs() <= self.band
     }
 
+    /// The pending out-of-band change, if any: `(candidate, consecutive
+    /// confirmations so far)`. Decision journals record this so a grant
+    /// can be explained mid-confirmation.
+    pub fn pending(&self) -> Option<(f64, u32)> {
+        self.pending
+    }
+
     /// Feeds one estimate; returns the newly adopted value, if any.
     pub fn filter(&mut self, current: Option<f64>, candidate: f64) -> Option<f64> {
         let Some(cur) = current else {
@@ -154,6 +161,59 @@ pub enum ShareDecision {
     Request(f64),
 }
 
+/// Which bound clipped the margin-inflated candidate, if any.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ClampReason {
+    /// The candidate fit inside `[min_share, max_share]`.
+    #[default]
+    None,
+    /// Clipped up to `min_share`.
+    Floor,
+    /// Clipped down to `max_share`.
+    Cap,
+}
+
+impl ClampReason {
+    /// Stable lowercase name, used by the journal codec.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClampReason::None => "none",
+            ClampReason::Floor => "floor",
+            ClampReason::Cap => "cap",
+        }
+    }
+
+    /// Inverse of [`ClampReason::name`].
+    pub fn from_name(s: &str) -> Option<ClampReason> {
+        match s {
+            "none" => Some(ClampReason::None),
+            "floor" => Some(ClampReason::Floor),
+            "cap" => Some(ClampReason::Cap),
+            _ => None,
+        }
+    }
+}
+
+/// The inputs and intermediate state behind one share decision — what a
+/// decision journal needs to make the grant explainable after the fact.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShareTrace {
+    /// The raw demand sample after saturated-growth substitution.
+    pub raw: f64,
+    /// Whether the consumer reported compressions (saturated sample).
+    pub saturated: bool,
+    /// The smoothed demand estimate after folding `raw`.
+    pub demand: f64,
+    /// The margin-inflated, clamped request candidate.
+    pub candidate: f64,
+    /// Which bound clipped the candidate.
+    pub clamp: ClampReason,
+    /// Hysteresis state after the step: a not-yet-confirmed change.
+    pub pending: Option<(f64, u32)>,
+    /// The target adopted *this* step, if the hysteresis let one through.
+    pub adopted: Option<f64>,
+}
+
 /// The share feedback law (see the module docs).
 #[derive(Clone, Debug)]
 pub struct ShareController {
@@ -210,8 +270,15 @@ impl ShareController {
 
     /// Folds one control period's observation and decides.
     pub fn step(&mut self, sig: &DemandSignal) -> ShareDecision {
+        self.step_traced(sig).0
+    }
+
+    /// [`ShareController::step`] plus the [`ShareTrace`] a decision
+    /// journal records alongside the decision.
+    pub fn step_traced(&mut self, sig: &DemandSignal) -> (ShareDecision, ShareTrace) {
         let mut raw = sig.consumed_bw.max(sig.booked_bw);
-        if sig.compressions > 0 {
+        let saturated = sig.compressions > 0;
+        if saturated {
             // Saturated: the observable samples are clipped at the grant.
             raw = raw.max(sig.granted_bw * self.cfg.growth);
         }
@@ -221,17 +288,35 @@ impl ShareController {
             None => raw,
         };
         self.demand = Some(demand);
-        let candidate =
-            (demand * (1.0 + self.cfg.margin)).clamp(self.cfg.min_share, self.cfg.max_share);
-        if let Some(adopted) = self.hyst.filter(self.target, candidate) {
-            self.target = Some(adopted);
+        let unclamped = demand * (1.0 + self.cfg.margin);
+        let candidate = unclamped.clamp(self.cfg.min_share, self.cfg.max_share);
+        let clamp = if unclamped < self.cfg.min_share {
+            ClampReason::Floor
+        } else if unclamped > self.cfg.max_share {
+            ClampReason::Cap
+        } else {
+            ClampReason::None
+        };
+        let adopted = self.hyst.filter(self.target, candidate);
+        if let Some(t) = adopted {
+            self.target = Some(t);
         }
-        match self.target {
+        let decision = match self.target {
             // A target tracking the grant within the deadband holds: the
             // share only moves on confirmed drift, not estimator jitter.
             Some(t) if !self.hyst.within(t, sig.granted_bw.max(1e-12)) => ShareDecision::Request(t),
             _ => ShareDecision::Hold,
-        }
+        };
+        let trace = ShareTrace {
+            raw,
+            saturated,
+            demand,
+            candidate,
+            clamp,
+            pending: self.hyst.pending(),
+            adopted,
+        };
+        (decision, trace)
     }
 }
 
@@ -344,6 +429,57 @@ mod tests {
             ShareDecision::Request(t) => assert!(t > 0.4, "{t}"),
             other => panic!("expected request, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn trace_explains_the_decision() {
+        let mut c = ShareController::new(ShareControllerConfig {
+            max_share: 0.5,
+            confirmations: 2,
+            ..ShareControllerConfig::default()
+        });
+        // Saturated first sample: raw substituted with growth × grant,
+        // candidate clipped at the cap.
+        let (d, tr) = c.step_traced(&sig(0.3, 0.3, 0.6, 2));
+        assert!(tr.saturated);
+        assert!((tr.raw - 0.9).abs() < 1e-12, "raw {}", tr.raw);
+        assert_eq!(tr.clamp, ClampReason::Cap);
+        assert_eq!(tr.adopted, Some(0.5));
+        assert_eq!(tr.pending, None);
+        assert_eq!(d, ShareDecision::Request(0.5));
+
+        // Demand collapses. The first idle sample still caps (the EWMA
+        // remembers the saturated 0.9) and is absorbed by the deadband…
+        let (_, tr) = c.step_traced(&sig(0.01, 0.01, 0.5, 0));
+        assert_eq!(tr.adopted, None);
+        assert_eq!(tr.pending, None);
+        assert_eq!(tr.clamp, ClampReason::Cap);
+        // …the second leaves the band and starts a pending change: the
+        // trace shows the unconfirmed candidate while the decision keeps
+        // requesting the adopted target.
+        let (_, tr) = c.step_traced(&sig(0.01, 0.01, 0.5, 0));
+        assert_eq!(tr.adopted, None);
+        let (cand, n) = tr.pending.expect("change pending");
+        assert!(cand < 0.5);
+        assert_eq!(n, 1);
+        assert_eq!(tr.clamp, ClampReason::None);
+    }
+
+    #[test]
+    fn step_and_step_traced_agree() {
+        let mut a = ShareController::new(ShareControllerConfig::default());
+        let mut b = ShareController::new(ShareControllerConfig::default());
+        for s in [
+            sig(0.3, 0.2, 0.3, 0),
+            sig(0.6, 0.6, 0.3, 3),
+            sig(0.01, 0.0, 0.7, 0),
+            sig(0.01, 0.0, 0.7, 0),
+            sig(0.01, 0.0, 0.7, 0),
+        ] {
+            assert_eq!(a.step(&s), b.step_traced(&s).0);
+        }
+        assert_eq!(a.demand(), b.demand());
+        assert_eq!(a.target(), b.target());
     }
 
     #[test]

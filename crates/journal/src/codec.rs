@@ -1,0 +1,651 @@
+//! Line-oriented journal text I/O, in the same `key = value` style as
+//! [`ScenarioSpec::to_text`].
+//!
+//! ```text
+//! # selftune decision journal
+//! version = 1
+//! seed = 42
+//! threads = 2
+//! admission = 10 2 0 3 1 0
+//! scenario_begin
+//! # selftune fleet scenario
+//! name = rebalance-demo
+//! ...
+//! scenario_end
+//! summary_begin
+//! scenario,rebalance-demo
+//! ...
+//! summary_end
+//! vm_admission = at=0 id=0 demand=0.3 node=1 retries=0 spare=0
+//! task_admission = at=100000000 id=0 demand=0.0825 node=0 retries=0 spare=0
+//! kill = at=1200000000 node=0 id=7
+//! share_grant = at=250000000 node=1 vm=0 demand=0.21 target=0.26 granted=0.26 compressed=0 clamp=none pending=- avail=0.9
+//! compression = at=750000000 epoch=0 node=0 count=3
+//! rebalance = at=750000000 epoch=0 moves=1 failed=0 snap=0:0.31:0.97,1:0.02:0.41
+//! migration = at=750000000 epoch=0 seq=0 id=4 vm=0 from=0 to=1 demand=0.14 dest=0.55 warm=2000000:40000000 guest_warm=-
+//! ```
+//!
+//! Instants and durations are written as whole nanoseconds (exact),
+//! floats with the shortest round-tripping decimal form, and absent
+//! values as `-`. The embedded scenario and summary blocks are verbatim;
+//! everything round-trips exactly: `to_text(from_text(t)) == t` for any
+//! `t` produced by [`Journal::to_text`] — a property test enforces it.
+
+use selftune_cluster::node::WarmStart;
+use selftune_cluster::{NodeSnap, ScenarioSpec};
+use selftune_core::share::ClampReason;
+use selftune_simcore::time::{Dur, Time};
+
+use crate::record::{DecisionRecord, Journal};
+
+/// The journal format version this crate writes and understands.
+pub const FORMAT_VERSION: u32 = 1;
+
+fn opt_node(n: Option<usize>) -> String {
+    match n {
+        Some(n) => n.to_string(),
+        None => "-".to_owned(),
+    }
+}
+
+fn warm_body(w: &WarmStart) -> String {
+    format!("{}:{}", w.budget.as_ns(), w.period.as_ns())
+}
+
+fn record_line(r: &DecisionRecord) -> String {
+    match r {
+        DecisionRecord::TaskAdmission {
+            at,
+            fleet_id,
+            demand,
+            node,
+            retries,
+            best_spare,
+        } => format!(
+            "task_admission = at={} id={fleet_id} demand={demand} node={} retries={retries} spare={best_spare}",
+            at.as_ns(),
+            opt_node(*node),
+        ),
+        DecisionRecord::VmAdmission {
+            at,
+            fleet_vm_id,
+            demand,
+            node,
+            retries,
+            best_spare,
+        } => format!(
+            "vm_admission = at={} id={fleet_vm_id} demand={demand} node={} retries={retries} spare={best_spare}",
+            at.as_ns(),
+            opt_node(*node),
+        ),
+        DecisionRecord::Kill { at, node, fleet_id } => {
+            format!("kill = at={} node={node} id={fleet_id}", at.as_ns())
+        }
+        DecisionRecord::ShareGrant {
+            at,
+            node,
+            fleet_vm_id,
+            demand,
+            target,
+            granted,
+            compressed,
+            clamp,
+            pending,
+            available,
+        } => format!(
+            "share_grant = at={} node={node} vm={fleet_vm_id} demand={demand} target={target} \
+             granted={granted} compressed={} clamp={} pending={} avail={available}",
+            at.as_ns(),
+            u8::from(*compressed),
+            clamp.name(),
+            match pending {
+                Some((share, count)) => format!("{share}:{count}"),
+                None => "-".to_owned(),
+            },
+        ),
+        DecisionRecord::Compression {
+            at,
+            epoch,
+            node,
+            count,
+        } => format!(
+            "compression = at={} epoch={epoch} node={node} count={count}",
+            at.as_ns()
+        ),
+        DecisionRecord::Rebalance {
+            at,
+            epoch,
+            snapshot,
+            moves,
+            failed,
+        } => {
+            let snap = if snapshot.is_empty() {
+                "-".to_owned()
+            } else {
+                snapshot
+                    .iter()
+                    .map(|s| format!("{}:{}:{}", s.node, s.pressure, s.utilisation))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            format!(
+                "rebalance = at={} epoch={epoch} moves={moves} failed={failed} snap={snap}",
+                at.as_ns()
+            )
+        }
+        DecisionRecord::Migration {
+            at,
+            epoch,
+            seq,
+            fleet_id,
+            vm,
+            from,
+            to,
+            demand,
+            dest_reserved_after,
+            warm,
+            guest_warm,
+        } => {
+            let gw = if guest_warm.is_empty() {
+                "-".to_owned()
+            } else {
+                guest_warm
+                    .iter()
+                    .map(|(id, w)| format!("{id}:{}", warm_body(w)))
+                    .collect::<Vec<_>>()
+                    .join(";")
+            };
+            format!(
+                "migration = at={} epoch={epoch} seq={seq} id={fleet_id} vm={} from={from} to={to} \
+                 demand={demand} dest={dest_reserved_after} warm={} guest_warm={gw}",
+                at.as_ns(),
+                u8::from(*vm),
+                match warm {
+                    Some(w) => warm_body(w),
+                    None => "-".to_owned(),
+                },
+            )
+        }
+    }
+}
+
+/// Field accessor over one record line's `k=v` tokens: every field must
+/// be consumed exactly once and in any order.
+struct Fields<'a> {
+    line: &'a str,
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Fields<'a> {
+    fn parse(line: &'a str, body: &'a str) -> Result<Fields<'a>, String> {
+        let mut pairs = Vec::new();
+        for tok in body.split_whitespace() {
+            let (k, v) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("expected `field=value`, got {tok:?} in {line:?}"))?;
+            pairs.push((k, v));
+        }
+        Ok(Fields { line, pairs })
+    }
+
+    fn take(&mut self, key: &str) -> Result<&'a str, String> {
+        let i = self
+            .pairs
+            .iter()
+            .position(|&(k, _)| k == key)
+            .ok_or_else(|| format!("missing field `{key}` in {:?}", self.line))?;
+        Ok(self.pairs.swap_remove(i).1)
+    }
+
+    fn finish(self) -> Result<(), String> {
+        match self.pairs.first() {
+            None => Ok(()),
+            Some((k, _)) => Err(format!("unknown field `{k}` in {:?}", self.line)),
+        }
+    }
+}
+
+fn parse_u64(s: &str, what: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("bad {what}: {s:?}"))
+}
+
+fn parse_usize(s: &str, what: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("bad {what}: {s:?}"))
+}
+
+fn parse_f64(s: &str, what: &str) -> Result<f64, String> {
+    let v: f64 = s.parse().map_err(|_| format!("bad {what}: {s:?}"))?;
+    if !v.is_finite() {
+        return Err(format!("bad {what}: {s:?}"));
+    }
+    Ok(v)
+}
+
+fn parse_at(s: &str) -> Result<Time, String> {
+    Ok(Time::from_ns(parse_u64(s, "instant (ns)")?))
+}
+
+fn parse_opt_node(s: &str) -> Result<Option<usize>, String> {
+    if s == "-" {
+        Ok(None)
+    } else {
+        Ok(Some(parse_usize(s, "node")?))
+    }
+}
+
+fn parse_bool01(s: &str, what: &str) -> Result<bool, String> {
+    match s {
+        "0" => Ok(false),
+        "1" => Ok(true),
+        _ => Err(format!("bad {what} (want 0/1): {s:?}")),
+    }
+}
+
+fn parse_warm_body(s: &str) -> Result<WarmStart, String> {
+    let (b, p) = s
+        .split_once(':')
+        .ok_or_else(|| format!("bad warm grant (want budget_ns:period_ns): {s:?}"))?;
+    Ok(WarmStart {
+        budget: Dur::ns(parse_u64(b, "warm budget (ns)")?),
+        period: Dur::ns(parse_u64(p, "warm period (ns)")?),
+    })
+}
+
+fn record_from_line(line: &str) -> Result<DecisionRecord, String> {
+    let (kind, body) = line
+        .split_once('=')
+        .ok_or_else(|| format!("expected `key = value`, got {line:?}"))?;
+    let (kind, body) = (kind.trim(), body.trim());
+    let mut f = Fields::parse(line, body)?;
+    let rec = match kind {
+        "task_admission" => DecisionRecord::TaskAdmission {
+            at: parse_at(f.take("at")?)?,
+            fleet_id: parse_usize(f.take("id")?, "task id")?,
+            demand: parse_f64(f.take("demand")?, "demand")?,
+            node: parse_opt_node(f.take("node")?)?,
+            retries: f
+                .take("retries")?
+                .parse()
+                .map_err(|_| format!("bad retries in {line:?}"))?,
+            best_spare: parse_f64(f.take("spare")?, "spare")?,
+        },
+        "vm_admission" => DecisionRecord::VmAdmission {
+            at: parse_at(f.take("at")?)?,
+            fleet_vm_id: parse_usize(f.take("id")?, "vm id")?,
+            demand: parse_f64(f.take("demand")?, "demand")?,
+            node: parse_opt_node(f.take("node")?)?,
+            retries: f
+                .take("retries")?
+                .parse()
+                .map_err(|_| format!("bad retries in {line:?}"))?,
+            best_spare: parse_f64(f.take("spare")?, "spare")?,
+        },
+        "kill" => DecisionRecord::Kill {
+            at: parse_at(f.take("at")?)?,
+            node: parse_usize(f.take("node")?, "node")?,
+            fleet_id: parse_usize(f.take("id")?, "task id")?,
+        },
+        "share_grant" => DecisionRecord::ShareGrant {
+            at: parse_at(f.take("at")?)?,
+            node: parse_usize(f.take("node")?, "node")?,
+            fleet_vm_id: parse_usize(f.take("vm")?, "vm id")?,
+            demand: parse_f64(f.take("demand")?, "demand")?,
+            target: parse_f64(f.take("target")?, "target")?,
+            granted: parse_f64(f.take("granted")?, "granted")?,
+            compressed: parse_bool01(f.take("compressed")?, "compressed")?,
+            clamp: {
+                let s = f.take("clamp")?;
+                ClampReason::from_name(s).ok_or_else(|| format!("unknown clamp reason: {s:?}"))?
+            },
+            pending: {
+                let s = f.take("pending")?;
+                if s == "-" {
+                    None
+                } else {
+                    let (share, count) = s
+                        .split_once(':')
+                        .ok_or_else(|| format!("bad pending (want share:count): {s:?}"))?;
+                    Some((
+                        parse_f64(share, "pending share")?,
+                        count
+                            .parse()
+                            .map_err(|_| format!("bad pending count: {count:?}"))?,
+                    ))
+                }
+            },
+            available: parse_f64(f.take("avail")?, "avail")?,
+        },
+        "compression" => DecisionRecord::Compression {
+            at: parse_at(f.take("at")?)?,
+            epoch: parse_usize(f.take("epoch")?, "epoch")?,
+            node: parse_usize(f.take("node")?, "node")?,
+            count: parse_u64(f.take("count")?, "count")?,
+        },
+        "rebalance" => DecisionRecord::Rebalance {
+            at: parse_at(f.take("at")?)?,
+            epoch: parse_usize(f.take("epoch")?, "epoch")?,
+            moves: parse_u64(f.take("moves")?, "moves")?,
+            failed: parse_u64(f.take("failed")?, "failed")?,
+            snapshot: {
+                let s = f.take("snap")?;
+                if s == "-" {
+                    Vec::new()
+                } else {
+                    s.split(',')
+                        .map(|entry| {
+                            let parts: Vec<&str> = entry.split(':').collect();
+                            let [node, pressure, utilisation] = parts.as_slice() else {
+                                return Err(format!(
+                                    "bad snapshot entry (want node:pressure:util): {entry:?}"
+                                ));
+                            };
+                            Ok(NodeSnap {
+                                node: parse_usize(node, "snapshot node")?,
+                                pressure: parse_f64(pressure, "snapshot pressure")?,
+                                utilisation: parse_f64(utilisation, "snapshot utilisation")?,
+                            })
+                        })
+                        .collect::<Result<Vec<_>, String>>()?
+                }
+            },
+        },
+        "migration" => DecisionRecord::Migration {
+            at: parse_at(f.take("at")?)?,
+            epoch: parse_usize(f.take("epoch")?, "epoch")?,
+            seq: f
+                .take("seq")?
+                .parse()
+                .map_err(|_| format!("bad seq in {line:?}"))?,
+            fleet_id: parse_usize(f.take("id")?, "unit id")?,
+            vm: parse_bool01(f.take("vm")?, "vm flag")?,
+            from: parse_usize(f.take("from")?, "source node")?,
+            to: parse_usize(f.take("to")?, "destination node")?,
+            demand: parse_f64(f.take("demand")?, "demand")?,
+            dest_reserved_after: parse_f64(f.take("dest")?, "dest booking")?,
+            warm: {
+                let s = f.take("warm")?;
+                if s == "-" {
+                    None
+                } else {
+                    Some(parse_warm_body(s)?)
+                }
+            },
+            guest_warm: {
+                let s = f.take("guest_warm")?;
+                if s == "-" {
+                    Vec::new()
+                } else {
+                    s.split(';')
+                        .map(|entry| {
+                            let (id, grant) = entry.split_once(':').ok_or_else(|| {
+                                format!("bad guest warm entry (want id:budget:period): {entry:?}")
+                            })?;
+                            Ok((parse_usize(id, "guest id")?, parse_warm_body(grant)?))
+                        })
+                        .collect::<Result<Vec<_>, String>>()?
+                }
+            },
+        },
+        other => return Err(format!("unknown record kind: {other:?}")),
+    };
+    f.finish()?;
+    Ok(rec)
+}
+
+impl Journal {
+    /// Serialises the journal to the line-oriented text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# selftune decision journal\n");
+        out.push_str(&format!("version = {FORMAT_VERSION}\n"));
+        out.push_str(&format!("seed = {}\n", self.seed));
+        out.push_str(&format!("threads = {}\n", self.threads));
+        out.push_str(&format!(
+            "admission = {} {} {} {} {} {}\n",
+            self.admission.admitted,
+            self.admission.rejected,
+            self.admission.best_effort,
+            self.admission.migrations,
+            self.admission.vms_admitted,
+            self.admission.vms_rejected,
+        ));
+        out.push_str("scenario_begin\n");
+        out.push_str(&self.scenario.to_text());
+        out.push_str("scenario_end\n");
+        out.push_str("summary_begin\n");
+        out.push_str(&self.summary);
+        if !self.summary.ends_with('\n') {
+            out.push('\n');
+        }
+        out.push_str("summary_end\n");
+        for r in &self.records {
+            out.push_str(&record_line(r));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a journal from the text written by [`Journal::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first offending line:
+    /// unknown keys or record kinds, malformed fields, unterminated
+    /// scenario/summary blocks, and missing required headers are all
+    /// rejected rather than silently defaulted — a truncated journal must
+    /// never replay as if it were complete.
+    pub fn from_text(text: &str) -> Result<Journal, String> {
+        let mut seed: Option<u64> = None;
+        let mut threads: Option<usize> = None;
+        let mut admission: Option<selftune_cluster::AdmissionStats> = None;
+        let mut scenario: Option<ScenarioSpec> = None;
+        let mut summary: Option<String> = None;
+        let mut records: Vec<DecisionRecord> = Vec::new();
+        let mut version_seen = false;
+
+        let mut lines = text.lines();
+        while let Some(raw) = lines.next() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match line {
+                "scenario_begin" => {
+                    let mut block = String::new();
+                    let mut closed = false;
+                    for inner in lines.by_ref() {
+                        if inner.trim() == "scenario_end" {
+                            closed = true;
+                            break;
+                        }
+                        block.push_str(inner);
+                        block.push('\n');
+                    }
+                    if !closed {
+                        return Err("unterminated scenario block (missing `scenario_end`)".into());
+                    }
+                    scenario = Some(ScenarioSpec::from_text(&block)?);
+                    continue;
+                }
+                "summary_begin" => {
+                    let mut block = String::new();
+                    let mut closed = false;
+                    for inner in lines.by_ref() {
+                        if inner.trim() == "summary_end" {
+                            closed = true;
+                            break;
+                        }
+                        block.push_str(inner);
+                        block.push('\n');
+                    }
+                    if !closed {
+                        return Err("unterminated summary block (missing `summary_end`)".into());
+                    }
+                    summary = Some(block);
+                    continue;
+                }
+                _ => {}
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("expected `key = value`, got {line:?}"))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "version" => {
+                    let v: u32 = value
+                        .parse()
+                        .map_err(|_| format!("bad version: {value:?}"))?;
+                    if v != FORMAT_VERSION {
+                        return Err(format!(
+                            "unsupported journal version {v} (this build reads {FORMAT_VERSION})"
+                        ));
+                    }
+                    version_seen = true;
+                }
+                "seed" => seed = Some(parse_u64(value, "seed")?),
+                "threads" => threads = Some(parse_usize(value, "threads")?),
+                "admission" => {
+                    let parts: Vec<&str> = value.split_whitespace().collect();
+                    let [adm, rej, be, mig, vadm, vrej] = parts.as_slice() else {
+                        return Err(format!("admission needs 6 fields: {value:?}"));
+                    };
+                    admission = Some(selftune_cluster::AdmissionStats {
+                        admitted: parse_u64(adm, "admitted")?,
+                        rejected: parse_u64(rej, "rejected")?,
+                        best_effort: parse_u64(be, "best_effort")?,
+                        migrations: parse_u64(mig, "migrations")?,
+                        vms_admitted: parse_u64(vadm, "vms_admitted")?,
+                        vms_rejected: parse_u64(vrej, "vms_rejected")?,
+                    });
+                }
+                _ => records.push(record_from_line(line)?),
+            }
+        }
+
+        if !version_seen {
+            return Err("missing required key `version`".into());
+        }
+        Ok(Journal {
+            scenario: scenario.ok_or("missing scenario block")?,
+            seed: seed.ok_or("missing required key `seed`")?,
+            threads: threads.ok_or("missing required key `threads`")?,
+            admission: admission.ok_or("missing required key `admission`")?,
+            summary: summary.ok_or("missing summary block")?,
+            records,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use selftune_cluster::ScenarioSpec;
+
+    use crate::record::Journal;
+
+    fn demo_journal() -> Journal {
+        let spec =
+            ScenarioSpec::skewed_overload_demo(3, 9).with_rebalance(ScenarioSpec::demo_rebalance());
+        Journal::record(2, &spec, 7).1
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let journal = demo_journal();
+        let text = journal.to_text();
+        let parsed = Journal::from_text(&text).expect("parse");
+        assert_eq!(parsed, journal);
+        // The canonical form is a fixed point of the round trip.
+        assert_eq!(parsed.to_text(), text);
+        assert!(
+            journal.records.len() > 9,
+            "demo journal should hold admissions + epoch records, got {}",
+            journal.records.len()
+        );
+    }
+
+    #[test]
+    fn truncation_anywhere_is_rejected_or_parses_strictly_fewer_records() {
+        // Cutting the journal off at any line boundary must never produce
+        // a journal that silently claims to be the full run.
+        let journal = demo_journal();
+        let text = journal.to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        for keep in 0..lines.len() {
+            let cut: String = lines[..keep].iter().map(|l| format!("{l}\n")).collect();
+            match Journal::from_text(&cut) {
+                Err(_) => {}
+                Ok(parsed) => {
+                    assert!(
+                        parsed.records.len() < journal.records.len(),
+                        "truncated at line {keep} but parsed as complete"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_lines_are_rejected_with_an_error() {
+        let valid = demo_journal().to_text();
+        let corruptions: &[(&str, &str)] = &[
+            // Bad header values.
+            ("version = 1", "version = 99"),
+            ("version = 1", "version = one"),
+            ("seed = 7", "seed = -1"),
+            ("threads = 2", "threads = two"),
+            // Admission header must keep its 6 counters.
+            ("admission = ", "admission = 1 2 3\n# was: "),
+            // Unterminated embedded blocks.
+            ("scenario_end", "# scenario_end"),
+            ("summary_end", "# summary_end"),
+        ];
+        for (from, to) in corruptions {
+            assert!(
+                valid.contains(from),
+                "corruption template {from:?} not present in journal text"
+            );
+            let corrupt = valid.replacen(from, to, 1);
+            assert!(
+                Journal::from_text(&corrupt).is_err(),
+                "accepted corrupt journal ({from:?} -> {to:?})"
+            );
+        }
+        // Field-level corruption of record lines.
+        for bad in [
+            "task_admission = at=0 id=0 demand=0.1 node=0 retries=0",  // missing field
+            "task_admission = at=0 id=0 demand=0.1 node=0 retries=0 spare=0 extra=1",
+            "task_admission = at=zero id=0 demand=0.1 node=0 retries=0 spare=0",
+            "task_admission = at=0 id=0 demand=nan node=0 retries=0 spare=0",
+            "share_grant = at=0 node=0 vm=0 demand=0.1 target=0.1 granted=0.1 compressed=2 clamp=none pending=- avail=0.9",
+            "share_grant = at=0 node=0 vm=0 demand=0.1 target=0.1 granted=0.1 compressed=0 clamp=squeeze pending=- avail=0.9",
+            "share_grant = at=0 node=0 vm=0 demand=0.1 target=0.1 granted=0.1 compressed=0 clamp=none pending=0.2 avail=0.9",
+            "rebalance = at=0 epoch=0 moves=0 failed=0 snap=0:0.1",    // short snap entry
+            "migration = at=0 epoch=0 seq=0 id=0 vm=3 from=0 to=1 demand=0.1 dest=0.1 warm=- guest_warm=-",
+            "migration = at=0 epoch=0 seq=0 id=0 vm=0 from=0 to=1 demand=0.1 dest=0.1 warm=12 guest_warm=-",
+            "teleport = at=0 id=0",                                    // unknown kind
+            "just some words",
+        ] {
+            let corrupt = format!("{valid}{bad}\n");
+            assert!(
+                Journal::from_text(&corrupt).is_err(),
+                "accepted corrupt record line: {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_headers_are_rejected() {
+        let valid = demo_journal().to_text();
+        for key in ["version", "seed", "threads", "admission"] {
+            let broken: String = valid
+                .lines()
+                .filter(|l| !l.starts_with(key))
+                .map(|l| format!("{l}\n"))
+                .collect();
+            assert!(
+                Journal::from_text(&broken).is_err(),
+                "accepted journal without `{key}` header"
+            );
+        }
+    }
+}

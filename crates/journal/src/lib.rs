@@ -1,0 +1,96 @@
+//! # selftune-journal
+//!
+//! Deterministic decision journal and replay/what-if engine for the
+//! `selftune` fleet simulation (reproducing *"Self-tuning Schedulers for
+//! Legacy Real-Time Applications"*, EuroSys 2010, grown to fleet scale).
+//!
+//! ## Architecture
+//!
+//! ```text
+//!   ClusterRunner::run_logged ──► FleetEvent stream ──► Journal
+//!        (admissions, kills,        (canonical order:     │ to_text /
+//!         share grants,              instant, class,      │ from_text
+//!         compressions,              tie-break)           ▼
+//!         rebalance passes,                          journal file
+//!         migrations)                                     │
+//!                                                         ▼
+//!   Replayer::verify ◄── plan_fleet_pinned + run_pinned ◄─┘
+//!        │                (placements + per-epoch moves
+//!        │                 substituted from the journal)
+//!        ▼
+//!   byte-identical summary_csv at any thread count — or a named
+//!   divergence; run_whatif swaps ONE policy from a cut epoch instead
+//!   and diffs the counterfactual against the exact replay.
+//! ```
+//!
+//! * [`record`] — [`DecisionRecord`] (admissions with minbudget inputs,
+//!   share grants with demand signal / hysteresis state / clamp reason,
+//!   compressions, rebalance passes with their feedback snapshot and
+//!   booking math, migrations, kills) and [`Journal`]: record a run,
+//!   extract the pin tables replay feeds back into the runner.
+//! * [`codec`] — line-oriented text I/O in the `ScenarioSpec::to_text`
+//!   style: `key = value` headers, verbatim scenario and summary blocks,
+//!   one record per line with nanosecond-exact instants. Round-trips
+//!   exactly; truncated or corrupt input is rejected with a line-level
+//!   error.
+//! * [`replay`] — [`Replayer`]: re-execute pinned to the journal and
+//!   byte-compare aggregates. Divergence detection is a CI property: the
+//!   journal is thread-count invariant, so is its replay.
+//! * [`whatif`] — [`run_whatif`]: pin history up to a cut epoch, swap one
+//!   policy ([`PolicySwap`]: disable rebalancing, change placement,
+//!   freeze elastic shares) and quantify the outcome delta.
+//!
+//! ## Why a journal
+//!
+//! The fleet's control decisions (admission, elastic share grants,
+//! feedback re-placement) are spread across three control loops and any
+//! number of worker threads. The journal serialises *why* each decision
+//! was taken (the signals it saw) into one canonical stream, makes the
+//! whole run reproducible from that stream alone, and turns "what would
+//! have happened without the rebalancer?" from a speculation into an
+//! exact counterfactual run.
+//!
+//! ## Example
+//!
+//! ```
+//! use selftune_cluster::prelude::*;
+//! use selftune_journal::prelude::*;
+//!
+//! let spec = ScenarioSpec::skewed_overload_demo(4, 12)
+//!     .with_rebalance(ScenarioSpec::demo_rebalance());
+//! let (live, journal) = Journal::record(2, &spec, 42);
+//!
+//! // The text codec round-trips exactly…
+//! let reloaded = Journal::from_text(&journal.to_text()).unwrap();
+//! assert_eq!(reloaded, journal);
+//!
+//! // …and replay reproduces the live aggregates byte for byte.
+//! let replayed = Replayer::new(8).verify(&reloaded).unwrap();
+//! assert_eq!(replayed.summary_csv(), live.summary_csv());
+//!
+//! // What if the rebalancer had been off?
+//! let report = run_whatif(
+//!     &journal,
+//!     &WhatIf { cut_epoch: 0, swap: PolicySwap::DisableRebalance },
+//!     2,
+//! );
+//! assert!(report.variant.rebalance.moves == 0);
+//! ```
+
+pub mod codec;
+pub mod record;
+pub mod replay;
+pub mod whatif;
+
+pub use codec::FORMAT_VERSION;
+pub use record::{DecisionRecord, Journal};
+pub use replay::Replayer;
+pub use whatif::{run_whatif, variant_spec, PolicySwap, WhatIf, WhatIfReport};
+
+/// One-stop imports for journal recording, replay and what-if queries.
+pub mod prelude {
+    pub use crate::codec::FORMAT_VERSION;
+    pub use crate::record::{DecisionRecord, Journal};
+    pub use crate::replay::Replayer;
+    pub use crate::whatif::{run_whatif, variant_spec, PolicySwap, WhatIf, WhatIfReport};
+}

@@ -1,0 +1,367 @@
+//! The journal itself: decision records, recording, and the pin tables
+//! replay feeds back into the runner.
+
+use selftune_cluster::events::FleetEvent;
+use selftune_cluster::node::WarmStart;
+use selftune_cluster::placer::Migration;
+use selftune_cluster::runner::{EpochDecision, PinnedMoves, PinnedPlan};
+use selftune_cluster::{AdmissionStats, AggregateMetrics, ClusterRunner, NodeSnap, ScenarioSpec};
+use selftune_core::share::ClampReason;
+use selftune_simcore::time::Time;
+
+/// One journalled fleet decision, with the inputs that pinned it.
+///
+/// Mirrors [`FleetEvent`] field for field — the journal keeps its own
+/// enum so the on-disk schema is owned here, decoupled from the runner's
+/// in-memory event type.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DecisionRecord {
+    /// A real-time task's admission decision (accept/reject) with the
+    /// minbudget inputs.
+    TaskAdmission {
+        /// Arrival instant the booking is dated at.
+        at: Time,
+        /// Fleet task id.
+        fleet_id: usize,
+        /// The minbudget demand booked (headroom included).
+        demand: f64,
+        /// Destination node; `None` = rejected.
+        node: Option<usize>,
+        /// Release-retry passes the placement needed.
+        retries: u32,
+        /// Largest spare any node could offer (rejection witness).
+        best_spare: f64,
+    },
+    /// A virtual platform's admission decision.
+    VmAdmission {
+        /// Admission instant (t = 0).
+        at: Time,
+        /// Fleet VM id.
+        fleet_vm_id: usize,
+        /// The share booked.
+        demand: f64,
+        /// Destination node; `None` = rejected.
+        node: Option<usize>,
+        /// Release-retry passes the placement needed.
+        retries: u32,
+        /// Largest spare any node could offer.
+        best_spare: f64,
+    },
+    /// A churned task's lease expiry.
+    Kill {
+        /// Departure instant.
+        at: Time,
+        /// Node the task was placed on.
+        node: usize,
+        /// Fleet task id.
+        fleet_id: usize,
+    },
+    /// One executed elastic share re-grant: demand signal, hysteresis
+    /// state, clamp reason and the host supervisor's arithmetic.
+    ShareGrant {
+        /// When the control step ran.
+        at: Time,
+        /// Node hosting the VM.
+        node: usize,
+        /// Fleet VM id.
+        fleet_vm_id: usize,
+        /// Smoothed demand estimate behind the request.
+        demand: f64,
+        /// The hysteresis-adopted target requested.
+        target: f64,
+        /// The share the host supervisor granted.
+        granted: f64,
+        /// Whether the supervisor curbed the request.
+        compressed: bool,
+        /// Which controller bound clipped the candidate.
+        clamp: ClampReason,
+        /// Unconfirmed hysteresis change after the step, if any.
+        pending: Option<(f64, u32)>,
+        /// Host bandwidth the request competed for.
+        available: f64,
+    },
+    /// One node's supervisor compressions over one epoch.
+    Compression {
+        /// Epoch boundary the count was sampled at.
+        at: Time,
+        /// Rebalance epoch index.
+        epoch: usize,
+        /// The node.
+        node: usize,
+        /// Compressions during the epoch.
+        count: u64,
+    },
+    /// One rebalance decision pass with its feedback snapshot.
+    Rebalance {
+        /// Epoch boundary the pass ran at.
+        at: Time,
+        /// Rebalance epoch index.
+        epoch: usize,
+        /// Smoothed pressure / utilisation per node, node-id order.
+        snapshot: Vec<NodeSnap>,
+        /// Moves planned.
+        moves: u64,
+        /// Victims with no admissible destination.
+        failed: u64,
+    },
+    /// One planned migration, with the destination booking math.
+    Migration {
+        /// Epoch boundary the move executes at.
+        at: Time,
+        /// Rebalance epoch index.
+        epoch: usize,
+        /// Position in the epoch's decision order.
+        seq: u32,
+        /// Fleet task id (or fleet VM id when `vm`).
+        fleet_id: usize,
+        /// Whether a whole virtual platform moved.
+        vm: bool,
+        /// Source node.
+        from: usize,
+        /// Destination node.
+        to: usize,
+        /// What the pass booked on the destination.
+        demand: f64,
+        /// Destination booking right after this move.
+        dest_reserved_after: f64,
+        /// Warm-start hand-over for a task victim.
+        warm: Option<WarmStart>,
+        /// Warm-start hand-overs for a VM victim's guests, by fleet id.
+        guest_warm: Vec<(usize, WarmStart)>,
+    },
+}
+
+impl From<FleetEvent> for DecisionRecord {
+    fn from(e: FleetEvent) -> DecisionRecord {
+        match e {
+            FleetEvent::TaskAdmission {
+                at,
+                fleet_id,
+                demand,
+                node,
+                retries,
+                best_spare,
+            } => DecisionRecord::TaskAdmission {
+                at,
+                fleet_id,
+                demand,
+                node,
+                retries,
+                best_spare,
+            },
+            FleetEvent::VmAdmission {
+                at,
+                fleet_vm_id,
+                demand,
+                node,
+                retries,
+                best_spare,
+            } => DecisionRecord::VmAdmission {
+                at,
+                fleet_vm_id,
+                demand,
+                node,
+                retries,
+                best_spare,
+            },
+            FleetEvent::Kill { at, node, fleet_id } => DecisionRecord::Kill { at, node, fleet_id },
+            FleetEvent::ShareGrant {
+                at,
+                node,
+                fleet_vm_id,
+                demand,
+                target,
+                granted,
+                compressed,
+                clamp,
+                pending,
+                available,
+            } => DecisionRecord::ShareGrant {
+                at,
+                node,
+                fleet_vm_id,
+                demand,
+                target,
+                granted,
+                compressed,
+                clamp,
+                pending,
+                available,
+            },
+            FleetEvent::Compression {
+                at,
+                epoch,
+                node,
+                count,
+            } => DecisionRecord::Compression {
+                at,
+                epoch,
+                node,
+                count,
+            },
+            FleetEvent::Rebalance {
+                at,
+                epoch,
+                snapshot,
+                moves,
+                failed,
+            } => DecisionRecord::Rebalance {
+                at,
+                epoch,
+                snapshot,
+                moves,
+                failed,
+            },
+            FleetEvent::Migration {
+                at,
+                epoch,
+                seq,
+                fleet_id,
+                vm,
+                from,
+                to,
+                demand,
+                dest_reserved_after,
+                warm,
+                guest_warm,
+            } => DecisionRecord::Migration {
+                at,
+                epoch,
+                seq,
+                fleet_id,
+                vm,
+                from,
+                to,
+                demand,
+                dest_reserved_after,
+                warm,
+                guest_warm,
+            },
+        }
+    }
+}
+
+/// A recorded fleet run: the scenario, the seed, the live aggregates and
+/// every decision taken — enough to re-execute the run pinned to its own
+/// history and get the recorded aggregates back byte for byte.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Journal {
+    /// The scenario the run executed.
+    pub scenario: ScenarioSpec,
+    /// The base seed.
+    pub seed: u64,
+    /// Worker threads of the recording run (informational: the journal is
+    /// byte-identical at any thread count).
+    pub threads: usize,
+    /// Admission statistics of the recorded run, pinned wholesale on
+    /// replay (the release-retry counter is not derivable from records).
+    pub admission: AdmissionStats,
+    /// The live run's `summary_csv` — the divergence-detection material.
+    pub summary: String,
+    /// Every decision, in canonical `(instant, class, tie)` order.
+    pub records: Vec<DecisionRecord>,
+}
+
+impl Journal {
+    /// Runs `spec` on `threads` workers while recording every decision,
+    /// returning the live aggregates and the journal.
+    pub fn record(threads: usize, spec: &ScenarioSpec, seed: u64) -> (AggregateMetrics, Journal) {
+        let (metrics, events) = ClusterRunner::new(threads).run_logged(spec, seed);
+        let journal = Journal {
+            scenario: spec.clone(),
+            seed,
+            threads,
+            admission: metrics.admission,
+            summary: metrics.summary_csv(),
+            records: events.into_iter().map(DecisionRecord::from).collect(),
+        };
+        (metrics, journal)
+    }
+
+    /// The number of rebalance epochs the recorded run had (zero with the
+    /// rebalancer off — the run is a single epoch with no boundary).
+    pub fn epochs(&self) -> usize {
+        ClusterRunner::epoch_ends(&self.scenario).len() - 1
+    }
+
+    /// The admission pin table: every task's and VM's recorded
+    /// destination, plus the recorded admission statistics.
+    pub fn pinned_plan(&self) -> PinnedPlan {
+        let mut task_nodes = vec![None; self.scenario.tasks];
+        let mut vm_nodes = vec![None; self.scenario.vms.len()];
+        for r in &self.records {
+            match r {
+                DecisionRecord::TaskAdmission { fleet_id, node, .. } => {
+                    if let Some(slot) = task_nodes.get_mut(*fleet_id) {
+                        *slot = *node;
+                    }
+                }
+                DecisionRecord::VmAdmission {
+                    fleet_vm_id, node, ..
+                } => {
+                    if let Some(slot) = vm_nodes.get_mut(*fleet_vm_id) {
+                        *slot = *node;
+                    }
+                }
+                _ => {}
+            }
+        }
+        PinnedPlan {
+            admission: self.admission,
+            task_nodes,
+            vm_nodes,
+        }
+    }
+
+    /// The per-epoch migration pin table. `up_to_epoch = None` pins every
+    /// recorded epoch (exact replay); `Some(cut)` pins epochs `< cut` and
+    /// leaves the rest to be decided live (the what-if cut point).
+    pub fn pinned_moves(&self, up_to_epoch: Option<usize>) -> PinnedMoves {
+        let mut epochs: Vec<Option<EpochDecision>> = vec![None; self.epochs()];
+        for r in &self.records {
+            match r {
+                DecisionRecord::Rebalance { epoch, failed, .. } => {
+                    if let Some(slot) = epochs.get_mut(*epoch) {
+                        slot.get_or_insert_with(EpochDecision::default).failed = *failed;
+                    }
+                }
+                DecisionRecord::Migration {
+                    epoch,
+                    fleet_id,
+                    vm,
+                    from,
+                    to,
+                    demand,
+                    dest_reserved_after,
+                    warm,
+                    guest_warm,
+                    ..
+                } => {
+                    // Records are in canonical order, so each epoch's moves
+                    // arrive in `seq` order and push preserves it.
+                    if let Some(slot) = epochs.get_mut(*epoch) {
+                        slot.get_or_insert_with(EpochDecision::default)
+                            .moves
+                            .push(Migration {
+                                fleet_id: *fleet_id,
+                                vm: *vm,
+                                from: *from,
+                                to: *to,
+                                demand: *demand,
+                                dest_reserved_after: *dest_reserved_after,
+                                warm: *warm,
+                                guest_warm: guest_warm.clone(),
+                            });
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(cut) = up_to_epoch {
+            for slot in epochs.iter_mut().skip(cut) {
+                *slot = None;
+            }
+        }
+        PinnedMoves { epochs }
+    }
+}

@@ -1,0 +1,71 @@
+//! Exact journal replay: re-execute a recorded run pinned to its own
+//! decisions and assert the aggregates come back byte for byte.
+
+use selftune_cluster::runner::plan_fleet_pinned;
+use selftune_cluster::{AggregateMetrics, ClusterRunner};
+
+use crate::record::Journal;
+
+/// Re-executes journalled runs with every decision pinned to the record.
+///
+/// The replay thread count is independent of the recording one — the
+/// divergence property the CI job enforces is exactly that replaying on
+/// 1, 2 or 8 threads reproduces the recorded `summary_csv` byte for byte.
+#[derive(Clone, Copy, Debug)]
+pub struct Replayer {
+    threads: usize,
+}
+
+impl Replayer {
+    /// A replayer using `threads` worker threads.
+    pub fn new(threads: usize) -> Replayer {
+        Replayer {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Re-executes the journalled scenario pinned to the journal's
+    /// placements and per-epoch migration decisions.
+    pub fn replay(&self, journal: &Journal) -> AggregateMetrics {
+        let plan = plan_fleet_pinned(&journal.scenario, journal.seed, &journal.pinned_plan());
+        ClusterRunner::new(self.threads).run_pinned(
+            &journal.scenario,
+            journal.seed,
+            &plan,
+            &journal.pinned_moves(None),
+        )
+    }
+
+    /// Replays and byte-compares the aggregates against the recorded
+    /// summary.
+    ///
+    /// # Errors
+    ///
+    /// On divergence, names the first differing summary line — the replay
+    /// contract is byte identity, so *any* difference is a bug in either
+    /// the journal or the simulation's determinism.
+    pub fn verify(&self, journal: &Journal) -> Result<AggregateMetrics, String> {
+        let metrics = self.replay(journal);
+        let replayed = metrics.summary_csv();
+        if replayed == journal.summary {
+            return Ok(metrics);
+        }
+        let diverged = journal
+            .summary
+            .lines()
+            .zip(replayed.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b);
+        Err(match diverged {
+            Some((i, (rec, rep))) => format!(
+                "replay diverged at summary line {}: recorded {rec:?}, replayed {rep:?}",
+                i + 1
+            ),
+            None => format!(
+                "replay diverged in summary length: recorded {} lines, replayed {}",
+                journal.summary.lines().count(),
+                replayed.lines().count()
+            ),
+        })
+    }
+}

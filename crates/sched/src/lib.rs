@@ -28,4 +28,4 @@ pub use edf::EdfScheduler;
 pub use fp::{rate_monotonic, FixedPriority};
 pub use ps::ProportionalShare;
 pub use reservation::{Place, ReservationScheduler};
-pub use supervisor::{BwRequest, Compression, Grant, Supervisor};
+pub use supervisor::{ApplyReport, BwRequest, Compression, Grant, Supervisor};

@@ -52,6 +52,20 @@ impl Grant {
     }
 }
 
+/// The arithmetic behind one [`Supervisor::apply`] pass — the inputs a
+/// decision journal records so a compressed grant is explainable.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct ApplyReport {
+    /// Bandwidth pinned by servers that did not request this pass.
+    pub fixed: f64,
+    /// `max(ulub − fixed, 0)`: what the requesters shared.
+    pub available: f64,
+    /// Total bandwidth the (sanitised) requests asked for.
+    pub requested: f64,
+    /// How many grants were curbed.
+    pub compressed: u32,
+}
+
 /// Supervisor configuration and entry point.
 #[derive(Copy, Clone, Debug)]
 pub struct Supervisor {
@@ -109,6 +123,16 @@ impl Supervisor {
     /// Servers *not* named in `reqs` keep their current bandwidth; the
     /// requesters share what remains.
     pub fn apply(&self, sched: &mut ReservationScheduler, reqs: &[BwRequest]) -> Vec<Grant> {
+        self.apply_detailed(sched, reqs).0
+    }
+
+    /// [`Supervisor::apply`] plus the [`ApplyReport`] a decision journal
+    /// records alongside the grants.
+    pub fn apply_detailed(
+        &self,
+        sched: &mut ReservationScheduler,
+        reqs: &[BwRequest],
+    ) -> (Vec<Grant>, ApplyReport) {
         // Sanitise: a zero-period request cannot parameterise a server at
         // all (drop it — its server keeps its current bandwidth); a zero
         // budget becomes a tiny floor so the reservation stays alive.
@@ -122,7 +146,7 @@ impl Supervisor {
             .collect();
         let reqs = &reqs[..];
         if reqs.is_empty() {
-            return Vec::new();
+            return (Vec::new(), ApplyReport::default());
         }
         // Bandwidth pinned by servers that did not submit a request.
         let fixed: f64 = (0..sched.server_count())
@@ -184,7 +208,13 @@ impl Supervisor {
         for g in &grants {
             sched.server_mut(g.server).set_params(g.budget, g.period);
         }
-        grants
+        let report = ApplyReport {
+            fixed,
+            available,
+            requested,
+            compressed: grants.iter().filter(|g| g.compressed).count() as u32,
+        };
+        (grants, report)
     }
 }
 
@@ -318,6 +348,30 @@ mod tests {
         assert!(!grants[0].budget.is_zero());
         // The dropped request's server keeps its old parameters.
         assert_eq!(s.server(ids[0]).config().budget, Dur::ms(10));
+    }
+
+    #[test]
+    fn apply_detailed_reports_the_booking_math() {
+        let (mut s, ids) = sched_with(&[(50, 100), (10, 100)]);
+        let sup = Supervisor::new(0.9);
+        // Server 0 keeps its 0.5 pinned; server 1 asks for 0.6 of the 0.4
+        // left — one compressed grant.
+        let (grants, report) = sup.apply_detailed(
+            &mut s,
+            &[BwRequest {
+                server: ids[1],
+                budget: Dur::ms(60),
+                period: Dur::ms(100),
+            }],
+        );
+        assert_eq!(grants.len(), 1);
+        assert!((report.fixed - 0.5).abs() < 1e-9);
+        assert!((report.available - 0.4).abs() < 1e-9);
+        assert!((report.requested - 0.6).abs() < 1e-9);
+        assert_eq!(report.compressed, 1);
+        // Empty batch: all-zero report.
+        let (_, empty) = sup.apply_detailed(&mut s, &[]);
+        assert_eq!(empty, ApplyReport::default());
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! down into the guest manager's bound). Keeping kernel access out of
 //! this type makes the host-level law unit testable in isolation.
 
-use selftune_core::share::{DemandSignal, ShareController, ShareControllerConfig, ShareDecision};
+use selftune_core::share::{
+    DemandSignal, ShareController, ShareControllerConfig, ShareDecision, ShareTrace,
+};
 use selftune_simcore::time::{Dur, Time};
 
 /// Configuration of one VM's elastic-share loop.
@@ -119,13 +121,19 @@ impl VmShareController {
     /// through the host supervisor and feeds the resulting grant back via
     /// the next observation.
     pub fn step(&mut self, obs: &VmObservation, now: Time) -> ShareDecision {
+        self.step_traced(obs, now).0
+    }
+
+    /// [`VmShareController::step`] plus the [`ShareTrace`] a decision
+    /// journal records alongside the decision.
+    pub fn step_traced(&mut self, obs: &VmObservation, now: Time) -> (ShareDecision, ShareTrace) {
         self.next_at = now + self.cfg.control_period;
         let consumed_bw = if obs.elapsed.is_zero() {
             0.0
         } else {
             obs.consumed_delta.ratio(obs.elapsed)
         };
-        let decision = self.ctl.step(&DemandSignal {
+        let (decision, trace) = self.ctl.step_traced(&DemandSignal {
             consumed_bw,
             booked_bw: obs.booked,
             granted_bw: obs.granted,
@@ -134,7 +142,7 @@ impl VmShareController {
         if matches!(decision, ShareDecision::Request(_)) {
             self.rerequests += 1;
         }
-        decision
+        (decision, trace)
     }
 }
 

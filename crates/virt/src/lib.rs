@@ -58,12 +58,16 @@ pub mod platform;
 pub mod sched;
 
 pub use elastic::{VmElasticConfig, VmObservation, VmShareController};
-pub use platform::{GuestPolicy, TraceMux, VirtPlatform, VmAdmissionError, VmConfig};
+pub use platform::{
+    GuestPolicy, ShareGrantEvent, TraceMux, VirtPlatform, VmAdmissionError, VmConfig,
+};
 pub use sched::{GuestSched, VirtScheduler, VmId};
 
 /// One-stop imports for virtual-platform experiments.
 pub mod prelude {
     pub use crate::elastic::{VmElasticConfig, VmObservation, VmShareController};
-    pub use crate::platform::{GuestPolicy, VirtPlatform, VmAdmissionError, VmConfig};
+    pub use crate::platform::{
+        GuestPolicy, ShareGrantEvent, VirtPlatform, VmAdmissionError, VmConfig,
+    };
     pub use crate::sched::{GuestSched, VirtScheduler, VmId};
 }

@@ -24,7 +24,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use selftune_core::share::ShareDecision;
+use selftune_core::share::{ClampReason, ShareDecision};
 use selftune_core::{ControllerConfig, ManagerConfig, SelfTuningManager};
 use selftune_sched::{
     BwRequest, EdfScheduler, FixedPriority, ReservationScheduler, Server, ServerConfig, Supervisor,
@@ -111,6 +111,31 @@ impl core::fmt::Display for VmAdmissionError {
     }
 }
 
+/// One *executed* elastic share re-request, with the controller inputs
+/// that pinned it — buffered by the platform for a decision journal to
+/// drain via [`VirtPlatform::drain_share_grants`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShareGrantEvent {
+    /// When the control step ran.
+    pub at: Time,
+    /// The VM whose share moved.
+    pub vm: VmId,
+    /// The controller's smoothed demand estimate after this fold.
+    pub demand: f64,
+    /// The hysteresis-adopted target the platform requested.
+    pub target: f64,
+    /// The share the host supervisor actually granted.
+    pub granted: f64,
+    /// Whether the supervisor curbed the request.
+    pub compressed: bool,
+    /// Which controller bound clipped the request candidate.
+    pub clamp: ClampReason,
+    /// Unconfirmed hysteresis change after the step, if any.
+    pub pending: Option<(f64, u32)>,
+    /// Host bandwidth the request competed for (ulub − fixed).
+    pub available: f64,
+}
+
 /// Routes syscall trace edges to the tracer of the task's VM (slot 0 is
 /// the host tracer).
 pub struct TraceMux {
@@ -172,6 +197,8 @@ pub struct VirtPlatform {
     vms: Vec<VmRuntime>,
     route: Rc<RefCell<Vec<u16>>>,
     hooks: Rc<RefCell<Vec<TracerHook>>>,
+    /// Executed elastic re-grants since the last drain (journal feed).
+    share_events: Vec<ShareGrantEvent>,
 }
 
 impl VirtPlatform {
@@ -195,6 +222,7 @@ impl VirtPlatform {
             vms: Vec::new(),
             route,
             hooks,
+            share_events: Vec::new(),
         }
     }
 
@@ -356,14 +384,27 @@ impl VirtPlatform {
             el.last_consumed = consumed;
             el.last_compressions = compressions;
             el.last_at = now;
-            if let ShareDecision::Request(target) = el.ctl.step(&obs, now) {
+            let (decision, trace) = el.ctl.step_traced(&obs, now);
+            if let ShareDecision::Request(target) = decision {
                 let period = self.vm_server(vm).config().period;
                 let floor = self.cfg.supervisor.budget_floor(period);
                 let budget = period.mul_f64(target).max(floor).min(period);
-                let granted = self.request_vm_share(vm, budget, period);
+                let (granted, compressed, available) =
+                    self.request_vm_share_detailed(vm, budget, period);
                 if let Some(mgr) = self.vms[vm.index()].mgr.as_mut() {
                     mgr.set_bandwidth_bound(granted.clamp(1e-6, 1.0));
                 }
+                self.share_events.push(ShareGrantEvent {
+                    at: now,
+                    vm,
+                    demand: trace.demand,
+                    target,
+                    granted,
+                    compressed,
+                    clamp: trace.clamp,
+                    pending: trace.pending,
+                    available,
+                });
             }
             let share = self.vm_share(vm);
             let key = match el.share_key {
@@ -384,8 +425,19 @@ impl VirtPlatform {
     /// grant may be compressed under saturation). Returns the granted
     /// share `Q/T`.
     pub fn request_vm_share(&mut self, vm: VmId, budget: Dur, period: Dur) -> f64 {
+        self.request_vm_share_detailed(vm, budget, period).0
+    }
+
+    /// [`VirtPlatform::request_vm_share`] plus the supervisor arithmetic a
+    /// decision journal records: `(granted, compressed, available)`.
+    pub fn request_vm_share_detailed(
+        &mut self,
+        vm: VmId,
+        budget: Dur,
+        period: Dur,
+    ) -> (f64, bool, f64) {
         let sid = self.kernel.sched_mut().vm_server_id(vm);
-        let grants = self.cfg.supervisor.apply(
+        let (grants, report) = self.cfg.supervisor.apply_detailed(
             self.kernel.sched_mut().host_mut(),
             &[BwRequest {
                 server: sid,
@@ -393,7 +445,19 @@ impl VirtPlatform {
                 period,
             }],
         );
-        grants.first().map(|g| g.bandwidth()).unwrap_or(0.0)
+        let g = grants.first();
+        (
+            g.map(|g| g.bandwidth()).unwrap_or(0.0),
+            g.map(|g| g.compressed).unwrap_or(false),
+            report.available,
+        )
+    }
+
+    /// Drains the executed elastic re-grants buffered since the previous
+    /// drain, in simulation order. A fleet runner converts these into
+    /// journal records; callers that never drain pay one growing `Vec`.
+    pub fn drain_share_grants(&mut self) -> Vec<ShareGrantEvent> {
+        std::mem::take(&mut self.share_events)
     }
 
     /// Spawns a workload inside a VM, ready at `start`.

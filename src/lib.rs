@@ -25,7 +25,9 @@
 //! Beyond the paper, [`cluster`] replicates the whole stack across a
 //! simulated fleet: declarative scenarios, schedulability-backed
 //! cross-node admission, a deterministic parallel runner and fleet-wide
-//! aggregate metrics.
+//! aggregate metrics. [`journal`] records every fleet decision into a
+//! compact deterministic journal, replays it to byte-identical
+//! aggregates, and answers what-if queries with one policy swapped.
 //!
 //! ## Quickstart
 //!
@@ -54,6 +56,7 @@ pub use selftune_analysis as analysis;
 pub use selftune_apps as apps;
 pub use selftune_cluster as cluster;
 pub use selftune_core as core;
+pub use selftune_journal as journal;
 pub use selftune_sched as sched;
 pub use selftune_simcore as simcore;
 pub use selftune_spectrum as spectrum;
