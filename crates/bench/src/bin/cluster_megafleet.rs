@@ -1,0 +1,5 @@
+//! Bucketed placement index + sketch aggregates at 10k-node scale.
+fn main() {
+    let args = selftune_bench::Args::parse();
+    selftune_bench::experiments::cluster_megafleet::run(&args);
+}

@@ -437,6 +437,49 @@ fn cluster_report(out: &Path, smoke: bool) {
         ),
     });
 
+    // The megafleet axis (PR 7): 10k nodes, worst-fit — every placement
+    // query must rank the whole fleet, so the bucketed headroom index
+    // (after) vs the linear scan (before) is the dominant cost. Sketch
+    // aggregates on in both runs; the sim itself is kept short and
+    // healthy so the placer is what's being measured.
+    let (mf_tasks, mf_horizon) = if smoke {
+        (2_000, Dur::ms(300))
+    } else {
+        (10_000, Dur::ms(300))
+    };
+    let mf_nodes = 10_000usize;
+    let mf_spec = ScenarioSpec::new("megafleet-place", mf_nodes, mf_tasks, mf_horizon)
+        .with_mix(TaskMix::rt_only())
+        .with_policy(PolicyKind::WorstFit);
+    let mf_sim = mf_horizon.as_secs_f64() * mf_nodes as f64;
+    let mf_time = |scan: bool| {
+        let mut runner = ClusterRunner::new(2).with_sketch_aggregates(true);
+        if scan {
+            runner = runner.with_scan_placement(true);
+        }
+        let start = Instant::now();
+        let fleet = runner.run(&mf_spec, 42);
+        let wall = start.elapsed().as_secs_f64();
+        assert_eq!(fleet.nodes.len(), mf_nodes);
+        mf_sim / wall
+    };
+    let mf_after = mf_time(false);
+    let mf_before = mf_time(true);
+    println!(
+        "cluster/megafleet/nodes={mf_nodes}: index {mf_after:.0} sim-s/s, scan {mf_before:.0} sim-s/s ({:.2}x)",
+        mf_after / mf_before
+    );
+    entries.push(Entry {
+        name: format!("cluster/megafleet/nodes={mf_nodes}"),
+        metric: "sim_seconds_per_wall_second",
+        before: Some(mf_before),
+        after: mf_after,
+        note: Some(
+            "before = linear-scan placement over all 10k nodes per query, after = \
+             bucketed headroom index; worst-fit fleet with sketch aggregates on",
+        ),
+    });
+
     // Determinism: byte-identical aggregates at 1, 2 and 8 threads with
     // maximal steal interleaving.
     let baseline = ClusterRunner::new(1)

@@ -20,6 +20,7 @@ fn main() {
     e::ablations::run(&args);
     e::cluster_scaleout::run(&args);
     e::cluster_rebalance::run(&args);
+    e::cluster_megafleet::run(&args);
     e::journal_whatif::run(&args);
     e::vm_consolidation::run(&args);
     e::vm_elasticity::run(&args);

@@ -16,6 +16,9 @@ pub struct Args {
     pub seed: u64,
     /// Reduce repetitions for a quick smoke run.
     pub fast: bool,
+    /// Shrink to CI-budget sizes (smaller still than `--fast`); used by
+    /// the scale experiments to fit a wall-clock budget.
+    pub smoke: bool,
     /// Results directory.
     pub out: PathBuf,
     /// Scenario file overriding the experiment's built-in fleet (cluster
@@ -32,6 +35,7 @@ impl Default for Args {
         Args {
             seed: 42,
             fast: false,
+            smoke: false,
             out: PathBuf::from("results"),
             scenario: None,
             journal: None,
@@ -40,8 +44,8 @@ impl Default for Args {
 }
 
 impl Args {
-    /// Parses `--seed N`, `--fast`, `--out DIR`, `--scenario FILE` and
-    /// `--journal FILE` from `std::env::args`.
+    /// Parses `--seed N`, `--fast`, `--smoke`, `--out DIR`,
+    /// `--scenario FILE` and `--journal FILE` from `std::env::args`.
     ///
     /// # Panics
     ///
@@ -66,6 +70,7 @@ impl Args {
                     out.seed = v.parse().expect("--seed must be an integer");
                 }
                 "--fast" => out.fast = true,
+                "--smoke" => out.smoke = true,
                 "--out" => {
                     out.out = PathBuf::from(it.next().expect("--out needs a value"));
                 }
@@ -76,7 +81,7 @@ impl Args {
                     out.journal = Some(PathBuf::from(it.next().expect("--journal needs a file")));
                 }
                 other => panic!(
-                    "unknown argument {other:?} (try --seed/--fast/--out/--scenario/--journal)"
+                    "unknown argument {other:?} (try --seed/--fast/--smoke/--out/--scenario/--journal)"
                 ),
             }
         }
@@ -174,6 +179,7 @@ mod tests {
             "--seed",
             "7",
             "--fast",
+            "--smoke",
             "--out",
             "elsewhere",
             "--scenario",
@@ -183,6 +189,7 @@ mod tests {
         ]));
         assert_eq!(a.seed, 7);
         assert!(a.fast);
+        assert!(a.smoke);
         assert_eq!(a.out, PathBuf::from("elsewhere"));
         assert_eq!(a.scenario.as_deref(), Some(Path::new("fleet.txt")));
         assert_eq!(a.journal.as_deref(), Some(Path::new("run.journal")));
@@ -193,6 +200,7 @@ mod tests {
         let a = Args::parse_from(Vec::new());
         assert_eq!(a.seed, 42);
         assert!(!a.fast);
+        assert!(!a.smoke);
         assert!(a.scenario.is_none());
         assert!(a.journal.is_none());
     }

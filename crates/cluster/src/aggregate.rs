@@ -10,6 +10,8 @@ use std::path::Path;
 use selftune_simcore::metrics::write_csv;
 use selftune_simcore::stats;
 
+use crate::sketch::StreamSketch;
+
 /// Per-task slice of a node report.
 #[derive(Clone, Debug)]
 pub struct TaskReport {
@@ -42,13 +44,80 @@ pub struct TaskReport {
     pub attach_delay_ms: Option<f64>,
 }
 
+/// Exact per-node counters, maintained in both report modes. In detailed
+/// mode they are derived from the task vector; in sketch mode they are
+/// the *only* exact state the node keeps.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeTotals {
+    /// Tasks that ran on the node (including released/departed ones).
+    pub tasks: usize,
+    /// Tasks that ran under a reservation.
+    pub rt_tasks: usize,
+    /// Completed jobs/frames across all tasks.
+    pub completions: u64,
+    /// Deadline misses across all tasks.
+    pub misses: u64,
+    /// Completion gaps observed across all tasks (the miss-ratio
+    /// denominator).
+    pub gaps: u64,
+    /// Frames dropped by the applications themselves.
+    pub dropped: u64,
+}
+
+/// Per-node mergeable distribution state for fleet-scale runs: histogram
+/// sketches instead of per-task gap vectors. Merging is associative
+/// integer accumulation, so folding per-node sketches in node-id order is
+/// byte-identical at any thread count.
+#[derive(Clone, Debug)]
+pub struct NodeSketches {
+    /// Normalised completion gaps (gap / period) of every task.
+    pub gaps: StreamSketch,
+    /// Normalised completion gaps of migrated incarnations only.
+    pub post_migration: StreamSketch,
+    /// Attach delays (ms) of migrated flat-task incarnations.
+    pub attach: StreamSketch,
+    /// Attach delays (ms) of guests re-admitted inside migrated VMs.
+    pub vm_attach: StreamSketch,
+}
+
+impl NodeSketches {
+    /// Empty sketches on the canonical fleet grids.
+    pub fn new() -> NodeSketches {
+        NodeSketches {
+            gaps: StreamSketch::for_gap_norm(),
+            post_migration: StreamSketch::for_gap_norm(),
+            attach: StreamSketch::for_delay_ms(),
+            vm_attach: StreamSketch::for_delay_ms(),
+        }
+    }
+
+    /// Folds another node's sketches into this one.
+    pub fn merge(&mut self, other: &NodeSketches) {
+        self.gaps.merge(&other.gaps);
+        self.post_migration.merge(&other.post_migration);
+        self.attach.merge(&other.attach);
+        self.vm_attach.merge(&other.vm_attach);
+    }
+}
+
+impl Default for NodeSketches {
+    fn default() -> NodeSketches {
+        NodeSketches::new()
+    }
+}
+
 /// One node's contribution to the aggregate.
 #[derive(Clone, Debug)]
 pub struct NodeReport {
     /// Node id.
     pub node: usize,
-    /// Tasks that ran on this node.
+    /// Tasks that ran on this node. Empty in sketch mode, where per-task
+    /// vectors are exactly what a 1M-task fleet cannot retain.
     pub tasks: Vec<TaskReport>,
+    /// Exact per-node counters (kept in both modes).
+    pub totals: NodeTotals,
+    /// Distribution sketches; `Some` iff the node reported in sketch mode.
+    pub sketches: Option<NodeSketches>,
     /// CPU busy fraction over the horizon.
     pub utilisation: f64,
     /// Reserved bandwidth at the horizon.
@@ -61,14 +130,62 @@ impl NodeReport {
     /// A completion gap above `MISS_FACTOR × P` counts as a deadline miss.
     pub const MISS_FACTOR: f64 = 1.5;
 
+    /// A detailed-mode report: totals derived from the task vector.
+    pub fn from_tasks(
+        node: usize,
+        tasks: Vec<TaskReport>,
+        utilisation: f64,
+        reserved_bw: f64,
+        ctx_switches: u64,
+    ) -> NodeReport {
+        let totals = NodeTotals {
+            tasks: tasks.len(),
+            rt_tasks: tasks.iter().filter(|t| t.realtime).count(),
+            completions: tasks.iter().map(|t| t.completions).sum(),
+            misses: tasks.iter().map(|t| t.misses).sum(),
+            gaps: tasks.iter().map(|t| t.ift_norm.len() as u64).sum(),
+            dropped: tasks.iter().map(|t| t.dropped).sum(),
+        };
+        NodeReport {
+            node,
+            tasks,
+            totals,
+            sketches: None,
+            utilisation,
+            reserved_bw,
+            ctx_switches,
+        }
+    }
+
+    /// A sketch-mode report: exact counters plus distribution sketches,
+    /// no per-task retention.
+    pub fn from_sketches(
+        node: usize,
+        totals: NodeTotals,
+        sketches: NodeSketches,
+        utilisation: f64,
+        reserved_bw: f64,
+        ctx_switches: u64,
+    ) -> NodeReport {
+        NodeReport {
+            node,
+            tasks: Vec::new(),
+            totals,
+            sketches: Some(sketches),
+            utilisation,
+            reserved_bw,
+            ctx_switches,
+        }
+    }
+
     /// Total completions on the node.
     pub fn completions(&self) -> u64 {
-        self.tasks.iter().map(|t| t.completions).sum()
+        self.totals.completions
     }
 
     /// Total misses on the node.
     pub fn misses(&self) -> u64 {
-        self.tasks.iter().map(|t| t.misses).sum()
+        self.totals.misses
     }
 }
 
@@ -169,7 +286,8 @@ impl AggregateMetrics {
     }
 
     /// All normalised completion gaps across the fleet, in (node, task)
-    /// order.
+    /// order. Detailed mode only: empty when the nodes reported sketches
+    /// (per-task gap vectors are exactly what sketch mode does not keep).
     pub fn ift_norm_all(&self) -> Vec<f64> {
         self.nodes
             .iter()
@@ -188,13 +306,10 @@ impl AggregateMetrics {
     }
 
     /// Fleet deadline-miss ratio (misses over completion gaps observed).
+    /// Exact in both report modes — gaps and misses are integer counters
+    /// in [`NodeTotals`].
     pub fn miss_ratio(&self) -> f64 {
-        let gaps: u64 = self
-            .nodes
-            .iter()
-            .flat_map(|n| &n.tasks)
-            .map(|t| t.ift_norm.len() as u64)
-            .sum();
+        let gaps: u64 = self.nodes.iter().map(|n| n.totals.gaps).sum();
         if gaps == 0 {
             0.0
         } else {
@@ -202,80 +317,129 @@ impl AggregateMetrics {
         }
     }
 
-    /// Mean node utilisation.
+    /// Mean node utilisation (streaming; no intermediate vector).
     pub fn mean_utilisation(&self) -> f64 {
         if self.nodes.is_empty() {
             return 0.0;
         }
-        let u: Vec<f64> = self.nodes.iter().map(|n| n.utilisation).collect();
-        stats::mean(&u)
+        let sum: f64 = self.nodes.iter().map(|n| n.utilisation).sum();
+        sum / self.nodes.len() as f64
     }
 
-    /// All normalised completion gaps, sorted ascending (the shared input
-    /// of every quantile extraction below).
-    fn ift_norm_sorted(&self) -> Vec<f64> {
-        let mut xs = self.ift_norm_all();
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN completion gap"));
-        xs
+    /// Folds one sketch family across the fleet in node-id order. `Some`
+    /// iff at least one node reported sketches.
+    fn merged_sketch(&self, pick: impl Fn(&NodeSketches) -> &StreamSketch) -> Option<StreamSketch> {
+        let mut acc: Option<StreamSketch> = None;
+        for n in &self.nodes {
+            if let Some(k) = &n.sketches {
+                match &mut acc {
+                    None => acc = Some(pick(k).clone()),
+                    Some(a) => a.merge(pick(k)),
+                }
+            }
+        }
+        acc
     }
 
-    /// The fleet-wide CDF of normalised completion gaps, sampled on a
-    /// fixed quantile grid (so export size is independent of fleet size).
-    pub fn miss_cdf(&self) -> Vec<(f64, f64)> {
-        let xs = self.ift_norm_sorted();
+    /// All normalised completion gaps, sorted ascending, written into the
+    /// caller's scratch buffer (cleared first) so repeated extractions —
+    /// summary, CSV export, render — reuse one allocation.
+    pub fn ift_norm_sorted_into(&self, buf: &mut Vec<f64>) {
+        buf.clear();
+        for n in &self.nodes {
+            for t in &n.tasks {
+                buf.extend_from_slice(&t.ift_norm);
+            }
+        }
+        buf.sort_by(|a, b| a.partial_cmp(b).expect("NaN completion gap"));
+    }
+
+    /// Normalised completion gaps of *migrated* task incarnations, sorted
+    /// ascending into the caller's scratch buffer — the post-migration
+    /// behaviour of re-placed tasks.
+    pub fn post_migration_sorted_into(&self, buf: &mut Vec<f64>) {
+        buf.clear();
+        for t in self.nodes.iter().flat_map(|n| n.tasks.iter()) {
+            if t.migrated {
+                buf.extend_from_slice(&t.ift_norm);
+            }
+        }
+        buf.sort_by(|a, b| a.partial_cmp(b).expect("NaN completion gap"));
+    }
+
+    /// Samples a CDF on the fixed quantile grid from exact sorted data.
+    fn cdf_from_sorted(xs: &[f64]) -> Vec<(f64, f64)> {
         if xs.is_empty() {
             return Vec::new();
         }
         (0..=CDF_STEPS)
             .map(|i| {
                 let p = i as f64 / CDF_STEPS as f64;
-                (p, stats::quantile_sorted(&xs, p))
+                (p, stats::quantile_sorted(xs, p))
             })
             .collect()
     }
 
-    /// Normalised completion gaps of *migrated* task incarnations, sorted
-    /// ascending — the post-migration behaviour of re-placed tasks.
-    fn post_migration_sorted(&self) -> Vec<f64> {
-        let mut xs: Vec<f64> = self
-            .nodes
-            .iter()
-            .flat_map(|n| n.tasks.iter())
-            .filter(|t| t.migrated)
-            .flat_map(|t| t.ift_norm.iter().copied())
-            .collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN completion gap"));
-        xs
+    /// Samples a CDF on the fixed quantile grid from a merged sketch.
+    fn cdf_from_sketch(s: &StreamSketch) -> Vec<(f64, f64)> {
+        if s.is_empty() {
+            return Vec::new();
+        }
+        (0..=CDF_STEPS)
+            .map(|i| {
+                let p = i as f64 / CDF_STEPS as f64;
+                (p, s.quantile(p).expect("non-empty sketch"))
+            })
+            .collect()
+    }
+
+    /// The fleet-wide CDF of normalised completion gaps, sampled on a
+    /// fixed quantile grid (so export size is independent of fleet size).
+    /// Sketch-mode fleets read it from the merged gap sketch at bin
+    /// resolution; detailed fleets from the exact sorted gaps.
+    pub fn miss_cdf(&self) -> Vec<(f64, f64)> {
+        self.miss_cdf_with(&mut Vec::new())
+    }
+
+    /// [`AggregateMetrics::miss_cdf`] reusing a caller scratch buffer for
+    /// the sort in detailed mode.
+    pub fn miss_cdf_with(&self, scratch: &mut Vec<f64>) -> Vec<(f64, f64)> {
+        if let Some(s) = self.merged_sketch(|k| &k.gaps) {
+            return AggregateMetrics::cdf_from_sketch(&s);
+        }
+        self.ift_norm_sorted_into(scratch);
+        AggregateMetrics::cdf_from_sorted(scratch)
     }
 
     /// The miss CDF restricted to gaps observed after a migration (i.e. on
     /// the re-placed incarnations). Empty when nothing migrated.
     pub fn post_migration_cdf(&self) -> Vec<(f64, f64)> {
-        let xs = self.post_migration_sorted();
-        if xs.is_empty() {
-            return Vec::new();
+        self.post_migration_cdf_with(&mut Vec::new())
+    }
+
+    /// [`AggregateMetrics::post_migration_cdf`] reusing a caller scratch
+    /// buffer for the sort in detailed mode.
+    pub fn post_migration_cdf_with(&self, scratch: &mut Vec<f64>) -> Vec<(f64, f64)> {
+        if let Some(s) = self.merged_sketch(|k| &k.post_migration) {
+            return AggregateMetrics::cdf_from_sketch(&s);
         }
-        (0..=CDF_STEPS)
-            .map(|i| {
-                let p = i as f64 / CDF_STEPS as f64;
-                (p, stats::quantile_sorted(&xs, p))
-            })
-            .collect()
+        self.post_migration_sorted_into(scratch);
+        AggregateMetrics::cdf_from_sorted(scratch)
     }
 
     fn mean_attach_delay_where(&self, pred: impl Fn(&TaskReport) -> bool) -> Option<f64> {
-        let delays: Vec<f64> = self
+        let (mut sum, mut count) = (0.0f64, 0u64);
+        for d in self
             .nodes
             .iter()
             .flat_map(|n| n.tasks.iter())
             .filter(|t| t.migrated && pred(t))
             .filter_map(|t| t.attach_delay_ms)
-            .collect();
-        if delays.is_empty() {
-            None
-        } else {
-            Some(stats::mean(&delays))
+        {
+            sum += d;
+            count += 1;
         }
+        (count > 0).then(|| sum / count as f64)
     }
 
     /// Mean attach delay (ms) of migrated *flat-task* incarnations that
@@ -285,6 +449,9 @@ impl AggregateMetrics {
     /// blending the two regimes made the metric unreadable on fleets
     /// mixing VM and task moves. `None` when nothing migrated-and-attached.
     pub fn mean_migrated_attach_delay_ms(&self) -> Option<f64> {
+        if let Some(s) = self.merged_sketch(|k| &k.attach) {
+            return s.mean();
+        }
         self.mean_attach_delay_where(|t| !t.in_vm)
     }
 
@@ -293,6 +460,9 @@ impl AggregateMetrics {
     /// detected period and a demand-sized budget, so this collapses to
     /// zero; cold guests re-run detection inside the re-admitted VM.
     pub fn mean_migrated_vm_guest_attach_delay_ms(&self) -> Option<f64> {
+        if let Some(s) = self.merged_sketch(|k| &k.vm_attach) {
+            return s.mean();
+        }
         self.mean_attach_delay_where(|t| t.in_vm)
     }
 
@@ -309,8 +479,8 @@ impl AggregateMetrics {
             .map(|n| {
                 vec![
                     n.node.to_string(),
-                    n.tasks.len().to_string(),
-                    n.tasks.iter().filter(|t| t.realtime).count().to_string(),
+                    n.totals.tasks.to_string(),
+                    n.totals.rt_tasks.to_string(),
                     format!("{:.6}", n.utilisation),
                     format!("{:.6}", n.reserved_bw),
                     n.completions().to_string(),
@@ -388,10 +558,11 @@ impl AggregateMetrics {
             out.push_str(&row.join(","));
             out.push('\n');
         }
-        for (p, q) in self.miss_cdf() {
+        let mut scratch = Vec::new();
+        for (p, q) in self.miss_cdf_with(&mut scratch) {
             out.push_str(&format!("cdf,{p:.2},{q:.6}\n"));
         }
-        for (p, q) in self.post_migration_cdf() {
+        for (p, q) in self.post_migration_cdf_with(&mut scratch) {
             out.push_str(&format!("pmcdf,{p:.2},{q:.6}\n"));
         }
         out
@@ -405,13 +576,14 @@ impl AggregateMetrics {
     /// Returns any I/O error from creating the directory or files.
     pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
+        let mut scratch = Vec::new();
         write_csv(
             dir.join("cluster_nodes.csv"),
             &AggregateMetrics::NODE_HEADER,
             &self.node_rows(),
         )?;
         let cdf_rows: Vec<Vec<String>> = self
-            .miss_cdf()
+            .miss_cdf_with(&mut scratch)
             .iter()
             .map(|&(p, q)| vec![format!("{p:.2}"), format!("{q:.6}")])
             .collect();
@@ -460,7 +632,7 @@ impl AggregateMetrics {
             &move_rows,
         )?;
         let pm_rows: Vec<Vec<String>> = self
-            .post_migration_cdf()
+            .post_migration_cdf_with(&mut scratch)
             .iter()
             .map(|&(p, q)| vec![format!("{p:.2}"), format!("{q:.6}")])
             .collect();
@@ -498,21 +670,37 @@ impl AggregateMetrics {
             self.miss_ratio(),
             100.0 * self.mean_utilisation(),
         ));
-        let xs = self.ift_norm_sorted();
-        if !xs.is_empty() {
-            out.push_str(&format!(
-                "completion gap / period: p50 {:.3}  p95 {:.3}  p99 {:.3}  max {:.3}\n",
-                stats::quantile_sorted(&xs, 0.50),
-                stats::quantile_sorted(&xs, 0.95),
-                stats::quantile_sorted(&xs, 0.99),
-                xs.last().expect("non-empty"),
-            ));
+        match self.merged_sketch(|k| &k.gaps) {
+            Some(s) => {
+                if !s.is_empty() {
+                    out.push_str(&format!(
+                        "completion gap / period: p50 {:.3}  p95 {:.3}  p99 {:.3}  max {:.3}\n",
+                        s.quantile(0.50).expect("non-empty"),
+                        s.quantile(0.95).expect("non-empty"),
+                        s.quantile(0.99).expect("non-empty"),
+                        s.max().expect("non-empty"),
+                    ));
+                }
+            }
+            None => {
+                let mut xs = Vec::new();
+                self.ift_norm_sorted_into(&mut xs);
+                if !xs.is_empty() {
+                    out.push_str(&format!(
+                        "completion gap / period: p50 {:.3}  p95 {:.3}  p99 {:.3}  max {:.3}\n",
+                        stats::quantile_sorted(&xs, 0.50),
+                        stats::quantile_sorted(&xs, 0.95),
+                        stats::quantile_sorted(&xs, 0.99),
+                        xs.last().expect("non-empty"),
+                    ));
+                }
+            }
         }
         for n in &self.nodes {
             out.push_str(&format!(
                 "  node {:>3}: {:>2} tasks  util {:>5.1}%  reserved {:>5.1}%  misses {}\n",
                 n.node,
-                n.tasks.len(),
+                n.totals.tasks,
                 100.0 * n.utilisation,
                 100.0 * n.reserved_bw,
                 n.misses(),
@@ -527,9 +715,9 @@ mod tests {
     use super::*;
 
     fn report(node: usize, util: f64, ift: Vec<f64>) -> NodeReport {
-        NodeReport {
+        NodeReport::from_tasks(
             node,
-            tasks: vec![TaskReport {
+            vec![TaskReport {
                 fleet_id: node,
                 label: format!("t{node}"),
                 realtime: true,
@@ -542,10 +730,27 @@ mod tests {
                 ift_norm: ift,
                 attach_delay_ms: None,
             }],
-            utilisation: util,
-            reserved_bw: util * 0.8,
-            ctx_switches: 100,
+            util,
+            util * 0.8,
+            100,
+        )
+    }
+
+    /// The same node as `report`, reduced to sketch form.
+    fn sketch_report(node: usize, util: f64, ift: Vec<f64>) -> NodeReport {
+        let mut sk = NodeSketches::new();
+        for &x in &ift {
+            sk.gaps.record(x);
         }
+        let totals = NodeTotals {
+            tasks: 1,
+            rt_tasks: 1,
+            completions: ift.len() as u64 + 1,
+            misses: ift.iter().filter(|&&x| x > NodeReport::MISS_FACTOR).count() as u64,
+            gaps: ift.len() as u64,
+            dropped: 0,
+        };
+        NodeReport::from_sketches(node, totals, sk, util, util * 0.8, 100)
     }
 
     #[test]
@@ -635,6 +840,96 @@ mod tests {
         );
         assert!(plain.post_migration_cdf().is_empty());
         assert!(!plain.summary_csv().contains("pmcdf"));
+    }
+
+    #[test]
+    fn sketch_reports_keep_counters_exact_and_cdfs_close() {
+        let gaps_a = vec![1.0, 1.1, 0.9, 3.0];
+        let gaps_b = vec![0.95, 1.6, 1.05];
+        let exact = AggregateMetrics::new(
+            "s",
+            1,
+            AdmissionStats::default(),
+            vec![
+                report(0, 0.3, gaps_a.clone()),
+                report(1, 0.5, gaps_b.clone()),
+            ],
+        );
+        let sketched = AggregateMetrics::new(
+            "s",
+            1,
+            AdmissionStats::default(),
+            vec![sketch_report(0, 0.3, gaps_a), sketch_report(1, 0.5, gaps_b)],
+        );
+        // Counters are exact in both modes.
+        assert_eq!(sketched.completions(), exact.completions());
+        assert_eq!(sketched.misses(), exact.misses());
+        assert!((sketched.miss_ratio() - exact.miss_ratio()).abs() < 1e-12);
+        assert_eq!(sketched.node_rows(), exact.node_rows());
+        // The sketch CDF lands within half a bin of the nearest-rank data
+        // value at every grid point (the exact path interpolates between
+        // ranks, so compare against the rank value, not the exact CDF).
+        let mut sorted = Vec::new();
+        exact.ift_norm_sorted_into(&mut sorted);
+        let s = sketched.miss_cdf();
+        assert_eq!(s.len(), CDF_STEPS + 1);
+        for &(p, qs) in &s {
+            if p <= 0.0 || p >= 1.0 {
+                let exact_end = if p <= 0.0 {
+                    sorted[0]
+                } else {
+                    sorted[sorted.len() - 1]
+                };
+                assert_eq!(qs, exact_end, "extremes are exact");
+                continue;
+            }
+            let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+            assert!(
+                (qs - sorted[rank]).abs() <= 0.0051,
+                "p {p}: sketch {qs} vs rank value {}",
+                sorted[rank]
+            );
+        }
+        // Sketch-mode summaries are still order-independent over nodes.
+        let swapped = AggregateMetrics::new(
+            "s",
+            1,
+            AdmissionStats::default(),
+            vec![sketched.nodes[1].clone(), sketched.nodes[0].clone()],
+        );
+        assert_eq!(sketched.summary_csv(), swapped.summary_csv());
+    }
+
+    #[test]
+    fn sketch_mode_attach_delay_means_come_from_the_sketches() {
+        let mut node = sketch_report(0, 0.4, vec![1.0]);
+        let sk = node.sketches.as_mut().expect("sketch mode");
+        sk.attach.record(120.0);
+        sk.attach.record(80.0);
+        sk.vm_attach.record(0.0);
+        let m = AggregateMetrics::new("s", 1, AdmissionStats::default(), vec![node]);
+        assert!((m.mean_migrated_attach_delay_ms().unwrap() - 100.0).abs() < 1e-9);
+        assert_eq!(m.mean_migrated_vm_guest_attach_delay_ms(), Some(0.0));
+        let csv = m.summary_csv();
+        assert!(csv.contains("migrated_attach_delay_ms,100.000"));
+        assert!(csv.contains("vm_guest_attach_delay_ms,0.000"));
+    }
+
+    #[test]
+    fn scratch_buffer_extractions_match_the_owned_ones() {
+        let m = AggregateMetrics::new(
+            "s",
+            1,
+            AdmissionStats::default(),
+            vec![report(0, 0.3, vec![1.2, 0.8]), report(1, 0.5, vec![2.0])],
+        );
+        let mut buf = vec![99.0; 8]; // dirty scratch must be cleared
+        m.ift_norm_sorted_into(&mut buf);
+        assert_eq!(buf, vec![0.8, 1.2, 2.0]);
+        assert_eq!(m.miss_cdf_with(&mut buf), m.miss_cdf());
+        m.post_migration_sorted_into(&mut buf);
+        assert!(buf.is_empty());
+        assert!(m.post_migration_cdf_with(&mut buf).is_empty());
     }
 
     #[test]

@@ -35,6 +35,10 @@
 //!   per-node reserved bandwidth, backed by the
 //!   [`selftune_analysis::min_bandwidth_single`] schedulability test,
 //!   plus the feedback rebalance pass over live [`FeedbackView`]s.
+//! * [`index`] — the bucketed node-headroom index behind the placer:
+//!   every `place*` / rebalance destination query answered in O(log n)
+//!   instead of a full fleet scan, byte-identical to the scan path (which
+//!   stays available behind `Placer::use_scan_placement`).
 //! * [`node`] — one machine: kernel, tracer and self-tuning manager
 //!   bundled, with lifetime leases, overload injection, per-epoch
 //!   [`NodeFeedback`] snapshots and running-task extraction.
@@ -43,6 +47,9 @@
 //!   `(spec, seed)` ⇒ byte-identical aggregates at any thread count.
 //! * [`aggregate`] — fleet-wide reducers, migration records and CSV
 //!   export.
+//! * [`sketch`] — mergeable fixed-grid histogram sketches; the opt-in
+//!   fleet-scale replacement for per-task gap vectors
+//!   (`ClusterRunner::with_sketch_aggregates`).
 //!
 //! ## Determinism
 //!
@@ -74,16 +81,20 @@
 
 pub mod aggregate;
 pub mod events;
+pub mod index;
 pub mod node;
 pub mod placer;
 pub mod runner;
+pub mod sketch;
 pub mod spec;
 pub mod textio;
 
 pub use aggregate::{
-    AdmissionStats, AggregateMetrics, MigrationRecord, NodeReport, RebalanceStats, TaskReport,
+    AdmissionStats, AggregateMetrics, MigrationRecord, NodeReport, NodeSketches, NodeTotals,
+    RebalanceStats, TaskReport,
 };
 pub use events::{sort_events, FleetEvent, NodeSnap};
+pub use index::HeadroomIndex;
 pub use node::{Lease, LiveRt, LiveVm, Node, NodeFeedback, NodeTask, NodeVm, WarmStart};
 pub use placer::{
     FeedbackView, LiveTask, LiveVmUnit, Migration, PlacementOutcome, Placer, PolicyKind,
@@ -93,6 +104,7 @@ pub use runner::{
     derive_task_seed, plan_fleet, plan_fleet_pinned, ClusterRunner, EpochDecision, FleetPlan,
     PinnedMoves, PinnedPlan, PlannedTask, PlannedVm,
 };
+pub use sketch::StreamSketch;
 pub use spec::{
     ArrivalSchedule, Churn, NodeFilter, OverloadWindow, RebalanceSpec, ScenarioSpec, TaskKind,
     TaskMix, VmSpec,

@@ -18,7 +18,7 @@ use selftune_simcore::task::{Action, TaskCtx, TaskId, Workload};
 use selftune_simcore::time::{Dur, Time};
 use selftune_virt::{GuestPolicy, VirtPlatform, VmConfig, VmElasticConfig, VmId};
 
-use crate::aggregate::{NodeReport, TaskReport};
+use crate::aggregate::{NodeReport, NodeSketches, NodeTotals, TaskReport};
 use crate::events::FleetEvent;
 use crate::spec::{OverloadWindow, ScenarioSpec, TaskKind};
 
@@ -115,26 +115,77 @@ pub struct NodeVm {
     pub elastic: bool,
 }
 
-struct Managed {
-    tid: TaskId,
-    task: NodeTask,
-    released: bool,
+/// Managed-task state in struct-of-arrays layout: one parallel column per
+/// field, plus an index list over the real-time slots the per-sampling-step
+/// liveness scan still has to visit. At fleet scale that scan is the inner
+/// loop — walking a compact `tids`/`released` column pair for the live
+/// slots beats chasing one heap struct per task, and releasing a task
+/// shrinks the scan instead of leaving a tombstone it re-checks forever.
+#[derive(Default)]
+struct TaskArena {
+    /// Cold plan data (label, kind, arrival, …), one entry per slot, in
+    /// admission order.
+    plans: Vec<NodeTask>,
+    /// Kernel task ids (hot column).
+    tids: Vec<TaskId>,
+    /// Reservation released / task extracted (hot column).
+    released: Vec<bool>,
     /// CPU consumed up to the last feedback snapshot (for epoch deltas).
-    fb_consumed: Dur,
-    /// Cached completion-mark name (None for kinds without marks), so the
+    fb_consumed: Vec<Dur>,
+    /// Cached completion-mark names (None for kinds without marks), so the
     /// per-epoch scan formats no strings.
-    mark: Option<String>,
-    /// Cached nominal period in milliseconds, for miss classification.
-    period_ms: Option<f64>,
-    /// Completion marks already scanned by previous feedback snapshots —
+    marks: Vec<Option<String>>,
+    /// Cached nominal periods in milliseconds, for miss classification.
+    periods_ms: Vec<Option<f64>>,
+    /// Completion marks already consumed by previous feedback snapshots —
     /// each epoch only walks the marks it has not seen yet.
-    fb_mark_pos: usize,
+    fb_mark_pos: Vec<usize>,
+    /// Slots of real-time, not-yet-released tasks in admission order — the
+    /// only slots the per-step liveness scan touches.
+    active_rt: Vec<usize>,
+}
+
+impl TaskArena {
+    /// Admits a plan into a fresh slot.
+    fn push(&mut self, plan: NodeTask, tid: TaskId) {
+        let slot = self.plans.len();
+        self.marks.push(plan.kind.mark_name(&plan.label));
+        self.periods_ms.push(plan.kind.nominal().map(|t| t.period));
+        if plan.kind.is_realtime() {
+            self.active_rt.push(slot);
+        }
+        self.plans.push(plan);
+        self.tids.push(tid);
+        self.released.push(false);
+        self.fb_consumed.push(Dur::ZERO);
+        self.fb_mark_pos.push(0);
+    }
+
+    fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Marks a slot released and drops it from the active scan list,
+    /// preserving the order of the remaining slots (so downstream
+    /// unmanage ordering is unchanged from the full-scan days).
+    fn release(&mut self, slot: usize) {
+        self.released[slot] = true;
+        if let Some(pos) = self.active_rt.iter().position(|&s| s == slot) {
+            self.active_rt.remove(pos);
+        }
+    }
+
+    /// Marks every slot released (whole-VM extraction).
+    fn release_all(&mut self) {
+        self.released.iter_mut().for_each(|r| *r = true);
+        self.active_rt.clear();
+    }
 }
 
 struct VmRt {
     vm: VmId,
     plan: NodeVm,
-    guests: Vec<Managed>,
+    guests: TaskArena,
     released: bool,
     /// VM share consumption up to the last feedback snapshot.
     fb_consumed: Dur,
@@ -244,7 +295,7 @@ pub struct Node {
     /// warm-started VM migrations (rebalance enabled with `warm_start`;
     /// building them is wasted work otherwise).
     guest_warm_carry: bool,
-    tasks: Vec<Managed>,
+    tasks: TaskArena,
     vms: Vec<VmRt>,
     fb_mark: FeedbackMark,
 }
@@ -263,7 +314,7 @@ impl Node {
             sampling: spec.sampling,
             headroom: spec.headroom,
             guest_warm_carry: spec.rebalance.enabled && spec.rebalance.warm_start,
-            tasks: Vec::new(),
+            tasks: TaskArena::default(),
             vms: Vec::new(),
             fb_mark: FeedbackMark::default(),
         }
@@ -283,20 +334,6 @@ impl Node {
             workload = Box::new(Lease::new(workload, dep));
         }
         workload
-    }
-
-    fn managed_of(plan: NodeTask, tid: TaskId) -> Managed {
-        let mark = plan.kind.mark_name(&plan.label);
-        let period_ms = plan.kind.nominal().map(|t| t.period);
-        Managed {
-            tid,
-            task: plan,
-            released: false,
-            fb_consumed: Dur::ZERO,
-            mark,
-            period_ms,
-            fb_mark_pos: 0,
-        }
     }
 
     /// Adds a planned task: spawns its workload at the arrival instant
@@ -323,7 +360,7 @@ impl Node {
                     .manage_host(tid, &plan.label, ControllerConfig::default()),
             }
         }
-        self.tasks.push(Node::managed_of(plan, tid));
+        self.tasks.push(plan, tid);
     }
 
     /// Adds a planned virtual platform: admits its share, spawns every
@@ -351,7 +388,7 @@ impl Node {
             self.platform
                 .make_vm_elastic(vm, VmElasticConfig::default());
         }
-        let mut guests = Vec::with_capacity(plan.guests.len());
+        let mut guests = TaskArena::default();
         for g in &plan.guests {
             let workload = Node::leased_workload(g);
             let tid = self
@@ -373,7 +410,7 @@ impl Node {
                     }
                 }
             }
-            guests.push(Node::managed_of(g.clone(), tid));
+            guests.push(g.clone(), tid);
         }
         self.vms.push(VmRt {
             vm,
@@ -404,30 +441,43 @@ impl Node {
 
     /// Runs to the horizon, stepping every manager every sampling period
     /// and releasing the reservations of departed tasks along the way.
+    ///
+    /// The per-step liveness scan walks only the arena's active real-time
+    /// slots — a released or best-effort task costs nothing here, which is
+    /// what keeps the step affordable on nodes that have churned through
+    /// many tasks. Workloads can exit on their own (leases, application
+    /// `Exit`), so this stays a scan over the live set rather than a
+    /// departure-schedule cursor.
     pub fn run_to_horizon(&mut self, horizon: Time) {
         while self.platform.now() < horizon {
             let next = (self.platform.now() + self.sampling).min(horizon);
             self.platform.kernel_mut().run_until(next);
-            for m in &mut self.tasks {
-                if !m.released
-                    && m.task.kind.is_realtime()
-                    && self.platform.kernel().task_state(m.tid) == TaskState::Exited
-                {
-                    self.platform.unmanage_host(m.tid);
-                    m.released = true;
+            let mut i = 0;
+            while i < self.tasks.active_rt.len() {
+                let slot = self.tasks.active_rt[i];
+                let tid = self.tasks.tids[slot];
+                if self.platform.kernel().task_state(tid) == TaskState::Exited {
+                    self.platform.unmanage_host(tid);
+                    self.tasks.released[slot] = true;
+                    self.tasks.active_rt.remove(i);
+                } else {
+                    i += 1;
                 }
             }
             for rt in &mut self.vms {
                 if rt.released {
                     continue;
                 }
-                for m in &mut rt.guests {
-                    if !m.released
-                        && m.task.kind.is_realtime()
-                        && self.platform.kernel().task_state(m.tid) == TaskState::Exited
-                    {
-                        self.platform.unmanage_in_vm(rt.vm, m.tid);
-                        m.released = true;
+                let mut i = 0;
+                while i < rt.guests.active_rt.len() {
+                    let slot = rt.guests.active_rt[i];
+                    let tid = rt.guests.tids[slot];
+                    if self.platform.kernel().task_state(tid) == TaskState::Exited {
+                        self.platform.unmanage_in_vm(rt.vm, tid);
+                        rt.guests.released[slot] = true;
+                        rt.guests.active_rt.remove(i);
+                    } else {
+                        i += 1;
                     }
                 }
             }
@@ -436,16 +486,23 @@ impl Node {
     }
 
     /// Walks a task's fresh completion marks, updating the epoch counters.
-    fn scan_marks(platform: &VirtPlatform, m: &mut Managed, gaps: &mut u64, misses: &mut u64) {
-        if let (Some(name), Some(period_ms)) = (&m.mark, m.period_ms) {
+    fn scan_marks(
+        platform: &VirtPlatform,
+        mark: &Option<String>,
+        period_ms: Option<f64>,
+        pos: &mut usize,
+        gaps: &mut u64,
+        misses: &mut u64,
+    ) {
+        if let (Some(name), Some(period_ms)) = (mark, period_ms) {
             let marks = platform.kernel().metrics().marks(name);
-            while m.fb_mark_pos + 1 < marks.len() {
-                let gap_ms = (marks[m.fb_mark_pos + 1] - marks[m.fb_mark_pos]).as_ms_f64();
+            while *pos + 1 < marks.len() {
+                let gap_ms = (marks[*pos + 1] - marks[*pos]).as_ms_f64();
                 *gaps += 1;
                 if gap_ms / period_ms > NodeReport::MISS_FACTOR {
                     *misses += 1;
                 }
-                m.fb_mark_pos += 1;
+                *pos += 1;
             }
         }
     }
@@ -472,40 +529,49 @@ impl Node {
         let mut gaps = 0u64;
         let mut misses = 0u64;
         let mut live_rt: Vec<LiveRt> = Vec::new();
-        for m in &mut self.tasks {
-            Node::scan_marks(&self.platform, m, &mut gaps, &mut misses);
-            let live = m.task.kind.is_realtime()
-                && !m.released
+        for slot in 0..self.tasks.len() {
+            Node::scan_marks(
+                &self.platform,
+                &self.tasks.marks[slot],
+                self.tasks.periods_ms[slot],
+                &mut self.tasks.fb_mark_pos[slot],
+                &mut gaps,
+                &mut misses,
+            );
+            let plan = &self.tasks.plans[slot];
+            let tid = self.tasks.tids[slot];
+            let live = plan.kind.is_realtime()
+                && !self.tasks.released[slot]
                 && matches!(
-                    self.platform.kernel().task_state(m.tid),
+                    self.platform.kernel().task_state(tid),
                     TaskState::Ready | TaskState::Blocked
                 );
             if !live {
                 continue;
             }
-            let consumed = self.platform.kernel().thread_time(m.tid);
-            let epoch_consumed = consumed.saturating_sub(m.fb_consumed);
-            m.fb_consumed = consumed;
+            let consumed = self.platform.kernel().thread_time(tid);
+            let epoch_consumed = consumed.saturating_sub(self.tasks.fb_consumed[slot]);
+            self.tasks.fb_consumed[slot] = consumed;
             // Normalise by the task's *residency* in the epoch, not the
             // whole epoch: a task that landed mid-epoch burned its share
             // over a shorter window.
-            let resident = now.saturating_since(if m.task.arrival > prev {
-                m.task.arrival
+            let resident = now.saturating_since(if plan.arrival > prev {
+                plan.arrival
             } else {
                 prev
             });
-            let granted = self.platform.host_manager().server_of(m.tid).map(|sid| {
+            let granted = self.platform.host_manager().server_of(tid).map(|sid| {
                 let cfg = self.platform.kernel().sched().host().server(sid).config();
                 (cfg.budget, cfg.period)
             });
             live_rt.push(LiveRt {
-                fleet_id: m.task.fleet_id,
+                fleet_id: plan.fleet_id,
                 measured_bw: if resident.is_zero() {
                     0.0
                 } else {
                     epoch_consumed.ratio(resident)
                 },
-                movable: m.task.arrival <= prev,
+                movable: plan.arrival <= prev,
                 granted,
             });
         }
@@ -522,19 +588,24 @@ impl Node {
             // rebalance with warm hand-over on, and not an elastic VM
             // (those are never eviction victims) nor a released one.
             let carry = self.guest_warm_carry && !rt.plan.elastic && !rt.released;
-            for m in &mut rt.guests {
-                Node::scan_marks(&self.platform, m, &mut gaps, &mut misses);
+            for slot in 0..rt.guests.len() {
+                Node::scan_marks(
+                    &self.platform,
+                    &rt.guests.marks[slot],
+                    rt.guests.periods_ms[slot],
+                    &mut rt.guests.fb_mark_pos[slot],
+                    &mut gaps,
+                    &mut misses,
+                );
                 if !carry {
                     continue;
                 }
-                let consumed = self.platform.kernel().thread_time(m.tid);
-                let delta = consumed.saturating_sub(m.fb_consumed);
-                m.fb_consumed = consumed;
-                let resident = now.saturating_since(if m.task.arrival > prev {
-                    m.task.arrival
-                } else {
-                    prev
-                });
+                let tid = rt.guests.tids[slot];
+                let consumed = self.platform.kernel().thread_time(tid);
+                let delta = consumed.saturating_sub(rt.guests.fb_consumed[slot]);
+                rt.guests.fb_consumed[slot] = consumed;
+                let arrival = rt.guests.plans[slot].arrival;
+                let resident = now.saturating_since(if arrival > prev { arrival } else { prev });
                 guest_bw.push(if resident.is_zero() {
                     0.0
                 } else {
@@ -556,20 +627,17 @@ impl Node {
                 carry.then(|| self.platform.guest_manager(rt.vm)).flatten(),
                 self.platform.kernel().sched().guest(rt.vm),
             ) {
-                (Some(mgr), selftune_virt::GuestSched::Reservation(g)) => rt
-                    .guests
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, m)| !m.released)
-                    .filter_map(|(i, m)| {
-                        let cfg = g.server(mgr.server_of(m.tid)?).config();
+                (Some(mgr), selftune_virt::GuestSched::Reservation(g)) => (0..rt.guests.len())
+                    .filter(|&i| !rt.guests.released[i])
+                    .filter_map(|i| {
+                        let cfg = g.server(mgr.server_of(rt.guests.tids[i])?).config();
                         // The source's grant may have been compressed
                         // inside the tenant; floor the carried budget at
                         // the measured demand plus headroom (see
                         // `WarmStart::demand_sized`).
                         let demand = (guest_bw[i] * self.headroom).min(1.0);
                         Some((
-                            m.task.fleet_id,
+                            rt.guests.plans[i].fleet_id,
                             WarmStart::demand_sized(cfg.budget, cfg.period, demand),
                         ))
                     })
@@ -649,16 +717,14 @@ impl Node {
     /// Returns `None` when the task is unknown, already departed or
     /// already extracted — the migration is then dropped.
     pub fn extract_task(&mut self, fleet_id: usize) -> Option<Option<WarmStart>> {
-        let m = self
-            .tasks
-            .iter_mut()
-            .find(|m| m.task.fleet_id == fleet_id && !m.released)?;
-        let tid = m.tid;
-        let realtime = m.task.kind.is_realtime();
+        let slot = (0..self.tasks.len())
+            .find(|&s| self.tasks.plans[s].fleet_id == fleet_id && !self.tasks.released[s])?;
+        let tid = self.tasks.tids[slot];
+        let realtime = self.tasks.plans[slot].kind.is_realtime();
         if self.platform.kernel().task_state(tid) == TaskState::Exited {
             return None;
         }
-        m.released = true;
+        self.tasks.release(slot);
         let warm = self.platform.host_manager().server_of(tid).map(|sid| {
             let cfg = self.platform.kernel().sched().host().server(sid).config();
             WarmStart {
@@ -686,16 +752,16 @@ impl Node {
             return false;
         };
         rt.released = true;
-        for m in &mut rt.guests {
-            m.released = true;
-        }
+        rt.guests.release_all();
         self.platform.kill_vm(rt.vm)
     }
 
-    fn task_report(&self, m: &Managed, vm_mgr: Option<VmId>) -> TaskReport {
+    fn task_report(&self, arena: &TaskArena, slot: usize, vm_mgr: Option<VmId>) -> TaskReport {
+        let plan = &arena.plans[slot];
+        let tid = arena.tids[slot];
         let metrics = self.platform.kernel().metrics();
-        let nominal = m.task.kind.nominal();
-        let (completions, ift_norm) = match (&m.mark, &nominal) {
+        let nominal = plan.kind.nominal();
+        let (completions, ift_norm) = match (&arena.marks[slot], &nominal) {
             (Some(name), Some(t)) => {
                 let gaps = metrics.inter_mark_times_ms(name);
                 let norm: Vec<f64> = gaps.iter().map(|&g| g / t.period).collect();
@@ -707,24 +773,24 @@ impl Node {
             .iter()
             .filter(|&&x| x > NodeReport::MISS_FACTOR)
             .count() as u64;
-        let dropped = metrics.counter(&format!("{}.dropped", m.task.label));
+        let dropped = metrics.counter(&format!("{}.dropped", plan.label));
         let attached = match vm_mgr {
             Some(vm) => self
                 .platform
                 .guest_manager(vm)
-                .is_some_and(|mgr| mgr.server_of(m.tid).is_some()),
-            None => self.platform.host_manager().server_of(m.tid).is_some(),
-        } || m.released;
+                .is_some_and(|mgr| mgr.server_of(tid).is_some()),
+            None => self.platform.host_manager().server_of(tid).is_some(),
+        } || arena.released[slot];
         let attach_delay_ms = metrics
-            .marks(&format!("{}.attached", m.task.label))
+            .marks(&format!("{}.attached", plan.label))
             .first()
-            .map(|&t| t.saturating_since(m.task.arrival).as_ms_f64());
+            .map(|&t| t.saturating_since(plan.arrival).as_ms_f64());
         TaskReport {
-            fleet_id: m.task.fleet_id,
-            label: m.task.label.clone(),
-            realtime: m.task.kind.is_realtime(),
+            fleet_id: plan.fleet_id,
+            label: plan.label.clone(),
+            realtime: plan.kind.is_realtime(),
             attached,
-            migrated: m.task.migrated,
+            migrated: plan.migrated,
             in_vm: vm_mgr.is_some(),
             completions,
             misses,
@@ -741,28 +807,77 @@ impl Node {
     /// exceeds [`NodeReport::MISS_FACTOR`]` × P`. Guest tasks report after
     /// the node's flat tasks, in (VM, spawn) order.
     pub fn report(&self, horizon: Time) -> NodeReport {
-        let mut tasks = Vec::new();
-        for m in &self.tasks {
-            tasks.push(self.task_report(m, None));
-        }
-        for rt in &self.vms {
-            for m in &rt.guests {
-                tasks.push(self.task_report(m, Some(rt.vm)));
-            }
-        }
+        self.report_mode(horizon, true)
+    }
+
+    /// [`Node::report`] with the retention mode explicit. `detailed`
+    /// keeps every per-task [`TaskReport`] (the small-fleet default);
+    /// otherwise each task is folded into [`NodeTotals`] counters and
+    /// [`NodeSketches`] histograms as it is visited and dropped — O(1)
+    /// retained state per task, the fleet-scale mode behind
+    /// `ClusterRunner::with_sketch_aggregates`.
+    pub fn report_mode(&self, horizon: Time, detailed: bool) -> NodeReport {
         let busy = self.platform.kernel().busy_time();
         let span = horizon.saturating_since(Time::ZERO);
-        NodeReport {
-            node: self.id,
-            tasks,
-            utilisation: if span.is_zero() {
-                0.0
-            } else {
-                busy.ratio(span)
-            },
-            reserved_bw: self.platform.host_reserved_bandwidth(),
-            ctx_switches: self.platform.kernel().context_switches(),
+        let utilisation = if span.is_zero() {
+            0.0
+        } else {
+            busy.ratio(span)
+        };
+        let reserved_bw = self.platform.host_reserved_bandwidth();
+        let ctx_switches = self.platform.kernel().context_switches();
+        if detailed {
+            let mut tasks = Vec::new();
+            for slot in 0..self.tasks.len() {
+                tasks.push(self.task_report(&self.tasks, slot, None));
+            }
+            for rt in &self.vms {
+                for slot in 0..rt.guests.len() {
+                    tasks.push(self.task_report(&rt.guests, slot, Some(rt.vm)));
+                }
+            }
+            return NodeReport::from_tasks(self.id, tasks, utilisation, reserved_bw, ctx_switches);
         }
+        let mut totals = NodeTotals::default();
+        let mut sk = NodeSketches::new();
+        {
+            let mut fold = |t: TaskReport| {
+                totals.tasks += 1;
+                if t.realtime {
+                    totals.rt_tasks += 1;
+                }
+                totals.completions += t.completions;
+                totals.misses += t.misses;
+                totals.gaps += t.ift_norm.len() as u64;
+                totals.dropped += t.dropped;
+                for &g in &t.ift_norm {
+                    sk.gaps.record(g);
+                    if t.migrated {
+                        sk.post_migration.record(g);
+                    }
+                }
+                // Attach delays feed the migration hand-over metrics, which
+                // only read migrated incarnations — mirror that filter here.
+                if t.migrated {
+                    if let Some(d) = t.attach_delay_ms {
+                        if t.in_vm {
+                            sk.vm_attach.record(d);
+                        } else {
+                            sk.attach.record(d);
+                        }
+                    }
+                }
+            };
+            for slot in 0..self.tasks.len() {
+                fold(self.task_report(&self.tasks, slot, None));
+            }
+            for rt in &self.vms {
+                for slot in 0..rt.guests.len() {
+                    fold(self.task_report(&rt.guests, slot, Some(rt.vm)));
+                }
+            }
+        }
+        NodeReport::from_sketches(self.id, totals, sk, utilisation, reserved_bw, ctx_switches)
     }
 }
 

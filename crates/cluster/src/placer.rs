@@ -11,8 +11,11 @@
 //! simulation state, so the plan is identical no matter how many threads
 //! later execute the nodes.
 
+use std::collections::BTreeSet;
+
 use selftune_analysis::{min_bandwidth_single, PeriodicTask};
 
+use crate::index::{fit_threshold, HeadroomIndex};
 use crate::node::{NodeFeedback, WarmStart};
 use crate::spec::RebalanceSpec;
 
@@ -248,6 +251,15 @@ pub struct Placer {
     best_effort: Vec<u64>,
     /// Pending releases: `(release_at_ns, node, demand)`.
     releases: Vec<(u64, usize, f64)>,
+    /// Escape hatch: when set, every decision walks the original linear
+    /// scan (kept verbatim below) instead of the bucketed index — the
+    /// `use_heap_event_queue` / `use_scan_dispatch` pattern, held to the
+    /// index by differential proptests.
+    scan: bool,
+    /// O(log n) query views over `reserved`; `None` in scan mode.
+    index: Option<HeadroomIndex>,
+    /// Best-effort counts ordered `(count, node)`; `None` in scan mode.
+    be_order: Option<BTreeSet<(u64, usize)>>,
 }
 
 impl Placer {
@@ -267,12 +279,32 @@ impl Placer {
             reserved: vec![0.0; nodes],
             best_effort: vec![0; nodes],
             releases: Vec::new(),
+            scan: false,
+            index: Some(HeadroomIndex::new(&vec![0.0; nodes])),
+            be_order: Some((0..nodes).map(|i| (0u64, i)).collect()),
         }
+    }
+
+    /// Switches every placement decision back to the original linear-scan
+    /// path. The index is the default; this is the escape hatch (and the
+    /// reference side of the differential tests).
+    pub fn use_scan_placement(&mut self) {
+        self.scan = true;
+        self.index = None;
+        self.be_order = None;
     }
 
     /// Currently booked bandwidth per node.
     pub fn reserved(&self) -> &[f64] {
         &self.reserved
+    }
+
+    /// Writes one node's booked bandwidth, keeping the index in sync.
+    fn set_reserved(&mut self, node: usize, value: f64) {
+        self.reserved[node] = value;
+        if let Some(idx) = self.index.as_mut() {
+            idx.set(node, value);
+        }
     }
 
     /// The bandwidth the placer books for `task`: the minimum schedulable
@@ -288,7 +320,7 @@ impl Placer {
         while i < self.releases.len() {
             if self.releases[i].0 <= now_ns {
                 let (_, node, demand) = self.releases.swap_remove(i);
-                self.reserved[node] = (self.reserved[node] - demand).max(0.0);
+                self.set_reserved(node, (self.reserved[node] - demand).max(0.0));
             } else {
                 i += 1;
             }
@@ -320,31 +352,93 @@ impl Placer {
         departs_ns: Option<u64>,
     ) -> PlacementOutcome {
         self.release_due(now_ns);
-        let order = self.policy.candidate_order(&self.reserved);
-        for (migrations, node) in order.into_iter().enumerate() {
-            if self.reserved[node] + demand <= self.ulub + 1e-9 {
-                self.reserved[node] += demand;
+        if self.scan {
+            let order = self.policy.candidate_order(&self.reserved);
+            for (migrations, node) in order.into_iter().enumerate() {
+                if self.reserved[node] + demand <= self.ulub + 1e-9 {
+                    self.reserved[node] += demand;
+                    if let Some(at) = departs_ns {
+                        self.releases.push((at, node, demand));
+                    }
+                    return PlacementOutcome::Admitted {
+                        node,
+                        demand,
+                        migrations: migrations as u32,
+                    };
+                }
+            }
+            let best_spare = self
+                .reserved
+                .iter()
+                .map(|r| self.ulub - r)
+                .fold(f64::NEG_INFINITY, f64::max);
+            return PlacementOutcome::Rejected { demand, best_spare };
+        }
+        match self.admit_indexed(demand) {
+            Some((node, migrations)) => {
+                self.set_reserved(node, self.reserved[node] + demand);
                 if let Some(at) = departs_ns {
                     self.releases.push((at, node, demand));
                 }
-                return PlacementOutcome::Admitted {
+                PlacementOutcome::Admitted {
                     node,
                     demand,
-                    migrations: migrations as u32,
-                };
+                    migrations,
+                }
+            }
+            None => {
+                // The scan's witness folds max over `ulub - reserved`;
+                // subtraction from a fixed minuend is anti-monotone, so the
+                // max is exactly `ulub - min reserved`.
+                let (min_r, _) = self
+                    .index
+                    .as_ref()
+                    .expect("index mode")
+                    .min_reserved()
+                    .expect("at least one node");
+                PlacementOutcome::Rejected {
+                    demand,
+                    best_spare: self.ulub - min_r,
+                }
             }
         }
-        let best_spare = self
-            .reserved
-            .iter()
-            .map(|r| self.ulub - r)
-            .fold(f64::NEG_INFINITY, f64::max);
-        PlacementOutcome::Rejected { demand, best_spare }
+    }
+
+    /// The index-side admission decision: the winner node plus the exact
+    /// `migrations` count the linear scan would have reported (candidates
+    /// tried before the winner in the policy's order).
+    fn admit_indexed(&self, demand: f64) -> Option<(usize, u32)> {
+        let idx = self.index.as_ref().expect("index mode");
+        let t = fit_threshold(self.ulub, demand)?;
+        match self.policy {
+            // Candidate order is the identity, so the scan bounced off
+            // exactly `node` lower ids before the leftmost fit.
+            PolicyKind::FirstFit => idx.first_fit(t).map(|node| (node, node as u32)),
+            // Ascending load order: the very first candidate is the global
+            // minimum; if it does not fit, nothing fuller can.
+            PolicyKind::WorstFit => {
+                let (r, node) = idx.min_reserved().expect("at least one node");
+                (r <= t).then_some((node, 0))
+            }
+            // Descending load order, ties to the lower id: the winner is
+            // the fullest fitting load class's lowest id, and every node
+            // strictly fuller was tried (and rejected) before it.
+            PolicyKind::BandwidthAware => idx
+                .tightest_fit(t)
+                .map(|(r, node)| (node, idx.count_heavier(r) as u32)),
+        }
     }
 
     /// Places a best-effort task: least-loaded node by best-effort count,
     /// ties to the lower id. Best-effort work is never rejected.
     pub fn place_best_effort(&mut self) -> usize {
+        if let Some(order) = self.be_order.as_mut() {
+            let &(count, node) = order.first().expect("at least one node");
+            order.remove(&(count, node));
+            order.insert((count + 1, node));
+            self.best_effort[node] += 1;
+            return node;
+        }
         let node = (0..self.best_effort.len())
             .min_by_key(|&i| (self.best_effort[i], i))
             .expect("at least one node");
@@ -363,6 +457,9 @@ impl Placer {
         assert_eq!(reserved.len(), self.reserved.len(), "node count mismatch");
         self.reserved.copy_from_slice(reserved);
         self.releases.clear();
+        if let Some(idx) = self.index.as_mut() {
+            idx.rebuild(reserved);
+        }
     }
 
     /// What feedback-informed placement books for a live real-time task:
@@ -390,6 +487,30 @@ impl Placer {
     /// destinations), and books the first node with room for `demand`
     /// under the same utilisation bound initial placement uses.
     pub fn place_excluding(&mut self, demand: f64, banned: &[bool]) -> Option<usize> {
+        if self.scan {
+            return self.place_excluding_scan(demand, banned);
+        }
+        // Suspend the banned nodes around one indexed query. The
+        // rebalancer's drain loop does not pay this per call — it suspends
+        // once per pass and goes through `place_excluding_active`.
+        let idx = self.index.as_mut().expect("index mode");
+        for (node, &b) in banned.iter().enumerate() {
+            if b {
+                idx.suspend(node);
+            }
+        }
+        let placed = self.place_excluding_active(demand);
+        let idx = self.index.as_mut().expect("index mode");
+        for (node, &b) in banned.iter().enumerate() {
+            if b {
+                idx.restore(node);
+            }
+        }
+        placed
+    }
+
+    /// The original linear-scan `place_excluding`, kept verbatim.
+    fn place_excluding_scan(&mut self, demand: f64, banned: &[bool]) -> Option<usize> {
         let order = self.policy.candidate_order(&self.reserved);
         for node in order {
             if banned[node] {
@@ -401,6 +522,28 @@ impl Placer {
             }
         }
         None
+    }
+
+    /// Indexed admission over the non-suspended nodes: same winner the
+    /// scan finds after skipping banned ids, because suspension removes a
+    /// node from the load order without disturbing the others' ties.
+    fn place_excluding_active(&mut self, demand: f64) -> Option<usize> {
+        let t = fit_threshold(self.ulub, demand)?;
+        let idx = self.index.as_ref().expect("index mode");
+        let node = match self.policy {
+            PolicyKind::FirstFit => idx.first_fit(t)?,
+            PolicyKind::WorstFit => {
+                let (r, node) = idx.min_reserved()?;
+                if r <= t {
+                    node
+                } else {
+                    return None;
+                }
+            }
+            PolicyKind::BandwidthAware => idx.tightest_fit(t)?.1,
+        };
+        self.set_reserved(node, self.reserved[node] + demand);
+        Some(node)
     }
 
     /// One feedback-driven rebalance pass over the live task set.
@@ -448,51 +591,72 @@ impl Placer {
             warm: Option<WarmStart>,
             guest_warm: Vec<(usize, WarmStart)>,
         }
-        'drain: for &from in &pressured {
-            // A task fleeing a missing node was measured while starved: it
-            // consumed what it was *granted*, not what it needs. Book it
-            // at the measurement inflated by the source's miss rate (a
-            // task slipping every deadline by a full period needs roughly
-            // twice what it was seen to burn).
-            let starvation = 1.0 + view.pressure(from);
-            // Victim candidates: movable flat tasks, plus whole virtual
-            // platforms (booked at their granted share — a VM's
-            // consumption cannot exceed it, so no starvation inflation
-            // applies). *Elastic* VMs are exempt: their pressure is
-            // already being absorbed by the host-level share controller,
-            // and yanking the tenant would discard that loop's state for
-            // a problem it is actively solving.
-            let mut victims: Vec<Victim> = live
-                .iter()
-                .filter(|t| t.node == from && t.movable)
-                .map(|t| {
-                    let demand = self.live_booking(t.nominal, t.measured_bw, starvation);
-                    // The warm hand-over budget is floored at what this
-                    // pass books on the destination (see
-                    // `WarmStart::demand_sized`).
-                    let warm = t
-                        .granted
-                        .map(|g| WarmStart::demand_sized(g.budget, g.period, demand));
-                    Victim {
-                        demand,
-                        vm: false,
-                        fleet_id: t.fleet_id,
-                        warm,
-                        guest_warm: Vec::new(),
-                    }
-                })
-                .collect();
-            victims.extend(
-                vms.iter()
-                    .filter(|v| v.node == from && v.movable && !v.elastic)
-                    .map(|v| Victim {
-                        demand: v.share,
-                        vm: true,
-                        fleet_id: v.fleet_vm_id,
-                        warm: None,
-                        guest_warm: v.guest_grants.clone(),
-                    }),
-            );
+        // Group victim candidates per pressured source in ONE pass over
+        // the live sets — the previous shape re-filtered every live task
+        // for every drained node, O(sources × live), which is real money
+        // at 10k nodes. Bucket order is live order, exactly what the
+        // per-source filters used to see.
+        let mut slot = vec![usize::MAX; nodes];
+        for (k, &from) in pressured.iter().enumerate() {
+            slot[from] = k;
+        }
+        // A task fleeing a missing node was measured while starved: it
+        // consumed what it was *granted*, not what it needs. Book it at
+        // the measurement inflated by the source's miss rate (a task
+        // slipping every deadline by a full period needs roughly twice
+        // what it was seen to burn).
+        let starvation: Vec<f64> = pressured.iter().map(|&n| 1.0 + view.pressure(n)).collect();
+        let mut buckets: Vec<Vec<Victim>> = pressured.iter().map(|_| Vec::new()).collect();
+        for t in live {
+            let k = slot[t.node];
+            if !t.movable || k == usize::MAX {
+                continue;
+            }
+            let demand = self.live_booking(t.nominal, t.measured_bw, starvation[k]);
+            // The warm hand-over budget is floored at what this pass
+            // books on the destination (see `WarmStart::demand_sized`).
+            let warm = t
+                .granted
+                .map(|g| WarmStart::demand_sized(g.budget, g.period, demand));
+            buckets[k].push(Victim {
+                demand,
+                vm: false,
+                fleet_id: t.fleet_id,
+                warm,
+                guest_warm: Vec::new(),
+            });
+        }
+        // Victim candidates also include whole virtual platforms (booked
+        // at their granted share — a VM's consumption cannot exceed it,
+        // so no starvation inflation applies). *Elastic* VMs are exempt:
+        // their pressure is already being absorbed by the host-level
+        // share controller, and yanking the tenant would discard that
+        // loop's state for a problem it is actively solving.
+        for v in vms {
+            let k = slot[v.node];
+            if !v.movable || v.elastic || k == usize::MAX {
+                continue;
+            }
+            buckets[k].push(Victim {
+                demand: v.share,
+                vm: true,
+                fleet_id: v.fleet_vm_id,
+                warm: None,
+                guest_warm: v.guest_grants.clone(),
+            });
+        }
+        // Suspend every banned node from the index once for the whole
+        // pass; sources are themselves banned, so their reserved
+        // decrements below touch only the plain array until the restore.
+        if let Some(idx) = self.index.as_mut() {
+            for (node, &b) in banned.iter().enumerate() {
+                if b {
+                    idx.suspend(node);
+                }
+            }
+        }
+        'drain: for (k, &from) in pressured.iter().enumerate() {
+            let mut victims = std::mem::take(&mut buckets[k]);
             // Largest demand first moves the most load per migration; ties
             // break tasks before VMs, then on the lower id.
             victims.sort_by(|a, b| {
@@ -506,9 +670,14 @@ impl Placer {
                 if out.moves.len() as u32 >= cfg.max_moves {
                     break 'drain;
                 }
-                match self.place_excluding(v.demand, &banned) {
+                let dest = if self.scan {
+                    self.place_excluding_scan(v.demand, &banned)
+                } else {
+                    self.place_excluding_active(v.demand)
+                };
+                match dest {
                     Some(to) => {
-                        self.reserved[from] = (self.reserved[from] - v.demand).max(0.0);
+                        self.set_reserved(from, (self.reserved[from] - v.demand).max(0.0));
                         out.moves.push(Migration {
                             fleet_id: v.fleet_id,
                             vm: v.vm,
@@ -521,6 +690,13 @@ impl Placer {
                         });
                     }
                     None => out.failed += 1,
+                }
+            }
+        }
+        if let Some(idx) = self.index.as_mut() {
+            for (node, &b) in banned.iter().enumerate() {
+                if b {
+                    idx.restore(node);
                 }
             }
         }
@@ -847,5 +1023,144 @@ mod tests {
         let mut p = Placer::new(3, 0.9, 1.0, PolicyKind::FirstFit);
         let nodes: Vec<usize> = (0..7).map(|_| p.place_best_effort()).collect();
         assert_eq!(nodes, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    /// xorshift64 — a tiny deterministic stream for the differential tests.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    const ALL_POLICIES: [PolicyKind; 3] = [
+        PolicyKind::FirstFit,
+        PolicyKind::WorstFit,
+        PolicyKind::BandwidthAware,
+    ];
+
+    #[test]
+    fn index_and_scan_agree_on_every_decision() {
+        // Drive an indexed placer and a scan placer through the same long
+        // random operation sequence; every outcome — winner, migrations
+        // count, rejection witness, best-effort pick, booked state — must
+        // be bit-identical at each step, for every policy.
+        for policy in ALL_POLICIES {
+            for nodes in [1usize, 3, 7, 32] {
+                let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ nodes as u64;
+                let mut indexed = Placer::new(nodes, 0.9, 1.2, policy);
+                let mut scan = Placer::new(nodes, 0.9, 1.2, policy);
+                scan.use_scan_placement();
+                let mut now = 0u64;
+                for _ in 0..400 {
+                    now += xorshift(&mut rng) % 50_000;
+                    let op = xorshift(&mut rng) % 100;
+                    if op < 55 {
+                        let demand = (xorshift(&mut rng) % 1001) as f64 / 1000.0;
+                        let departs = op
+                            .is_multiple_of(3)
+                            .then(|| now + 1 + xorshift(&mut rng) % 100_000);
+                        let a = indexed.place_demand(demand, now, departs);
+                        let b = scan.place_demand(demand, now, departs);
+                        assert_eq!(format!("{a:?}"), format!("{b:?}"), "policy {policy:?}");
+                    } else if op < 70 {
+                        assert_eq!(indexed.place_best_effort(), scan.place_best_effort());
+                    } else if op < 90 {
+                        let banned: Vec<bool> = (0..nodes)
+                            .map(|_| xorshift(&mut rng).is_multiple_of(4))
+                            .collect();
+                        let demand = (xorshift(&mut rng) % 1001) as f64 / 1000.0;
+                        assert_eq!(
+                            indexed.place_excluding(demand, &banned),
+                            scan.place_excluding(demand, &banned),
+                            "policy {policy:?}"
+                        );
+                    } else {
+                        // The epoch rebuild: arbitrary live bookings, which
+                        // may exceed ulub and even 1.0.
+                        let rs: Vec<f64> = (0..nodes)
+                            .map(|_| (xorshift(&mut rng) % 1300) as f64 / 1000.0)
+                            .collect();
+                        indexed.sync_reserved(&rs);
+                        scan.sync_reserved(&rs);
+                    }
+                    assert_eq!(indexed.reserved(), scan.reserved(), "policy {policy:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_and_scan_rebalance_identically() {
+        // Random pressured fleets with flat tasks and VM units: the drain
+        // must produce identical move lists (sources, destinations,
+        // demands, warm payloads) and identical failure counts.
+        for policy in ALL_POLICIES {
+            let mut rng = 0xD1B5_4A32_D192_ED03u64;
+            for round in 0..40 {
+                let nodes = 2 + (xorshift(&mut rng) % 7) as usize;
+                let mut indexed = Placer::new(nodes, 0.9, 1.1, policy);
+                let mut scan = Placer::new(nodes, 0.9, 1.1, policy);
+                scan.use_scan_placement();
+                let rs: Vec<f64> = (0..nodes)
+                    .map(|_| (xorshift(&mut rng) % 1000) as f64 / 1000.0)
+                    .collect();
+                indexed.sync_reserved(&rs);
+                scan.sync_reserved(&rs);
+                let fb = FeedbackView {
+                    nodes: (0..nodes)
+                        .map(|i| NodeFeedback {
+                            node: i,
+                            utilisation: (xorshift(&mut rng) % 100) as f64 / 100.0,
+                            gaps: 10,
+                            misses: xorshift(&mut rng) % 11,
+                            compressions: 0,
+                            live_rt: Vec::new(),
+                            live_vms: Vec::new(),
+                        })
+                        .collect(),
+                    smoothed: None,
+                };
+                let live: Vec<LiveTask> = (0..(xorshift(&mut rng) % 12))
+                    .map(|i| LiveTask {
+                        fleet_id: i as usize,
+                        node: (xorshift(&mut rng) % nodes as u64) as usize,
+                        nominal: task(1.0 + (xorshift(&mut rng) % 30) as f64, 100.0),
+                        measured_bw: (xorshift(&mut rng) % 40) as f64 / 100.0,
+                        movable: !xorshift(&mut rng).is_multiple_of(4),
+                        granted: xorshift(&mut rng).is_multiple_of(2).then(|| WarmStart {
+                            budget: selftune_simcore::time::Dur::ms(5),
+                            period: selftune_simcore::time::Dur::ms(100),
+                        }),
+                    })
+                    .collect();
+                let vms: Vec<LiveVmUnit> = (0..(xorshift(&mut rng) % 4))
+                    .map(|i| LiveVmUnit {
+                        fleet_vm_id: 100 + i as usize,
+                        node: (xorshift(&mut rng) % nodes as u64) as usize,
+                        share: (10 + xorshift(&mut rng) % 30) as f64 / 100.0,
+                        movable: !xorshift(&mut rng).is_multiple_of(3),
+                        elastic: xorshift(&mut rng).is_multiple_of(4),
+                        guest_grants: vec![(
+                            i as usize,
+                            WarmStart {
+                                budget: selftune_simcore::time::Dur::ms(10),
+                                period: selftune_simcore::time::Dur::ms(50),
+                            },
+                        )],
+                    })
+                    .collect();
+                let cfg = cfg(0.15, 1 + (xorshift(&mut rng) % 6) as u32);
+                let a = indexed.rebalance(&fb, &live, &vms, &cfg);
+                let b = scan.rebalance(&fb, &live, &vms, &cfg);
+                assert_eq!(
+                    format!("{:?}", a.moves),
+                    format!("{:?}", b.moves),
+                    "policy {policy:?} round {round}"
+                );
+                assert_eq!(a.failed, b.failed, "policy {policy:?} round {round}");
+                assert_eq!(indexed.reserved(), scan.reserved());
+            }
+        }
     }
 }

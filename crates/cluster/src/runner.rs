@@ -153,7 +153,7 @@ struct TaskDraw {
 /// seeded by `seed`; placement walks tasks in arrival order through the
 /// spec's policy.
 pub fn plan_fleet(spec: &ScenarioSpec, seed: u64) -> FleetPlan {
-    plan_fleet_impl(spec, seed, None)
+    plan_fleet_impl(spec, seed, None, false)
 }
 
 /// Builds the fleet plan with every admission decision pinned to a
@@ -163,10 +163,15 @@ pub fn plan_fleet(spec: &ScenarioSpec, seed: u64) -> FleetPlan {
 /// assignment exactly, even under a scenario whose *policy* was swapped
 /// for a what-if.
 pub fn plan_fleet_pinned(spec: &ScenarioSpec, seed: u64, pinned: &PinnedPlan) -> FleetPlan {
-    plan_fleet_impl(spec, seed, Some(pinned))
+    plan_fleet_impl(spec, seed, Some(pinned), false)
 }
 
-fn plan_fleet_impl(spec: &ScenarioSpec, seed: u64, pinned: Option<&PinnedPlan>) -> FleetPlan {
+fn plan_fleet_impl(
+    spec: &ScenarioSpec,
+    seed: u64,
+    pinned: Option<&PinnedPlan>,
+    scan_placement: bool,
+) -> FleetPlan {
     let mut rng = Rng::new(seed ^ SEED_PLAN_SALT);
     let mut arrivals: Vec<Time> = Vec::with_capacity(spec.tasks);
     let mut at = Time::ZERO;
@@ -208,6 +213,9 @@ fn plan_fleet_impl(spec: &ScenarioSpec, seed: u64, pinned: Option<&PinnedPlan>) 
         .collect();
 
     let mut placer = Placer::new(spec.nodes, spec.ulub, spec.headroom, spec.policy);
+    if scan_placement {
+        placer.use_scan_placement();
+    }
     let mut admission = AdmissionStats::default();
 
     // Virtual platforms are placed first, as whole units booked at their
@@ -327,6 +335,8 @@ fn plan_fleet_impl(spec: &ScenarioSpec, seed: u64, pinned: Option<&PinnedPlan>) 
 pub struct ClusterRunner {
     threads: usize,
     chunk: Option<usize>,
+    scan_placement: bool,
+    sketch: bool,
 }
 
 impl ClusterRunner {
@@ -335,7 +345,30 @@ impl ClusterRunner {
         ClusterRunner {
             threads: threads.max(1),
             chunk: None,
+            scan_placement: false,
+            sketch: false,
         }
+    }
+
+    /// Routes every placement and rebalance decision through the original
+    /// linear-scan placer instead of the bucketed headroom index — the
+    /// escape hatch and the reference side of the fleet-level differential
+    /// proptest. Decisions are byte-identical either way; only the cost
+    /// per decision changes.
+    pub fn with_scan_placement(mut self, scan: bool) -> ClusterRunner {
+        self.scan_placement = scan;
+        self
+    }
+
+    /// Replaces per-task report vectors with per-node mergeable histogram
+    /// sketches: nodes keep O(bins) state instead of every inter-finish
+    /// gap, and fleet CDFs come from an associative node-order merge.
+    /// Quantiles are bin-quantised; aggregates remain byte-identical at
+    /// any thread count. Default off — small fleets keep exact vectors
+    /// and their CSV bytes.
+    pub fn with_sketch_aggregates(mut self, sketch: bool) -> ClusterRunner {
+        self.sketch = sketch;
+        self
     }
 
     /// Overrides the work-stealing chunk size (nodes claimed per steal).
@@ -371,7 +404,7 @@ impl ClusterRunner {
     /// ones. Reports are reassembled in node-id order, so thread count and
     /// chunk size affect wall-clock time only.
     pub fn run(&self, spec: &ScenarioSpec, seed: u64) -> AggregateMetrics {
-        let plan = plan_fleet(spec, seed);
+        let plan = plan_fleet_impl(spec, seed, None, self.scan_placement);
         self.run_planned(spec, seed, &plan)
     }
 
@@ -384,7 +417,7 @@ impl ClusterRunner {
         spec: &ScenarioSpec,
         seed: u64,
     ) -> (AggregateMetrics, Vec<FleetEvent>) {
-        let plan = plan_fleet(spec, seed);
+        let plan = plan_fleet_impl(spec, seed, None, self.scan_placement);
         self.run_inner(spec, seed, &plan, None, true)
     }
 
@@ -451,10 +484,17 @@ impl ClusterRunner {
         pinned: Option<&PinnedMoves>,
         log: bool,
     ) -> (AggregateMetrics, Vec<FleetEvent>) {
-        let mut per_node: Vec<Vec<NodeTask>> = vec![Vec::new(); spec.nodes];
-        for p in &plan.tasks {
+        // Per-node distribution as index lists into the plan arena: tasks
+        // are cloned exactly once, straight from the plan into the owning
+        // node, instead of materialising intermediate per-node task
+        // vectors (which doubled every allocation at 1M tasks). Arrivals
+        // are monotone in fleet id for every schedule, so each list is
+        // arrival-sorted by construction — that is what lets the epoch
+        // loop admit arrivals in batches behind a plain cursor.
+        let mut per_node: Vec<Vec<u32>> = vec![Vec::new(); spec.nodes];
+        for (i, p) in plan.tasks.iter().enumerate() {
             if let Some(node) = p.node {
-                per_node[node].push(p.task.clone());
+                per_node[node].push(i as u32);
             }
         }
         let mut per_node_vms: Vec<Vec<NodeVm>> = vec![Vec::new(); spec.nodes];
@@ -466,6 +506,8 @@ impl ClusterRunner {
 
         let workers = self.threads.min(spec.nodes).max(1);
         let chunk = self.chunk_for(spec.nodes, workers);
+        let scan_placement = self.scan_placement;
+        let sketch = self.sketch;
         let horizon = Time::ZERO + spec.horizon;
         let ends = ClusterRunner::epoch_ends(spec);
         let mut reports: Vec<Option<NodeReport>> = Vec::new();
@@ -507,25 +549,40 @@ impl ClusterRunner {
                     // Ownership is fixed afterwards — a node's tracer state
                     // is thread-bound.
                     let mut owned: Vec<Node> = Vec::new();
+                    // Arrival cursor per owned node: how many of its
+                    // planned tasks have been admitted into the kernel.
+                    // With a single epoch everything is admitted up front
+                    // (the historical behaviour); with rebalance epochs,
+                    // arrivals are batched into the epoch they start in,
+                    // so a node is not paying manager-step costs for tasks
+                    // that arrive seconds later.
+                    let mut cursors: Vec<usize> = Vec::new();
                     loop {
                         let base = next.fetch_add(chunk, Ordering::Relaxed);
                         if base >= spec_ref.nodes {
                             break;
                         }
                         let end = (base + chunk).min(spec_ref.nodes);
-                        for (node_id, tasks) in per_node.iter().enumerate().take(end).skip(base) {
+                        for (node_id, ids) in per_node.iter().enumerate().take(end).skip(base) {
                             let mut node = Node::new(node_id, spec_ref);
                             for vm in &per_node_vms[node_id] {
                                 node.add_vm(vm.clone());
                             }
-                            for t in tasks {
+                            let mut cursor = 0;
+                            while cursor < ids.len() {
+                                let t = &plan_ref.tasks[ids[cursor] as usize].task;
+                                if ends.len() > 1 && t.arrival > ends[0] {
+                                    break;
+                                }
                                 node.add_task(t.clone());
+                                cursor += 1;
                             }
                             for w in &spec_ref.overload {
                                 node.inject_overload(w);
                             }
                             node.run_to_horizon(ends[0]);
                             owned.push(node);
+                            cursors.push(cursor);
                         }
                     }
 
@@ -535,7 +592,21 @@ impl ClusterRunner {
 
                     for (ei, &t_end) in ends.iter().enumerate() {
                         if ei > 0 {
-                            for node in &mut owned {
+                            let last = ei == ends.len() - 1;
+                            for (node, cursor) in owned.iter_mut().zip(cursors.iter_mut()) {
+                                // Admit this epoch's planned arrivals in one
+                                // batch (the final epoch also flushes any
+                                // post-horizon stragglers so every planned
+                                // task still appears in its node's report).
+                                let ids = &per_node[node.id()];
+                                while *cursor < ids.len() {
+                                    let t = &plan_ref.tasks[ids[*cursor] as usize].task;
+                                    if !last && t.arrival > t_end {
+                                        break;
+                                    }
+                                    node.add_task(t.clone());
+                                    *cursor += 1;
+                                }
                                 node.run_to_horizon(t_end);
                             }
                         }
@@ -594,7 +665,13 @@ impl ClusterRunner {
                             {
                                 Some(d) => d.clone(),
                                 None => {
-                                    let o = rebalance_epoch(spec_ref, plan_ref, &view, t_end);
+                                    let o = rebalance_epoch(
+                                        spec_ref,
+                                        plan_ref,
+                                        &view,
+                                        t_end,
+                                        scan_placement,
+                                    );
                                     EpochDecision {
                                         moves: o.moves,
                                         failed: o.failed,
@@ -719,7 +796,7 @@ impl ClusterRunner {
 
                     let reports = owned
                         .iter()
-                        .map(|n| (n.id(), n.report(horizon)))
+                        .map(|n| (n.id(), n.report_mode(horizon, !sketch)))
                         .collect::<Vec<_>>();
                     (reports, grants)
                 }));
@@ -866,8 +943,12 @@ fn rebalance_epoch(
     plan: &FleetPlan,
     view: &FeedbackView,
     now: Time,
+    scan_placement: bool,
 ) -> crate::placer::RebalanceOutcome {
     let mut placer = Placer::new(spec.nodes, spec.ulub, spec.headroom, spec.policy);
+    if scan_placement {
+        placer.use_scan_placement();
+    }
     let mut live: Vec<LiveTask> = Vec::new();
     let mut live_vms: Vec<LiveVmUnit> = Vec::new();
     let mut reserved = vec![0.0f64; spec.nodes];

@@ -613,6 +613,63 @@ impl ScenarioSpec {
         }
     }
 
+    /// The skewed-overload story at fleet scale: first-fit packs lying
+    /// [`TaskKind::HungryRt`] tasks (~15 per node under `U_lub = 0.9`,
+    /// each claiming 2 ms jobs that really burn 6 ms) onto the low-id
+    /// slice of an otherwise idle sea of nodes, and a hog burst then
+    /// skews the first few packed nodes further. Statically placed, the
+    /// packed prefix melts for the whole run; the feedback rebalancer
+    /// drains it into the idle majority, and every destination query has
+    /// the whole fleet to pick from — which is exactly where the
+    /// bucketed headroom index earns its keep at 10k nodes.
+    ///
+    /// All tasks arrive at `t = 0` (staggered gaps would not fit a short
+    /// fleet horizon at 10k+ tasks) and the managers sample at 100 ms so
+    /// self-tuning converges within a few hundred milliseconds of
+    /// virtual time. This single definition backs the
+    /// `cluster_megafleet` experiment, the `cluster_megafleet_e2e` test
+    /// and the `megafleet.journal` fixture. Rebalance is off; chain
+    /// [`ScenarioSpec::with_rebalance`]`(`[`ScenarioSpec::megafleet_rebalance`]`(horizon))`
+    /// for the feedback run.
+    pub fn megafleet_demo(nodes: usize, tasks: usize, horizon: Dur) -> ScenarioSpec {
+        ScenarioSpec::new("megafleet", nodes, tasks, horizon)
+            .with_mix(TaskMix::new(vec![(
+                TaskKind::HungryRt {
+                    nominal_wcet: Dur::ms(2),
+                    wcet: Dur::ms(6),
+                    period: Dur::ms(40),
+                },
+                1.0,
+            )]))
+            .with_arrivals(ArrivalSchedule::AllAtStart)
+            .with_policy(PolicyKind::FirstFit)
+            .with_ulub(0.9)
+            .with_sampling(Dur::ms(100))
+            .with_overload(OverloadWindow {
+                start: horizon.mul_f64(0.2),
+                end: horizon.mul_f64(0.75),
+                hogs_per_node: 4,
+                chunk: Dur::ms(5),
+                nodes: NodeFilter::First(4),
+            })
+    }
+
+    /// The feedback-loop parameters of the megafleet demo: epochs at an
+    /// eighth of the horizon so the rebalancer gets several bites within
+    /// a short fleet run, and a move cap wide enough to actually heal an
+    /// over-packed prefix of tens of nodes (each needs roughly two
+    /// thirds of its liars drained before its real demand fits).
+    pub fn megafleet_rebalance(horizon: Dur) -> RebalanceSpec {
+        RebalanceSpec {
+            enabled: true,
+            period: horizon.mul_f64(0.125),
+            pressure: 0.25,
+            max_moves: 64,
+            ewma_alpha: 0.6,
+            warm_start: true,
+        }
+    }
+
     /// Enables feedback-driven re-placement with the given parameters.
     pub fn with_rebalance(mut self, rebalance: RebalanceSpec) -> ScenarioSpec {
         assert!(

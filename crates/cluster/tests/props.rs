@@ -237,6 +237,74 @@ proptest! {
     }
 
     #[test]
+    fn bucketed_index_matches_the_scan_placer_on_random_fleets(
+        seed in 0u64..1_000_000,
+        nodes in 2usize..7,
+        tasks in 6usize..16,
+        policy in policy_strategy(),
+        with_vm in any::<bool>(),
+        warm in any::<bool>(),
+    ) {
+        // The bucketed headroom index answers every placement and
+        // rebalance-destination query; the linear scan is the retained
+        // reference. Same spec, same seed: the two must agree byte for
+        // byte on the aggregate summary — across policies, VM fleets and
+        // worker-thread counts — or the index returned a different node
+        // than the scan somewhere.
+        let mut spec = rebalance_spec(nodes, tasks, 0.2, 4).with_policy(policy);
+        if warm {
+            spec.rebalance.warm_start = true;
+        }
+        if with_vm {
+            spec = spec.with_vm(VmSpec::uniform(
+                Dur::ms(3),
+                Dur::ms(10),
+                2,
+                TaskKind::PeriodicRt {
+                    wcet: Dur::ms(4),
+                    period: Dur::ms(40),
+                },
+            ));
+        }
+        for threads in [1usize, 2, 8] {
+            let indexed = ClusterRunner::new(threads).with_chunk(1).run(&spec, seed);
+            let scanned = ClusterRunner::new(threads)
+                .with_chunk(1)
+                .with_scan_placement(true)
+                .run(&spec, seed);
+            prop_assert_eq!(
+                indexed.summary_csv(),
+                scanned.summary_csv(),
+                "index vs scan diverged at {} threads", threads
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_mode_keeps_exact_counters_on_random_fleets(
+        seed in 0u64..1_000_000,
+        nodes in 2usize..6,
+        tasks in 6usize..14,
+        threads in 1usize..4,
+    ) {
+        // Sketch aggregates trade CDF resolution, never counts: the
+        // fleet-level counters of a sketch run must equal the detailed
+        // run's exactly, the per-node rows must be byte-identical, and
+        // the per-task vectors must actually be gone.
+        let spec = rebalance_spec(nodes, tasks, 0.2, 4);
+        let detailed = ClusterRunner::new(threads).run(&spec, seed);
+        let sketched = ClusterRunner::new(threads)
+            .with_sketch_aggregates(true)
+            .run(&spec, seed);
+        prop_assert_eq!(detailed.completions(), sketched.completions());
+        prop_assert_eq!(detailed.misses(), sketched.misses());
+        prop_assert_eq!(detailed.rebalance.moves, sketched.rebalance.moves);
+        prop_assert!((detailed.miss_ratio() - sketched.miss_ratio()).abs() < 1e-12);
+        prop_assert_eq!(detailed.node_rows(), sketched.node_rows());
+        prop_assert!(sketched.nodes.iter().all(|n| n.tasks.is_empty()));
+    }
+
+    #[test]
     fn migrations_respect_destination_admission_invariant(
         seed in 0u64..1_000_000,
         tasks in 10usize..14,
