@@ -1,0 +1,5 @@
+//! Composed three-level control plane vs single levels (diurnal demand).
+fn main() {
+    let args = selftune_bench::Args::parse();
+    selftune_bench::experiments::cluster_diurnal::run(&args);
+}

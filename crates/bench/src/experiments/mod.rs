@@ -1,6 +1,7 @@
 //! One module per reproduced table/figure, plus ablations.
 
 pub mod ablations;
+pub mod cluster_diurnal;
 pub mod cluster_megafleet;
 pub mod cluster_rebalance;
 pub mod cluster_scaleout;

@@ -111,6 +111,29 @@ pub enum FleetEvent {
         /// Compressions during the epoch (host + guest supervisors).
         count: u64,
     },
+    /// One node-level share re-bound: the epoch leader moved a node's
+    /// supervisor `U_lub` from the fleet feedback (the fleet→node instance
+    /// of the share law), before the rebalance pass of the same epoch.
+    NodeRebound {
+        /// Epoch boundary the decision ran at.
+        at: Time,
+        /// Rebalance epoch index.
+        epoch: usize,
+        /// The re-bounded node.
+        node: usize,
+        /// The bound that was in force before.
+        prev: f64,
+        /// The bound now in force.
+        bound: f64,
+        /// The controller's smoothed demand estimate behind the decision.
+        demand: f64,
+        /// Host bandwidth the node's reservations held at the snapshot.
+        reserved: f64,
+        /// The node's deadline-miss rate over the epoch.
+        miss_rate: f64,
+        /// Supervisor compressions on the node over the epoch.
+        compressions: u64,
+    },
     /// One rebalance decision pass: the feedback snapshot it saw and what
     /// it decided.
     Rebalance {
@@ -164,23 +187,27 @@ impl FleetEvent {
             | FleetEvent::Kill { at, .. }
             | FleetEvent::ShareGrant { at, .. }
             | FleetEvent::Compression { at, .. }
+            | FleetEvent::NodeRebound { at, .. }
             | FleetEvent::Rebalance { at, .. }
             | FleetEvent::Migration { at, .. } => *at,
         }
     }
 
     /// Rank of the event class at equal instants: admissions before
-    /// kills, epoch bookkeeping (compressions, then the rebalance pass,
-    /// then its migrations) before the share grants of the next epoch.
+    /// kills, epoch bookkeeping (compressions, then node re-bounds, then
+    /// the rebalance pass, then its migrations) before the share grants
+    /// of the next epoch. The ranks are in-memory ordering keys only —
+    /// they are never serialised, so inserting a class renumbers freely.
     fn class(&self) -> u8 {
         match self {
             FleetEvent::VmAdmission { .. } => 0,
             FleetEvent::TaskAdmission { .. } => 1,
             FleetEvent::Kill { .. } => 2,
             FleetEvent::Compression { .. } => 3,
-            FleetEvent::Rebalance { .. } => 4,
-            FleetEvent::Migration { .. } => 5,
-            FleetEvent::ShareGrant { .. } => 6,
+            FleetEvent::NodeRebound { .. } => 4,
+            FleetEvent::Rebalance { .. } => 5,
+            FleetEvent::Migration { .. } => 6,
+            FleetEvent::ShareGrant { .. } => 7,
         }
     }
 
@@ -199,6 +226,7 @@ impl FleetEvent {
                 node, fleet_vm_id, ..
             } => (*node, *fleet_vm_id),
             FleetEvent::Compression { node, .. } => (*node, 0),
+            FleetEvent::NodeRebound { node, .. } => (*node, 0),
             FleetEvent::Rebalance { epoch, .. } => (*epoch, 0),
             FleetEvent::Migration { epoch, seq, .. } => (*epoch, *seq as usize),
         }
@@ -251,12 +279,30 @@ mod tests {
             warm: None,
             guest_warm: Vec::new(),
         };
-        let mut events = vec![kill(5, 2, 3), mig.clone(), kill(1, 9, 9), reb.clone()];
+        let rebound = FleetEvent::NodeRebound {
+            at: Time::ZERO + selftune_simcore::time::Dur::ms(5),
+            epoch: 0,
+            node: 1,
+            prev: 0.9,
+            bound: 0.95,
+            demand: 0.97,
+            reserved: 0.88,
+            miss_rate: 0.2,
+            compressions: 4,
+        };
+        let mut events = vec![
+            kill(5, 2, 3),
+            mig.clone(),
+            kill(1, 9, 9),
+            reb.clone(),
+            rebound.clone(),
+        ];
         sort_events(&mut events);
         assert_eq!(events[0], kill(1, 9, 9));
         assert_eq!(events[1], kill(5, 2, 3));
-        assert_eq!(events[2], reb);
-        assert_eq!(events[3], mig);
+        assert_eq!(events[2], rebound, "re-bounds precede the rebalance pass");
+        assert_eq!(events[3], reb);
+        assert_eq!(events[4], mig);
     }
 
     #[test]

@@ -106,8 +106,8 @@ pub use runner::{
 };
 pub use sketch::StreamSketch;
 pub use spec::{
-    ArrivalSchedule, Churn, NodeFilter, OverloadWindow, RebalanceSpec, ScenarioSpec, TaskKind,
-    TaskMix, VmSpec,
+    ArrivalSchedule, Churn, NodeFilter, NodeShareSpec, OverloadWindow, RebalanceSpec, ScenarioSpec,
+    TaskKind, TaskMix, TrafficPhase, VmSpec,
 };
 
 /// One-stop imports for fleet experiments.
@@ -123,7 +123,7 @@ pub mod prelude {
         PinnedPlan,
     };
     pub use crate::spec::{
-        ArrivalSchedule, Churn, NodeFilter, OverloadWindow, RebalanceSpec, ScenarioSpec, TaskKind,
-        TaskMix, VmSpec,
+        ArrivalSchedule, Churn, NodeFilter, NodeShareSpec, OverloadWindow, RebalanceSpec,
+        ScenarioSpec, TaskKind, TaskMix, TrafficPhase, VmSpec,
     };
 }

@@ -254,6 +254,10 @@ pub struct NodeFeedback {
     /// Supervisor grants compressed below request during the epoch, on the
     /// host manager and inside every guest manager.
     pub compressions: u64,
+    /// Host bandwidth currently booked by reservations (flat tasks and VM
+    /// shares), `Σ Q/T` — what the node-level share controller treats as
+    /// the booked demand when re-bounding the supervisor.
+    pub reserved_bw: f64,
     /// Real-time flat tasks currently alive on this node (started, not
     /// exited, not already extracted) with their measured bandwidth,
     /// sorted by fleet id.
@@ -295,6 +299,13 @@ pub struct Node {
     /// warm-started VM migrations (rebalance enabled with `warm_start`;
     /// building them is wasted work otherwise).
     guest_warm_carry: bool,
+    /// The supervisor bound currently in force (starts at the spec's
+    /// static `U_lub`; node-level re-bounding moves it at epoch barriers).
+    ulub: f64,
+    /// Whether elastic VMs also adapt their share *period* to the dominant
+    /// guest period (on when the scenario runs node-level re-bounding —
+    /// the fully-closed plane aligns replenishment across levels too).
+    share_adapt: bool,
     tasks: TaskArena,
     vms: Vec<VmRt>,
     fb_mark: FeedbackMark,
@@ -314,6 +325,8 @@ impl Node {
             sampling: spec.sampling,
             headroom: spec.headroom,
             guest_warm_carry: spec.rebalance.enabled && spec.rebalance.warm_start,
+            ulub: spec.ulub,
+            share_adapt: spec.node_share.enabled,
             tasks: TaskArena::default(),
             vms: Vec::new(),
             fb_mark: FeedbackMark::default(),
@@ -323,6 +336,20 @@ impl Node {
     /// The node's id within the fleet.
     pub fn id(&self) -> usize {
         self.id
+    }
+
+    /// The supervisor bound currently in force.
+    pub fn ulub(&self) -> f64 {
+        self.ulub
+    }
+
+    /// Re-bounds the node's supervisor to `ulub` (a node-level share
+    /// decision taken at an epoch barrier): lowering the bound
+    /// proportionally recompresses every live grant in place, raising it
+    /// restores headroom the next self-tuning requests can claim.
+    pub fn set_ulub(&mut self, ulub: f64) {
+        self.ulub = ulub;
+        self.platform.set_host_ulub(ulub);
     }
 
     /// Builds a plan's workload, lease-wrapped when it departs — shared
@@ -380,13 +407,22 @@ impl Node {
             period: plan.period,
             policy: GuestPolicy::SelfTuning(ManagerConfig {
                 sampling: self.sampling,
-                supervisor: Supervisor::new(1.0),
+                // The guest supervisor enforces the same `U_lub` rule as
+                // the host one (previously hard-coded to 1.0, which let a
+                // tenant book every last slice of its own share while the
+                // host level kept the paper's bound).
+                supervisor: Supervisor::new(self.ulub),
                 cbs_mode: CbsMode::Hard,
             }),
         });
         if plan.elastic {
-            self.platform
-                .make_vm_elastic(vm, VmElasticConfig::default());
+            self.platform.make_vm_elastic(
+                vm,
+                VmElasticConfig {
+                    adapt_period: self.share_adapt,
+                    ..VmElasticConfig::default()
+                },
+            );
         }
         let mut guests = TaskArena::default();
         for g in &plan.guests {
@@ -668,6 +704,7 @@ impl Node {
             gaps,
             misses,
             compressions: compressions - self.fb_mark.compressions,
+            reserved_bw: self.platform.host_reserved_bandwidth(),
             live_rt,
             live_vms,
         };

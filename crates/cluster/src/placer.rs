@@ -509,6 +509,43 @@ impl Placer {
         placed
     }
 
+    /// [`Placer::place_demand`] restricted to non-banned nodes — the
+    /// admission path of traffic-phase tasks, whose load targets one
+    /// slice of the fleet. Identical in scan and index modes (it rides
+    /// [`Placer::place_excluding`]); `migrations` is always reported as 0
+    /// because the filtered walk does not count bounced candidates.
+    pub fn place_demand_excluding(
+        &mut self,
+        demand: f64,
+        now_ns: u64,
+        departs_ns: Option<u64>,
+        banned: &[bool],
+    ) -> PlacementOutcome {
+        self.release_due(now_ns);
+        match self.place_excluding(demand, banned) {
+            Some(node) => {
+                if let Some(at) = departs_ns {
+                    self.releases.push((at, node, demand));
+                }
+                PlacementOutcome::Admitted {
+                    node,
+                    demand,
+                    migrations: 0,
+                }
+            }
+            None => {
+                let best_spare = self
+                    .reserved
+                    .iter()
+                    .enumerate()
+                    .filter(|&(n, _)| !banned[n])
+                    .map(|(_, r)| self.ulub - r)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                PlacementOutcome::Rejected { demand, best_spare }
+            }
+        }
+    }
+
     /// The original linear-scan `place_excluding`, kept verbatim.
     fn place_excluding_scan(&mut self, demand: f64, banned: &[bool]) -> Option<usize> {
         let order = self.policy.candidate_order(&self.reserved);
@@ -837,6 +874,7 @@ mod tests {
                     gaps: 100,
                     misses: (mr * 100.0).round() as u64,
                     compressions: 0,
+                    reserved_bw: 0.0,
                     live_rt: Vec::new(),
                     live_vms: Vec::new(),
                 })
@@ -924,6 +962,7 @@ mod tests {
             gaps: 0,
             misses: 0,
             compressions: 3,
+            reserved_bw: 0.0,
             live_rt: vec![LiveRt {
                 fleet_id: 0,
                 measured_bw: 0.02,
@@ -939,6 +978,7 @@ mod tests {
             gaps: 0,
             misses: 0,
             compressions: 0,
+            reserved_bw: 0.0,
             live_rt: vec![LiveRt {
                 fleet_id: 1,
                 measured_bw: 0.01,
@@ -1115,6 +1155,7 @@ mod tests {
                             gaps: 10,
                             misses: xorshift(&mut rng) % 11,
                             compressions: 0,
+                            reserved_bw: 0.0,
                             live_rt: Vec::new(),
                             live_vms: Vec::new(),
                         })

@@ -44,6 +44,7 @@ use std::sync::{Barrier, Mutex};
 use std::thread;
 
 use selftune_analysis::PeriodicTask;
+use selftune_core::share::{DemandSignal, ShareController, ShareControllerConfig, ShareDecision};
 use selftune_simcore::rng::{splitmix64, Rng};
 use selftune_simcore::time::{Dur, Time};
 
@@ -145,6 +146,10 @@ struct TaskDraw {
     arrival: Time,
     kind: TaskKind,
     departure: Option<Time>,
+    /// Index of the traffic phase the task belongs to (`None` for the
+    /// base population). Phase membership restricts placement to the
+    /// phase's node filter.
+    phase: Option<usize>,
 }
 
 /// Builds the deterministic fleet plan for `(spec, seed)`.
@@ -192,7 +197,7 @@ fn plan_fleet_impl(
     // Draw every task's shape before any placement: the stream order
     // (kind, then lifetime, per task) matches the historical interleaved
     // walk because placement itself never consumed planning randomness.
-    let draws: Vec<TaskDraw> = arrivals
+    let mut draws: Vec<TaskDraw> = arrivals
         .iter()
         .map(|&arrival| {
             let kind = spec.mix.sample(&mut rng);
@@ -208,9 +213,28 @@ fn plan_fleet_impl(
                 arrival,
                 kind,
                 departure,
+                phase: None,
             }
         })
         .collect();
+    // Traffic-phase tasks extend the flat population (fleet ids
+    // `spec.tasks..`), drawn after the base stream so existing plans keep
+    // their bytes: arrival `start + ramp · i / tasks`, lease to the phase
+    // end.
+    for (pi, phase) in spec.phases.iter().enumerate() {
+        let start = Time::ZERO + phase.start;
+        for j in 0..phase.tasks {
+            let arrival = start + phase.ramp.mul_f64(j as f64 / phase.tasks as f64);
+            let kind = phase.mix.sample(&mut rng);
+            let departure = Some(Time::ZERO + phase.end).filter(|&d| d < horizon);
+            draws.push(TaskDraw {
+                arrival,
+                kind,
+                departure,
+                phase: Some(pi),
+            });
+        }
+    }
 
     let mut placer = Placer::new(spec.nodes, spec.ulub, spec.headroom, spec.policy);
     if scan_placement {
@@ -222,7 +246,7 @@ fn plan_fleet_impl(
     // share: tenants hold their bandwidth from t = 0, and flat tasks fill
     // in around them.
     let mut vms = Vec::with_capacity(spec.vms.len());
-    let mut guest_fleet_id = spec.tasks;
+    let mut guest_fleet_id = spec.flat_tasks();
     for (i, vm_spec) in spec.vms.iter().enumerate() {
         let (node, outcome) = match pinned {
             Some(p) => (p.vm_nodes.get(i).copied().flatten(), None),
@@ -272,30 +296,61 @@ fn plan_fleet_impl(
         });
     }
 
-    let mut tasks = Vec::with_capacity(spec.tasks);
-    for (i, draw) in draws.into_iter().enumerate() {
+    // Placement walks the flat population in arrival order (identity for
+    // phase-free specs, whose draws are arrival-monotone already), so the
+    // placer's release ledger never travels backwards in time when a
+    // phase starts before the base stagger finishes.
+    let mut order: Vec<usize> = (0..draws.len()).collect();
+    if !spec.phases.is_empty() {
+        order.sort_by_key(|&i| (draws[i].arrival, i));
+    }
+    let banned: Vec<Vec<bool>> = spec
+        .phases
+        .iter()
+        .map(|p| (0..spec.nodes).map(|n| !p.nodes.matches(n)).collect())
+        .collect();
+    let mut slots: Vec<Option<PlannedTask>> = (0..draws.len()).map(|_| None).collect();
+    for i in order {
+        let draw = &draws[i];
         let label = format!("t{i:04}");
         let task_seed = derive_task_seed(seed, i as u64);
         let (node, realtime, outcome) = match draw.kind.nominal() {
             Some(nominal) => match pinned {
                 Some(p) => (p.task_nodes.get(i).copied().flatten(), true, None),
-                None => match placer.place(
-                    nominal,
-                    draw.arrival.as_ns(),
-                    draw.departure.map(|d| d.as_ns()),
-                ) {
-                    o @ PlacementOutcome::Admitted {
-                        node, migrations, ..
-                    } => {
-                        admission.admitted += 1;
-                        admission.migrations += u64::from(migrations);
-                        (Some(node), true, Some(o))
+                None => {
+                    let outcome = match draw.phase {
+                        // Phase traffic targets a node slice: same
+                        // admission test, candidates restricted to the
+                        // phase's filter.
+                        Some(pi) => {
+                            let demand = placer.demand_of(nominal);
+                            placer.place_demand_excluding(
+                                demand,
+                                draw.arrival.as_ns(),
+                                draw.departure.map(|d| d.as_ns()),
+                                &banned[pi],
+                            )
+                        }
+                        None => placer.place(
+                            nominal,
+                            draw.arrival.as_ns(),
+                            draw.departure.map(|d| d.as_ns()),
+                        ),
+                    };
+                    match outcome {
+                        o @ PlacementOutcome::Admitted {
+                            node, migrations, ..
+                        } => {
+                            admission.admitted += 1;
+                            admission.migrations += u64::from(migrations);
+                            (Some(node), true, Some(o))
+                        }
+                        o @ PlacementOutcome::Rejected { .. } => {
+                            admission.rejected += 1;
+                            (None, true, Some(o))
+                        }
                     }
-                    o @ PlacementOutcome::Rejected { .. } => {
-                        admission.rejected += 1;
-                        (None, true, Some(o))
-                    }
-                },
+                }
             },
             None => {
                 if pinned.is_none() {
@@ -304,11 +359,11 @@ fn plan_fleet_impl(
                 (Some(placer.place_best_effort()), false, None)
             }
         };
-        tasks.push(PlannedTask {
+        slots[i] = Some(PlannedTask {
             task: NodeTask {
                 fleet_id: i,
                 label,
-                kind: draw.kind,
+                kind: draw.kind.clone(),
                 arrival: draw.arrival,
                 departure: draw.departure,
                 seed: task_seed,
@@ -320,6 +375,10 @@ fn plan_fleet_impl(
             outcome,
         });
     }
+    let tasks: Vec<PlannedTask> = slots
+        .into_iter()
+        .map(|t| t.expect("every draw planned"))
+        .collect();
     if let Some(p) = pinned {
         admission = p.admission;
     }
@@ -455,7 +514,9 @@ impl ClusterRunner {
     pub fn epoch_ends(spec: &ScenarioSpec) -> Vec<Time> {
         let horizon = Time::ZERO + spec.horizon;
         let mut ends = Vec::new();
-        if spec.rebalance.enabled && !spec.rebalance.period.is_zero() {
+        // Node-level share re-bounding rides the same epoch grid, so it
+        // alone is enough to cut the run into epochs.
+        if (spec.rebalance.enabled || spec.node_share.enabled) && !spec.rebalance.period.is_zero() {
             let mut t = Time::ZERO + spec.rebalance.period;
             while t < horizon {
                 ends.push(t);
@@ -497,6 +558,14 @@ impl ClusterRunner {
                 per_node[node].push(i as u32);
             }
         }
+        // Phase tasks break the id-order/arrival-order equivalence (a
+        // flash crowd lands mid-stagger); re-sort so the cursor batching
+        // below stays correct.
+        if !spec.phases.is_empty() {
+            for ids in &mut per_node {
+                ids.sort_by_key(|&i| (plan.tasks[i as usize].task.arrival, i));
+            }
+        }
         let mut per_node_vms: Vec<Vec<NodeVm>> = vec![Vec::new(); spec.nodes];
         for p in &plan.vms {
             if let Some(node) = p.node {
@@ -526,6 +595,22 @@ impl ClusterRunner {
         // leader, read by every worker.
         let shared: Mutex<(Vec<Migration>, RebalanceStats, Vec<f64>)> =
             Mutex::new((Vec::new(), RebalanceStats::default(), vec![0.0; spec.nodes]));
+        // Node-level share state: one controller per node, the bound each
+        // node currently runs under, and the re-bounds of the current
+        // epoch (leader-written, applied by every worker to the nodes it
+        // owns). Empty controllers when the plane is off.
+        type NodeShareState = (Vec<ShareController>, Vec<f64>, Vec<(usize, f64)>);
+        let node_share: Mutex<NodeShareState> = Mutex::new((
+            if spec.node_share.enabled {
+                (0..spec.nodes)
+                    .map(|_| ShareController::new(node_share_config(spec)))
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            vec![spec.ulub; spec.nodes],
+            Vec::new(),
+        ));
         // Epoch-level decision events, appended by the leader only (and
         // therefore already in epoch order).
         let epoch_log: Mutex<Vec<FleetEvent>> = Mutex::new(Vec::new());
@@ -541,6 +626,7 @@ impl ClusterRunner {
                 let barrier = &barrier;
                 let feedback = &feedback;
                 let shared = &shared;
+                let node_share = &node_share;
                 let epoch_log = &epoch_log;
                 let ends = &ends;
                 handles.push(scope.spawn(move || {
@@ -654,31 +740,88 @@ impl ClusterRunner {
                                 sh.2[n] = alpha * raw + (1.0 - alpha) * sh.2[n];
                             }
                             view.smoothed = Some(sh.2.clone());
+                            // Node-level share re-bounding runs before the
+                            // rebalance decision of the same epoch: a node
+                            // that can absorb its own pressure in place
+                            // stops looking like a migration source, and a
+                            // node that shed headroom stops looking like a
+                            // destination. Pure per-node folds over
+                            // node-id-ordered feedback — deterministic, and
+                            // recomputed identically under pinned replay
+                            // (the pinned simulation reproduces the same
+                            // feedback, hence the same bounds).
+                            let mut rebound_events: Vec<FleetEvent> = Vec::new();
+                            let bounds: Option<Vec<f64>> = if spec_ref.node_share.enabled {
+                                let mut ns = node_share.lock().expect("node share lock");
+                                let (ctls, bounds, apply) = &mut *ns;
+                                apply.clear();
+                                for fb in &view.nodes {
+                                    let n = fb.node;
+                                    let (decision, trace) = ctls[n].step_traced(&DemandSignal {
+                                        consumed_bw: fb.utilisation,
+                                        booked_bw: fb.reserved_bw,
+                                        granted_bw: bounds[n],
+                                        // Misses count as saturation
+                                        // evidence alongside supervisor
+                                        // compressions: both mean the
+                                        // bound, not the demand, is the
+                                        // binding constraint.
+                                        compressions: fb.compressions + fb.misses,
+                                    });
+                                    if let ShareDecision::Request(target) = decision {
+                                        if log {
+                                            rebound_events.push(FleetEvent::NodeRebound {
+                                                at: t_end,
+                                                epoch: ei,
+                                                node: n,
+                                                prev: bounds[n],
+                                                bound: target,
+                                                demand: trace.demand,
+                                                reserved: fb.reserved_bw,
+                                                miss_rate: fb.miss_rate(),
+                                                compressions: fb.compressions,
+                                            });
+                                        }
+                                        bounds[n] = target;
+                                        apply.push((n, target));
+                                    }
+                                }
+                                Some(bounds.clone())
+                            } else {
+                                None
+                            };
                             // A pinned epoch applies the journal's decisions
                             // verbatim; an unpinned one decides live. The
                             // EWMA fold above runs either way, so decisions
                             // past a what-if cut see the same smoothed
                             // pressure history the recorded run saw.
-                            let decision = match pinned
-                                .and_then(|p| p.epochs.get(ei))
-                                .and_then(Option::as_ref)
-                            {
-                                Some(d) => d.clone(),
-                                None => {
-                                    let o = rebalance_epoch(
-                                        spec_ref,
-                                        plan_ref,
-                                        &view,
-                                        t_end,
-                                        scan_placement,
-                                    );
-                                    EpochDecision {
-                                        moves: o.moves,
-                                        failed: o.failed,
+                            let decision = if !spec_ref.rebalance.enabled {
+                                EpochDecision::default()
+                            } else {
+                                match pinned
+                                    .and_then(|p| p.epochs.get(ei))
+                                    .and_then(Option::as_ref)
+                                {
+                                    Some(d) => d.clone(),
+                                    None => {
+                                        let o = rebalance_epoch(
+                                            spec_ref,
+                                            plan_ref,
+                                            &view,
+                                            t_end,
+                                            scan_placement,
+                                            bounds.as_deref(),
+                                        );
+                                        EpochDecision {
+                                            moves: o.moves,
+                                            failed: o.failed,
+                                        }
                                     }
                                 }
                             };
-                            sh.1.epochs += 1;
+                            if spec_ref.rebalance.enabled {
+                                sh.1.epochs += 1;
+                            }
                             sh.1.moves += decision.moves.len() as u64;
                             sh.1.failed += decision.failed;
                             sh.1.records
@@ -703,19 +846,25 @@ impl ClusterRunner {
                                         });
                                     }
                                 }
-                                lg.push(FleetEvent::Rebalance {
-                                    at: t_end,
-                                    epoch: ei,
-                                    snapshot: (0..spec_ref.nodes)
-                                        .map(|n| NodeSnap {
-                                            node: n,
-                                            pressure: view.pressure(n),
-                                            utilisation: view.utilisation(n),
-                                        })
-                                        .collect(),
-                                    moves: decision.moves.len() as u64,
-                                    failed: decision.failed,
-                                });
+                                lg.append(&mut rebound_events);
+                                // No phantom pass records in a node-share-
+                                // only journal: the rebalance event exists
+                                // only when the rebalancer ran.
+                                if spec_ref.rebalance.enabled {
+                                    lg.push(FleetEvent::Rebalance {
+                                        at: t_end,
+                                        epoch: ei,
+                                        snapshot: (0..spec_ref.nodes)
+                                            .map(|n| NodeSnap {
+                                                node: n,
+                                                pressure: view.pressure(n),
+                                                utilisation: view.utilisation(n),
+                                            })
+                                            .collect(),
+                                        moves: decision.moves.len() as u64,
+                                        failed: decision.failed,
+                                    });
+                                }
                                 lg.extend(decision.moves.iter().enumerate().map(|(s, m)| {
                                     FleetEvent::Migration {
                                         at: t_end,
@@ -747,6 +896,20 @@ impl ClusterRunner {
                             sh.0 = decision.moves;
                         }
                         barrier.wait();
+
+                        // Apply the epoch's node re-bounds to the owned
+                        // nodes first: a migration landing this epoch is
+                        // admitted under the destination's *new* bound.
+                        if spec_ref.node_share.enabled {
+                            let ns = node_share.lock().expect("node share lock");
+                            for &(n, bound) in &ns.2 {
+                                for node in &mut owned {
+                                    if node.id() == n {
+                                        node.set_ulub(bound);
+                                    }
+                                }
+                            }
+                        }
 
                         // Apply the epoch's migrations to the owned nodes.
                         let sh = shared.lock().expect("rebalance lock");
@@ -935,15 +1098,33 @@ fn migrated_vm_incarnation(
     }
 }
 
+/// The node-level share law: the fleet→node instance of
+/// [`ShareControllerConfig`], bounded by the scenario's floor and cap.
+/// One confirmation only — at epoch granularity, waiting two epochs to
+/// confirm a trend means reacting after the phase that caused it.
+fn node_share_config(spec: &ScenarioSpec) -> ShareControllerConfig {
+    ShareControllerConfig {
+        min_share: spec.node_share.floor,
+        max_share: spec.node_share.cap,
+        confirmations: 1,
+        ..ShareControllerConfig::default()
+    }
+}
+
 /// One deterministic rebalance decision pass: rebuilds the fleet's booked
 /// bandwidth from the tasks and VMs the nodes report alive, then drains
-/// pressured nodes through the placer's admission path.
+/// pressured nodes through the placer's admission path. `bounds` carries
+/// the per-node supervisor bounds when node-level re-bounding is on: a
+/// node that shed headroom below the static `U_lub` gets the difference
+/// booked as phantom load, so migrations stop treating capacity the node
+/// no longer grants as free.
 fn rebalance_epoch(
     spec: &ScenarioSpec,
     plan: &FleetPlan,
     view: &FeedbackView,
     now: Time,
     scan_placement: bool,
+    bounds: Option<&[f64]>,
 ) -> crate::placer::RebalanceOutcome {
     let mut placer = Placer::new(spec.nodes, spec.ulub, spec.headroom, spec.policy);
     if scan_placement {
@@ -952,6 +1133,11 @@ fn rebalance_epoch(
     let mut live: Vec<LiveTask> = Vec::new();
     let mut live_vms: Vec<LiveVmUnit> = Vec::new();
     let mut reserved = vec![0.0f64; spec.nodes];
+    if let Some(bounds) = bounds {
+        for n in 0..spec.nodes {
+            reserved[n] += (spec.ulub - bounds[n]).max(0.0);
+        }
+    }
     // Planned arrivals that have not started yet still hold their nominal
     // booking on their target node — a destination about to receive them
     // is not as empty as its live set suggests.

@@ -151,7 +151,12 @@ impl StreamSketch {
         for (bin, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen > rank {
-                return Some((bin as f64 + 0.5) * self.width);
+                // A sparse top (or bottom) bin's midpoint can overshoot the
+                // exact tracked extremes — e.g. a lone value at the bin's
+                // left edge, or anything clamped into the overflow bin — so
+                // the representative is clamped into [min, max]: no sketch
+                // quantile may leave the range of the recorded data.
+                return Some(((bin as f64 + 0.5) * self.width).clamp(self.min, self.max));
             }
         }
         Some(self.max)
@@ -261,6 +266,28 @@ mod tests {
         assert_eq!(s.max(), Some(2000.0));
         // Interior quantiles stay on the grid; the extremes are exact.
         assert_eq!(s.quantile(1.0), Some(2000.0));
+    }
+
+    #[test]
+    fn quantiles_never_leave_the_recorded_range() {
+        // A lone value near a bin's left edge: the raw midpoint of its bin
+        // (0.15) would overshoot the exact max (0.11).
+        let mut s = StreamSketch::new(0.1, 100);
+        s.record(0.11);
+        for q in [0.25, 0.5, 0.75] {
+            assert_eq!(s.quantile(q), Some(0.11), "q={q}");
+        }
+        // Overflow values clamp into the last bin, whose midpoint (3.5)
+        // undershoots the exact max — interior quantiles must still not
+        // *under*shoot the exact min either.
+        let mut o = StreamSketch::new(1.0, 4);
+        o.record(900.0);
+        o.record(1000.0);
+        let med = o.quantile(0.5).unwrap();
+        assert!(
+            (900.0..=1000.0).contains(&med),
+            "midpoint must clamp into [min, max]: {med}"
+        );
     }
 
     #[test]

@@ -377,6 +377,65 @@ impl Default for RebalanceSpec {
     }
 }
 
+/// Node-level share re-bounding: the fleet→node instance of the paper's
+/// feedback loop.
+///
+/// When enabled, the epoch leader runs one
+/// [`selftune_core::share::ShareController`] per node over the same
+/// `NodeFeedback` snapshots the rebalancer reads, and re-bounds each
+/// node's supervisor `U_lub` in place: a node whose measured demand
+/// saturates its bound (misses, compressions) claws headroom back up to
+/// `cap` *before* the rebalancer reaches for migrations, and an idle node
+/// sheds bookable headroom down to `floor` — headroom the placer then
+/// stops counting when it books migration destinations. Decisions ride
+/// the rebalance epoch grid ([`RebalanceSpec::period`]), are pure
+/// functions of the node-id-ordered feedback, and are journalled as
+/// `NodeRebound` events.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeShareSpec {
+    /// Master switch; off reproduces the static per-node `U_lub` exactly.
+    pub enabled: bool,
+    /// Lowest bound an idle node may shed to.
+    pub floor: f64,
+    /// Highest bound a saturated node may claw back to (the fleet-wide
+    /// cap; must stay within `(0, 1]` like any `U_lub`).
+    pub cap: f64,
+}
+
+impl Default for NodeShareSpec {
+    fn default() -> Self {
+        NodeShareSpec {
+            enabled: false,
+            floor: 0.5,
+            cap: 0.95,
+        }
+    }
+}
+
+/// A traffic phase: a diurnal wave or flash crowd of extra tasks that
+/// arrives inside `[start, end)` and leaves at `end`.
+///
+/// Phase task `i` arrives at `start + ramp · i / tasks` — a zero ramp is
+/// a flash crowd (everything lands at `start`), a ramp near `end − start`
+/// is a diurnal swell. Placement is restricted to the nodes `nodes`
+/// matches, so a phase can model regional traffic hitting one slice of
+/// the fleet while the rest idles.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrafficPhase {
+    /// First arrival instant (offset from the run start).
+    pub start: Dur,
+    /// Departure instant of every phase task (the lease end).
+    pub end: Dur,
+    /// Arrival spread: the ramp from the first to the last arrival.
+    pub ramp: Dur,
+    /// How many tasks the phase contributes.
+    pub tasks: usize,
+    /// Mix the phase's tasks are drawn from.
+    pub mix: TaskMix,
+    /// Nodes admission may place the phase's tasks on.
+    pub nodes: NodeFilter,
+}
+
 /// One virtual platform in the fleet: a whole tenant placed — and, under
 /// feedback re-placement, migrated — as a single unit.
 ///
@@ -470,6 +529,10 @@ pub struct ScenarioSpec {
     pub sampling: Dur,
     /// Feedback-driven re-placement (off by default).
     pub rebalance: RebalanceSpec,
+    /// Node-level share re-bounding (off by default).
+    pub node_share: NodeShareSpec,
+    /// Time-varying traffic phases layered over the base population.
+    pub phases: Vec<TrafficPhase>,
 }
 
 impl ScenarioSpec {
@@ -492,7 +555,16 @@ impl ScenarioSpec {
             headroom: 1.2,
             sampling: Dur::ms(500),
             rebalance: RebalanceSpec::default(),
+            node_share: NodeShareSpec::default(),
+            phases: Vec::new(),
         }
+    }
+
+    /// Fleet-wide flat task count: the base population plus every traffic
+    /// phase's tasks. Phase tasks take fleet ids `tasks..flat_tasks()`
+    /// (in phase declaration order); VM guest ids follow after.
+    pub fn flat_tasks(&self) -> usize {
+        self.tasks + self.phases.iter().map(|p| p.tasks).sum::<usize>()
     }
 
     /// Replaces the task mix.
@@ -670,6 +742,128 @@ impl ScenarioSpec {
         }
     }
 
+    /// The diurnal/flash-crowd demo behind the `cluster_diurnal`
+    /// experiment and e2e test: a lightly loaded base fleet with
+    /// overprovisioned tenant VMs packed onto the low-id nodes, a fleet-
+    /// wide diurnal wave of lying [`TaskKind::HungryRt`] tasks, and a
+    /// flash crowd that slams the VM-hosting prefix mid-wave.
+    ///
+    /// The three control levers compose against it: elastic VM shares
+    /// free the hoarded tenant bandwidth *in place* exactly where the
+    /// crowd lands, the rebalancer drains melting prefix nodes into the
+    /// idle tail, and node-level re-bounding
+    /// ([`ScenarioSpec::diurnal_node_share`]) lets saturated nodes claw
+    /// supervisor headroom back while idle ones shed bookable capacity.
+    /// Rebalance, VM elasticity and node share are all *off* here; the
+    /// experiment turns them on in combinations at equal total bandwidth.
+    pub fn diurnal_demo(nodes: usize, tasks: usize) -> ScenarioSpec {
+        assert!(nodes >= 2, "the diurnal demo needs a prefix and a tail");
+        let mut spec = ScenarioSpec::new("diurnal", nodes, tasks, Dur::secs(6))
+            .with_mix(TaskMix::new(vec![(
+                TaskKind::PeriodicRt {
+                    wcet: Dur::ms(2),
+                    period: Dur::ms(40),
+                },
+                1.0,
+            )]))
+            .with_arrivals(ArrivalSchedule::Staggered { gap: Dur::ms(20) })
+            .with_policy(PolicyKind::FirstFit)
+            .with_ulub(0.9)
+            .with_sampling(Dur::ms(100))
+            .with_phase(TrafficPhase {
+                start: Dur::ms(1_000),
+                end: Dur::ms(5_000),
+                ramp: Dur::ms(2_000),
+                tasks: nodes * 3,
+                mix: TaskMix::new(vec![(
+                    TaskKind::HungryRt {
+                        nominal_wcet: Dur::ms(2),
+                        wcet: Dur::ms(5),
+                        period: Dur::ms(40),
+                    },
+                    1.0,
+                )]),
+                nodes: NodeFilter::All,
+            })
+            .with_phase(TrafficPhase {
+                start: Dur::ms(2_500),
+                end: Dur::ms(4_500),
+                ramp: Dur::ZERO,
+                tasks: nodes,
+                mix: TaskMix::new(vec![(
+                    TaskKind::PeriodicRt {
+                        wcet: Dur::ms(6),
+                        period: Dur::ms(40),
+                    },
+                    1.0,
+                )]),
+                nodes: NodeFilter::First((nodes / 4).max(1)),
+            });
+        // One overprovisioned tenant per two nodes: a 0.5 share whose
+        // guests measurably need ~0.15 — the slack elasticity recovers.
+        for _ in 0..nodes / 2 {
+            spec = spec.with_vm(VmSpec::uniform(
+                Dur::ms(5),
+                Dur::ms(10),
+                2,
+                TaskKind::PeriodicRt {
+                    wcet: Dur::ms(2),
+                    period: Dur::ms(40),
+                },
+            ));
+        }
+        spec
+    }
+
+    /// The feedback-loop parameters of the diurnal demo (epochs short
+    /// enough for several decisions per phase).
+    pub fn diurnal_rebalance() -> RebalanceSpec {
+        RebalanceSpec {
+            enabled: true,
+            period: Dur::ms(500),
+            pressure: 0.25,
+            max_moves: 8,
+            ewma_alpha: 0.6,
+            warm_start: true,
+        }
+    }
+
+    /// The node-level re-bounding parameters of the diurnal demo.
+    pub fn diurnal_node_share() -> NodeShareSpec {
+        NodeShareSpec {
+            enabled: true,
+            floor: 0.5,
+            cap: 0.95,
+        }
+    }
+
+    /// Enables node-level share re-bounding with the given parameters.
+    pub fn with_node_share(mut self, node_share: NodeShareSpec) -> ScenarioSpec {
+        assert!(
+            node_share.floor > 0.0 && node_share.floor <= node_share.cap && node_share.cap <= 1.0,
+            "node share bounds must satisfy 0 < floor <= cap <= 1"
+        );
+        self.node_share = node_share;
+        self
+    }
+
+    /// Adds a traffic phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is degenerate (`start >= end`), the ramp does
+    /// not fit the window, or the phase has no tasks.
+    pub fn with_phase(mut self, phase: TrafficPhase) -> ScenarioSpec {
+        assert!(phase.start < phase.end, "phase must start before it ends");
+        assert!(
+            phase.ramp <= phase.end - phase.start,
+            "phase ramp exceeds the window"
+        );
+        assert!(phase.tasks > 0, "a phase needs at least one task");
+        self.phases.push(phase);
+        self
+    }
+
     /// Enables feedback-driven re-placement with the given parameters.
     pub fn with_rebalance(mut self, rebalance: RebalanceSpec) -> ScenarioSpec {
         assert!(
@@ -778,6 +972,45 @@ mod tests {
         });
         assert!(spec.rebalance.enabled);
         assert_eq!(spec.rebalance.max_moves, 2);
+    }
+
+    #[test]
+    fn phases_extend_the_flat_task_count() {
+        let spec = ScenarioSpec::new("s", 2, 4, Dur::secs(1));
+        assert_eq!(spec.flat_tasks(), 4);
+        let spec = spec.with_phase(TrafficPhase {
+            start: Dur::ms(100),
+            end: Dur::ms(600),
+            ramp: Dur::ms(200),
+            tasks: 3,
+            mix: TaskMix::rt_only(),
+            nodes: NodeFilter::All,
+        });
+        assert_eq!(spec.flat_tasks(), 7);
+        assert!(!spec.node_share.enabled, "node share defaults off");
+    }
+
+    #[test]
+    #[should_panic(expected = "phase ramp exceeds the window")]
+    fn oversized_phase_ramp_panics() {
+        let _ = ScenarioSpec::new("s", 2, 4, Dur::secs(1)).with_phase(TrafficPhase {
+            start: Dur::ms(100),
+            end: Dur::ms(200),
+            ramp: Dur::ms(500),
+            tasks: 1,
+            mix: TaskMix::rt_only(),
+            nodes: NodeFilter::All,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "node share bounds")]
+    fn inverted_node_share_bounds_panic() {
+        let _ = ScenarioSpec::new("s", 2, 4, Dur::secs(1)).with_node_share(NodeShareSpec {
+            enabled: true,
+            floor: 0.9,
+            cap: 0.5,
+        });
     }
 
     #[test]

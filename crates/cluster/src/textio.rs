@@ -24,7 +24,9 @@
 //! vm = 3 10 2 periodic_rt 4 40
 //! vm = 4 10 elastic 1 video25 + 2 periodic_rt 2 50
 //! overload = 2000 3500 1 10 first:2
+//! phase = 1000 5000 2000 12 all hungry_rt 1 2 5 40
 //! rebalance = on 1000 0.05 4 0.6 warm
+//! node_share = on 0.5 0.95
 //! ```
 //!
 //! `vm` lines declare whole virtual platforms (`budget_ms period_ms
@@ -33,14 +35,17 @@
 //! host-level controller, and `+`-separated guest groups give one tenant
 //! a heterogeneous task mix. The `rebalance` line accepts the legacy
 //! 4-field form or the 6-field form adding the EWMA smoothing factor and
-//! warm/cold migration hand-over.
+//! warm/cold migration hand-over. `phase` lines declare time-varying
+//! traffic (`start_ms end_ms ramp_ms tasks filter kind... [+ kind...]`,
+//! weighted kinds as in `mix` lines); `node_share` turns the fleet→node
+//! share controller on with its floor and cap bounds.
 
 use selftune_simcore::time::Dur;
 
 use crate::placer::PolicyKind;
 use crate::spec::{
-    ArrivalSchedule, Churn, NodeFilter, OverloadWindow, RebalanceSpec, ScenarioSpec, TaskKind,
-    TaskMix, VmSpec,
+    ArrivalSchedule, Churn, NodeFilter, NodeShareSpec, OverloadWindow, RebalanceSpec, ScenarioSpec,
+    TaskKind, TaskMix, TrafficPhase, VmSpec,
 };
 
 /// Formats a duration as fractional milliseconds with a shortest
@@ -339,6 +344,23 @@ impl ScenarioSpec {
                 filter_to_text(w.nodes)
             ));
         }
+        for p in &self.phases {
+            let mix: Vec<String> = p
+                .mix
+                .entries()
+                .iter()
+                .map(|(kind, weight)| kind_to_text(kind, *weight))
+                .collect();
+            out.push_str(&format!(
+                "phase = {} {} {} {} {} {}\n",
+                ms(p.start),
+                ms(p.end),
+                ms(p.ramp),
+                p.tasks,
+                filter_to_text(p.nodes),
+                mix.join(" + ")
+            ));
+        }
         out.push_str(&format!(
             "rebalance = {} {} {} {} {} {}\n",
             if self.rebalance.enabled { "on" } else { "off" },
@@ -351,6 +373,12 @@ impl ScenarioSpec {
             } else {
                 "cold"
             }
+        ));
+        out.push_str(&format!(
+            "node_share = {} {} {}\n",
+            if self.node_share.enabled { "on" } else { "off" },
+            self.node_share.floor,
+            self.node_share.cap
         ));
         out
     }
@@ -380,6 +408,8 @@ impl ScenarioSpec {
         let mut arrivals = None;
         let mut churn = None;
         let mut rebalance = None;
+        let mut node_share: Option<NodeShareSpec> = None;
+        let mut phases: Vec<TrafficPhase> = Vec::new();
 
         for raw in text.lines() {
             let line = raw.trim();
@@ -524,6 +554,58 @@ impl ScenarioSpec {
                         warm_start,
                     });
                 }
+                "phase" => {
+                    // `start_ms end_ms ramp_ms tasks filter kind...
+                    //  [+ kind...]` — weighted kinds as in `mix` lines,
+                    // groups separated by standalone `+` tokens.
+                    let mut parts = value.split_whitespace();
+                    let (Some(start), Some(end), Some(ramp), Some(count), Some(filter)) = (
+                        parts.next(),
+                        parts.next(),
+                        parts.next(),
+                        parts.next(),
+                        parts.next(),
+                    ) else {
+                        return Err(format!(
+                            "phase needs `start_ms end_ms ramp_ms tasks filter kind...`: {value:?}"
+                        ));
+                    };
+                    let rest: Vec<&str> = parts.collect();
+                    if rest.is_empty() {
+                        return Err(format!("phase needs at least one mix kind: {value:?}"));
+                    }
+                    let mut entries: Vec<(TaskKind, f64)> = Vec::new();
+                    for group in rest.split(|&t| t == "+") {
+                        if group.is_empty() {
+                            return Err(format!("empty mix group in phase line: {value:?}"));
+                        }
+                        entries.push(kind_from_text(&group.join(" "))?);
+                    }
+                    phases.push(TrafficPhase {
+                        start: parse_ms(start)?,
+                        end: parse_ms(end)?,
+                        ramp: parse_ms(ramp)?,
+                        tasks: parse_usize(count)?,
+                        mix: TaskMix::new(entries),
+                        nodes: filter_from_text(filter)?,
+                    });
+                }
+                "node_share" => {
+                    let parts: Vec<&str> = value.split_whitespace().collect();
+                    let [state, floor, cap] = parts.as_slice() else {
+                        return Err(format!("node_share needs 3 fields: {value:?}"));
+                    };
+                    let enabled = match *state {
+                        "on" => true,
+                        "off" => false,
+                        other => return Err(format!("node_share must be on/off, got {other:?}")),
+                    };
+                    node_share = Some(NodeShareSpec {
+                        enabled,
+                        floor: parse_f64(floor)?,
+                        cap: parse_f64(cap)?,
+                    });
+                }
                 other => return Err(format!("unknown key: {other:?}")),
             }
         }
@@ -570,6 +652,30 @@ impl ScenarioSpec {
                 ));
             }
         }
+        if let Some(ns) = &node_share {
+            if !ns.floor.is_finite()
+                || !ns.cap.is_finite()
+                || ns.floor <= 0.0
+                || ns.floor > ns.cap
+                || ns.cap > 1.0
+            {
+                return Err(format!(
+                    "node share bounds must satisfy 0 < floor <= cap <= 1, got {} {}",
+                    ns.floor, ns.cap
+                ));
+            }
+        }
+        for p in &phases {
+            if p.start >= p.end {
+                return Err("phase must start before it ends".to_owned());
+            }
+            if p.ramp > p.end - p.start {
+                return Err("phase ramp exceeds the window".to_owned());
+            }
+            if p.tasks == 0 {
+                return Err("a phase needs at least one task".to_owned());
+            }
+        }
         let mut spec = ScenarioSpec::new(&name, nodes, tasks, horizon);
         if !mix_entries.is_empty() {
             spec = spec.with_mix(TaskMix::new(mix_entries));
@@ -594,6 +700,12 @@ impl ScenarioSpec {
         }
         if let Some(r) = rebalance {
             spec = spec.with_rebalance(r);
+        }
+        if let Some(ns) = node_share {
+            spec = spec.with_node_share(ns);
+        }
+        for p in phases {
+            spec = spec.with_phase(p);
         }
         for vm in vms {
             spec = spec.with_vm(vm);
@@ -686,6 +798,43 @@ mod tests {
                 }
                 .with_elastic(),
             )
+            .with_node_share(crate::spec::NodeShareSpec {
+                enabled: true,
+                floor: 0.6,
+                cap: 0.92,
+            })
+            .with_phase(TrafficPhase {
+                start: Dur::ms(1_000),
+                end: Dur::ms(4_000),
+                ramp: Dur::ms(1_500),
+                tasks: 6,
+                mix: TaskMix::new(vec![
+                    (
+                        TaskKind::HungryRt {
+                            nominal_wcet: Dur::ms(2),
+                            wcet: Dur::ms(5),
+                            period: Dur::ms(40),
+                        },
+                        2.0,
+                    ),
+                    (TaskKind::Video25, 1.0),
+                ]),
+                nodes: NodeFilter::All,
+            })
+            .with_phase(TrafficPhase {
+                start: Dur::ms(2_500),
+                end: Dur::ms(3_500),
+                ramp: Dur::ZERO,
+                tasks: 3,
+                mix: TaskMix::new(vec![(
+                    TaskKind::PeriodicRt {
+                        wcet: Dur::ms(6),
+                        period: Dur::ms(40),
+                    },
+                    1.0,
+                )]),
+                nodes: NodeFilter::First(1),
+            })
     }
 
     #[test]
@@ -706,6 +855,9 @@ mod tests {
         assert_eq!(parsed.overload.len(), 1);
         assert_eq!(parsed.overload[0].nodes, NodeFilter::First(2));
         assert_eq!(parsed.vms, spec.vms);
+        assert_eq!(parsed.node_share, spec.node_share);
+        assert_eq!(parsed.phases, spec.phases);
+        assert_eq!(parsed.flat_tasks(), spec.tasks + 9);
     }
 
     #[test]
@@ -812,6 +964,18 @@ mod tests {
             "nodes = 2\nvm = 3 10 2 video25 + 0 mp3",
             "nodes = 2\nvm = 3 10 2 video25 + 1",
             "nodes = 2\nvm = 3 10 elastic 1 video25 + 1 warp",
+            "nodes = 2\nnode_share = on 0.5",
+            "nodes = 2\nnode_share = maybe 0.5 0.95",
+            "nodes = 2\nnode_share = on 0 0.95",
+            "nodes = 2\nnode_share = on 0.9 0.5",
+            "nodes = 2\nnode_share = on 0.5 1.5",
+            "nodes = 2\nphase = 1000 500 0 4 all video25 1",
+            "nodes = 2\nphase = 1000 2000 1500 4 all video25 1",
+            "nodes = 2\nphase = 1000 2000 0 0 all video25 1",
+            "nodes = 2\nphase = 1000 2000 0 4 all",
+            "nodes = 2\nphase = 1000 2000 0 4 all video25 0",
+            "nodes = 2\nphase = 1000 2000 0 4 all video25 1 +",
+            "nodes = 2\nphase = 1000 2000 0 4 somewhere video25 1",
         ] {
             let text = format!("{base}{bad}");
             assert!(

@@ -16,6 +16,8 @@
 use proptest::prelude::*;
 use selftune_analysis::{min_bandwidth_single, PeriodicTask};
 use selftune_cluster::prelude::*;
+use selftune_cluster::StreamSketch;
+use selftune_simcore::stats::quantile_sorted;
 use selftune_simcore::time::Dur;
 
 fn policy_strategy() -> impl Strategy<Value = PolicyKind> {
@@ -305,6 +307,56 @@ proptest! {
     }
 
     #[test]
+    fn node_share_fleets_are_thread_invariant_and_bound_respecting(
+        seed in 0u64..1_000_000,
+        floor_pct in 40u64..70,
+        tasks in 8usize..13,
+    ) {
+        // The full composed plane — elastic VMs inside each node, node
+        // re-bounding from fleet feedback, the rebalancer around both —
+        // must stay byte-identical in the worker-thread count (events and
+        // summary), and every re-bound decision must stay inside the
+        // configured [floor, cap] with the node's granted bandwidth never
+        // exceeding the bound that was in force when the snapshot was
+        // taken (the supervisor recompresses the moment a bound drops).
+        let floor = floor_pct as f64 / 100.0;
+        let spec = rebalance_spec(4, tasks, 0.2, 4)
+            .with_vm(
+                VmSpec::uniform(
+                    Dur::ms(3),
+                    Dur::ms(10),
+                    2,
+                    TaskKind::PeriodicRt {
+                        wcet: Dur::ms(4),
+                        period: Dur::ms(40),
+                    },
+                )
+                .with_elastic(),
+            )
+            .with_node_share(NodeShareSpec { enabled: true, floor, cap: 0.95 });
+        let (baseline, events) = ClusterRunner::new(1).with_chunk(1).run_logged(&spec, seed);
+        for e in &events {
+            if let FleetEvent::NodeRebound { prev, bound, reserved, .. } = e {
+                prop_assert!(
+                    *bound >= floor - 1e-9 && *bound <= 0.95 + 1e-9,
+                    "bound {} outside [{}, 0.95]", bound, floor
+                );
+                // 1e-6 slack: proportional recompression sums rounded
+                // per-VM grants, so the total can sit a few ulps high.
+                prop_assert!(
+                    *reserved <= *prev + 1e-6,
+                    "granted {} over the bound {} in force", reserved, prev
+                );
+            }
+        }
+        for threads in [2usize, 8] {
+            let (m, ev) = ClusterRunner::new(threads).with_chunk(1).run_logged(&spec, seed);
+            prop_assert_eq!(baseline.summary_csv(), m.summary_csv(), "{} threads", threads);
+            prop_assert_eq!(&events, &ev, "{} threads", threads);
+        }
+    }
+
+    #[test]
     fn migrations_respect_destination_admission_invariant(
         seed in 0u64..1_000_000,
         tasks in 10usize..14,
@@ -414,6 +466,11 @@ proptest! {
             (1u64..9, 1usize..4, kind_strategy(), any::<bool>()),
             0..3,
         ),
+        (ns_on, ns_floor_pct, ns_cap_pct) in (any::<bool>(), 30u64..70, 70u64..101),
+        phases in prop::collection::vec(
+            (1u64..3_000, 100u64..2_000, 0u32..101, 1usize..9, kind_strategy(), 0u32..3),
+            0..3,
+        ),
     ) {
         let mut spec = ScenarioSpec::new("prop-textio", nodes, tasks, Dur::ms(horizon_ms))
             .with_mix(TaskMix::new(
@@ -443,6 +500,25 @@ proptest! {
             }
             spec = spec.with_vm(vm);
         }
+        spec = spec.with_node_share(NodeShareSpec {
+            enabled: ns_on,
+            floor: ns_floor_pct as f64 / 100.0,
+            cap: ns_cap_pct as f64 / 100.0,
+        });
+        for (start, window, ramp_pct, count, kind, filter) in phases {
+            spec = spec.with_phase(TrafficPhase {
+                start: Dur::ms(start),
+                end: Dur::ms(start + window),
+                ramp: Dur::ms(window * u64::from(ramp_pct) / 100),
+                tasks: count,
+                mix: TaskMix::new(vec![(kind, 1.0)]),
+                nodes: match filter {
+                    0 => NodeFilter::All,
+                    1 => NodeFilter::First(count),
+                    _ => NodeFilter::Stride(2),
+                },
+            });
+        }
         for (start, hogs, chunk, filter) in overload {
             spec = spec.with_overload(OverloadWindow {
                 start: Dur::ms(start),
@@ -471,6 +547,45 @@ proptest! {
         prop_assert_eq!(parsed.rebalance.period, spec.rebalance.period);
         prop_assert_eq!(parsed.mix.entries(), spec.mix.entries());
         prop_assert_eq!(&parsed.vms, &spec.vms);
+        prop_assert_eq!(parsed.node_share, spec.node_share);
+        prop_assert_eq!(&parsed.phases, &spec.phases);
+        prop_assert_eq!(parsed.flat_tasks(), spec.flat_tasks());
+    }
+
+    #[test]
+    fn sketch_quantiles_track_the_exact_path_to_bin_resolution(
+        values in prop::collection::vec(0.0f64..19.9, 1..200),
+        q_pct in 0u32..101,
+    ) {
+        // The sketch quantile must stay inside the recorded range and land
+        // within half a bin of the exact nearest-rank value; against the
+        // interpolating `quantile_sorted` the extra slack is the gap
+        // between the two straddling order statistics.
+        let q = f64::from(q_pct) / 100.0;
+        let mut sketch = StreamSketch::for_gap_norm(); // 0.01-wide bins
+        for &v in &values {
+            sketch.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let approx = sketch.quantile(q).expect("non-empty sketch");
+        prop_assert!(
+            approx >= sorted[0] - 1e-12 && approx <= sorted[sorted.len() - 1] + 1e-12,
+            "quantile {} left the data range [{}, {}]",
+            approx, sorted[0], sorted[sorted.len() - 1]
+        );
+        let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+        prop_assert!(
+            (approx - sorted[rank]).abs() <= 0.005 + 1e-9,
+            "q={}: sketch {} vs nearest-rank {}", q, approx, sorted[rank]
+        );
+        let exact = quantile_sorted(&sorted, q);
+        let idx = q * (sorted.len() - 1) as f64;
+        let gap = sorted[idx.ceil() as usize] - sorted[idx.floor() as usize];
+        prop_assert!(
+            (approx - exact).abs() <= 0.005 + gap + 1e-9,
+            "q={}: sketch {} vs exact {} (gap {})", q, approx, exact, gap
+        );
     }
 
     #[test]

@@ -30,6 +30,6 @@ pub use lfspp::{BudgetRequest, LfsPlusPlus, LfsPpConfig};
 pub use manager::{ManagerConfig, SelfTuningManager};
 pub use predictor::{EwmaEstimator, MeanSigmaEstimator, Predictor, QuantileEstimator};
 pub use share::{
-    ClampReason, DemandSignal, Hysteresis, ShareController, ShareControllerConfig, ShareDecision,
-    ShareTrace,
+    ClampReason, DemandSignal, Hysteresis, PeriodAdapter, ShareController, ShareControllerConfig,
+    ShareDecision, ShareTrace,
 };

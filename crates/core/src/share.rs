@@ -214,6 +214,68 @@ pub struct ShareTrace {
     pub adopted: Option<f64>,
 }
 
+/// Share-*period* adaptation: the paper's `T^s = P` rule lifted one
+/// level. A task-level reservation serves its task best when the server
+/// period equals the task's period; the same holds one level up — a VM's
+/// (or node's) share granularity should track the dominant period of the
+/// consumers inside it, so inner deadlines align with outer replenishment
+/// instead of beating against it.
+///
+/// The adapter is a thin policy over the shared [`Hysteresis`] state
+/// machine: dominant-period observations inside the deadband are
+/// absorbed, an out-of-band shift is adopted only after the configured
+/// confirmations, and the adopted period is clamped into `[min, max]` so
+/// a mis-detected outlier cannot drive the share period degenerate.
+#[derive(Clone, Debug)]
+pub struct PeriodAdapter {
+    hyst: Hysteresis,
+    min: f64,
+    max: f64,
+    period: Option<f64>,
+}
+
+impl PeriodAdapter {
+    /// An adapter with deadband `band`, `confirmations` consecutive
+    /// agreeing observations before a move, clamping adopted periods into
+    /// `[min, max]` (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or non-positive `[min, max]` interval.
+    pub fn new(band: f64, confirmations: u32, min: f64, max: f64) -> PeriodAdapter {
+        assert!(
+            min > 0.0 && min <= max,
+            "degenerate period bounds [{min}, {max}]"
+        );
+        PeriodAdapter {
+            hyst: Hysteresis::new(band, confirmations),
+            min,
+            max,
+            period: None,
+        }
+    }
+
+    /// The currently adopted share period (seconds), if any observation
+    /// has been adopted yet.
+    pub fn period(&self) -> Option<f64> {
+        self.period
+    }
+
+    /// Feeds one dominant-consumer-period observation (seconds). Returns
+    /// the newly adopted share period if this observation confirmed a
+    /// move; non-positive or non-finite observations are ignored (no
+    /// consumer period detected yet).
+    pub fn observe(&mut self, dominant: f64) -> Option<f64> {
+        if !dominant.is_finite() || dominant <= 0.0 {
+            return None;
+        }
+        let candidate = dominant.clamp(self.min, self.max);
+        let adopted = self.hyst.filter(self.period, candidate)?;
+        self.period = Some(adopted);
+        Some(adopted)
+    }
+}
+
 /// The share feedback law (see the module docs).
 #[derive(Clone, Debug)]
 pub struct ShareController {
@@ -348,6 +410,43 @@ mod tests {
         assert_eq!(h.filter(Some(0.5), 0.8), None);
         assert_eq!(h.filter(Some(0.5), 0.5), None);
         assert_eq!(h.filter(Some(0.5), 0.8), None);
+    }
+
+    #[test]
+    fn period_adapter_tracks_the_dominant_period_with_hysteresis() {
+        let mut a = PeriodAdapter::new(0.1, 2, 0.001, 1.0);
+        assert_eq!(a.period(), None);
+        // First observation adopts immediately (initial latency beats
+        // initial stability, same as the share target).
+        assert_eq!(a.observe(0.040), Some(0.040));
+        // Jitter inside the deadband is absorbed.
+        assert_eq!(a.observe(0.042), None);
+        assert_eq!(a.observe(0.038), None);
+        assert_eq!(a.period(), Some(0.040));
+        // A real shift (guests re-tuned to 100 ms) needs 2 confirmations.
+        assert_eq!(a.observe(0.100), None);
+        assert_eq!(a.observe(0.101), Some(0.100));
+        assert_eq!(a.period(), Some(0.100));
+    }
+
+    #[test]
+    fn period_adapter_clamps_and_ignores_degenerate_observations() {
+        let mut a = PeriodAdapter::new(0.1, 1, 0.010, 0.200);
+        // Outliers clamp into the configured band instead of driving the
+        // share period degenerate.
+        assert_eq!(a.observe(5.0), Some(0.200));
+        // Non-observations (no consumer period detected) change nothing.
+        assert_eq!(a.observe(0.0), None);
+        assert_eq!(a.observe(f64::NAN), None);
+        assert_eq!(a.observe(-1.0), None);
+        assert_eq!(a.period(), Some(0.200));
+        assert_eq!(a.observe(0.0001), Some(0.010));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate period bounds")]
+    fn period_adapter_rejects_empty_bounds() {
+        let _ = PeriodAdapter::new(0.1, 1, 0.5, 0.1);
     }
 
     #[test]

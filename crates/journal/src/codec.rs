@@ -21,6 +21,7 @@
 //! kill = at=1200000000 node=0 id=7
 //! share_grant = at=250000000 node=1 vm=0 demand=0.21 target=0.26 granted=0.26 compressed=0 clamp=none pending=- avail=0.9
 //! compression = at=750000000 epoch=0 node=0 count=3
+//! node_rebound = at=750000000 epoch=0 node=0 prev=0.9 bound=0.95 demand=0.97 reserved=0.88 miss_rate=0.2 compressions=4
 //! rebalance = at=750000000 epoch=0 moves=1 failed=0 snap=0:0.31:0.97,1:0.02:0.41
 //! migration = at=750000000 epoch=0 seq=0 id=4 vm=0 from=0 to=1 demand=0.14 dest=0.55 warm=2000000:40000000 guest_warm=-
 //! ```
@@ -102,6 +103,21 @@ fn record_line(r: &DecisionRecord) -> String {
                 Some((share, count)) => format!("{share}:{count}"),
                 None => "-".to_owned(),
             },
+        ),
+        DecisionRecord::NodeRebound {
+            at,
+            epoch,
+            node,
+            prev,
+            bound,
+            demand,
+            reserved,
+            miss_rate,
+            compressions,
+        } => format!(
+            "node_rebound = at={} epoch={epoch} node={node} prev={prev} bound={bound} \
+             demand={demand} reserved={reserved} miss_rate={miss_rate} compressions={compressions}",
+            at.as_ns()
         ),
         DecisionRecord::Compression {
             at,
@@ -314,6 +330,17 @@ fn record_from_line(line: &str) -> Result<DecisionRecord, String> {
                 }
             },
             available: parse_f64(f.take("avail")?, "avail")?,
+        },
+        "node_rebound" => DecisionRecord::NodeRebound {
+            at: parse_at(f.take("at")?)?,
+            epoch: parse_usize(f.take("epoch")?, "epoch")?,
+            node: parse_usize(f.take("node")?, "node")?,
+            prev: parse_f64(f.take("prev")?, "prev bound")?,
+            bound: parse_f64(f.take("bound")?, "bound")?,
+            demand: parse_f64(f.take("demand")?, "demand")?,
+            reserved: parse_f64(f.take("reserved")?, "reserved")?,
+            miss_rate: parse_f64(f.take("miss_rate")?, "miss rate")?,
+            compressions: parse_u64(f.take("compressions")?, "compressions")?,
         },
         "compression" => DecisionRecord::Compression {
             at: parse_at(f.take("at")?)?,
@@ -619,6 +646,8 @@ mod tests {
             "share_grant = at=0 node=0 vm=0 demand=0.1 target=0.1 granted=0.1 compressed=2 clamp=none pending=- avail=0.9",
             "share_grant = at=0 node=0 vm=0 demand=0.1 target=0.1 granted=0.1 compressed=0 clamp=squeeze pending=- avail=0.9",
             "share_grant = at=0 node=0 vm=0 demand=0.1 target=0.1 granted=0.1 compressed=0 clamp=none pending=0.2 avail=0.9",
+            "node_rebound = at=0 epoch=0 node=0 prev=0.9 bound=0.95 demand=0.97 reserved=0.88 miss_rate=0.2", // missing field
+            "node_rebound = at=0 epoch=0 node=0 prev=0.9 bound=inf demand=0.97 reserved=0.88 miss_rate=0.2 compressions=4",
             "rebalance = at=0 epoch=0 moves=0 failed=0 snap=0:0.1",    // short snap entry
             "migration = at=0 epoch=0 seq=0 id=0 vm=3 from=0 to=1 demand=0.1 dest=0.1 warm=- guest_warm=-",
             "migration = at=0 epoch=0 seq=0 id=0 vm=0 from=0 to=1 demand=0.1 dest=0.1 warm=12 guest_warm=-",
@@ -631,6 +660,42 @@ mod tests {
                 "accepted corrupt record line: {bad:?}"
             );
         }
+    }
+
+    #[test]
+    fn composed_plane_journal_is_thread_invariant_and_replays() {
+        // Diurnal wave + flash crowd with every control level on: elastic
+        // VMs, node re-bounding and the rebalancer. The journal text must
+        // be byte-identical at 1, 2 and 8 worker threads (modulo the
+        // informational `threads` header), must round-trip, and its replay
+        // must reproduce the recorded aggregates byte for byte.
+        let mut spec = ScenarioSpec::diurnal_demo(4, 8)
+            .with_rebalance(ScenarioSpec::diurnal_rebalance())
+            .with_node_share(ScenarioSpec::diurnal_node_share());
+        for vm in &mut spec.vms {
+            vm.elastic = true;
+        }
+        let mut texts = Vec::new();
+        let mut summaries = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let (live, mut journal) = Journal::record(threads, &spec, 42);
+            journal.threads = 1; // the only field allowed to differ
+            texts.push(journal.to_text());
+            summaries.push(live.summary_csv());
+        }
+        assert_eq!(texts[0], texts[1], "journal text differs at 2 threads");
+        assert_eq!(texts[0], texts[2], "journal text differs at 8 threads");
+        assert_eq!(summaries[0], summaries[1]);
+        assert_eq!(summaries[0], summaries[2]);
+        assert!(
+            texts[0].contains("node_rebound = "),
+            "composed run should re-bound at least one node"
+        );
+        let reloaded = Journal::from_text(&texts[0]).expect("round trip");
+        let replayed = crate::replay::Replayer::new(2)
+            .verify(&reloaded)
+            .expect("replay matches the recorded aggregates");
+        assert_eq!(replayed.summary_csv(), summaries[0]);
     }
 
     #[test]

@@ -80,6 +80,27 @@ pub enum DecisionRecord {
         /// Host bandwidth the request competed for.
         available: f64,
     },
+    /// One node-level supervisor re-bound decided from fleet feedback.
+    NodeRebound {
+        /// Epoch boundary the decision ran at.
+        at: Time,
+        /// Rebalance epoch index.
+        epoch: usize,
+        /// The re-bounded node.
+        node: usize,
+        /// The bound in force before.
+        prev: f64,
+        /// The bound now in force.
+        bound: f64,
+        /// The controller's smoothed demand estimate.
+        demand: f64,
+        /// Host bandwidth the node's reservations held at the snapshot.
+        reserved: f64,
+        /// The node's deadline-miss rate over the epoch.
+        miss_rate: f64,
+        /// Supervisor compressions on the node over the epoch.
+        compressions: u64,
+    },
     /// One node's supervisor compressions over one epoch.
     Compression {
         /// Epoch boundary the count was sampled at.
@@ -188,6 +209,27 @@ impl From<FleetEvent> for DecisionRecord {
                 pending,
                 available,
             },
+            FleetEvent::NodeRebound {
+                at,
+                epoch,
+                node,
+                prev,
+                bound,
+                demand,
+                reserved,
+                miss_rate,
+                compressions,
+            } => DecisionRecord::NodeRebound {
+                at,
+                epoch,
+                node,
+                prev,
+                bound,
+                demand,
+                reserved,
+                miss_rate,
+                compressions,
+            },
             FleetEvent::Compression {
                 at,
                 epoch,
@@ -287,7 +329,7 @@ impl Journal {
     /// The admission pin table: every task's and VM's recorded
     /// destination, plus the recorded admission statistics.
     pub fn pinned_plan(&self) -> PinnedPlan {
-        let mut task_nodes = vec![None; self.scenario.tasks];
+        let mut task_nodes = vec![None; self.scenario.flat_tasks()];
         let mut vm_nodes = vec![None; self.scenario.vms.len()];
         for r in &self.records {
             match r {

@@ -20,9 +20,14 @@
 //! this type makes the host-level law unit testable in isolation.
 
 use selftune_core::share::{
-    DemandSignal, ShareController, ShareControllerConfig, ShareDecision, ShareTrace,
+    DemandSignal, PeriodAdapter, ShareController, ShareControllerConfig, ShareDecision, ShareTrace,
 };
 use selftune_simcore::time::{Dur, Time};
+
+/// Bounds of an adapted share period (seconds): no share replenishes
+/// faster than 1 ms or slower than 500 ms, whatever the guests report.
+const ADAPTED_PERIOD_MIN: f64 = 0.001;
+const ADAPTED_PERIOD_MAX: f64 = 0.5;
 
 /// Configuration of one VM's elastic-share loop.
 #[derive(Clone, Copy, Debug)]
@@ -36,6 +41,14 @@ pub struct VmElasticConfig {
     /// host supervisor's bound at attach time, so an elastic VM can never
     /// request its way past what the node could grant anyone.
     pub controller: ShareControllerConfig,
+    /// Share-*period* adaptation (the paper's `T^s = P` rule one level
+    /// up): when enabled, the share period tracks the dominant detected
+    /// guest period through a [`PeriodAdapter`] sharing the controller's
+    /// deadband/confirmation settings, so outer replenishment aligns with
+    /// inner deadlines instead of beating against them. Off by default —
+    /// re-parameterising the host server is a behaviour change existing
+    /// fleets must opt into.
+    pub adapt_period: bool,
 }
 
 impl Default for VmElasticConfig {
@@ -43,6 +56,7 @@ impl Default for VmElasticConfig {
         VmElasticConfig {
             control_period: Dur::ms(500),
             controller: ShareControllerConfig::default(),
+            adapt_period: false,
         }
     }
 }
@@ -62,6 +76,10 @@ pub struct VmObservation {
     pub elapsed: Dur,
     /// Guest-supervisor compressions since the previous step.
     pub compressions_delta: u64,
+    /// The dominant period the guest manager currently detects across its
+    /// tasks (`None` while detection runs, or for manager-less guests).
+    /// Only consulted when [`VmElasticConfig::adapt_period`] is on.
+    pub dominant_period: Option<Dur>,
 }
 
 /// The per-VM share controller (see the module docs).
@@ -69,6 +87,8 @@ pub struct VmObservation {
 pub struct VmShareController {
     cfg: VmElasticConfig,
     ctl: ShareController,
+    /// Share-period adaptation state; `Some` iff `cfg.adapt_period`.
+    periods: Option<PeriodAdapter>,
     /// Instant of the next control step.
     next_at: Time,
     /// Decisions that actually re-requested the share.
@@ -83,9 +103,18 @@ impl VmShareController {
             !cfg.control_period.is_zero(),
             "control period must be positive"
         );
+        let periods = cfg.adapt_period.then(|| {
+            PeriodAdapter::new(
+                cfg.controller.hysteresis,
+                cfg.controller.confirmations,
+                ADAPTED_PERIOD_MIN,
+                ADAPTED_PERIOD_MAX,
+            )
+        });
         VmShareController {
             cfg,
             ctl: ShareController::new(cfg.controller),
+            periods,
             next_at: now + cfg.control_period,
             rerequests: 0,
         }
@@ -111,6 +140,14 @@ impl VmShareController {
         self.rerequests
     }
 
+    /// The adapted share period, if period adaptation is on and an
+    /// observation has been adopted: the period a re-requested share
+    /// should use instead of the server's current one.
+    pub fn share_period(&self) -> Option<Dur> {
+        let secs = self.periods.as_ref()?.period()?;
+        Some(Dur::secs(1).mul_f64(secs))
+    }
+
     /// Whether a control step is due at `now`.
     pub fn due(&self, now: Time) -> bool {
         now >= self.next_at
@@ -128,6 +165,9 @@ impl VmShareController {
     /// journal records alongside the decision.
     pub fn step_traced(&mut self, obs: &VmObservation, now: Time) -> (ShareDecision, ShareTrace) {
         self.next_at = now + self.cfg.control_period;
+        if let (Some(pa), Some(dom)) = (self.periods.as_mut(), obs.dominant_period) {
+            pa.observe(dom.as_secs_f64());
+        }
         let consumed_bw = if obs.elapsed.is_zero() {
             0.0
         } else {
@@ -157,7 +197,38 @@ mod tests {
             consumed_delta: Dur::ms(consumed_ms),
             elapsed: Dur::ms(500),
             compressions_delta: compressions,
+            dominant_period: None,
         }
+    }
+
+    #[test]
+    fn share_period_tracks_the_dominant_guest_period_when_enabled() {
+        let cfg = VmElasticConfig {
+            adapt_period: true,
+            ..VmElasticConfig::default()
+        };
+        let mut c = VmShareController::new(cfg, Time::ZERO);
+        assert_eq!(c.share_period(), None);
+        let mut o = obs(0.3, 0.3, 100, 0);
+        o.dominant_period = Some(Dur::ms(40));
+        let mut at = Time::ZERO;
+        // Default confirmations = 2 after the immediate first adoption.
+        for _ in 0..3 {
+            at += Dur::ms(500);
+            let _ = c.step(&o, at);
+        }
+        assert_eq!(c.share_period(), Some(Dur::ms(40)));
+        // Guests re-tune to 100 ms; the adapter follows after confirming.
+        o.dominant_period = Some(Dur::ms(100));
+        for _ in 0..3 {
+            at += Dur::ms(500);
+            let _ = c.step(&o, at);
+        }
+        assert_eq!(c.share_period(), Some(Dur::ms(100)));
+        // Off by default: the same observations leave the period alone.
+        let mut plain = VmShareController::new(VmElasticConfig::default(), Time::ZERO);
+        let _ = plain.step(&o, Time::ZERO + Dur::ms(500));
+        assert_eq!(plain.share_period(), None);
     }
 
     #[test]

@@ -355,6 +355,38 @@ impl VirtPlatform {
         self.vms[vm.index()].elastic.as_ref().map(|e| &e.ctl)
     }
 
+    /// The most common detected period among the VM's managed guest
+    /// tasks (ties to the shorter period), if any guest task has one —
+    /// the observation the share-period adapter tracks.
+    fn vm_dominant_period(&self, vm: VmId) -> Option<Dur> {
+        let mgr = self.vms[vm.index()].mgr.as_ref()?;
+        let mut counts: Vec<(Dur, u32)> = Vec::new();
+        for &tid in &self.vms[vm.index()].tasks {
+            let Some(p) = mgr.controller_of(tid).and_then(|c| c.period()) else {
+                continue;
+            };
+            match counts.iter_mut().find(|(q, _)| *q == p) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((p, 1)),
+            }
+        }
+        counts
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(p, _)| p)
+    }
+
+    /// The bandwidth bound currently imposed on the VM's guest manager
+    /// (its inner supervisor's `U_lub`), if the guest is self-tuning.
+    /// Elastic re-grants move this bound; it must never collapse below
+    /// the share of the supervisor's budget floor.
+    pub fn vm_guest_bound(&self, vm: VmId) -> Option<f64> {
+        self.vms[vm.index()]
+            .mgr
+            .as_ref()
+            .map(|m| m.config().supervisor.ulub)
+    }
+
     /// One elastic control step of a VM whose controller is due: gathers
     /// the observation, folds it, executes any re-request through the host
     /// supervisor and re-bounds the guest manager at the new grant.
@@ -374,25 +406,43 @@ impl VirtPlatform {
                 .mgr
                 .as_ref()
                 .map_or(0, SelfTuningManager::compressed_grants);
+            let dominant_period = if el.ctl.config().adapt_period {
+                self.vm_dominant_period(vm)
+            } else {
+                None
+            };
             let obs = VmObservation {
                 granted,
                 booked,
                 consumed_delta: consumed.saturating_sub(el.last_consumed),
                 elapsed: now.saturating_since(el.last_at),
                 compressions_delta: compressions - el.last_compressions,
+                dominant_period,
             };
             el.last_consumed = consumed;
             el.last_compressions = compressions;
             el.last_at = now;
             let (decision, trace) = el.ctl.step_traced(&obs, now);
             if let ShareDecision::Request(target) = decision {
-                let period = self.vm_server(vm).config().period;
+                // T^s = P one level up: a re-request carries the adapted
+                // share period (tracking the dominant guest period) when
+                // adaptation is on, the server's current period otherwise.
+                let period = el
+                    .ctl
+                    .share_period()
+                    .unwrap_or_else(|| self.vm_server(vm).config().period);
                 let floor = self.cfg.supervisor.budget_floor(period);
                 let budget = period.mul_f64(target).max(floor).min(period);
                 let (granted, compressed, available) =
                     self.request_vm_share_detailed(vm, budget, period);
+                // Even a fully compressed grant leaves the guest manager a
+                // real bound: the supervisor never shrinks a server below
+                // its budget floor, so that floor's share — not an
+                // arbitrary epsilon — is the honest lower limit. (A zero
+                // bound would poison the guest supervisor outright.)
+                let bound_floor = floor.ratio(period).min(1.0);
                 if let Some(mgr) = self.vms[vm.index()].mgr.as_mut() {
-                    mgr.set_bandwidth_bound(granted.clamp(1e-6, 1.0));
+                    mgr.set_bandwidth_bound(granted.clamp(bound_floor, 1.0));
                 }
                 self.share_events.push(ShareGrantEvent {
                     at: now,
@@ -718,6 +768,63 @@ impl VirtPlatform {
     /// The host supervisor in force.
     pub fn supervisor(&self) -> &Supervisor {
         &self.cfg.supervisor
+    }
+
+    /// Re-bounds the host supervisor's utilisation cap `U_lub` in place —
+    /// the node-level control knob one level above the elastic VM loop.
+    ///
+    /// The new bound governs every later admission and apply pass: both
+    /// the flat-task manager and VM share requests route through the one
+    /// host supervisor, whose cap moves here. When the bound drops below
+    /// what is currently granted, every live VM share is recompressed
+    /// immediately through one supervisor apply pass (in VM-id order,
+    /// proportionally), and each self-tuning guest's own bound follows
+    /// its new grant — the same downward propagation an elastic re-grant
+    /// performs. Flat-task grants recompress on their manager's next
+    /// apply pass under the new cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < ulub <= 1`.
+    pub fn set_host_ulub(&mut self, ulub: f64) {
+        assert!(ulub > 0.0 && ulub <= 1.0, "ulub {ulub} out of (0, 1]");
+        self.cfg.supervisor.ulub = ulub;
+        self.host_mgr.set_bandwidth_bound(ulub);
+        if self.host_reserved_bandwidth() <= ulub + 1e-9 {
+            return;
+        }
+        let reqs: Vec<BwRequest> = (0..self.vms.len())
+            .filter(|&i| !self.vms[i].killed)
+            .map(|i| {
+                let cfg = self.vm_server(VmId(i as u32)).config();
+                BwRequest {
+                    server: self.kernel.sched().vm_server_id(VmId(i as u32)),
+                    budget: cfg.budget,
+                    period: cfg.period,
+                }
+            })
+            .collect();
+        if reqs.is_empty() {
+            return;
+        }
+        let grants = self
+            .cfg
+            .supervisor
+            .apply(self.kernel.sched_mut().host_mut(), &reqs);
+        let live: Vec<usize> = (0..self.vms.len())
+            .filter(|&i| !self.vms[i].killed)
+            .collect();
+        for (&i, grant) in live.iter().zip(&grants) {
+            let bound_floor = self
+                .cfg
+                .supervisor
+                .budget_floor(grant.period)
+                .ratio(grant.period)
+                .min(1.0);
+            if let Some(mgr) = self.vms[i].mgr.as_mut() {
+                mgr.set_bandwidth_bound(grant.bandwidth().clamp(bound_floor, 1.0));
+            }
+        }
     }
 
     /// Current virtual time.

@@ -186,6 +186,90 @@ fn edf_and_fixed_priority_guests_dispatch_by_their_policy() {
     assert!(p.kernel().metrics().marks("slow.job").len() > 20);
 }
 
+#[test]
+fn compressed_elastic_grant_floors_the_guest_bound_at_budget_floor() {
+    use selftune_core::share::ShareControllerConfig;
+    use selftune_virt::VmElasticConfig;
+
+    let mut p = platform(0.5);
+    // A static tenant occupying most of the host.
+    p.create_vm(VmConfig::self_tuning("bulk", Dur::ms(4), Dur::ms(10)))
+        .expect("0.4 fits under 0.5");
+    // A small elastic tenant whose guests want far more than remains: its
+    // controller probes upward, and every re-granted share comes back
+    // compressed by the host supervisor.
+    let vm = p
+        .create_vm(VmConfig::self_tuning("squeezed", Dur::ms(1), Dur::ms(10)))
+        .expect("0.1 fits");
+    let t = p.spawn_in_vm(vm, "hot", rt("hot", 30, 40, 7));
+    p.manage_in_vm(vm, t, "hot", ControllerConfig::default());
+    p.make_vm_elastic(
+        vm,
+        VmElasticConfig {
+            controller: ShareControllerConfig {
+                confirmations: 1,
+                ..ShareControllerConfig::default()
+            },
+            ..VmElasticConfig::default()
+        },
+    );
+    p.run(Time::ZERO + Dur::secs(6));
+
+    // Regression: the guest bound used to be clamped with an arbitrary
+    // 1e-6 epsilon. However hard the supervisor compresses, the honest
+    // floor is the supervisor's own budget floor over the share period —
+    // the smallest share it would actually grant.
+    let floor = {
+        let period = Dur::ms(10);
+        p.supervisor().budget_floor(period).ratio(period)
+    };
+    let bound = p.vm_guest_bound(vm).expect("self-tuning guest");
+    assert!(
+        bound >= floor - 1e-9,
+        "guest bound {bound} fell below the supervisor floor {floor}"
+    );
+    // And it really was compressed: demand (~0.75) never fit in the ~0.1
+    // left under the host bound.
+    assert!(bound <= 0.12, "grant was not compressed: {bound}");
+    assert!(p.host_reserved_bandwidth() <= 0.5 + 1e-9);
+}
+
+#[test]
+fn lowering_the_host_bound_recompresses_live_vm_shares_in_place() {
+    let mut p = platform(0.9);
+    let a = p
+        .create_vm(VmConfig::self_tuning("a", Dur::ms(4), Dur::ms(10)))
+        .expect("fits");
+    let b = p
+        .create_vm(VmConfig::self_tuning("b", Dur::ms(4), Dur::ms(10)))
+        .expect("fits");
+    p.run(Time::ZERO + Dur::ms(500));
+    assert!(p.host_reserved_bandwidth() > 0.79);
+
+    // The node-level loop claws back headroom: dropping U_lub below the
+    // granted total recompresses both live shares immediately, in place.
+    p.set_host_ulub(0.5);
+    assert!(
+        p.host_reserved_bandwidth() <= 0.5 + 1e-9,
+        "recompression must bring the host under the new bound: {}",
+        p.host_reserved_bandwidth()
+    );
+    let floor = {
+        let period = Dur::ms(10);
+        p.supervisor().budget_floor(period).ratio(period)
+    };
+    for vm in [a, b] {
+        let bound = p.vm_guest_bound(vm).expect("self-tuning guest");
+        // Proportional compression: each 0.4 share lands near 0.25.
+        assert!(bound <= 0.30, "vm bound {bound} not recompressed");
+        assert!(bound >= floor - 1e-9, "vm bound {bound} below floor");
+    }
+    // Raising the bound back grants nothing by itself — shares only grow
+    // again when a tenant re-requests.
+    p.set_host_ulub(0.9);
+    assert!(p.host_reserved_bandwidth() <= 0.55);
+}
+
 mod nesting_props {
     use super::*;
     use proptest::prelude::*;
@@ -246,6 +330,7 @@ mod nesting_props {
                         confirmations: 1 + (seed % 3) as u32,
                         ..ShareControllerConfig::default()
                     },
+                    ..VmElasticConfig::default()
                 });
                 vms.push(vm);
             }

@@ -1,0 +1,155 @@
+//! Cluster e2e: the composed three-level control plane under diurnal and
+//! flash-crowd demand.
+//!
+//! The fleet runs the same recursive feedback law at three levels —
+//! task → VM (elastic shares inside each node), fleet → node (supervisor
+//! re-bounding from epoch feedback) and fleet-wide (migration). The
+//! diurnal demo layers a fleet-wide wave of lying `HungryRt` tasks and a
+//! flash crowd pinned to the VM-hosting prefix over a quiet base. At
+//! equal total bandwidth and the same seed, the composed plane must beat
+//! *both* single-level variants on fleet miss rate: the rebalancer alone
+//! cannot free the bandwidth tenant VMs hoard where the flash crowd
+//! lands, and the in-place loops alone cannot move work off a prefix
+//! that is saturated outright.
+
+use selftune::cluster::prelude::*;
+use selftune::journal::prelude::*;
+
+const SEED: u64 = 42;
+
+/// One diurnal-demo variant: `in_place` closes the elastic-VM and
+/// node-rebound loops, `rebalance` the migration loop. The epoch grid is
+/// identical across variants so they differ only in decisions.
+fn scenario(in_place: bool, rebalance: bool) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::diurnal_demo(6, 12);
+    if in_place {
+        for vm in &mut spec.vms {
+            vm.elastic = true;
+        }
+        spec = spec.with_node_share(ScenarioSpec::diurnal_node_share());
+    }
+    if rebalance {
+        spec = spec.with_rebalance(ScenarioSpec::diurnal_rebalance());
+    } else {
+        spec.rebalance.period = ScenarioSpec::diurnal_rebalance().period;
+    }
+    spec
+}
+
+#[test]
+fn composed_plane_beats_each_single_level_on_fleet_miss_rate() {
+    let static_run = ClusterRunner::new(2).run(&scenario(false, false), SEED);
+    let rebalance_only = ClusterRunner::new(2).run(&scenario(false, true), SEED);
+    let elastic_only = ClusterRunner::new(2).run(&scenario(true, false), SEED);
+    let composed = ClusterRunner::new(2).run(&scenario(true, true), SEED);
+
+    // The scenario is actually stressful and each level actually works.
+    assert!(
+        static_run.miss_ratio() > 0.05,
+        "diurnal + flash crowd must overload the static fleet, got {:.4}",
+        static_run.miss_ratio()
+    );
+    assert!(composed.rebalance.moves >= 1, "composed run must migrate");
+    assert_eq!(rebalance_only.admission, {
+        // Equal total bandwidth: admission decisions are identical across
+        // variants (control levers only change what happens afterwards).
+        let mut a = composed.admission;
+        a.migrations = rebalance_only.admission.migrations;
+        a
+    });
+
+    // The quantitative claim: the composed plane strictly beats both
+    // single-level variants, and the static baseline, on fleet miss rate.
+    assert!(
+        composed.miss_ratio() < rebalance_only.miss_ratio(),
+        "composed must beat rebalance-only: {:.4} vs {:.4}",
+        composed.miss_ratio(),
+        rebalance_only.miss_ratio()
+    );
+    assert!(
+        composed.miss_ratio() < elastic_only.miss_ratio(),
+        "composed must beat elastic-only: {:.4} vs {:.4}",
+        composed.miss_ratio(),
+        elastic_only.miss_ratio()
+    );
+    assert!(
+        composed.miss_ratio() < static_run.miss_ratio(),
+        "composed must beat static: {:.4} vs {:.4}",
+        composed.miss_ratio(),
+        static_run.miss_ratio()
+    );
+    // And it does so by doing *more* work, not by shedding it.
+    assert!(composed.completions() > static_run.completions());
+}
+
+#[test]
+fn node_rebounds_claw_back_on_hot_nodes_and_shed_on_idle_ones() {
+    let spec = scenario(true, true);
+    let (_, events) = ClusterRunner::new(2).run_logged(&spec, SEED);
+    let rebounds: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            FleetEvent::NodeRebound { prev, bound, .. } => Some((*prev, *bound)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !rebounds.is_empty(),
+        "the composed run must re-bound at least one node"
+    );
+    // Both directions of the law show up: claw-backs above the previous
+    // bound under pressure, sheds below it when demand recedes.
+    assert!(
+        rebounds.iter().any(|&(prev, bound)| bound > prev),
+        "expected at least one claw-back"
+    );
+    assert!(
+        rebounds.iter().any(|&(prev, bound)| bound < prev),
+        "expected at least one shed"
+    );
+    let ns = ScenarioSpec::diurnal_node_share();
+    for &(_, bound) in &rebounds {
+        assert!(
+            bound >= ns.floor - 1e-9 && bound <= ns.cap + 1e-9,
+            "bound {bound} outside [{}, {}]",
+            ns.floor,
+            ns.cap
+        );
+    }
+}
+
+#[test]
+fn composed_journal_is_byte_identical_at_1_2_and_8_threads() {
+    let spec = scenario(true, true);
+    let (_, baseline) = Journal::record(1, &spec, SEED);
+    for threads in [2usize, 8] {
+        let (_, mut journal) = Journal::record(threads, &spec, SEED);
+        journal.threads = 1; // the only field allowed to differ
+        assert_eq!(
+            journal.to_text(),
+            baseline.to_text(),
+            "journal text diverged at {threads} threads"
+        );
+    }
+    // The journal carries the new decision class and replays exactly.
+    assert!(baseline
+        .records
+        .iter()
+        .any(|r| matches!(r, DecisionRecord::NodeRebound { .. })));
+    Replayer::new(4)
+        .verify(&baseline)
+        .expect("composed journal replays byte for byte");
+}
+
+#[test]
+fn diurnal_scenario_round_trips_through_text() {
+    let spec = scenario(true, true);
+    let parsed = ScenarioSpec::from_text(&spec.to_text()).expect("parse");
+    assert_eq!(parsed.to_text(), spec.to_text());
+    assert_eq!(parsed.phases, spec.phases);
+    assert_eq!(parsed.node_share, spec.node_share);
+    // The reloaded scenario reproduces the original run byte for byte.
+    let a = ClusterRunner::new(2).run(&spec, SEED);
+    let b = ClusterRunner::new(2).run(&parsed, SEED);
+    assert_eq!(a.summary_csv(), b.summary_csv());
+}
