@@ -1,0 +1,5 @@
+//! Log-shipped replication, checkpoints, lag metrics, failover promotion.
+fn main() {
+    let args = selftune_bench::Args::parse();
+    selftune_bench::experiments::cluster_failover::run(&args);
+}

@@ -22,6 +22,7 @@ fn main() {
     e::cluster_rebalance::run(&args);
     e::cluster_megafleet::run(&args);
     e::journal_whatif::run(&args);
+    e::cluster_failover::run(&args);
     e::vm_consolidation::run(&args);
     e::vm_elasticity::run(&args);
     println!("\nAll experiments done. CSVs in {}", args.out.display());

@@ -28,6 +28,10 @@ pub struct Args {
     /// experiment's primary scenario is recorded through
     /// [`selftune_journal::Journal`] and written here.
     pub journal: Option<PathBuf>,
+    /// Replication checkpoint cadence in epochs (`--checkpoint-every N`,
+    /// distributed experiments only): how often the leader emits a
+    /// verification checkpoint on the shipped stream.
+    pub checkpoint_every: Option<usize>,
 }
 
 impl Default for Args {
@@ -39,13 +43,15 @@ impl Default for Args {
             out: PathBuf::from("results"),
             scenario: None,
             journal: None,
+            checkpoint_every: None,
         }
     }
 }
 
 impl Args {
     /// Parses `--seed N`, `--fast`, `--smoke`, `--out DIR`,
-    /// `--scenario FILE` and `--journal FILE` from `std::env::args`.
+    /// `--scenario FILE`, `--journal FILE` and `--checkpoint-every N`
+    /// from `std::env::args`.
     ///
     /// # Panics
     ///
@@ -80,8 +86,14 @@ impl Args {
                 "--journal" => {
                     out.journal = Some(PathBuf::from(it.next().expect("--journal needs a file")));
                 }
+                "--checkpoint-every" => {
+                    let v = it.next().expect("--checkpoint-every needs a value");
+                    let n: usize = v.parse().expect("--checkpoint-every must be an integer");
+                    assert!(n > 0, "--checkpoint-every must be at least 1");
+                    out.checkpoint_every = Some(n);
+                }
                 other => panic!(
-                    "unknown argument {other:?} (try --seed/--fast/--smoke/--out/--scenario/--journal)"
+                    "unknown argument {other:?} (try --seed/--fast/--smoke/--out/--scenario/--journal/--checkpoint-every)"
                 ),
             }
         }
@@ -186,6 +198,8 @@ mod tests {
             "fleet.txt",
             "--journal",
             "run.journal",
+            "--checkpoint-every",
+            "3",
         ]));
         assert_eq!(a.seed, 7);
         assert!(a.fast);
@@ -193,6 +207,7 @@ mod tests {
         assert_eq!(a.out, PathBuf::from("elsewhere"));
         assert_eq!(a.scenario.as_deref(), Some(Path::new("fleet.txt")));
         assert_eq!(a.journal.as_deref(), Some(Path::new("run.journal")));
+        assert_eq!(a.checkpoint_every, Some(3));
     }
 
     #[test]
@@ -203,6 +218,13 @@ mod tests {
         assert!(!a.smoke);
         assert!(a.scenario.is_none());
         assert!(a.journal.is_none());
+        assert!(a.checkpoint_every.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "--checkpoint-every must be at least 1")]
+    fn parse_from_rejects_zero_checkpoint_cadence() {
+        Args::parse_from(strings(&["--checkpoint-every", "0"]));
     }
 
     #[test]

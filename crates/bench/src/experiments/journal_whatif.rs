@@ -116,6 +116,23 @@ pub fn run(args: &Args) {
                 cut_epoch: 0,
                 swap: PolicySwap::FixedShares,
             },
+            // Node-share plane swaps: how tight could the per-node bounds
+            // have been over the same recorded history? (Safe on any
+            // journal with an epoch grid — the rebalancer is on here.)
+            WhatIf {
+                cut_epoch: mid,
+                swap: PolicySwap::NodeShareBounds {
+                    floor: 0.6,
+                    cap: 0.92,
+                },
+            },
+            WhatIf {
+                cut_epoch: mid,
+                swap: PolicySwap::NodeShareBounds {
+                    floor: 0.5,
+                    cap: 0.8,
+                },
+            },
         ]
     };
     let rows: Vec<Vec<String>> = queries.iter().map(|w| whatif_row(&journal, w)).collect();

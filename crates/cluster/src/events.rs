@@ -14,6 +14,7 @@
 use selftune_core::share::ClampReason;
 use selftune_simcore::time::Time;
 
+use crate::aggregate::{AdmissionStats, AggregateMetrics};
 use crate::node::WarmStart;
 
 /// One node's smoothed pressure and utilisation inside a rebalance pass —
@@ -230,6 +231,61 @@ impl FleetEvent {
             FleetEvent::Rebalance { epoch, .. } => (*epoch, 0),
             FleetEvent::Migration { epoch, seq, .. } => (*epoch, *seq as usize),
         }
+    }
+}
+
+/// Incremental consumer of a logged run's decision stream.
+///
+/// [`ClusterRunner::run_logged_with`](crate::runner::ClusterRunner::run_logged_with)
+/// drives a sink instead of materialising the full event vector: the
+/// plan-derived decisions arrive first in one batch, then every epoch
+/// boundary delivers its decision batch as soon as the barrier leader has
+/// taken it, and the final aggregates close the stream. Each batch is
+/// canonically sorted internally ([`sort_events`]); concatenating the
+/// batches and re-sorting yields exactly the stream `run_logged` returns.
+///
+/// All callbacks run on a runner thread (the barrier leader or the
+/// calling thread), serialised by the runner — implementations never see
+/// concurrent calls. Default method bodies ignore the data, so a sink
+/// implements only what it consumes.
+pub trait JournalSink: Send {
+    /// Checkpoint cadence: `Some(n)` asks the runner to assemble interim
+    /// fleet aggregates at every `n`-th epoch boundary (skipping the
+    /// trivial boundary 0 and the horizon, which [`JournalSink::on_finish`]
+    /// covers). `None` — the default — skips the interim reductions
+    /// entirely.
+    fn checkpoint_interval(&self) -> Option<usize> {
+        None
+    }
+
+    /// The plan-derived decisions (admissions and churn kills), emitted
+    /// once in canonical order before simulation starts. Admissions are
+    /// plan-time decisions: shipping them up front gives a consumer a
+    /// complete placement pin table at any later cut point.
+    fn on_plan(&mut self, admission: &AdmissionStats, events: &[FleetEvent]) {
+        let _ = (admission, events);
+    }
+
+    /// Interim fleet aggregates at epoch boundary `cursor`: the state at
+    /// instant `at` with the decisions of epochs `< cursor` applied,
+    /// captured *before* the boundary's own decision batch is emitted. A
+    /// prefix re-execution over the same decisions reproduces these
+    /// aggregates byte for byte
+    /// ([`ClusterRunner::run_pinned_prefix`](crate::runner::ClusterRunner::run_pinned_prefix)).
+    fn on_checkpoint(&mut self, cursor: usize, at: Time, interim: &AggregateMetrics) {
+        let _ = (cursor, at, interim);
+    }
+
+    /// The decision batch of epoch boundary `epoch` (canonically sorted).
+    /// The final boundary (the horizon) carries only the share grants of
+    /// the last epoch — no rebalance decision runs there.
+    fn on_epoch(&mut self, epoch: usize, at: Time, events: &[FleetEvent]) {
+        let _ = (epoch, at, events);
+    }
+
+    /// The final fleet aggregates, after the last epoch batch.
+    fn on_finish(&mut self, finale: &AggregateMetrics) {
+        let _ = finale;
     }
 }
 

@@ -93,7 +93,7 @@ pub use aggregate::{
     AdmissionStats, AggregateMetrics, MigrationRecord, NodeReport, NodeSketches, NodeTotals,
     RebalanceStats, TaskReport,
 };
-pub use events::{sort_events, FleetEvent, NodeSnap};
+pub use events::{sort_events, FleetEvent, JournalSink, NodeSnap};
 pub use index::HeadroomIndex;
 pub use node::{Lease, LiveRt, LiveVm, Node, NodeFeedback, NodeTask, NodeVm, WarmStart};
 pub use placer::{
@@ -115,7 +115,7 @@ pub mod prelude {
     pub use crate::aggregate::{
         AdmissionStats, AggregateMetrics, MigrationRecord, NodeReport, RebalanceStats,
     };
-    pub use crate::events::{sort_events, FleetEvent, NodeSnap};
+    pub use crate::events::{sort_events, FleetEvent, JournalSink, NodeSnap};
     pub use crate::node::{NodeFeedback, WarmStart};
     pub use crate::placer::{FeedbackView, Migration, PlacementOutcome, Placer, PolicyKind};
     pub use crate::runner::{

@@ -51,7 +51,7 @@ use selftune_simcore::time::{Dur, Time};
 use crate::aggregate::{
     AdmissionStats, AggregateMetrics, MigrationRecord, NodeReport, RebalanceStats,
 };
-use crate::events::{sort_events, FleetEvent, NodeSnap};
+use crate::events::{sort_events, FleetEvent, JournalSink, NodeSnap};
 use crate::node::{Node, NodeFeedback, NodeTask, NodeVm};
 use crate::placer::{FeedbackView, LiveTask, LiveVmUnit, Migration, PlacementOutcome, Placer};
 use crate::spec::{ArrivalSchedule, ScenarioSpec, TaskKind};
@@ -471,13 +471,36 @@ impl ClusterRunner {
     /// stream: everything a journal needs to make the run explainable and
     /// replayable. The stream is byte-for-byte independent of the thread
     /// count, exactly like the aggregates.
+    ///
+    /// Convenience wrapper over [`ClusterRunner::run_logged_with`] that
+    /// buffers the whole stream; a streaming consumer (a log shipper)
+    /// should pass its own sink instead and keep memory flat.
     pub fn run_logged(
         &self,
         spec: &ScenarioSpec,
         seed: u64,
     ) -> (AggregateMetrics, Vec<FleetEvent>) {
+        let mut sink = CollectSink::default();
+        let metrics = self.run_logged_with(spec, seed, &mut sink);
+        let mut events = sink.events;
+        sort_events(&mut events);
+        (metrics, events)
+    }
+
+    /// Runs the scenario while streaming the decision-event batches into
+    /// `sink` (see [`JournalSink`]) instead of buffering them: the plan
+    /// batch up front, one batch per epoch boundary as the barrier leader
+    /// takes the decisions, interim aggregates at the sink's checkpoint
+    /// cadence, and the final aggregates at the horizon. Nothing is
+    /// retained runner-side beyond the batch in flight.
+    pub fn run_logged_with(
+        &self,
+        spec: &ScenarioSpec,
+        seed: u64,
+        sink: &mut dyn JournalSink,
+    ) -> AggregateMetrics {
         let plan = plan_fleet_impl(spec, seed, None, self.scan_placement);
-        self.run_inner(spec, seed, &plan, None, true)
+        self.run_inner(spec, seed, &plan, None, Some(sink), None)
     }
 
     /// Re-executes a (usually pinned) plan with per-epoch rebalance
@@ -492,7 +515,31 @@ impl ClusterRunner {
         plan: &FleetPlan,
         moves: &PinnedMoves,
     ) -> AggregateMetrics {
-        self.run_inner(spec, seed, plan, Some(moves), false).0
+        self.run_inner(spec, seed, plan, Some(moves), None, None)
+    }
+
+    /// [`ClusterRunner::run_pinned`] cut short at epoch boundary `cursor`:
+    /// applies the pinned decisions of epochs `< cursor`, stops the
+    /// simulation exactly at the boundary instant (no post-horizon
+    /// straggler flush, no decision *at* the boundary) and reduces
+    /// aggregates there. This is the mirror a log-shipping follower keeps:
+    /// its output is byte-identical to the interim aggregates the logged
+    /// run emitted at the same checkpoint
+    /// ([`JournalSink::on_checkpoint`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cursor` is not an epoch boundary index of `spec`
+    /// (`cursor < ClusterRunner::epoch_ends(spec).len()`).
+    pub fn run_pinned_prefix(
+        &self,
+        spec: &ScenarioSpec,
+        seed: u64,
+        plan: &FleetPlan,
+        moves: &PinnedMoves,
+        cursor: usize,
+    ) -> AggregateMetrics {
+        self.run_inner(spec, seed, plan, Some(moves), None, Some(cursor))
     }
 
     /// The effective steal-chunk size for an `nodes`-node fleet.
@@ -534,7 +581,7 @@ impl ClusterRunner {
         seed: u64,
         plan: &FleetPlan,
     ) -> AggregateMetrics {
-        self.run_inner(spec, seed, plan, None, false).0
+        self.run_inner(spec, seed, plan, None, None, None)
     }
 
     fn run_inner(
@@ -543,8 +590,9 @@ impl ClusterRunner {
         seed: u64,
         plan: &FleetPlan,
         pinned: Option<&PinnedMoves>,
-        log: bool,
-    ) -> (AggregateMetrics, Vec<FleetEvent>) {
+        sink: Option<&mut dyn JournalSink>,
+        prefix: Option<usize>,
+    ) -> AggregateMetrics {
         // Per-node distribution as index lists into the plan arena: tasks
         // are cloned exactly once, straight from the plan into the owning
         // node, instead of materialising intermediate per-node task
@@ -577,14 +625,46 @@ impl ClusterRunner {
         let chunk = self.chunk_for(spec.nodes, workers);
         let scan_placement = self.scan_placement;
         let sketch = self.sketch;
-        let horizon = Time::ZERO + spec.horizon;
-        let ends = ClusterRunner::epoch_ends(spec);
+        let log = sink.is_some();
+        let interval = sink.as_ref().and_then(|s| s.checkpoint_interval());
+        // A prefix run truncates the epoch grid at the cursor boundary and
+        // skips the final straggler flush: the simulation stops exactly at
+        // the boundary instant, mirroring the state a logged run's interim
+        // checkpoint reported there.
+        let full_ends = ClusterRunner::epoch_ends(spec);
+        let (ends, flush) = match prefix {
+            Some(cursor) => {
+                assert!(
+                    cursor < full_ends.len(),
+                    "prefix cursor {cursor} out of range (scenario has {} epoch boundaries)",
+                    full_ends.len()
+                );
+                (full_ends[..=cursor].to_vec(), false)
+            }
+            None => (full_ends, true),
+        };
+        let horizon = *ends.last().expect("at least one epoch boundary");
+        // Interim checkpoints: skip boundary 0 (nothing decided yet) and
+        // the horizon (`on_finish` carries the final aggregates).
+        let ckpt_at: Vec<bool> = (0..ends.len())
+            .map(|ei| matches!(interval, Some(n) if ei > 0 && ei + 1 < ends.len() && ei % n == 0))
+            .collect();
         let mut reports: Vec<Option<NodeReport>> = Vec::new();
         for _ in 0..spec.nodes {
             reports.push(None);
         }
-        // Per-node share-grant event logs, reassembled in node-id order.
-        let mut node_events: Vec<Vec<FleetEvent>> = vec![Vec::new(); spec.nodes];
+
+        // Admissions and churn kills are plan-time decisions; shipping the
+        // whole batch before simulation starts gives a streaming consumer
+        // a complete placement pin table at any later cut point.
+        let sink: Option<Mutex<&mut dyn JournalSink>> = sink.map(Mutex::new);
+        if let Some(s) = &sink {
+            let mut events = plan_events(spec, plan);
+            sort_events(&mut events);
+            s.lock()
+                .expect("journal sink lock")
+                .on_plan(&plan.admission, &events);
+        }
 
         let next = AtomicUsize::new(0);
         let barrier = Barrier::new(workers);
@@ -611,9 +691,11 @@ impl ClusterRunner {
             vec![spec.ulub; spec.nodes],
             Vec::new(),
         ));
-        // Epoch-level decision events, appended by the leader only (and
-        // therefore already in epoch order).
-        let epoch_log: Mutex<Vec<FleetEvent>> = Mutex::new(Vec::new());
+        // Share-grant events drained by every worker at the barrier; the
+        // leader merges them with its own decisions into the epoch batch.
+        let batch_grants: Mutex<Vec<FleetEvent>> = Mutex::new(Vec::new());
+        // Interim per-node reports, published at checkpoint barriers only.
+        let ckpt_reports: Mutex<Vec<Option<NodeReport>>> = Mutex::new(vec![None; spec.nodes]);
 
         thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
@@ -627,7 +709,10 @@ impl ClusterRunner {
                 let feedback = &feedback;
                 let shared = &shared;
                 let node_share = &node_share;
-                let epoch_log = &epoch_log;
+                let batch_grants = &batch_grants;
+                let ckpt_reports = &ckpt_reports;
+                let ckpt_at = &ckpt_at;
+                let sink = sink.as_ref();
                 let ends = &ends;
                 handles.push(scope.spawn(move || {
                     // Epoch 0: claim node chunks (work-stealing), build
@@ -657,7 +742,11 @@ impl ClusterRunner {
                             let mut cursor = 0;
                             while cursor < ids.len() {
                                 let t = &plan_ref.tasks[ids[cursor] as usize].task;
-                                if ends.len() > 1 && t.arrival > ends[0] {
+                                // A single-epoch *prefix* run must still
+                                // gate arrivals at the boundary; only a
+                                // full single-epoch run admits everything
+                                // up front (the historical behaviour).
+                                if (ends.len() > 1 || !flush) && t.arrival > ends[0] {
                                     break;
                                 }
                                 node.add_task(t.clone());
@@ -672,10 +761,6 @@ impl ClusterRunner {
                         }
                     }
 
-                    // Share-grant events of the owned nodes, drained at
-                    // every epoch boundary *before* migrations release VMs.
-                    let mut grants: Vec<(usize, Vec<FleetEvent>)> = Vec::new();
-
                     for (ei, &t_end) in ends.iter().enumerate() {
                         if ei > 0 {
                             let last = ei == ends.len() - 1;
@@ -683,11 +768,13 @@ impl ClusterRunner {
                                 // Admit this epoch's planned arrivals in one
                                 // batch (the final epoch also flushes any
                                 // post-horizon stragglers so every planned
-                                // task still appears in its node's report).
+                                // task still appears in its node's report —
+                                // unless this is a prefix run, which stops
+                                // dead at the cursor boundary).
                                 let ids = &per_node[node.id()];
                                 while *cursor < ids.len() {
                                     let t = &plan_ref.tasks[ids[*cursor] as usize].task;
-                                    if !last && t.arrival > t_end {
+                                    if !(last && flush) && t.arrival > t_end {
                                         break;
                                     }
                                     node.add_task(t.clone());
@@ -696,13 +783,29 @@ impl ClusterRunner {
                                 node.run_to_horizon(t_end);
                             }
                         }
+                        // Share-grant events drain at every boundary,
+                        // *before* migrations release VMs; the leader (or,
+                        // at the horizon, the reducing thread) owns the
+                        // batch ordering.
                         if log {
+                            let mut drained: Vec<FleetEvent> = Vec::new();
                             for node in &mut owned {
-                                let id = node.id();
-                                let drained = node.drain_share_events();
-                                if !drained.is_empty() {
-                                    grants.push((id, drained));
-                                }
+                                drained.append(&mut node.drain_share_events());
+                            }
+                            if !drained.is_empty() {
+                                batch_grants
+                                    .lock()
+                                    .expect("grant batch lock")
+                                    .append(&mut drained);
+                            }
+                        }
+                        // Checkpoint barriers additionally publish an
+                        // interim per-node report (a `&self` reduction —
+                        // the simulation state is untouched).
+                        if ckpt_at[ei] {
+                            let mut slots = ckpt_reports.lock().expect("checkpoint report lock");
+                            for node in &owned {
+                                slots[node.id()] = Some(node.report_mode(t_end, !sketch));
                             }
                         }
                         if ei == ends.len() - 1 {
@@ -729,6 +832,37 @@ impl ClusterRunner {
                             };
                             drop(slots);
                             let mut sh = shared.lock().expect("rebalance lock");
+                            // Interim checkpoint: reduce the published
+                            // per-node reports against the *pre-update*
+                            // rebalance stats — exactly the state a pinned
+                            // prefix re-execution reproduces at this
+                            // boundary (it breaks before the boundary's
+                            // decision, with `cursor` leader passes done).
+                            if ckpt_at[ei] {
+                                let nodes: Vec<NodeReport> = ckpt_reports
+                                    .lock()
+                                    .expect("checkpoint report lock")
+                                    .iter_mut()
+                                    .enumerate()
+                                    .map(|(n, r)| {
+                                        r.take().unwrap_or_else(|| {
+                                            panic!("node {n} missing checkpoint report")
+                                        })
+                                    })
+                                    .collect();
+                                let interim = AggregateMetrics::new(
+                                    &spec_ref.name,
+                                    seed,
+                                    plan_ref.admission,
+                                    nodes,
+                                )
+                                .with_rebalance(sh.1.clone());
+                                if let Some(s) = sink {
+                                    s.lock()
+                                        .expect("journal sink lock")
+                                        .on_checkpoint(ei, t_end, &interim);
+                                }
+                            }
                             // Cross-epoch hysteresis: fold this epoch's raw
                             // signal (miss rate + compression rate) into the
                             // EWMA, and let eviction act on the smoothed
@@ -834,11 +968,17 @@ impl ClusterRunner {
                                     demand: m.demand,
                                     dest_reserved_after: m.dest_reserved_after,
                                 }));
-                            if log {
-                                let mut lg = epoch_log.lock().expect("epoch log lock");
+                            if let Some(s) = sink {
+                                // The epoch batch: every worker's drained
+                                // share grants plus this boundary's
+                                // decisions, canonically sorted and emitted
+                                // before simulation resumes.
+                                let mut batch: Vec<FleetEvent> = std::mem::take(
+                                    &mut *batch_grants.lock().expect("grant batch lock"),
+                                );
                                 for fb in &view.nodes {
                                     if fb.compressions > 0 {
-                                        lg.push(FleetEvent::Compression {
+                                        batch.push(FleetEvent::Compression {
                                             at: t_end,
                                             epoch: ei,
                                             node: fb.node,
@@ -846,12 +986,12 @@ impl ClusterRunner {
                                         });
                                     }
                                 }
-                                lg.append(&mut rebound_events);
+                                batch.append(&mut rebound_events);
                                 // No phantom pass records in a node-share-
                                 // only journal: the rebalance event exists
                                 // only when the rebalancer ran.
                                 if spec_ref.rebalance.enabled {
-                                    lg.push(FleetEvent::Rebalance {
+                                    batch.push(FleetEvent::Rebalance {
                                         at: t_end,
                                         epoch: ei,
                                         snapshot: (0..spec_ref.nodes)
@@ -865,7 +1005,7 @@ impl ClusterRunner {
                                         failed: decision.failed,
                                     });
                                 }
-                                lg.extend(decision.moves.iter().enumerate().map(|(s, m)| {
+                                batch.extend(decision.moves.iter().enumerate().map(|(s, m)| {
                                     FleetEvent::Migration {
                                         at: t_end,
                                         epoch: ei,
@@ -880,6 +1020,10 @@ impl ClusterRunner {
                                         guest_warm: m.guest_warm.clone(),
                                     }
                                 }));
+                                sort_events(&mut batch);
+                                s.lock()
+                                    .expect("journal sink lock")
+                                    .on_epoch(ei, t_end, &batch);
                             }
                             // A drained node sheds its pressure history with
                             // its load; keeping the old EWMA would drain it
@@ -957,20 +1101,15 @@ impl ClusterRunner {
                         }
                     }
 
-                    let reports = owned
+                    owned
                         .iter()
                         .map(|n| (n.id(), n.report_mode(horizon, !sketch)))
-                        .collect::<Vec<_>>();
-                    (reports, grants)
+                        .collect::<Vec<_>>()
                 }));
             }
             for h in handles {
-                let (worker_reports, worker_grants) = h.join().expect("fleet worker panicked");
-                for (node_id, report) in worker_reports {
+                for (node_id, report) in h.join().expect("fleet worker panicked") {
                     reports[node_id] = Some(report);
-                }
-                for (node_id, events) in worker_grants {
-                    node_events[node_id].extend(events);
                 }
             }
         });
@@ -984,16 +1123,34 @@ impl ClusterRunner {
         let metrics =
             AggregateMetrics::new(&spec.name, seed, plan.admission, nodes).with_rebalance(stats);
 
-        let mut events = Vec::new();
-        if log {
-            events.extend(plan_events(spec, plan));
-            events.extend(epoch_log.into_inner().expect("epoch log lock"));
-            // Nodes were claimed by racing workers; flattening in node-id
-            // order removes the only thread-dependent degree of freedom.
-            events.extend(node_events.into_iter().flatten());
-            sort_events(&mut events);
+        // The horizon boundary has no barrier leader (workers break before
+        // waiting); the reducing thread emits its batch — the last epoch's
+        // share grants — and closes the stream with the final aggregates.
+        if let Some(s) = &sink {
+            let mut batch = batch_grants.into_inner().expect("grant batch lock");
+            sort_events(&mut batch);
+            let mut s = s.lock().expect("journal sink lock");
+            s.on_epoch(ends.len() - 1, horizon, &batch);
+            s.on_finish(&metrics);
         }
-        (metrics, events)
+        metrics
+    }
+}
+
+/// The buffering sink behind [`ClusterRunner::run_logged`]: concatenates
+/// every batch for one final canonical sort.
+#[derive(Default)]
+struct CollectSink {
+    events: Vec<FleetEvent>,
+}
+
+impl JournalSink for CollectSink {
+    fn on_plan(&mut self, _admission: &AdmissionStats, events: &[FleetEvent]) {
+        self.events.extend_from_slice(events);
+    }
+
+    fn on_epoch(&mut self, _epoch: usize, _at: Time, events: &[FleetEvent]) {
+        self.events.extend_from_slice(events);
     }
 }
 
@@ -1308,6 +1465,129 @@ mod tests {
             let (m, ev) = ClusterRunner::new(threads).run_logged(&spec, 7);
             assert_eq!(plain.summary_csv(), m.summary_csv(), "{threads} threads");
             assert_eq!(events, ev, "event stream at {threads} threads");
+        }
+    }
+
+    /// Collects every sink callback for the streaming-equivalence tests.
+    #[derive(Default)]
+    struct ProbeSink {
+        every: usize,
+        plan: Vec<FleetEvent>,
+        batches: Vec<(usize, Vec<FleetEvent>)>,
+        checkpoints: Vec<(usize, String)>,
+        finale: Option<String>,
+    }
+
+    impl JournalSink for ProbeSink {
+        fn checkpoint_interval(&self) -> Option<usize> {
+            Some(self.every)
+        }
+
+        fn on_plan(&mut self, _admission: &AdmissionStats, events: &[FleetEvent]) {
+            self.plan = events.to_vec();
+        }
+
+        fn on_checkpoint(&mut self, cursor: usize, _at: Time, interim: &AggregateMetrics) {
+            self.checkpoints.push((cursor, interim.summary_csv()));
+        }
+
+        fn on_epoch(&mut self, epoch: usize, _at: Time, events: &[FleetEvent]) {
+            self.batches.push((epoch, events.to_vec()));
+        }
+
+        fn on_finish(&mut self, finale: &AggregateMetrics) {
+            self.finale = Some(finale.summary_csv());
+        }
+    }
+
+    /// Per-epoch decisions reconstructed from a logged event stream (the
+    /// same extraction `selftune-journal` performs).
+    fn moves_from_events(spec: &ScenarioSpec, events: &[FleetEvent]) -> PinnedMoves {
+        let n_epochs = ClusterRunner::epoch_ends(spec).len() - 1;
+        let mut epochs: Vec<Option<EpochDecision>> = vec![None; n_epochs];
+        for e in events {
+            match e {
+                FleetEvent::Rebalance { epoch, failed, .. } => {
+                    epochs[*epoch]
+                        .get_or_insert_with(EpochDecision::default)
+                        .failed = *failed;
+                }
+                FleetEvent::Migration {
+                    epoch,
+                    fleet_id,
+                    vm,
+                    from,
+                    to,
+                    demand,
+                    dest_reserved_after,
+                    warm,
+                    guest_warm,
+                    ..
+                } => {
+                    epochs[*epoch]
+                        .get_or_insert_with(EpochDecision::default)
+                        .moves
+                        .push(Migration {
+                            fleet_id: *fleet_id,
+                            vm: *vm,
+                            from: *from,
+                            to: *to,
+                            demand: *demand,
+                            dest_reserved_after: *dest_reserved_after,
+                            warm: *warm,
+                            guest_warm: guest_warm.clone(),
+                        });
+                }
+                _ => {}
+            }
+        }
+        PinnedMoves { epochs }
+    }
+
+    #[test]
+    fn streamed_batches_and_checkpoints_match_the_buffered_run() {
+        let mut spec = ScenarioSpec::diurnal_demo(4, 8)
+            .with_rebalance(ScenarioSpec::diurnal_rebalance())
+            .with_node_share(ScenarioSpec::diurnal_node_share());
+        for vm in &mut spec.vms {
+            vm.elastic = true;
+        }
+        let (live, events) = ClusterRunner::new(2).run_logged(&spec, 42);
+        let mut sink = ProbeSink {
+            every: 2,
+            ..ProbeSink::default()
+        };
+        let streamed = ClusterRunner::new(2).run_logged_with(&spec, 42, &mut sink);
+        assert_eq!(live.summary_csv(), streamed.summary_csv());
+        assert_eq!(sink.finale.as_deref(), Some(live.summary_csv().as_str()));
+
+        // One batch per epoch boundary, in order; merged and re-sorted they
+        // are exactly the buffered stream.
+        let n_bounds = ClusterRunner::epoch_ends(&spec).len();
+        let batch_order: Vec<usize> = sink.batches.iter().map(|(e, _)| *e).collect();
+        assert_eq!(batch_order, (0..n_bounds).collect::<Vec<_>>());
+        let mut merged = sink.plan.clone();
+        for (_, b) in &sink.batches {
+            merged.extend(b.iter().cloned());
+        }
+        sort_events(&mut merged);
+        assert_eq!(merged, events);
+
+        // Every interim checkpoint equals the pinned prefix re-execution at
+        // the same cursor — on a different thread count, too.
+        assert!(
+            sink.checkpoints.len() >= 3,
+            "diurnal grid should checkpoint several times at interval 2"
+        );
+        let plan = plan_fleet(&spec, 42);
+        let moves = moves_from_events(&spec, &events);
+        for (cursor, summary) in &sink.checkpoints {
+            let mirror = ClusterRunner::new(3).run_pinned_prefix(&spec, 42, &plan, &moves, *cursor);
+            assert_eq!(
+                &mirror.summary_csv(),
+                summary,
+                "prefix mirror diverged at cursor {cursor}"
+            );
         }
     }
 

@@ -1,0 +1,199 @@
+//! Durable replication checkpoints: everything a late joiner (or a
+//! follower restarting after a crash) needs to attach to the stream
+//! without replaying it from frame zero.
+//!
+//! A checkpoint embeds the journal *prefix* — scenario, seed, admission
+//! statistics, every record applied so far and the leader's interim
+//! summary at the cursor — plus the stream position (`next_seq`) to
+//! resume receiving from. [`Checkpoint::verify`] re-executes the prefix
+//! and byte-compares, so a corrupted or stale checkpoint is caught
+//! before a follower trusts it.
+
+use selftune_cluster::runner::plan_fleet_pinned;
+use selftune_cluster::{AggregateMetrics, ClusterRunner};
+use selftune_journal::record::Journal;
+use selftune_simcore::time::Time;
+
+use crate::frame::fnv1a64;
+
+/// Version of the checkpoint text format this crate writes and reads.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// A verified point on the replication stream: the follower's state at
+/// epoch boundary `cursor`, durable as text.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// The epoch boundary the checkpoint stands at: decisions of epochs
+    /// `< cursor` are applied, epoch `cursor`'s decision has not run.
+    pub cursor: usize,
+    /// The virtual instant of the boundary.
+    pub at: Time,
+    /// FNV-1a 64 of the interim summary (fast staleness check).
+    pub hash: u64,
+    /// The next frame sequence number to expect after attaching.
+    pub next_seq: u64,
+    /// The journal prefix: scenario, seed, admission, records applied so
+    /// far, and the leader's interim summary as the `summary` field.
+    pub journal: Journal,
+}
+
+impl Checkpoint {
+    /// Serialises the checkpoint (journal prefix embedded verbatim).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# selftune replication checkpoint\n");
+        out.push_str(&format!("version = {CHECKPOINT_VERSION}\n"));
+        out.push_str(&format!("cursor = {}\n", self.cursor));
+        out.push_str(&format!("at = {}\n", self.at.as_ns()));
+        out.push_str(&format!("hash = {:016x}\n", self.hash));
+        out.push_str(&format!("next_seq = {}\n", self.next_seq));
+        out.push_str("journal_begin\n");
+        out.push_str(&self.journal.to_text());
+        out.push_str("journal_end\n");
+        out
+    }
+
+    /// Parses a checkpoint written by [`Checkpoint::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Names the first offence — missing headers, malformed values, an
+    /// unterminated or invalid embedded journal — rather than defaulting.
+    pub fn from_text(text: &str) -> Result<Checkpoint, String> {
+        let mut cursor: Option<usize> = None;
+        let mut at: Option<Time> = None;
+        let mut hash: Option<u64> = None;
+        let mut next_seq: Option<u64> = None;
+        let mut journal: Option<Journal> = None;
+        let mut version_seen = false;
+
+        let mut lines = text.lines();
+        while let Some(raw) = lines.next() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "journal_begin" {
+                let mut block = String::new();
+                let mut closed = false;
+                for inner in lines.by_ref() {
+                    if inner.trim() == "journal_end" {
+                        closed = true;
+                        break;
+                    }
+                    block.push_str(inner);
+                    block.push('\n');
+                }
+                if !closed {
+                    return Err("unterminated journal block (missing `journal_end`)".into());
+                }
+                journal = Some(Journal::from_text(&block)?);
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("expected `key = value`, got {line:?}"))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "version" => {
+                    let v: u32 = value
+                        .parse()
+                        .map_err(|_| format!("bad checkpoint version: {value:?}"))?;
+                    if v != CHECKPOINT_VERSION {
+                        return Err(format!(
+                            "unsupported checkpoint version {v} (this build reads {CHECKPOINT_VERSION})"
+                        ));
+                    }
+                    version_seen = true;
+                }
+                "cursor" => {
+                    cursor = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("bad cursor: {value:?}"))?,
+                    )
+                }
+                "at" => {
+                    at = Some(Time::from_ns(
+                        value
+                            .parse()
+                            .map_err(|_| format!("bad instant (ns): {value:?}"))?,
+                    ))
+                }
+                "hash" => {
+                    hash = Some(
+                        u64::from_str_radix(value, 16)
+                            .map_err(|_| format!("bad hash (want hex): {value:?}"))?,
+                    )
+                }
+                "next_seq" => {
+                    next_seq = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("bad next_seq: {value:?}"))?,
+                    )
+                }
+                other => return Err(format!("unknown checkpoint key: {other:?}")),
+            }
+        }
+        if !version_seen {
+            return Err("missing required key `version`".into());
+        }
+        Ok(Checkpoint {
+            cursor: cursor.ok_or("missing required key `cursor`")?,
+            at: at.ok_or("missing required key `at`")?,
+            hash: hash.ok_or("missing required key `hash`")?,
+            next_seq: next_seq.ok_or("missing required key `next_seq`")?,
+            journal: journal.ok_or("missing journal block")?,
+        })
+    }
+
+    /// Re-executes the embedded prefix on `threads` workers and
+    /// byte-compares against the stored interim summary — a checkpoint
+    /// that fails this must never be attached to.
+    ///
+    /// # Errors
+    ///
+    /// Names the first differing summary line, or the hash mismatch.
+    pub fn verify(&self, threads: usize) -> Result<AggregateMetrics, String> {
+        let journal = &self.journal;
+        if fnv1a64(journal.summary.as_bytes()) != self.hash {
+            return Err(format!(
+                "checkpoint hash mismatch: header {:016x}, embedded summary hashes to {:016x}",
+                self.hash,
+                fnv1a64(journal.summary.as_bytes())
+            ));
+        }
+        let plan = plan_fleet_pinned(&journal.scenario, journal.seed, &journal.pinned_plan());
+        let mirror = ClusterRunner::new(threads).run_pinned_prefix(
+            &journal.scenario,
+            journal.seed,
+            &plan,
+            &journal.pinned_moves(None),
+            self.cursor,
+        );
+        let ours = mirror.summary_csv();
+        if ours == journal.summary {
+            return Ok(mirror);
+        }
+        let diverged = journal
+            .summary
+            .lines()
+            .zip(ours.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b);
+        Err(match diverged {
+            Some((i, (rec, rep))) => format!(
+                "checkpoint {} diverged at summary line {}: stored {rec:?}, mirrored {rep:?}",
+                self.cursor,
+                i + 1
+            ),
+            None => format!(
+                "checkpoint {} diverged in summary length: stored {} lines, mirrored {}",
+                self.cursor,
+                journal.summary.lines().count(),
+                ours.lines().count()
+            ),
+        })
+    }
+}

@@ -1,0 +1,699 @@
+//! The hot-standby side: consume the replication stream, mirror the
+//! leader's state, verify checkpoints byte for byte, and take over on
+//! leader death.
+//!
+//! A [`Follower`] applies frames strictly in sequence. Every stream
+//! fault is a *named* error — [`StreamError::Gap`] for lost chunks,
+//! [`StreamError::Duplicate`] for re-deliveries, frame-level errors for
+//! truncation and corruption, [`StreamError::Divergence`] when a
+//! checkpoint mirror stops matching the leader's bytes. A faulted feed
+//! leaves the follower's state untouched, so the leader can simply
+//! retransmit from the follower's last good position
+//! (`Shipper::frames_from`).
+//!
+//! Promotion ([`Follower::promote`]) re-executes the scenario with every
+//! received epoch pinned and everything after the crash decided live —
+//! because the journal pins *decisions*, not state, the promoted run is
+//! byte-identical to what the leader would have produced had it kept
+//! running through the received prefix.
+
+use std::fmt;
+
+use selftune_cluster::runner::plan_fleet_pinned;
+use selftune_cluster::{AdmissionStats, AggregateMetrics, ClusterRunner, ScenarioSpec};
+use selftune_journal::codec::record_from_line;
+use selftune_journal::record::{sort_records, DecisionRecord, Journal};
+use selftune_journal::replay::Replayer;
+use selftune_simcore::metrics::{LazyKey, Metrics};
+use selftune_simcore::time::Time;
+
+use crate::checkpoint::Checkpoint;
+use crate::frame::{fnv1a64, Frame, FrameError, FrameKind};
+use crate::ship::ShipperProgress;
+use crate::WIRE_VERSION;
+
+/// Why a fed chunk was not applied.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StreamError {
+    /// The chunk is not a valid frame (truncated, corrupt, unknown kind).
+    Frame(FrameError),
+    /// A sequence number was skipped — chunks were lost in transit.
+    Gap {
+        /// The next sequence number the follower needs.
+        expected: u64,
+        /// The sequence number that arrived instead.
+        got: u64,
+    },
+    /// An already-applied sequence number arrived again.
+    Duplicate {
+        /// The re-delivered sequence number.
+        seq: u64,
+        /// The next sequence number the follower needs.
+        expected: u64,
+    },
+    /// The frame arrived intact but violates the protocol state machine
+    /// (e.g. records before the plan, a checkpoint at the wrong cursor).
+    Protocol(String),
+    /// The mirrored state stopped matching the leader's bytes; the
+    /// message names the first mismatching summary line.
+    Divergence(String),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Frame(e) => write!(f, "{e}"),
+            StreamError::Gap { expected, got } => {
+                write!(f, "stream gap: expected seq {expected}, got {got}")
+            }
+            StreamError::Duplicate { seq, expected } => {
+                write!(f, "duplicate seq {seq} (next expected {expected})")
+            }
+            StreamError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            StreamError::Divergence(msg) => write!(f, "replica divergence: {msg}"),
+        }
+    }
+}
+
+/// What one successfully fed chunk did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Applied {
+    /// Stream header accepted; the scenario is known.
+    Hello,
+    /// Plan-time decisions applied.
+    Plan {
+        /// Admission records in the frame.
+        records: usize,
+    },
+    /// One epoch's decision batch applied.
+    Epoch {
+        /// The epoch index.
+        epoch: usize,
+        /// Records in the batch.
+        records: usize,
+    },
+    /// A checkpoint arrived, the mirror matched, and it is now the
+    /// follower's durable resume point.
+    Checkpoint {
+        /// The verified cursor.
+        cursor: usize,
+    },
+    /// End of stream; the full replica verified byte-for-byte.
+    Finish,
+}
+
+/// Stream counters — applied/dropped/retried chunks, faults by kind,
+/// and replica progress.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FollowerStats {
+    /// Chunks applied in sequence.
+    pub applied: u64,
+    /// Chunks rejected (bad frames, gaps, duplicates, protocol faults).
+    pub dropped: u64,
+    /// Rejections that were re-deliveries of applied chunks.
+    pub duplicates: u64,
+    /// Rejections that skipped ahead of the expected sequence number.
+    pub gaps: u64,
+    /// Chunks applied on a later attempt after first being gapped over.
+    pub retried: u64,
+    /// Checkpoint mirrors that failed the byte comparison.
+    pub divergences: u64,
+    /// Decision records applied.
+    pub records: u64,
+    /// Epoch batches applied.
+    pub epochs: usize,
+    /// Checkpoints verified.
+    pub checkpoints: usize,
+}
+
+/// How far the follower trails the leader's stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Lag {
+    /// Epoch batches the leader has shipped but the follower has not
+    /// applied.
+    pub epochs: usize,
+    /// Decision records shipped but not applied.
+    pub records: u64,
+    /// Frames shipped but not applied.
+    pub frames: u64,
+}
+
+/// A hot-standby replica of a leader's fleet run.
+pub struct Follower {
+    threads: usize,
+    expected_seq: u64,
+    gap_at: Option<u64>,
+    scenario: Option<ScenarioSpec>,
+    seed: u64,
+    leader_threads: usize,
+    checkpoint_every: Option<usize>,
+    admission: Option<AdmissionStats>,
+    records: Vec<DecisionRecord>,
+    next_epoch: usize,
+    last_checkpoint: Option<Checkpoint>,
+    finale: Option<AggregateMetrics>,
+    stats: FollowerStats,
+    k_lag_epochs: LazyKey,
+    k_lag_records: LazyKey,
+    k_applied: LazyKey,
+    k_dropped: LazyKey,
+    k_retried: LazyKey,
+}
+
+impl Follower {
+    /// A fresh follower that will mirror on `threads` worker threads
+    /// (independent of the leader's thread count — byte identity is the
+    /// whole point).
+    pub fn new(threads: usize) -> Follower {
+        Follower {
+            threads: threads.max(1),
+            expected_seq: 0,
+            gap_at: None,
+            scenario: None,
+            seed: 0,
+            leader_threads: 0,
+            checkpoint_every: None,
+            admission: None,
+            records: Vec::new(),
+            next_epoch: 0,
+            last_checkpoint: None,
+            finale: None,
+            stats: FollowerStats::default(),
+            k_lag_epochs: LazyKey::new("distrib.lag.epochs"),
+            k_lag_records: LazyKey::new("distrib.lag.records"),
+            k_applied: LazyKey::new("distrib.chunks.applied"),
+            k_dropped: LazyKey::new("distrib.chunks.dropped"),
+            k_retried: LazyKey::new("distrib.chunks.retried"),
+        }
+    }
+
+    /// Attaches a late joiner from a durable checkpoint: the embedded
+    /// prefix is verified (mirror re-executed and byte-compared) before
+    /// any state is adopted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Checkpoint::verify`]'s named divergence.
+    pub fn from_checkpoint(ckpt: &Checkpoint, threads: usize) -> Result<Follower, String> {
+        ckpt.verify(threads)?;
+        let mut f = Follower::new(threads);
+        f.expected_seq = ckpt.next_seq;
+        f.scenario = Some(ckpt.journal.scenario.clone());
+        f.seed = ckpt.journal.seed;
+        f.leader_threads = ckpt.journal.threads;
+        f.admission = Some(ckpt.journal.admission);
+        f.records = ckpt.journal.records.clone();
+        f.next_epoch = ckpt.cursor;
+        f.stats.records = ckpt.journal.records.len() as u64;
+        f.stats.epochs = ckpt.cursor;
+        f.last_checkpoint = Some(ckpt.clone());
+        Ok(f)
+    }
+
+    /// Stream counters.
+    pub fn stats(&self) -> FollowerStats {
+        self.stats
+    }
+
+    /// The next frame sequence number the follower will accept.
+    pub fn expected_seq(&self) -> u64 {
+        self.expected_seq
+    }
+
+    /// Epoch batches applied so far (the replica's epoch cursor).
+    pub fn epochs_applied(&self) -> usize {
+        self.next_epoch
+    }
+
+    /// The follower's durable resume point, if a checkpoint has verified.
+    pub fn last_checkpoint(&self) -> Option<&Checkpoint> {
+        self.last_checkpoint.as_ref()
+    }
+
+    /// The verified final aggregates, once [`Applied::Finish`] has been
+    /// returned.
+    pub fn finale(&self) -> Option<&AggregateMetrics> {
+        self.finale.as_ref()
+    }
+
+    /// How far this follower trails `leader`'s stream position.
+    pub fn lag(&self, leader: &ShipperProgress) -> Lag {
+        Lag {
+            epochs: leader.epochs.saturating_sub(self.stats.epochs),
+            records: leader.records.saturating_sub(self.stats.records),
+            frames: leader.frames.saturating_sub(self.stats.applied),
+        }
+    }
+
+    /// Samples lag and chunk counters into `metrics` under interned
+    /// `distrib.*` keys (keys are resolved once and cached).
+    pub fn observe_lag(&mut self, metrics: &mut Metrics, leader: &ShipperProgress, now: Time) {
+        let lag = self.lag(leader);
+        let k = self.k_lag_epochs.get(metrics);
+        metrics.record_k(k, now, lag.epochs as f64);
+        let k = self.k_lag_records.get(metrics);
+        metrics.record_k(k, now, lag.records as f64);
+        let k = self.k_applied.get(metrics);
+        metrics.record_k(k, now, self.stats.applied as f64);
+        let k = self.k_dropped.get(metrics);
+        metrics.record_k(k, now, self.stats.dropped as f64);
+        let k = self.k_retried.get(metrics);
+        metrics.record_k(k, now, self.stats.retried as f64);
+    }
+
+    /// Feeds one transport chunk. Applies it if it is the next frame in
+    /// sequence; otherwise reports the named fault and leaves the
+    /// replica untouched (safe to retransmit and retry).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError`] naming the fault: frame-level corruption, a gap,
+    /// a duplicate, a protocol violation, or replica divergence.
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<Applied, StreamError> {
+        let frame = Frame::decode(chunk).map_err(|e| {
+            self.stats.dropped += 1;
+            StreamError::Frame(e)
+        })?;
+        if frame.seq != self.expected_seq {
+            self.stats.dropped += 1;
+            return Err(if frame.seq < self.expected_seq {
+                self.stats.duplicates += 1;
+                StreamError::Duplicate {
+                    seq: frame.seq,
+                    expected: self.expected_seq,
+                }
+            } else {
+                self.stats.gaps += 1;
+                self.gap_at = Some(self.expected_seq);
+                StreamError::Gap {
+                    expected: self.expected_seq,
+                    got: frame.seq,
+                }
+            });
+        }
+        let applied = self.apply(&frame)?;
+        if self.gap_at == Some(frame.seq) {
+            self.stats.retried += 1;
+            self.gap_at = None;
+        }
+        self.expected_seq = frame.seq + 1;
+        self.stats.applied += 1;
+        Ok(applied)
+    }
+
+    /// Continues the run *without* the leader: every received epoch is
+    /// pinned to the stream, every epoch after the cut is decided live
+    /// by the follower's own control planes. Because the stream pins
+    /// decisions (not state), this equals the uninterrupted run byte for
+    /// byte over the shared prefix — the zero-loss failover property the
+    /// e2e test asserts.
+    ///
+    /// # Errors
+    ///
+    /// If promotion is attempted before the Hello and Plan frames have
+    /// been applied (the follower has nothing to continue from).
+    pub fn promote(&self) -> Result<AggregateMetrics, String> {
+        let spec = self
+            .scenario
+            .as_ref()
+            .ok_or("cannot promote: no Hello frame applied (scenario unknown)")?;
+        if self.admission.is_none() {
+            return Err("cannot promote: no Plan frame applied (placements unknown)".into());
+        }
+        let journal = self.replica_journal(String::new());
+        let plan = plan_fleet_pinned(spec, self.seed, &journal.pinned_plan());
+        let moves = journal.pinned_moves(Some(self.next_epoch));
+        Ok(ClusterRunner::new(self.threads).run_pinned(spec, self.seed, &plan, &moves))
+    }
+
+    /// The replica's journal: scenario, seed, admission statistics and
+    /// every record applied so far, in canonical order. Carries the
+    /// verified finale summary once the stream has finished (an
+    /// unfinished replica carries an empty summary). `None` before the
+    /// Plan frame has been applied.
+    pub fn journal(&self) -> Option<Journal> {
+        if self.scenario.is_none() || self.admission.is_none() {
+            return None;
+        }
+        let summary = self
+            .finale
+            .as_ref()
+            .map(|m| m.summary_csv())
+            .unwrap_or_default();
+        Some(self.replica_journal(summary))
+    }
+
+    /// The replica's journal prefix in canonical record order, with
+    /// `summary` substituted (checkpoints store the leader's interim
+    /// summary there; promotion does not need one).
+    fn replica_journal(&self, summary: String) -> Journal {
+        let mut records = self.records.clone();
+        sort_records(&mut records);
+        Journal {
+            scenario: self.scenario.clone().expect("scenario known"),
+            seed: self.seed,
+            threads: self.leader_threads,
+            admission: self.admission.expect("plan applied"),
+            summary,
+            records,
+        }
+    }
+
+    fn protocol(&mut self, msg: String) -> StreamError {
+        self.stats.dropped += 1;
+        StreamError::Protocol(msg)
+    }
+
+    fn apply(&mut self, frame: &Frame) -> Result<Applied, StreamError> {
+        match frame.kind {
+            FrameKind::Hello => self.apply_hello(&frame.payload),
+            FrameKind::Plan => self.apply_plan(&frame.payload),
+            FrameKind::Records => self.apply_records(&frame.payload),
+            FrameKind::Checkpoint => self.apply_checkpoint(frame),
+            FrameKind::Finish => self.apply_finish(&frame.payload),
+        }
+    }
+
+    fn apply_hello(&mut self, payload: &str) -> Result<Applied, StreamError> {
+        if self.scenario.is_some() {
+            return Err(self.protocol("second Hello on an attached stream".into()));
+        }
+        let mut seed = None;
+        let mut threads = None;
+        let mut every = None;
+        let mut scenario = None;
+        let mut version_ok = false;
+        let mut lines = payload.lines();
+        while let Some(raw) = lines.next() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "scenario_begin" {
+                let mut block = String::new();
+                let mut closed = false;
+                for inner in lines.by_ref() {
+                    if inner.trim() == "scenario_end" {
+                        closed = true;
+                        break;
+                    }
+                    block.push_str(inner);
+                    block.push('\n');
+                }
+                if !closed {
+                    return Err(self.protocol("Hello: unterminated scenario block".into()));
+                }
+                match ScenarioSpec::from_text(&block) {
+                    Ok(s) => scenario = Some(s),
+                    Err(e) => return Err(self.protocol(format!("Hello: bad scenario: {e}"))),
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(self.protocol(format!("Hello: expected `key = value`, got {line:?}")));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "version" => match value.parse::<u32>() {
+                    Ok(v) if v == WIRE_VERSION => version_ok = true,
+                    Ok(v) => {
+                        return Err(self.protocol(format!(
+                            "Hello: wire version {v} unsupported (this build speaks {WIRE_VERSION})"
+                        )))
+                    }
+                    Err(_) => return Err(self.protocol(format!("Hello: bad version: {value:?}"))),
+                },
+                "seed" => match value.parse() {
+                    Ok(v) => seed = Some(v),
+                    Err(_) => return Err(self.protocol(format!("Hello: bad seed: {value:?}"))),
+                },
+                "threads" => match value.parse() {
+                    Ok(v) => threads = Some(v),
+                    Err(_) => return Err(self.protocol(format!("Hello: bad threads: {value:?}"))),
+                },
+                "checkpoint_every" => {
+                    every = if value == "-" {
+                        Some(None)
+                    } else {
+                        match value.parse() {
+                            Ok(v) => Some(Some(v)),
+                            Err(_) => {
+                                return Err(self
+                                    .protocol(format!("Hello: bad checkpoint_every: {value:?}")))
+                            }
+                        }
+                    }
+                }
+                other => return Err(self.protocol(format!("Hello: unknown key {other:?}"))),
+            }
+        }
+        if !version_ok {
+            return Err(self.protocol("Hello: missing version".into()));
+        }
+        let (Some(seed), Some(threads), Some(every), Some(scenario)) =
+            (seed, threads, every, scenario)
+        else {
+            return Err(
+                self.protocol("Hello: missing seed/threads/checkpoint_every/scenario".into())
+            );
+        };
+        self.seed = seed;
+        self.leader_threads = threads;
+        self.checkpoint_every = every;
+        self.scenario = Some(scenario);
+        Ok(Applied::Hello)
+    }
+
+    fn apply_plan(&mut self, payload: &str) -> Result<Applied, StreamError> {
+        if self.scenario.is_none() {
+            return Err(self.protocol("Plan before Hello".into()));
+        }
+        if self.admission.is_some() {
+            return Err(self.protocol("second Plan on an attached stream".into()));
+        }
+        let mut admission = None;
+        let mut records = Vec::new();
+        for raw in payload.lines() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(value) = line.strip_prefix("admission =") {
+                match parse_admission(value.trim()) {
+                    Ok(a) => admission = Some(a),
+                    Err(e) => return Err(self.protocol(format!("Plan: {e}"))),
+                }
+                continue;
+            }
+            match record_from_line(line) {
+                Ok(r) => records.push(r),
+                Err(e) => return Err(self.protocol(format!("Plan: {e}"))),
+            }
+        }
+        let Some(admission) = admission else {
+            return Err(self.protocol("Plan: missing admission line".into()));
+        };
+        let n = records.len();
+        self.admission = Some(admission);
+        self.stats.records += n as u64;
+        self.records.extend(records);
+        Ok(Applied::Plan { records: n })
+    }
+
+    fn apply_records(&mut self, payload: &str) -> Result<Applied, StreamError> {
+        if self.admission.is_none() {
+            return Err(self.protocol("Records before Plan".into()));
+        }
+        let mut lines = payload.lines();
+        let epoch = match lines.next().and_then(|l| l.strip_prefix("epoch =")) {
+            Some(v) => match v.trim().parse::<usize>() {
+                Ok(e) => e,
+                Err(_) => return Err(self.protocol(format!("Records: bad epoch: {v:?}"))),
+            },
+            None => return Err(self.protocol("Records: missing epoch header".into())),
+        };
+        if lines.next().and_then(|l| l.strip_prefix("at =")).is_none() {
+            return Err(self.protocol("Records: missing at header".into()));
+        }
+        if epoch != self.next_epoch {
+            return Err(self.protocol(format!(
+                "Records: epoch {epoch} arrived while the replica expects epoch {}",
+                self.next_epoch
+            )));
+        }
+        let mut records = Vec::new();
+        for raw in lines {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match record_from_line(line) {
+                Ok(r) => records.push(r),
+                Err(e) => return Err(self.protocol(format!("Records: {e}"))),
+            }
+        }
+        let n = records.len();
+        self.records.extend(records);
+        self.next_epoch += 1;
+        self.stats.epochs += 1;
+        self.stats.records += n as u64;
+        Ok(Applied::Epoch { epoch, records: n })
+    }
+
+    fn apply_checkpoint(&mut self, frame: &Frame) -> Result<Applied, StreamError> {
+        if self.admission.is_none() {
+            return Err(self.protocol("Checkpoint before Plan".into()));
+        }
+        let (cursor, at, hash, summary) = match parse_checkpoint_payload(&frame.payload) {
+            Ok(parts) => parts,
+            Err(e) => return Err(self.protocol(format!("Checkpoint: {e}"))),
+        };
+        if cursor != self.next_epoch {
+            return Err(self.protocol(format!(
+                "Checkpoint: cursor {cursor} arrived while the replica stands at epoch {}",
+                self.next_epoch
+            )));
+        }
+        // Mirror: re-execute the prefix on our own thread count and
+        // demand byte identity with the leader's interim summary.
+        let journal = self.replica_journal(summary.clone());
+        let plan = plan_fleet_pinned(&journal.scenario, journal.seed, &journal.pinned_plan());
+        let mirror = ClusterRunner::new(self.threads).run_pinned_prefix(
+            &journal.scenario,
+            journal.seed,
+            &plan,
+            &journal.pinned_moves(None),
+            cursor,
+        );
+        let ours = mirror.summary_csv();
+        if fnv1a64(ours.as_bytes()) != hash || ours != summary {
+            self.stats.divergences += 1;
+            let msg = match summary
+                .lines()
+                .zip(ours.lines())
+                .enumerate()
+                .find(|(_, (a, b))| a != b)
+            {
+                Some((i, (leader, follower))) => format!(
+                    "checkpoint {cursor} at summary line {}: leader {leader:?}, follower {follower:?}",
+                    i + 1
+                ),
+                None => format!(
+                    "checkpoint {cursor}: summary length differs (leader {} lines, follower {})",
+                    summary.lines().count(),
+                    ours.lines().count()
+                ),
+            };
+            return Err(StreamError::Divergence(msg));
+        }
+        self.last_checkpoint = Some(Checkpoint {
+            cursor,
+            at,
+            hash,
+            next_seq: frame.seq + 1,
+            journal,
+        });
+        self.stats.checkpoints += 1;
+        Ok(Applied::Checkpoint { cursor })
+    }
+
+    fn apply_finish(&mut self, payload: &str) -> Result<Applied, StreamError> {
+        if self.admission.is_none() {
+            return Err(self.protocol("Finish before Plan".into()));
+        }
+        let summary = match parse_summary_block(payload) {
+            Ok(s) => s,
+            Err(e) => return Err(self.protocol(format!("Finish: {e}"))),
+        };
+        let journal = self.replica_journal(summary);
+        match Replayer::new(self.threads).verify(&journal) {
+            Ok(metrics) => {
+                self.finale = Some(metrics);
+                Ok(Applied::Finish)
+            }
+            Err(e) => {
+                self.stats.divergences += 1;
+                Err(StreamError::Divergence(format!("at finish: {e}")))
+            }
+        }
+    }
+}
+
+fn parse_admission(value: &str) -> Result<AdmissionStats, String> {
+    let parts: Vec<&str> = value.split_whitespace().collect();
+    let [adm, rej, be, mig, vadm, vrej] = parts.as_slice() else {
+        return Err(format!("admission needs 6 fields: {value:?}"));
+    };
+    let field = |s: &str, what: &str| -> Result<u64, String> {
+        s.parse().map_err(|_| format!("bad {what}: {s:?}"))
+    };
+    Ok(AdmissionStats {
+        admitted: field(adm, "admitted")?,
+        rejected: field(rej, "rejected")?,
+        best_effort: field(be, "best_effort")?,
+        migrations: field(mig, "migrations")?,
+        vms_admitted: field(vadm, "vms_admitted")?,
+        vms_rejected: field(vrej, "vms_rejected")?,
+    })
+}
+
+fn parse_summary_block(payload: &str) -> Result<String, String> {
+    let mut lines = payload.lines();
+    for raw in lines.by_ref() {
+        if raw.trim() == "summary_begin" {
+            let mut block = String::new();
+            for inner in lines.by_ref() {
+                if inner.trim() == "summary_end" {
+                    return Ok(block);
+                }
+                block.push_str(inner);
+                block.push('\n');
+            }
+            return Err("unterminated summary block".into());
+        }
+    }
+    Err("missing summary block".into())
+}
+
+fn parse_checkpoint_payload(payload: &str) -> Result<(usize, Time, u64, String), String> {
+    let mut cursor = None;
+    let mut at = None;
+    let mut hash = None;
+    for raw in payload.lines() {
+        let line = raw.trim();
+        if line == "summary_begin" {
+            break;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("expected `key = value`, got {line:?}"));
+        };
+        let (key, value) = (key.trim(), value.trim());
+        match key {
+            "cursor" => {
+                cursor = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad cursor: {value:?}"))?,
+                )
+            }
+            "at" => {
+                at = Some(Time::from_ns(
+                    value.parse().map_err(|_| format!("bad at: {value:?}"))?,
+                ))
+            }
+            "hash" => {
+                hash = Some(
+                    u64::from_str_radix(value, 16).map_err(|_| format!("bad hash: {value:?}"))?,
+                )
+            }
+            other => return Err(format!("unknown checkpoint key {other:?}")),
+        }
+    }
+    let summary = parse_summary_block(payload)?;
+    Ok((
+        cursor.ok_or("missing cursor")?,
+        at.ok_or("missing at")?,
+        hash.ok_or("missing hash")?,
+        summary,
+    ))
+}

@@ -53,7 +53,10 @@ fn warm_body(w: &WarmStart) -> String {
     format!("{}:{}", w.budget.as_ns(), w.period.as_ns())
 }
 
-fn record_line(r: &DecisionRecord) -> String {
+/// Serialises one decision record to its single-line text form — the same
+/// line [`Journal::to_text`] writes. Public so the log-shipping layer can
+/// frame individual records without materialising a whole journal.
+pub fn record_line(r: &DecisionRecord) -> String {
     match r {
         DecisionRecord::TaskAdmission {
             at,
@@ -267,7 +270,14 @@ fn parse_warm_body(s: &str) -> Result<WarmStart, String> {
     })
 }
 
-fn record_from_line(line: &str) -> Result<DecisionRecord, String> {
+/// Parses one decision record from its single-line text form (the inverse
+/// of [`record_line`]).
+///
+/// # Errors
+///
+/// Names the first offence: unknown kinds, missing/duplicate/extra
+/// fields, malformed values — nothing is silently defaulted.
+pub fn record_from_line(line: &str) -> Result<DecisionRecord, String> {
     let (kind, body) = line
         .split_once('=')
         .ok_or_else(|| format!("expected `key = value`, got {line:?}"))?;

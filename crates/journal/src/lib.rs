@@ -82,15 +82,15 @@ pub mod record;
 pub mod replay;
 pub mod whatif;
 
-pub use codec::FORMAT_VERSION;
-pub use record::{DecisionRecord, Journal};
+pub use codec::{record_from_line, record_line, FORMAT_VERSION};
+pub use record::{sort_records, DecisionRecord, Journal};
 pub use replay::Replayer;
 pub use whatif::{run_whatif, variant_spec, PolicySwap, WhatIf, WhatIfReport};
 
 /// One-stop imports for journal recording, replay and what-if queries.
 pub mod prelude {
-    pub use crate::codec::FORMAT_VERSION;
-    pub use crate::record::{DecisionRecord, Journal};
+    pub use crate::codec::{record_from_line, record_line, FORMAT_VERSION};
+    pub use crate::record::{sort_records, DecisionRecord, Journal};
     pub use crate::replay::Replayer;
     pub use crate::whatif::{run_whatif, variant_spec, PolicySwap, WhatIf, WhatIfReport};
 }

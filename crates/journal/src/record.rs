@@ -152,6 +152,70 @@ pub enum DecisionRecord {
     },
 }
 
+impl DecisionRecord {
+    /// The instant the decision is dated at.
+    pub fn at(&self) -> Time {
+        match self {
+            DecisionRecord::TaskAdmission { at, .. }
+            | DecisionRecord::VmAdmission { at, .. }
+            | DecisionRecord::Kill { at, .. }
+            | DecisionRecord::ShareGrant { at, .. }
+            | DecisionRecord::NodeRebound { at, .. }
+            | DecisionRecord::Compression { at, .. }
+            | DecisionRecord::Rebalance { at, .. }
+            | DecisionRecord::Migration { at, .. } => *at,
+        }
+    }
+
+    /// Class rank at equal instants — mirrors `FleetEvent`'s canonical
+    /// class order exactly (admissions, kills, epoch bookkeeping, grants).
+    fn class(&self) -> u8 {
+        match self {
+            DecisionRecord::VmAdmission { .. } => 0,
+            DecisionRecord::TaskAdmission { .. } => 1,
+            DecisionRecord::Kill { .. } => 2,
+            DecisionRecord::Compression { .. } => 3,
+            DecisionRecord::NodeRebound { .. } => 4,
+            DecisionRecord::Rebalance { .. } => 5,
+            DecisionRecord::Migration { .. } => 6,
+            DecisionRecord::ShareGrant { .. } => 7,
+        }
+    }
+
+    /// Tie-break inside one class at one instant — mirrors `FleetEvent`.
+    fn tie(&self) -> (usize, usize) {
+        match self {
+            DecisionRecord::TaskAdmission { fleet_id, node, .. } => {
+                (node.unwrap_or(usize::MAX), *fleet_id)
+            }
+            DecisionRecord::VmAdmission {
+                fleet_vm_id, node, ..
+            } => (node.unwrap_or(usize::MAX), *fleet_vm_id),
+            DecisionRecord::Kill { node, fleet_id, .. } => (*node, *fleet_id),
+            DecisionRecord::ShareGrant {
+                node, fleet_vm_id, ..
+            } => (*node, *fleet_vm_id),
+            DecisionRecord::Compression { node, .. } => (*node, 0),
+            DecisionRecord::NodeRebound { node, .. } => (*node, 0),
+            DecisionRecord::Rebalance { epoch, .. } => (*epoch, 0),
+            DecisionRecord::Migration { epoch, seq, .. } => (*epoch, *seq as usize),
+        }
+    }
+}
+
+/// Sorts records into the journal's canonical `(instant, class, tie)`
+/// order — the record-side mirror of `selftune_cluster::sort_events`. A
+/// follower that accumulates per-epoch record batches re-sorts through
+/// this before comparing bytes against the leader's journal, so batch
+/// concatenation order can never masquerade as divergence.
+pub fn sort_records(records: &mut [DecisionRecord]) {
+    records.sort_by(|a, b| {
+        (a.at(), a.class(), a.tie())
+            .partial_cmp(&(b.at(), b.class(), b.tie()))
+            .expect("total record order")
+    });
+}
+
 impl From<FleetEvent> for DecisionRecord {
     fn from(e: FleetEvent) -> DecisionRecord {
         match e {

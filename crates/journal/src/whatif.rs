@@ -26,6 +26,23 @@ pub enum PolicySwap {
     /// Freeze every elastic VM at its specified share (the fixed-share
     /// baseline of the elasticity experiments).
     FixedShares,
+    /// Re-bound the node-level share plane: swap the floor and cap the
+    /// per-node `ShareController`s run under (and switch the plane on if
+    /// the recorded run had it off). Sweeping this over one recorded
+    /// history answers "how tight could the node bounds have been?"
+    /// without re-running the fleet live.
+    ///
+    /// Note: when the recorded run had *neither* the rebalancer nor the
+    /// node-share plane enabled, enabling the plane here introduces epoch
+    /// boundaries the recording did not have, so the pre-cut history is no
+    /// longer pinned epoch-for-epoch. Journals recorded with either plane
+    /// on (every diurnal scenario) keep their grid and their exactness.
+    NodeShareBounds {
+        /// Lowest bound an idle node may shed to.
+        floor: f64,
+        /// Highest bound a saturated node may claw back to.
+        cap: f64,
+    },
 }
 
 impl PolicySwap {
@@ -35,6 +52,7 @@ impl PolicySwap {
             PolicySwap::DisableRebalance => "no-rebalance".to_owned(),
             PolicySwap::Placement(p) => format!("placement:{}", p.name()),
             PolicySwap::FixedShares => "fixed-shares".to_owned(),
+            PolicySwap::NodeShareBounds { floor, cap } => format!("node-share:{floor}:{cap}"),
         }
     }
 }
@@ -77,6 +95,15 @@ pub fn variant_spec(journal: &Journal, whatif: &WhatIf) -> ScenarioSpec {
             for vm in &mut spec.vms {
                 vm.elastic = false;
             }
+        }
+        PolicySwap::NodeShareBounds { floor, cap } => {
+            assert!(
+                0.0 < floor && floor <= cap && cap <= 1.0,
+                "node-share bounds need 0 < floor <= cap <= 1, got [{floor}, {cap}]"
+            );
+            spec.node_share.enabled = true;
+            spec.node_share.floor = floor;
+            spec.node_share.cap = cap;
         }
     }
     spec

@@ -28,6 +28,10 @@
 //! aggregate metrics. [`journal`] records every fleet decision into a
 //! compact deterministic journal, replays it to byte-identical
 //! aggregates, and answers what-if queries with one policy swapped.
+//! [`distrib`] ships that journal over a wire as the run executes: a
+//! hot-standby follower mirrors the leader byte for byte, verifies
+//! checkpoints, and can be promoted on leader death with zero decision
+//! loss.
 //!
 //! ## Quickstart
 //!
@@ -56,6 +60,7 @@ pub use selftune_analysis as analysis;
 pub use selftune_apps as apps;
 pub use selftune_cluster as cluster;
 pub use selftune_core as core;
+pub use selftune_distrib as distrib;
 pub use selftune_journal as journal;
 pub use selftune_sched as sched;
 pub use selftune_simcore as simcore;
