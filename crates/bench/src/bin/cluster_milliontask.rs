@@ -1,0 +1,6 @@
+//! One million live tasks on a 2.5k-node fleet: recycled arenas, tree
+//! reduction, and the feedback rebalancer with a million bystanders.
+fn main() {
+    let args = selftune_bench::Args::parse();
+    selftune_bench::experiments::cluster_milliontask::run(&args);
+}

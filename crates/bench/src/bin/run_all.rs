@@ -21,6 +21,7 @@ fn main() {
     e::cluster_scaleout::run(&args);
     e::cluster_rebalance::run(&args);
     e::cluster_megafleet::run(&args);
+    e::cluster_milliontask::run(&args);
     e::journal_whatif::run(&args);
     e::cluster_failover::run(&args);
     e::vm_consolidation::run(&args);

@@ -1,0 +1,252 @@
+//! The million-task operating point: churn-proof arenas + parallel
+//! sketch reduction with 1M live tasks on a 2.5k-node fleet.
+//!
+//! [`ScenarioSpec::milliontask_demo`] keeps one million honest periodic
+//! tasks live for the whole horizon (staggered arrivals, 16 distinct
+//! periods, no churn) while a lying `HungryRt` wave lands on the node
+//! prefix *before* the honest stream and saturates it; throttled liars
+//! record deadline gaps until the feedback rebalancer drains them into
+//! the idle majority. Three PR mechanisms carry the scale:
+//!
+//! * the epoch-barrier aggregate reduction is a balanced tree (worker
+//!   partials over fixed node ranges + one top-level combine), asserted
+//!   byte-identical across worker counts;
+//! * node task arenas recycle departed slots behind generation tags
+//!   (`with_recycling` re-freezes them for the before/after rows);
+//! * sketch aggregates keep per-node report state O(bins), so fleet CDFs
+//!   never materialise a million gap vectors.
+//!
+//! The task axis never shrinks — one million tasks is the point.
+//! `--fast`/`--smoke` only shorten the virtual horizon and trim the run
+//! matrix (smoke: feedback + 1-thread determinism twin, ~2 × 2 min on
+//! one CPU, inside the CI budget; the static/feedback miss comparison
+//! runs in fast/full and in the e2e).
+//!
+//! With `--journal FILE` a *fixture-scale* twin (2k nodes / 2k tasks) is
+//! recorded instead of the full fleet — a million-task journal would be
+//! gigabytes — which is how `examples/milliontask.journal` is generated.
+
+use crate::{fmt, print_table, time_us, write_csv, Args};
+use selftune_cluster::{churn_mem_report, prelude::*, ChurnMemReport};
+use selftune_simcore::time::Dur;
+
+/// Fleet size per mode: `(nodes, tasks, horizon)`. Tasks are pinned at
+/// one million in every mode; only the virtual horizon shrinks (the wall
+/// floor is ~admitted × per-job cost, so horizon is the main dial).
+fn sizes(args: &Args) -> (usize, usize, Dur) {
+    if args.smoke {
+        (2_500, 1_000_000, Dur::ms(400))
+    } else if args.fast {
+        (2_500, 1_000_000, Dur::ms(700))
+    } else {
+        (2_500, 1_000_000, Dur::ms(1000))
+    }
+}
+
+/// Churn sizing for the memory table: `(waves, per_wave)`.
+fn mem_sizes(args: &Args) -> (usize, usize) {
+    if args.smoke {
+        (8, 500)
+    } else {
+        (12, 1_000)
+    }
+}
+
+/// Runs the million-task experiment and writes `cluster_milliontask.csv`
+/// (run matrix) and `cluster_milliontask_mem.csv` (arena accounting).
+///
+/// With `--scenario FILE` the built-in fleet is replaced by the loaded
+/// spec and the improvement/live-population assertions are skipped.
+pub fn run(args: &Args) {
+    println!("== Cluster milliontask: 1M live tasks, recycled arenas, tree reduction ==");
+    let file_spec = args.scenario_spec();
+    let (frozen_spec, feedback_spec, builtin) = match &file_spec {
+        Some(spec) => {
+            println!("scenario file: {}", spec.name);
+            let mut frozen = spec.clone();
+            frozen.rebalance.enabled = false;
+            (frozen, spec.clone(), false)
+        }
+        None => {
+            let (nodes, tasks, horizon) = sizes(args);
+            let frozen = ScenarioSpec::milliontask_demo(nodes, tasks, horizon);
+            let feedback = frozen
+                .clone()
+                .with_rebalance(ScenarioSpec::milliontask_rebalance(horizon));
+            (frozen, feedback, true)
+        }
+    };
+    let (nodes, tasks) = (frozen_spec.nodes, frozen_spec.tasks);
+    let sim_total = frozen_spec.horizon.as_secs_f64() * nodes as f64;
+
+    // The journal fixture is recorded at fixture scale — the full fleet's
+    // journal would be gigabytes (~2.7 GB at 1M tasks).
+    if args.journal.is_some() {
+        let fixture = ScenarioSpec::milliontask_demo(2_000, 2_000, Dur::ms(800))
+            .with_rebalance(ScenarioSpec::milliontask_rebalance(Dur::ms(800)));
+        println!("journal: recording fixture-scale twin (2000 nodes, 2000 tasks)");
+        args.record_journal(&fixture);
+    }
+
+    // Live-population proof: the plan admits every honest task (plus the
+    // liar wave) with zero rejections, and honest tasks have no churn or
+    // departure — the whole million is live at the horizon.
+    if builtin {
+        let plan = plan_fleet(&frozen_spec, args.seed);
+        let liars: usize = frozen_spec.phases.iter().map(|p| p.tasks).sum();
+        // Honest tasks always fit (the fleet is ~15% utilised outside the
+        // liar prefix); at worst a few liars lose their prefix slot to
+        // honest stragglers that landed in the arrival race.
+        assert!(
+            plan.admission.admitted as usize >= tasks,
+            "milliontask plan must keep the honest million live \
+             ({} admitted)",
+            plan.admission.admitted
+        );
+        assert!(
+            (plan.admission.rejected as usize) <= liars / 20,
+            "only a sliver of the liar wave may be squeezed out \
+             ({} rejected)",
+            plan.admission.rejected
+        );
+        println!(
+            "plan: {} admitted ({} honest live at horizon, {} liars), {} rejected",
+            plan.admission.admitted, tasks, liars, plan.admission.rejected
+        );
+    }
+
+    let runner = |threads: usize| ClusterRunner::new(threads).with_sketch_aggregates(true);
+    let (feedback, t_feedback) = time_us(|| runner(2).run(&feedback_spec, args.seed));
+
+    // Determinism: the balanced tree reduction merges worker partials over
+    // fixed node ranges, so worker count must not leak into the bytes.
+    let serial = runner(1).run(&feedback_spec, args.seed);
+    assert_eq!(
+        serial.summary_csv(),
+        feedback.summary_csv(),
+        "tree-reduced aggregates must not depend on thread count (1 vs 2)"
+    );
+    if !args.smoke {
+        let wide = runner(8).run(&feedback_spec, args.seed);
+        assert_eq!(
+            serial.summary_csv(),
+            wide.summary_csv(),
+            "tree-reduced aggregates must not depend on thread count (1 vs 8)"
+        );
+    }
+
+    let mut rows = Vec::new();
+    let mut push_row = |mode: &str, recycle: &str, m: &AggregateMetrics, t_us: f64| {
+        rows.push(vec![
+            nodes.to_string(),
+            tasks.to_string(),
+            mode.to_owned(),
+            recycle.to_owned(),
+            m.completions().to_string(),
+            m.misses().to_string(),
+            fmt(m.miss_ratio(), 5),
+            m.rebalance.moves.to_string(),
+            fmt(t_us / 1e3, 1),
+            fmt(tasks as f64 / (t_us / 1e6), 0),
+            fmt(sim_total / (t_us / 1e6), 0),
+        ]);
+    };
+
+    if !args.smoke {
+        // Static baseline + the payoff: feedback still cuts the fleet miss
+        // rate with a million bystander tasks in the arena.
+        let (frozen, t_frozen) = time_us(|| runner(2).run(&frozen_spec, args.seed));
+        push_row("static", "on", &frozen, t_frozen);
+        if builtin {
+            assert!(
+                feedback.miss_ratio() < frozen.miss_ratio(),
+                "feedback must cut the fleet miss rate ({:.5} vs {:.5})",
+                feedback.miss_ratio(),
+                frozen.miss_ratio()
+            );
+            assert!(
+                feedback.rebalance.moves >= 1,
+                "the milliontask scenario must trigger migrations"
+            );
+        }
+        // Before/after for the arena free-list: identical bytes, the same
+        // workload, recycling frozen off.
+        let (norec, t_norec) = time_us(|| {
+            runner(2)
+                .with_recycling(false)
+                .run(&feedback_spec, args.seed)
+        });
+        assert_eq!(
+            norec.summary_csv(),
+            feedback.summary_csv(),
+            "slot recycling must be invisible in the aggregate bytes"
+        );
+        push_row("feedback", "off", &norec, t_norec);
+    }
+    push_row("feedback", "on", &feedback, t_feedback);
+
+    let header = [
+        "nodes",
+        "tasks",
+        "placement",
+        "recycling",
+        "completions",
+        "misses",
+        "miss_ratio",
+        "migrations",
+        "wall_ms",
+        "tasks_per_sec",
+        "sim_s_per_wall_s",
+    ];
+    print_table(&header, &rows);
+    write_csv(&args.out_path("cluster_milliontask.csv"), &header, &rows);
+
+    // Arena accounting on the churn workload: admissions ≫ peak live, so
+    // the free-list holds bytes/task near the steady-state floor while the
+    // frozen arena pays a full slot per admission.
+    let (waves, per_wave) = mem_sizes(args);
+    let mem_on = churn_mem_report(waves, per_wave, true, args.seed);
+    let mem_off = churn_mem_report(waves, per_wave, false, args.seed);
+    let mem_row = |r: &ChurnMemReport| {
+        vec![
+            if r.recycle { "on" } else { "off" }.to_owned(),
+            r.stats.admitted.to_string(),
+            r.peak_live.to_string(),
+            r.stats.slots.to_string(),
+            r.stats.retired.to_string(),
+            r.stats.bytes.to_string(),
+            fmt(r.bytes_per_task(), 1),
+        ]
+    };
+    let mem_rows = vec![mem_row(&mem_off), mem_row(&mem_on)];
+    let mem_header = [
+        "recycling",
+        "admitted",
+        "peak_live",
+        "slots",
+        "retired",
+        "bytes",
+        "bytes_per_task",
+    ];
+    println!("mem_report: churn workload, {waves} waves x {per_wave} tasks");
+    print_table(&mem_header, &mem_rows);
+    write_csv(
+        &args.out_path("cluster_milliontask_mem.csv"),
+        &mem_header,
+        &mem_rows,
+    );
+    assert!(
+        mem_off.bytes_per_task() >= 2.0 * mem_on.bytes_per_task(),
+        "recycling must at least halve bytes/task on the churn workload \
+         ({:.1} vs {:.1})",
+        mem_off.bytes_per_task(),
+        mem_on.bytes_per_task()
+    );
+
+    println!(
+        "(assertions passed: {} live tasks at horizon; byte-identical across \
+         thread counts{}; recycling halves churn bytes/task)",
+        tasks,
+        if args.smoke { " (1/2)" } else { " (1/2/8)" },
+    );
+}

@@ -4,6 +4,7 @@ pub mod ablations;
 pub mod cluster_diurnal;
 pub mod cluster_failover;
 pub mod cluster_megafleet;
+pub mod cluster_milliontask;
 pub mod cluster_rebalance;
 pub mod cluster_scaleout;
 pub mod fig01;

@@ -13,12 +13,18 @@ use selftune_simcore::stats;
 use crate::sketch::StreamSketch;
 
 /// Per-task slice of a node report.
+///
+/// Detailed mode materialises one of these per task, so the struct is on
+/// a memory diet: per-task counters are `u32` (a task would need >4×10⁹
+/// completions within one run to overflow — at the 25 Hz frame rates the
+/// scenarios model that is five simulated years), and the fleet id is
+/// `u32` (the fleet axis caps at millions, not billions). Fleet-level
+/// sums still accumulate in `u64` inside [`NodeTotals`]. The layout is
+/// pinned by a size-audit test (`task_report_stays_on_its_memory_diet`).
 #[derive(Clone, Debug)]
 pub struct TaskReport {
     /// Fleet-wide task index.
-    pub fleet_id: usize,
-    /// Metric label.
-    pub label: String,
+    pub fleet_id: u32,
     /// Whether the task ran under a reservation.
     pub realtime: bool,
     /// Whether the manager attached a reservation during the run.
@@ -30,11 +36,13 @@ pub struct TaskReport {
     /// separately from flat-task hand-over gaps).
     pub in_vm: bool,
     /// Completed jobs/frames.
-    pub completions: u64,
+    pub completions: u32,
     /// Completion gaps exceeding the miss factor.
-    pub misses: u64,
+    pub misses: u32,
     /// Frames dropped by the application itself.
-    pub dropped: u64,
+    pub dropped: u32,
+    /// Metric label.
+    pub label: String,
     /// Completion gaps normalised by the nominal period (1.0 = on time).
     pub ift_norm: Vec<f64>,
     /// Milliseconds from arrival to the manager attaching a reservation
@@ -98,6 +106,79 @@ impl NodeSketches {
         self.attach.merge(&other.attach);
         self.vm_attach.merge(&other.vm_attach);
     }
+
+    /// Resets all four sketches to empty, keeping their bin allocations —
+    /// how a worker's partial-merge buffer is recycled across epoch
+    /// barriers (one allocation per worker for the whole run).
+    pub fn clear(&mut self) {
+        self.gaps.clear();
+        self.post_migration.clear();
+        self.attach.clear();
+        self.vm_attach.clear();
+    }
+
+    /// Reduces the per-node sketches of `nodes` (sorted by node id) with a
+    /// balanced binary tree over fixed node-id ranges, byte-identical to
+    /// the historical serial node-order fold. `None` iff no node reported
+    /// sketches.
+    ///
+    /// Bin counts, value counts and min/max merge in exact integer (or
+    /// exact-min/max float) arithmetic, so any merge grouping produces the
+    /// same state; only the running f64 `sum` is order-sensitive, and it
+    /// is re-serialised afterwards (see [`NodeSketches::with_serial_sums`]).
+    /// The split points depend only on the node-id-ordered slice — never
+    /// on the thread count — which keeps the determinism contract intact
+    /// while letting workers pre-merge their own partials in parallel.
+    pub fn tree_reduce(nodes: &[NodeReport]) -> Option<NodeSketches> {
+        fn reduce(nodes: &[NodeReport]) -> Option<NodeSketches> {
+            match nodes.len() {
+                0 => None,
+                1 => nodes[0].sketches.clone(),
+                n => {
+                    let (lo, hi) = nodes.split_at(n / 2);
+                    match (reduce(lo), reduce(hi)) {
+                        (Some(mut a), Some(b)) => {
+                            a.merge(&b);
+                            Some(a)
+                        }
+                        (a, b) => a.or(b),
+                    }
+                }
+            }
+        }
+        reduce(nodes).map(|m| NodeSketches::with_serial_sums(m, nodes))
+    }
+
+    /// Overwrites each family's order-sensitive float sum with the serial
+    /// node-id-order left fold the historical reduction produced: the
+    /// accumulator starts at the *first* sketch-bearing node's sum and
+    /// adds each later node's in turn. Applied after any parallel or tree
+    /// merge so the cached fleet sketch is byte-identical to the serial
+    /// fold regardless of merge grouping.
+    pub fn with_serial_sums(mut merged: NodeSketches, nodes: &[NodeReport]) -> NodeSketches {
+        fn serial_sum(nodes: &[NodeReport], pick: impl Fn(&NodeSketches) -> &StreamSketch) -> f64 {
+            let mut acc: Option<f64> = None;
+            for n in nodes {
+                if let Some(k) = &n.sketches {
+                    let s = pick(k).sum();
+                    acc = Some(match acc {
+                        None => s,
+                        Some(a) => a + s,
+                    });
+                }
+            }
+            acc.unwrap_or(0.0)
+        }
+        merged.gaps.set_sum(serial_sum(nodes, |k| &k.gaps));
+        merged
+            .post_migration
+            .set_sum(serial_sum(nodes, |k| &k.post_migration));
+        merged.attach.set_sum(serial_sum(nodes, |k| &k.attach));
+        merged
+            .vm_attach
+            .set_sum(serial_sum(nodes, |k| &k.vm_attach));
+        merged
+    }
 }
 
 impl Default for NodeSketches {
@@ -141,10 +222,10 @@ impl NodeReport {
         let totals = NodeTotals {
             tasks: tasks.len(),
             rt_tasks: tasks.iter().filter(|t| t.realtime).count(),
-            completions: tasks.iter().map(|t| t.completions).sum(),
-            misses: tasks.iter().map(|t| t.misses).sum(),
+            completions: tasks.iter().map(|t| u64::from(t.completions)).sum(),
+            misses: tasks.iter().map(|t| u64::from(t.misses)).sum(),
             gaps: tasks.iter().map(|t| t.ift_norm.len() as u64).sum(),
-            dropped: tasks.iter().map(|t| t.dropped).sum(),
+            dropped: tasks.iter().map(|t| u64::from(t.dropped)).sum(),
         };
         NodeReport {
             node,
@@ -253,6 +334,11 @@ pub struct AggregateMetrics {
     pub rebalance: RebalanceStats,
     /// Per-node reports, in node-id order.
     pub nodes: Vec<NodeReport>,
+    /// The fleet-level merge of every node's sketches, computed once at
+    /// construction (tree reduction, or adopted from the runner's worker
+    /// partials) instead of re-folded per summary read. `None` iff no
+    /// node reported sketches.
+    merged: Option<NodeSketches>,
 }
 
 /// Quantile grid of the miss CDF export (percent steps).
@@ -261,7 +347,9 @@ const CDF_STEPS: usize = 100;
 const UTIL_BINS: usize = 10;
 
 impl AggregateMetrics {
-    /// Folds node reports (sorted by node id internally).
+    /// Folds node reports (sorted by node id internally). The fleet-level
+    /// sketch merge happens here, once, via the deterministic tree
+    /// reduction.
     pub fn new(
         scenario: &str,
         seed: u64,
@@ -269,12 +357,45 @@ impl AggregateMetrics {
         mut nodes: Vec<NodeReport>,
     ) -> AggregateMetrics {
         nodes.sort_by_key(|n| n.node);
+        let merged = NodeSketches::tree_reduce(&nodes);
         AggregateMetrics {
             scenario: scenario.to_owned(),
             seed,
             admission,
             rebalance: RebalanceStats::default(),
             nodes,
+            merged,
+        }
+    }
+
+    /// Like [`AggregateMetrics::new`], but adopts a pre-merged fleet
+    /// sketch — the runner's workers each fold their owned nodes'
+    /// sketches into a per-worker partial, and the leader combines the
+    /// partials in any order. Integer sketch state merges associatively
+    /// and commutatively, and the order-sensitive float sums are
+    /// re-serialised from the node reports in node-id order here, so the
+    /// result is byte-identical to [`AggregateMetrics::new`] at any
+    /// thread count. `premerged: None` (detailed-mode runs) falls back to
+    /// the tree reduction, which is then a no-op.
+    pub fn new_premerged(
+        scenario: &str,
+        seed: u64,
+        admission: AdmissionStats,
+        mut nodes: Vec<NodeReport>,
+        premerged: Option<NodeSketches>,
+    ) -> AggregateMetrics {
+        nodes.sort_by_key(|n| n.node);
+        let merged = match premerged {
+            Some(m) => Some(NodeSketches::with_serial_sums(m, &nodes)),
+            None => NodeSketches::tree_reduce(&nodes),
+        };
+        AggregateMetrics {
+            scenario: scenario.to_owned(),
+            seed,
+            admission,
+            rebalance: RebalanceStats::default(),
+            nodes,
+            merged,
         }
     }
 
@@ -326,19 +447,13 @@ impl AggregateMetrics {
         sum / self.nodes.len() as f64
     }
 
-    /// Folds one sketch family across the fleet in node-id order. `Some`
-    /// iff at least one node reported sketches.
-    fn merged_sketch(&self, pick: impl Fn(&NodeSketches) -> &StreamSketch) -> Option<StreamSketch> {
-        let mut acc: Option<StreamSketch> = None;
-        for n in &self.nodes {
-            if let Some(k) = &n.sketches {
-                match &mut acc {
-                    None => acc = Some(pick(k).clone()),
-                    Some(a) => a.merge(pick(k)),
-                }
-            }
-        }
-        acc
+    /// One family of the cached fleet-level sketch merge. `Some` iff at
+    /// least one node reported sketches.
+    fn merged_sketch(
+        &self,
+        pick: impl Fn(&NodeSketches) -> &StreamSketch,
+    ) -> Option<&StreamSketch> {
+        self.merged.as_ref().map(pick)
     }
 
     /// All normalised completion gaps, sorted ascending, written into the
@@ -405,7 +520,7 @@ impl AggregateMetrics {
     /// the sort in detailed mode.
     pub fn miss_cdf_with(&self, scratch: &mut Vec<f64>) -> Vec<(f64, f64)> {
         if let Some(s) = self.merged_sketch(|k| &k.gaps) {
-            return AggregateMetrics::cdf_from_sketch(&s);
+            return AggregateMetrics::cdf_from_sketch(s);
         }
         self.ift_norm_sorted_into(scratch);
         AggregateMetrics::cdf_from_sorted(scratch)
@@ -421,7 +536,7 @@ impl AggregateMetrics {
     /// buffer for the sort in detailed mode.
     pub fn post_migration_cdf_with(&self, scratch: &mut Vec<f64>) -> Vec<(f64, f64)> {
         if let Some(s) = self.merged_sketch(|k| &k.post_migration) {
-            return AggregateMetrics::cdf_from_sketch(&s);
+            return AggregateMetrics::cdf_from_sketch(s);
         }
         self.post_migration_sorted_into(scratch);
         AggregateMetrics::cdf_from_sorted(scratch)
@@ -718,14 +833,14 @@ mod tests {
         NodeReport::from_tasks(
             node,
             vec![TaskReport {
-                fleet_id: node,
+                fleet_id: node as u32,
                 label: format!("t{node}"),
                 realtime: true,
                 attached: true,
                 migrated: false,
                 in_vm: false,
-                completions: ift.len() as u64 + 1,
-                misses: ift.iter().filter(|&&x| x > NodeReport::MISS_FACTOR).count() as u64,
+                completions: ift.len() as u32 + 1,
+                misses: ift.iter().filter(|&&x| x > NodeReport::MISS_FACTOR).count() as u32,
                 dropped: 0,
                 ift_norm: ift,
                 attach_delay_ms: None,
@@ -751,6 +866,86 @@ mod tests {
             dropped: 0,
         };
         NodeReport::from_sketches(node, totals, sk, util, util * 0.8, 100)
+    }
+
+    #[test]
+    fn task_report_stays_on_its_memory_diet() {
+        // The detailed-mode per-task struct: u32 counters + flags pack
+        // into 20 bytes, then label (String), ift_norm (Vec) and the
+        // Option<f64> attach delay — 88 bytes total on 64-bit, down from
+        // 104 with the old usize/u64 fields. Regressing past 88 means a
+        // field grew back to a fat type.
+        assert!(
+            std::mem::size_of::<TaskReport>() <= 88,
+            "TaskReport grew to {} bytes",
+            std::mem::size_of::<TaskReport>()
+        );
+    }
+
+    #[test]
+    fn tree_reduce_matches_the_serial_fold_on_mixed_nodes() {
+        // Non-power-of-two node count with sketch-less nodes interleaved:
+        // the tree split points must not care.
+        let nodes: Vec<NodeReport> = (0..7)
+            .map(|n| {
+                if n % 3 == 2 {
+                    report(n, 0.2, vec![1.0 + n as f64 * 0.01])
+                } else {
+                    sketch_report(n, 0.2, vec![0.9, 1.2 + n as f64 * 0.1, 3.0])
+                }
+            })
+            .collect();
+        let serial = {
+            let mut acc: Option<NodeSketches> = None;
+            for n in &nodes {
+                if let Some(k) = &n.sketches {
+                    match &mut acc {
+                        None => acc = Some(k.clone()),
+                        Some(a) => a.merge(k),
+                    }
+                }
+            }
+            acc.unwrap()
+        };
+        let tree = NodeSketches::tree_reduce(&nodes).unwrap();
+        assert_eq!(tree.gaps, serial.gaps);
+        assert_eq!(tree.post_migration, serial.post_migration);
+        assert_eq!(tree.attach, serial.attach);
+        assert_eq!(tree.vm_attach, serial.vm_attach);
+        // No sketches at all → no merged sketch.
+        let detailed: Vec<NodeReport> = (0..3).map(|n| report(n, 0.1, vec![1.0])).collect();
+        assert!(NodeSketches::tree_reduce(&detailed).is_none());
+    }
+
+    #[test]
+    fn premerged_construction_matches_new_in_any_partial_order() {
+        let nodes: Vec<NodeReport> = (0..5)
+            .map(|n| sketch_report(n, 0.3, vec![0.8 + n as f64 * 0.07, 2.0]))
+            .collect();
+        let baseline = AggregateMetrics::new("s", 9, AdmissionStats::default(), nodes.clone());
+        // Simulate two workers owning interleaved node sets, merged in
+        // "wrong" (worker-completion) order.
+        let mut w0 = NodeSketches::new();
+        let mut w1 = NodeSketches::new();
+        for n in &nodes {
+            let k = n.sketches.as_ref().unwrap();
+            if n.node % 2 == 0 {
+                w0.merge(k);
+            } else {
+                w1.merge(k);
+            }
+        }
+        let mut combined = NodeSketches::new();
+        combined.merge(&w1);
+        combined.merge(&w0);
+        let premerged = AggregateMetrics::new_premerged(
+            "s",
+            9,
+            AdmissionStats::default(),
+            nodes,
+            Some(combined),
+        );
+        assert_eq!(baseline.summary_csv(), premerged.summary_csv());
     }
 
     #[test]

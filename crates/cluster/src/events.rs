@@ -214,6 +214,16 @@ impl FleetEvent {
 
     /// Tie-break key inside one class at one instant. Migrations order by
     /// their decision sequence; everything else by `(node, unit id)`.
+    ///
+    /// Slot-recycling audit: arena slots are node-local and their
+    /// generation tags never appear in events — the unit ids used here
+    /// are *fleet* ids, which the planner assigns uniquely across the
+    /// whole run and never reuses (a migrated incarnation keeps its fleet
+    /// id; a recycled slot's new occupant brings its own). Two same-
+    /// instant departures whose tasks lived in the same recycled slot
+    /// therefore still carry distinct `(node, fleet_id)` keys, and the
+    /// order stays total without generations in the key (regression test:
+    /// `same_instant_kills_from_recycled_slots_order_totally`).
     fn tie(&self) -> (usize, usize) {
         match self {
             FleetEvent::TaskAdmission { fleet_id, node, .. } => {
@@ -368,5 +378,42 @@ mod tests {
         sort_events(&mut a);
         sort_events(&mut b);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn same_instant_kills_from_recycled_slots_order_totally() {
+        // Churn scenario: tasks 4 and 11 lived (sequentially) in the same
+        // recycled arena slot on node 2, and the planner scheduled other
+        // departures at the very same instant on the same and other
+        // nodes. The tie key is `(node, fleet_id)` — fleet ids are
+        // planner-unique and never recycled, so the order is total and
+        // permutation-invariant with no generation tag in the key.
+        let same_instant = [
+            kill(7, 2, 11),
+            kill(7, 2, 4),
+            kill(7, 0, 30),
+            kill(7, 2, 19),
+        ];
+        let mut a = same_instant.to_vec();
+        let mut b: Vec<FleetEvent> = same_instant.iter().rev().cloned().collect();
+        sort_events(&mut a);
+        sort_events(&mut b);
+        assert_eq!(a, b, "same-instant departures permute identically");
+        assert_eq!(a[0], kill(7, 0, 30));
+        assert_eq!(
+            a[1],
+            kill(7, 2, 4),
+            "within a node, fleet id breaks the tie"
+        );
+        assert_eq!(a[2], kill(7, 2, 11));
+        assert_eq!(a[3], kill(7, 2, 19));
+        // No two distinct kill events can compare equal: the planner
+        // never issues one fleet id twice, and equal keys would need
+        // exactly that.
+        for (i, x) in a.iter().enumerate() {
+            for y in &a[i + 1..] {
+                assert_ne!((x.at(), x.class(), x.tie()), (y.at(), y.class(), y.tie()));
+            }
+        }
     }
 }

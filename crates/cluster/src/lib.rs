@@ -82,6 +82,7 @@
 pub mod aggregate;
 pub mod events;
 pub mod index;
+pub mod mem;
 pub mod node;
 pub mod placer;
 pub mod runner;
@@ -95,7 +96,10 @@ pub use aggregate::{
 };
 pub use events::{sort_events, FleetEvent, JournalSink, NodeSnap};
 pub use index::HeadroomIndex;
-pub use node::{Lease, LiveRt, LiveVm, Node, NodeFeedback, NodeTask, NodeVm, WarmStart};
+pub use mem::{churn_mem_report, ChurnMemReport};
+pub use node::{
+    ArenaMemStats, Lease, LiveRt, LiveVm, Node, NodeFeedback, NodeTask, NodeVm, WarmStart,
+};
 pub use placer::{
     FeedbackView, LiveTask, LiveVmUnit, Migration, PlacementOutcome, Placer, PolicyKind,
     RebalanceOutcome,

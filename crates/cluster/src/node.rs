@@ -13,6 +13,7 @@ use selftune_apps::CpuHog;
 use selftune_core::{ControllerConfig, ManagerConfig};
 use selftune_sched::{CbsMode, Supervisor};
 use selftune_simcore::kernel::TaskState;
+use selftune_simcore::metrics::MetricKey;
 use selftune_simcore::rng::Rng;
 use selftune_simcore::task::{Action, TaskCtx, TaskId, Workload};
 use selftune_simcore::time::{Dur, Time};
@@ -115,70 +116,272 @@ pub struct NodeVm {
     pub elastic: bool,
 }
 
+/// The frozen remains of a departed task: everything its node report
+/// still needs, in ~80 bytes instead of a full arena slot. Completion
+/// counts and gap vectors are *not* frozen — marks persist in the kernel
+/// metrics store after the task dies, so report time recomputes them from
+/// the interned mark key; only state a dead task can no longer produce
+/// (its drop counter, its first attach instant) is captured at retirement.
+struct RetiredTask {
+    /// Arena-wide admission sequence number (report order).
+    seq: u32,
+    /// Fleet-wide task index.
+    fleet_id: u32,
+    /// Drop counter frozen at retirement (a dead task drops no more).
+    dropped: u32,
+    /// Interned completion-mark key (None for kinds without marks).
+    mark: Option<MetricKey>,
+    /// Nominal period in milliseconds, for miss classification.
+    period_ms: Option<f64>,
+    /// First-attach delay frozen at retirement.
+    attach_delay_ms: Option<f64>,
+    /// Metric label, moved out of the plan at retirement.
+    label: String,
+    realtime: bool,
+    migrated: bool,
+}
+
+/// Completion marks scanned out of slots at retirement, parked until the
+/// next feedback snapshot drains them into its epoch counters — retiring
+/// a slot mid-epoch must not lose the gaps it produced since the last
+/// snapshot.
+#[derive(Clone, Copy, Debug, Default)]
+struct PendingMarks {
+    gaps: u64,
+    misses: u64,
+}
+
+/// Resident-memory accounting for a node's task state, summed over the
+/// flat arena and every guest arena (see [`Node::mem_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ArenaMemStats {
+    /// Tasks ever admitted (fresh and recycled slots alike).
+    pub admitted: u64,
+    /// Physical arena slots currently allocated.
+    pub slots: usize,
+    /// Slots currently occupied by a live task.
+    pub live: usize,
+    /// Retired-task records held for report reconstruction.
+    pub retired: usize,
+    /// Approximate resident bytes of all task bookkeeping.
+    pub bytes: usize,
+}
+
+impl ArenaMemStats {
+    fn absorb(&mut self, other: ArenaMemStats) {
+        self.admitted += other.admitted;
+        self.slots += other.slots;
+        self.live += other.live;
+        self.retired += other.retired;
+        self.bytes += other.bytes;
+    }
+
+    /// Resident bytes per ever-admitted task — the churn-workload figure
+    /// `BENCH_cluster.json` tracks as `cluster/milliontask/bytes_per_task`.
+    pub fn bytes_per_task(&self) -> f64 {
+        if self.admitted == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.admitted as f64
+        }
+    }
+}
+
 /// Managed-task state in struct-of-arrays layout: one parallel column per
 /// field, plus an index list over the real-time slots the per-sampling-step
 /// liveness scan still has to visit. At fleet scale that scan is the inner
-/// loop — walking a compact `tids`/`released` column pair for the live
-/// slots beats chasing one heap struct per task, and releasing a task
-/// shrinks the scan instead of leaving a tombstone it re-checks forever.
-#[derive(Default)]
+/// loop — walking a compact `tids` column for the live slots beats chasing
+/// one heap struct per task, and retiring a task shrinks the scan instead
+/// of leaving a tombstone it re-checks forever.
+///
+/// Under churn the arena recycles: a retired slot's report-relevant state
+/// is frozen into a compact [`RetiredTask`], the slot's generation is
+/// bumped so stale references can never resurrect the departed task, and
+/// the slot joins a free list the next admission pops. Report order is
+/// recovered from per-occupant admission sequence numbers, so the output
+/// bytes are identical to the grow-forever arena's slot walk.
 struct TaskArena {
-    /// Cold plan data (label, kind, arrival, …), one entry per slot, in
-    /// admission order.
+    /// Cold plan data (label, kind, arrival, …), one entry per slot.
     plans: Vec<NodeTask>,
     /// Kernel task ids (hot column).
     tids: Vec<TaskId>,
-    /// Reservation released / task extracted (hot column).
+    /// Reservation released / task retired (hot column).
     released: Vec<bool>,
     /// CPU consumed up to the last feedback snapshot (for epoch deltas).
     fb_consumed: Vec<Dur>,
-    /// Cached completion-mark names (None for kinds without marks), so the
-    /// per-epoch scan formats no strings.
-    marks: Vec<Option<String>>,
+    /// Interned completion-mark keys (None for kinds without marks), so
+    /// the per-epoch scan neither formats nor hashes strings.
+    mark_keys: Vec<Option<MetricKey>>,
     /// Cached nominal periods in milliseconds, for miss classification.
     periods_ms: Vec<Option<f64>>,
     /// Completion marks already consumed by previous feedback snapshots —
     /// each epoch only walks the marks it has not seen yet.
     fb_mark_pos: Vec<usize>,
-    /// Slots of real-time, not-yet-released tasks in admission order — the
+    /// Slots of real-time, not-yet-retired tasks in admission order — the
     /// only slots the per-step liveness scan touches.
     active_rt: Vec<usize>,
+    /// Admission sequence number of each slot's current occupant.
+    seqs: Vec<u32>,
+    /// Slot generation, bumped at every retirement — the tag that makes a
+    /// recycled slot a *different* identity from its departed occupant.
+    gens: Vec<u32>,
+    /// Next admission sequence number (== tasks ever admitted).
+    next_seq: u32,
+    /// Retired slots awaiting reuse (only popped when `recycle` is on).
+    free: Vec<usize>,
+    /// Frozen records of every departed occupant, in retirement order.
+    retired: Vec<RetiredTask>,
+    /// Whether retired slots are recycled (on by default; the memory
+    /// bench turns it off to measure the grow-forever baseline).
+    recycle: bool,
+}
+
+impl Default for TaskArena {
+    fn default() -> TaskArena {
+        TaskArena {
+            plans: Vec::new(),
+            tids: Vec::new(),
+            released: Vec::new(),
+            fb_consumed: Vec::new(),
+            mark_keys: Vec::new(),
+            periods_ms: Vec::new(),
+            fb_mark_pos: Vec::new(),
+            active_rt: Vec::new(),
+            seqs: Vec::new(),
+            gens: Vec::new(),
+            next_seq: 0,
+            free: Vec::new(),
+            retired: Vec::new(),
+            recycle: true,
+        }
+    }
 }
 
 impl TaskArena {
-    /// Admits a plan into a fresh slot.
-    fn push(&mut self, plan: NodeTask, tid: TaskId) {
-        let slot = self.plans.len();
-        self.marks.push(plan.kind.mark_name(&plan.label));
-        self.periods_ms.push(plan.kind.nominal().map(|t| t.period));
-        if plan.kind.is_realtime() {
+    /// Admits a plan into a recycled slot when one is free (and recycling
+    /// is on), else a fresh one. Returns the slot index.
+    fn push(&mut self, plan: NodeTask, tid: TaskId, mark: Option<MetricKey>) -> usize {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let realtime = plan.kind.is_realtime();
+        let period_ms = plan.kind.nominal().map(|t| t.period);
+        let recycled = if self.recycle { self.free.pop() } else { None };
+        let slot = match recycled {
+            Some(slot) => {
+                debug_assert!(self.released[slot], "free list held a live slot");
+                self.plans[slot] = plan;
+                self.tids[slot] = tid;
+                self.released[slot] = false;
+                self.fb_consumed[slot] = Dur::ZERO;
+                self.mark_keys[slot] = mark;
+                self.periods_ms[slot] = period_ms;
+                self.fb_mark_pos[slot] = 0;
+                self.seqs[slot] = seq;
+                slot
+            }
+            None => {
+                let slot = self.plans.len();
+                self.plans.push(plan);
+                self.tids.push(tid);
+                self.released.push(false);
+                self.fb_consumed.push(Dur::ZERO);
+                self.mark_keys.push(mark);
+                self.periods_ms.push(period_ms);
+                self.fb_mark_pos.push(0);
+                self.seqs.push(seq);
+                self.gens.push(0);
+                slot
+            }
+        };
+        // Appended at the end: active_rt stays in *admission* order (the
+        // order the old grow-forever arena scanned), not slot order.
+        if realtime {
             self.active_rt.push(slot);
         }
-        self.plans.push(plan);
-        self.tids.push(tid);
-        self.released.push(false);
-        self.fb_consumed.push(Dur::ZERO);
-        self.fb_mark_pos.push(0);
+        slot
     }
 
-    fn len(&self) -> usize {
-        self.plans.len()
-    }
-
-    /// Marks a slot released and drops it from the active scan list,
-    /// preserving the order of the remaining slots (so downstream
-    /// unmanage ordering is unchanged from the full-scan days).
-    fn release(&mut self, slot: usize) {
+    /// Retires a slot: freezes its compact [`RetiredTask`] record, bumps
+    /// the slot generation, drops it from the active scan list and (when
+    /// recycling) returns the slot to the free list. `dropped` and
+    /// `attach_delay_ms` are the metric reads a dead task can no longer
+    /// change, captured by the caller while the label was still in place.
+    fn retire(&mut self, slot: usize, dropped: u32, attach_delay_ms: Option<f64>) {
+        debug_assert!(!self.released[slot], "double retirement");
         self.released[slot] = true;
         if let Some(pos) = self.active_rt.iter().position(|&s| s == slot) {
             self.active_rt.remove(pos);
         }
+        let plan = &mut self.plans[slot];
+        self.retired.push(RetiredTask {
+            seq: self.seqs[slot],
+            fleet_id: plan.fleet_id as u32,
+            dropped,
+            mark: self.mark_keys[slot],
+            period_ms: self.periods_ms[slot],
+            attach_delay_ms,
+            label: std::mem::take(&mut plan.label),
+            realtime: plan.kind.is_realtime(),
+            migrated: plan.migrated,
+        });
+        self.gens[slot] = self.gens[slot].wrapping_add(1);
+        if self.recycle {
+            self.free.push(slot);
+        }
     }
 
-    /// Marks every slot released (whole-VM extraction).
-    fn release_all(&mut self) {
-        self.released.iter_mut().for_each(|r| *r = true);
-        self.active_rt.clear();
+    /// Every task ever admitted, as `(index, is_retired)` pairs in
+    /// admission order: `index` points into `retired` for departed tasks
+    /// and at a live slot otherwise. This is what keeps recycled-arena
+    /// reports byte-identical to the grow-forever slot walk — admission
+    /// sequence numbers recover the order that slot indices used to carry.
+    fn admission_order(&self) -> Vec<(usize, bool)> {
+        let mut order: Vec<(u32, usize, bool)> =
+            Vec::with_capacity(self.retired.len() + self.plans.len());
+        for (i, r) in self.retired.iter().enumerate() {
+            order.push((r.seq, i, true));
+        }
+        for slot in 0..self.plans.len() {
+            if !self.released[slot] {
+                order.push((self.seqs[slot], slot, false));
+            }
+        }
+        order.sort_unstable_by_key(|&(seq, _, _)| seq);
+        order
+            .into_iter()
+            .map(|(_, i, retired)| (i, retired))
+            .collect()
+    }
+
+    /// Resident-byte accounting over every column, label heap and retired
+    /// record of this arena.
+    fn mem_stats(&self) -> ArenaMemStats {
+        use std::mem::size_of;
+        let mut bytes = self.plans.capacity() * size_of::<NodeTask>()
+            + self.tids.capacity() * size_of::<TaskId>()
+            + self.released.capacity()
+            + self.fb_consumed.capacity() * size_of::<Dur>()
+            + self.mark_keys.capacity() * size_of::<Option<MetricKey>>()
+            + self.periods_ms.capacity() * size_of::<Option<f64>>()
+            + self.fb_mark_pos.capacity() * size_of::<usize>()
+            + self.active_rt.capacity() * size_of::<usize>()
+            + (self.seqs.capacity() + self.gens.capacity()) * size_of::<u32>()
+            + self.free.capacity() * size_of::<usize>()
+            + self.retired.capacity() * size_of::<RetiredTask>();
+        for p in &self.plans {
+            bytes += p.label.capacity();
+        }
+        for r in &self.retired {
+            bytes += r.label.capacity();
+        }
+        let live = self.released.iter().filter(|&&r| !r).count();
+        ArenaMemStats {
+            admitted: u64::from(self.next_seq),
+            slots: self.plans.len(),
+            live,
+            retired: self.retired.len(),
+            bytes,
+        }
     }
 }
 
@@ -309,6 +512,14 @@ pub struct Node {
     tasks: TaskArena,
     vms: Vec<VmRt>,
     fb_mark: FeedbackMark,
+    /// Marks scanned out of retired slots, awaiting the next feedback.
+    pending: PendingMarks,
+    /// Reusable metric-name buffer (`"{label}.dropped"` and friends) —
+    /// retirement and report paths format into this instead of
+    /// allocating a fresh `String` per task.
+    scratch: String,
+    /// Slot-recycling toggle copied into every new arena.
+    recycle: bool,
 }
 
 impl Node {
@@ -330,7 +541,33 @@ impl Node {
             tasks: TaskArena::default(),
             vms: Vec::new(),
             fb_mark: FeedbackMark::default(),
+            pending: PendingMarks::default(),
+            scratch: String::new(),
+            recycle: true,
         }
+    }
+
+    /// Turns arena slot recycling on or off (on by default) for the flat
+    /// arena and every guest arena created afterwards. The memory bench
+    /// uses `off` to measure the grow-forever baseline; reports are
+    /// byte-identical either way.
+    pub fn set_recycle(&mut self, on: bool) {
+        self.recycle = on;
+        self.tasks.recycle = on;
+        for rt in &mut self.vms {
+            rt.guests.recycle = on;
+        }
+    }
+
+    /// Resident-memory accounting over the flat task arena and every
+    /// guest arena — what `mem_report` prints and the million-task bench
+    /// tracks as bytes/task.
+    pub fn mem_stats(&self) -> ArenaMemStats {
+        let mut stats = self.tasks.mem_stats();
+        for rt in &self.vms {
+            stats.absorb(rt.guests.mem_stats());
+        }
+        stats
     }
 
     /// The node's id within the fleet.
@@ -387,7 +624,18 @@ impl Node {
                     .manage_host(tid, &plan.label, ControllerConfig::default()),
             }
         }
-        self.tasks.push(plan, tid);
+        let mark = Node::intern_mark(&mut self.platform, &plan);
+        self.tasks.push(plan, tid, mark);
+    }
+
+    /// Interns a plan's completion-mark name into the kernel metrics
+    /// store, so per-epoch scans and reports look marks up by key. The
+    /// store only surfaces streams that recorded something, so interning
+    /// at admission is unobservable in any output.
+    fn intern_mark(platform: &mut VirtPlatform, plan: &NodeTask) -> Option<MetricKey> {
+        plan.kind
+            .mark_name(&plan.label)
+            .map(|name| platform.kernel_mut().metrics_mut().key(&name))
     }
 
     /// Adds a planned virtual platform: admits its share, spawns every
@@ -446,8 +694,10 @@ impl Node {
                     }
                 }
             }
-            guests.push(g.clone(), tid);
+            let mark = Node::intern_mark(&mut self.platform, g);
+            guests.push(g.clone(), tid, mark);
         }
+        guests.recycle = self.recycle;
         self.vms.push(VmRt {
             vm,
             plan,
@@ -494,8 +744,14 @@ impl Node {
                 let tid = self.tasks.tids[slot];
                 if self.platform.kernel().task_state(tid) == TaskState::Exited {
                     self.platform.unmanage_host(tid);
-                    self.tasks.released[slot] = true;
-                    self.tasks.active_rt.remove(i);
+                    self.platform.kernel_mut().reclaim(tid);
+                    Node::retire_slot(
+                        &self.platform,
+                        &mut self.tasks,
+                        &mut self.pending,
+                        &mut self.scratch,
+                        slot,
+                    );
                 } else {
                     i += 1;
                 }
@@ -510,8 +766,14 @@ impl Node {
                     let tid = rt.guests.tids[slot];
                     if self.platform.kernel().task_state(tid) == TaskState::Exited {
                         self.platform.unmanage_in_vm(rt.vm, tid);
-                        rt.guests.released[slot] = true;
-                        rt.guests.active_rt.remove(i);
+                        self.platform.kernel_mut().reclaim(tid);
+                        Node::retire_slot(
+                            &self.platform,
+                            &mut rt.guests,
+                            &mut self.pending,
+                            &mut self.scratch,
+                            slot,
+                        );
                     } else {
                         i += 1;
                     }
@@ -524,14 +786,14 @@ impl Node {
     /// Walks a task's fresh completion marks, updating the epoch counters.
     fn scan_marks(
         platform: &VirtPlatform,
-        mark: &Option<String>,
+        mark: Option<MetricKey>,
         period_ms: Option<f64>,
         pos: &mut usize,
         gaps: &mut u64,
         misses: &mut u64,
     ) {
-        if let (Some(name), Some(period_ms)) = (mark, period_ms) {
-            let marks = platform.kernel().metrics().marks(name);
+        if let (Some(key), Some(period_ms)) = (mark, period_ms) {
+            let marks = platform.kernel().metrics().marks_k(key);
             while *pos + 1 < marks.len() {
                 let gap_ms = (marks[*pos + 1] - marks[*pos]).as_ms_f64();
                 *gaps += 1;
@@ -541,6 +803,44 @@ impl Node {
                 *pos += 1;
             }
         }
+    }
+
+    /// Formats `"{label}{suffix}"` into the reusable scratch buffer.
+    fn metric_name<'a>(scratch: &'a mut String, label: &str, suffix: &str) -> &'a str {
+        scratch.clear();
+        scratch.push_str(label);
+        scratch.push_str(suffix);
+        scratch
+    }
+
+    /// Retires an arena slot: takes the departed task's final mark scan
+    /// into the pending epoch counters, freezes the metric reads a dead
+    /// task can no longer change, and hands the slot to the arena's free
+    /// list. An associated function over split borrows so callers holding
+    /// `&mut` arena references (the per-VM loop) can use it.
+    fn retire_slot(
+        platform: &VirtPlatform,
+        arena: &mut TaskArena,
+        pending: &mut PendingMarks,
+        scratch: &mut String,
+        slot: usize,
+    ) {
+        Node::scan_marks(
+            platform,
+            arena.mark_keys[slot],
+            arena.periods_ms[slot],
+            &mut arena.fb_mark_pos[slot],
+            &mut pending.gaps,
+            &mut pending.misses,
+        );
+        let metrics = platform.kernel().metrics();
+        let plan = &arena.plans[slot];
+        let dropped = metrics.counter(Node::metric_name(scratch, &plan.label, ".dropped")) as u32;
+        let attach_delay_ms = metrics
+            .marks(Node::metric_name(scratch, &plan.label, ".attached"))
+            .first()
+            .map(|&t| t.saturating_since(plan.arrival).as_ms_f64());
+        arena.retire(slot, dropped, attach_delay_ms);
     }
 
     /// Publishes the feedback snapshot for the epoch ending at `now` and
@@ -562,13 +862,17 @@ impl Node {
         let span = now.saturating_since(self.fb_mark.at.unwrap_or(Time::ZERO));
         let epoch_busy = busy.saturating_sub(self.fb_mark.busy);
         let prev = self.fb_mark.at.unwrap_or(Time::ZERO);
-        let mut gaps = 0u64;
-        let mut misses = 0u64;
+        // Slots retired since the previous snapshot already contributed
+        // their final marks at retirement; drain that parked tally first.
+        let mut gaps = self.pending.gaps;
+        let mut misses = self.pending.misses;
+        self.pending = PendingMarks::default();
         let mut live_rt: Vec<LiveRt> = Vec::new();
-        for slot in 0..self.tasks.len() {
+        for i in 0..self.tasks.active_rt.len() {
+            let slot = self.tasks.active_rt[i];
             Node::scan_marks(
                 &self.platform,
-                &self.tasks.marks[slot],
+                self.tasks.mark_keys[slot],
                 self.tasks.periods_ms[slot],
                 &mut self.tasks.fb_mark_pos[slot],
                 &mut gaps,
@@ -576,12 +880,10 @@ impl Node {
             );
             let plan = &self.tasks.plans[slot];
             let tid = self.tasks.tids[slot];
-            let live = plan.kind.is_realtime()
-                && !self.tasks.released[slot]
-                && matches!(
-                    self.platform.kernel().task_state(tid),
-                    TaskState::Ready | TaskState::Blocked
-                );
+            let live = matches!(
+                self.platform.kernel().task_state(tid),
+                TaskState::Ready | TaskState::Blocked
+            );
             if !live {
                 continue;
             }
@@ -617,17 +919,22 @@ impl Node {
             // Per-guest epoch bandwidth rides along with the mark scan:
             // it sizes the warm hand-over budget below (a guest grant
             // measured under tenant-internal compression must not be
-            // re-created verbatim on a migration destination).
-            let mut guest_bw = Vec::with_capacity(rt.guests.len());
+            // re-created verbatim on a migration destination). Keyed by
+            // slot because the grant loop below re-reads the arena.
+            let mut guest_bw: Vec<(usize, f64)> = Vec::new();
             // Grants (and the per-guest bandwidth that sizes them) are
             // only built where a warm VM migration can consume them:
             // rebalance with warm hand-over on, and not an elastic VM
             // (those are never eviction victims) nor a released one.
             let carry = self.guest_warm_carry && !rt.plan.elastic && !rt.released;
-            for slot in 0..rt.guests.len() {
+            if carry {
+                guest_bw.reserve(rt.guests.active_rt.len());
+            }
+            for i in 0..rt.guests.active_rt.len() {
+                let slot = rt.guests.active_rt[i];
                 Node::scan_marks(
                     &self.platform,
-                    &rt.guests.marks[slot],
+                    rt.guests.mark_keys[slot],
                     rt.guests.periods_ms[slot],
                     &mut rt.guests.fb_mark_pos[slot],
                     &mut gaps,
@@ -642,11 +949,14 @@ impl Node {
                 rt.guests.fb_consumed[slot] = consumed;
                 let arrival = rt.guests.plans[slot].arrival;
                 let resident = now.saturating_since(if arrival > prev { arrival } else { prev });
-                guest_bw.push(if resident.is_zero() {
-                    0.0
-                } else {
-                    delta.ratio(resident)
-                });
+                guest_bw.push((
+                    slot,
+                    if resident.is_zero() {
+                        0.0
+                    } else {
+                        delta.ratio(resident)
+                    },
+                ));
             }
             if rt.released {
                 continue;
@@ -663,17 +973,17 @@ impl Node {
                 carry.then(|| self.platform.guest_manager(rt.vm)).flatten(),
                 self.platform.kernel().sched().guest(rt.vm),
             ) {
-                (Some(mgr), selftune_virt::GuestSched::Reservation(g)) => (0..rt.guests.len())
-                    .filter(|&i| !rt.guests.released[i])
-                    .filter_map(|i| {
-                        let cfg = g.server(mgr.server_of(rt.guests.tids[i])?).config();
+                (Some(mgr), selftune_virt::GuestSched::Reservation(g)) => guest_bw
+                    .iter()
+                    .filter_map(|&(slot, bw)| {
+                        let cfg = g.server(mgr.server_of(rt.guests.tids[slot])?).config();
                         // The source's grant may have been compressed
                         // inside the tenant; floor the carried budget at
                         // the measured demand plus headroom (see
                         // `WarmStart::demand_sized`).
-                        let demand = (guest_bw[i] * self.headroom).min(1.0);
+                        let demand = (bw * self.headroom).min(1.0);
                         Some((
-                            rt.guests.plans[i].fleet_id,
+                            rt.guests.plans[slot].fleet_id,
                             WarmStart::demand_sized(cfg.budget, cfg.period, demand),
                         ))
                     })
@@ -754,14 +1064,20 @@ impl Node {
     /// Returns `None` when the task is unknown, already departed or
     /// already extracted — the migration is then dropped.
     pub fn extract_task(&mut self, fleet_id: usize) -> Option<Option<WarmStart>> {
-        let slot = (0..self.tasks.len())
-            .find(|&s| self.tasks.plans[s].fleet_id == fleet_id && !self.tasks.released[s])?;
+        // Migration decisions are made from `live_rt` feedback, so the
+        // target is always a live real-time task — the active list *is*
+        // the search space (and it is generation-safe: a retired slot
+        // recycled to a new task left the list under the old identity).
+        let slot = self
+            .tasks
+            .active_rt
+            .iter()
+            .copied()
+            .find(|&s| self.tasks.plans[s].fleet_id == fleet_id)?;
         let tid = self.tasks.tids[slot];
-        let realtime = self.tasks.plans[slot].kind.is_realtime();
         if self.platform.kernel().task_state(tid) == TaskState::Exited {
             return None;
         }
-        self.tasks.release(slot);
         let warm = self.platform.host_manager().server_of(tid).map(|sid| {
             let cfg = self.platform.kernel().sched().host().server(sid).config();
             WarmStart {
@@ -769,10 +1085,16 @@ impl Node {
                 period: cfg.period,
             }
         });
-        if realtime {
-            self.platform.unmanage_host(tid);
-        }
+        self.platform.unmanage_host(tid);
         self.platform.kernel_mut().kill(tid);
+        self.platform.kernel_mut().reclaim(tid);
+        Node::retire_slot(
+            &self.platform,
+            &mut self.tasks,
+            &mut self.pending,
+            &mut self.scratch,
+            slot,
+        );
         Some(warm)
     }
 
@@ -781,49 +1103,68 @@ impl Node {
     /// node's report. Returns `false` when the VM is unknown or already
     /// extracted.
     pub fn extract_vm(&mut self, fleet_vm_id: usize) -> bool {
-        let Some(rt) = self
+        let Some(idx) = self
             .vms
-            .iter_mut()
-            .find(|rt| rt.plan.fleet_vm_id == fleet_vm_id && !rt.released)
+            .iter()
+            .position(|rt| rt.plan.fleet_vm_id == fleet_vm_id && !rt.released)
         else {
             return false;
         };
-        rt.released = true;
-        rt.guests.release_all();
-        self.platform.kill_vm(rt.vm)
+        self.vms[idx].released = true;
+        // Retire every still-live guest in slot order (guest arenas never
+        // recycle after construction, so slot order is admission order).
+        for slot in 0..self.vms[idx].guests.plans.len() {
+            if self.vms[idx].guests.released[slot] {
+                continue;
+            }
+            Node::retire_slot(
+                &self.platform,
+                &mut self.vms[idx].guests,
+                &mut self.pending,
+                &mut self.scratch,
+                slot,
+            );
+        }
+        let vm = self.vms[idx].vm;
+        let guest_tids = self.vms[idx].guests.tids.clone();
+        let killed = self.platform.kill_vm(vm);
+        for tid in guest_tids {
+            self.platform.kernel_mut().reclaim(tid);
+        }
+        killed
     }
 
-    fn task_report(&self, arena: &TaskArena, slot: usize, vm_mgr: Option<VmId>) -> TaskReport {
+    /// Builds the report of a live (never-retired) slot.
+    fn task_report(
+        &self,
+        arena: &TaskArena,
+        slot: usize,
+        vm_mgr: Option<VmId>,
+        scratch: &mut String,
+    ) -> TaskReport {
         let plan = &arena.plans[slot];
         let tid = arena.tids[slot];
         let metrics = self.platform.kernel().metrics();
-        let nominal = plan.kind.nominal();
-        let (completions, ift_norm) = match (&arena.marks[slot], &nominal) {
-            (Some(name), Some(t)) => {
-                let gaps = metrics.inter_mark_times_ms(name);
-                let norm: Vec<f64> = gaps.iter().map(|&g| g / t.period).collect();
-                (metrics.marks(name).len() as u64, norm)
-            }
-            _ => (0, Vec::new()),
-        };
+        let (completions, ift_norm) =
+            Node::mark_windows(metrics, arena.mark_keys[slot], arena.periods_ms[slot]);
         let misses = ift_norm
             .iter()
             .filter(|&&x| x > NodeReport::MISS_FACTOR)
-            .count() as u64;
-        let dropped = metrics.counter(&format!("{}.dropped", plan.label));
+            .count() as u32;
+        let dropped = metrics.counter(Node::metric_name(scratch, &plan.label, ".dropped")) as u32;
         let attached = match vm_mgr {
             Some(vm) => self
                 .platform
                 .guest_manager(vm)
                 .is_some_and(|mgr| mgr.server_of(tid).is_some()),
             None => self.platform.host_manager().server_of(tid).is_some(),
-        } || arena.released[slot];
+        };
         let attach_delay_ms = metrics
-            .marks(&format!("{}.attached", plan.label))
+            .marks(Node::metric_name(scratch, &plan.label, ".attached"))
             .first()
             .map(|&t| t.saturating_since(plan.arrival).as_ms_f64());
         TaskReport {
-            fleet_id: plan.fleet_id,
+            fleet_id: plan.fleet_id as u32,
             label: plan.label.clone(),
             realtime: plan.kind.is_realtime(),
             attached,
@@ -834,6 +1175,52 @@ impl Node {
             dropped,
             ift_norm,
             attach_delay_ms,
+        }
+    }
+
+    /// Re-materialises a retired task's report from its frozen record and
+    /// the kernel's persistent mark store — byte-identical to what the
+    /// slot would have reported had it never been recycled (a departed
+    /// task always counted as attached: its reservation was released).
+    fn retired_report(&self, r: &RetiredTask, in_vm: bool) -> TaskReport {
+        let metrics = self.platform.kernel().metrics();
+        let (completions, ift_norm) = Node::mark_windows(metrics, r.mark, r.period_ms);
+        let misses = ift_norm
+            .iter()
+            .filter(|&&x| x > NodeReport::MISS_FACTOR)
+            .count() as u32;
+        TaskReport {
+            fleet_id: r.fleet_id,
+            label: r.label.clone(),
+            realtime: r.realtime,
+            attached: true,
+            migrated: r.migrated,
+            in_vm,
+            completions,
+            misses,
+            dropped: r.dropped,
+            ift_norm,
+            attach_delay_ms: r.attach_delay_ms,
+        }
+    }
+
+    /// Completion count and period-normalised inter-completion gaps of a
+    /// mark stream (empty for kinds without marks).
+    fn mark_windows(
+        metrics: &selftune_simcore::metrics::Metrics,
+        mark: Option<MetricKey>,
+        period_ms: Option<f64>,
+    ) -> (u32, Vec<f64>) {
+        match (mark, period_ms) {
+            (Some(key), Some(p)) => {
+                let marks = metrics.marks_k(key);
+                let norm: Vec<f64> = marks
+                    .windows(2)
+                    .map(|w| (w[1] - w[0]).as_ms_f64() / p)
+                    .collect();
+                (marks.len() as u32, norm)
+            }
+            _ => (0, Vec::new()),
         }
     }
 
@@ -863,58 +1250,112 @@ impl Node {
         };
         let reserved_bw = self.platform.host_reserved_bandwidth();
         let ctx_switches = self.platform.kernel().context_switches();
+        let mut scratch = String::new();
         if detailed {
             let mut tasks = Vec::new();
-            for slot in 0..self.tasks.len() {
-                tasks.push(self.task_report(&self.tasks, slot, None));
+            for (idx, is_retired) in self.tasks.admission_order() {
+                tasks.push(if is_retired {
+                    self.retired_report(&self.tasks.retired[idx], false)
+                } else {
+                    self.task_report(&self.tasks, idx, None, &mut scratch)
+                });
             }
             for rt in &self.vms {
-                for slot in 0..rt.guests.len() {
-                    tasks.push(self.task_report(&rt.guests, slot, Some(rt.vm)));
+                for (idx, is_retired) in rt.guests.admission_order() {
+                    tasks.push(if is_retired {
+                        self.retired_report(&rt.guests.retired[idx], true)
+                    } else {
+                        self.task_report(&rt.guests, idx, Some(rt.vm), &mut scratch)
+                    });
                 }
             }
             return NodeReport::from_tasks(self.id, tasks, utilisation, reserved_bw, ctx_switches);
         }
+        // The fleet-scale fold streams each task's mark windows straight
+        // into the counters and sketches — no `TaskReport` (label clone +
+        // gap vector) is ever materialised. Visit order is admission
+        // order: sketch float sums are order-sensitive, and byte-identity
+        // with the pre-recycling slot walk demands the same sequence.
         let mut totals = NodeTotals::default();
         let mut sk = NodeSketches::new();
-        {
-            let mut fold = |t: TaskReport| {
-                totals.tasks += 1;
-                if t.realtime {
-                    totals.rt_tasks += 1;
-                }
-                totals.completions += t.completions;
-                totals.misses += t.misses;
-                totals.gaps += t.ift_norm.len() as u64;
-                totals.dropped += t.dropped;
-                for &g in &t.ift_norm {
+        self.fold_arena(&self.tasks, None, &mut scratch, &mut totals, &mut sk);
+        for rt in &self.vms {
+            self.fold_arena(&rt.guests, Some(rt.vm), &mut scratch, &mut totals, &mut sk);
+        }
+        NodeReport::from_sketches(self.id, totals, sk, utilisation, reserved_bw, ctx_switches)
+    }
+
+    /// Folds every task ever admitted to `arena` (live and retired, in
+    /// admission order) into the sketch-mode accumulators.
+    fn fold_arena(
+        &self,
+        arena: &TaskArena,
+        vm_mgr: Option<VmId>,
+        scratch: &mut String,
+        totals: &mut NodeTotals,
+        sk: &mut NodeSketches,
+    ) {
+        let metrics = self.platform.kernel().metrics();
+        for (idx, is_retired) in arena.admission_order() {
+            let (realtime, migrated, mark, period_ms, dropped, attach_delay_ms);
+            if is_retired {
+                let r = &arena.retired[idx];
+                realtime = r.realtime;
+                migrated = r.migrated;
+                mark = r.mark;
+                period_ms = r.period_ms;
+                dropped = u64::from(r.dropped);
+                attach_delay_ms = r.attach_delay_ms;
+            } else {
+                let plan = &arena.plans[idx];
+                realtime = plan.kind.is_realtime();
+                migrated = plan.migrated;
+                mark = arena.mark_keys[idx];
+                period_ms = arena.periods_ms[idx];
+                dropped = metrics.counter(Node::metric_name(scratch, &plan.label, ".dropped"));
+                // Attach delays only feed the (migrated-only) hand-over
+                // sketches — skip the mark lookup for everything else.
+                attach_delay_ms = if migrated {
+                    metrics
+                        .marks(Node::metric_name(scratch, &plan.label, ".attached"))
+                        .first()
+                        .map(|&t| t.saturating_since(plan.arrival).as_ms_f64())
+                } else {
+                    None
+                };
+            }
+            totals.tasks += 1;
+            if realtime {
+                totals.rt_tasks += 1;
+            }
+            totals.dropped += dropped;
+            if let (Some(key), Some(p)) = (mark, period_ms) {
+                let marks = metrics.marks_k(key);
+                totals.completions += marks.len() as u64;
+                totals.gaps += marks.len().saturating_sub(1) as u64;
+                for w in marks.windows(2) {
+                    let g = (w[1] - w[0]).as_ms_f64() / p;
+                    if g > NodeReport::MISS_FACTOR {
+                        totals.misses += 1;
+                    }
                     sk.gaps.record(g);
-                    if t.migrated {
+                    if migrated {
                         sk.post_migration.record(g);
                     }
                 }
-                // Attach delays feed the migration hand-over metrics, which
-                // only read migrated incarnations — mirror that filter here.
-                if t.migrated {
-                    if let Some(d) = t.attach_delay_ms {
-                        if t.in_vm {
-                            sk.vm_attach.record(d);
-                        } else {
-                            sk.attach.record(d);
-                        }
-                    }
-                }
-            };
-            for slot in 0..self.tasks.len() {
-                fold(self.task_report(&self.tasks, slot, None));
             }
-            for rt in &self.vms {
-                for slot in 0..rt.guests.len() {
-                    fold(self.task_report(&rt.guests, slot, Some(rt.vm)));
+            // Attach delays feed the migration hand-over metrics, which
+            // only read migrated incarnations — mirror that filter here.
+            if migrated {
+                if let Some(d) = attach_delay_ms {
+                    if vm_mgr.is_some() {
+                        sk.vm_attach.record(d);
+                    } else {
+                        sk.attach.record(d);
+                    }
                 }
             }
         }
-        NodeReport::from_sketches(self.id, totals, sk, utilisation, reserved_bw, ctx_switches)
     }
 }
 

@@ -49,7 +49,7 @@ use selftune_simcore::rng::{splitmix64, Rng};
 use selftune_simcore::time::{Dur, Time};
 
 use crate::aggregate::{
-    AdmissionStats, AggregateMetrics, MigrationRecord, NodeReport, RebalanceStats,
+    AdmissionStats, AggregateMetrics, MigrationRecord, NodeReport, NodeSketches, RebalanceStats,
 };
 use crate::events::{sort_events, FleetEvent, JournalSink, NodeSnap};
 use crate::node::{Node, NodeFeedback, NodeTask, NodeVm};
@@ -396,6 +396,7 @@ pub struct ClusterRunner {
     chunk: Option<usize>,
     scan_placement: bool,
     sketch: bool,
+    recycle: bool,
 }
 
 impl ClusterRunner {
@@ -406,6 +407,7 @@ impl ClusterRunner {
             chunk: None,
             scan_placement: false,
             sketch: false,
+            recycle: true,
         }
     }
 
@@ -427,6 +429,17 @@ impl ClusterRunner {
     /// and their CSV bytes.
     pub fn with_sketch_aggregates(mut self, sketch: bool) -> ClusterRunner {
         self.sketch = sketch;
+        self
+    }
+
+    /// Toggles task-arena slot recycling on every node (default on).
+    ///
+    /// With recycling off, each node's arena grows monotonically with
+    /// admissions — the pre-free-list behaviour — which is the "before"
+    /// side of the churn memory benchmark. Report bytes are identical
+    /// either way; only arena footprint and slot-reuse differ.
+    pub fn with_recycling(mut self, recycle: bool) -> ClusterRunner {
+        self.recycle = recycle;
         self
     }
 
@@ -625,6 +638,7 @@ impl ClusterRunner {
         let chunk = self.chunk_for(spec.nodes, workers);
         let scan_placement = self.scan_placement;
         let sketch = self.sketch;
+        let recycle = self.recycle;
         let log = sink.is_some();
         let interval = sink.as_ref().and_then(|s| s.checkpoint_interval());
         // A prefix run truncates the epoch grid at the cursor boundary and
@@ -696,10 +710,23 @@ impl ClusterRunner {
         let batch_grants: Mutex<Vec<FleetEvent>> = Mutex::new(Vec::new());
         // Interim per-node reports, published at checkpoint barriers only.
         let ckpt_reports: Mutex<Vec<Option<NodeReport>>> = Mutex::new(vec![None; spec.nodes]);
+        // Sketch-mode partial reduction, one reusable buffer per worker:
+        // each worker pre-merges the sketches of the nodes it owns before
+        // the leader's final combine, so the epoch-barrier reduction is a
+        // balanced tree (worker partials over fixed node ranges, then one
+        // top-level merge) instead of a serial node-id-order fold. Sketch
+        // counts merge exactly under any grouping; the one order-sensitive
+        // piece — the float sums — is re-serialised against node-id order
+        // inside `AggregateMetrics::new_premerged`, so output bytes are
+        // identical at any thread count. The flag marks a buffer that saw
+        // at least one report this round; `clear()` keeps the bin
+        // allocations, making this one allocation per worker per run.
+        let ckpt_partials: Mutex<Vec<(bool, NodeSketches)>> =
+            Mutex::new((0..workers).map(|_| (false, NodeSketches::new())).collect());
 
         thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
-            for _ in 0..workers {
+            for w in 0..workers {
                 let spec_ref = &*spec;
                 let plan_ref = &*plan;
                 let per_node = &per_node;
@@ -711,6 +738,7 @@ impl ClusterRunner {
                 let node_share = &node_share;
                 let batch_grants = &batch_grants;
                 let ckpt_reports = &ckpt_reports;
+                let ckpt_partials = &ckpt_partials;
                 let ckpt_at = &ckpt_at;
                 let sink = sink.as_ref();
                 let ends = &ends;
@@ -736,6 +764,7 @@ impl ClusterRunner {
                         let end = (base + chunk).min(spec_ref.nodes);
                         for (node_id, ids) in per_node.iter().enumerate().take(end).skip(base) {
                             let mut node = Node::new(node_id, spec_ref);
+                            node.set_recycle(recycle);
                             for vm in &per_node_vms[node_id] {
                                 node.add_vm(vm.clone());
                             }
@@ -804,8 +833,28 @@ impl ClusterRunner {
                         // the simulation state is untouched).
                         if ckpt_at[ei] {
                             let mut slots = ckpt_reports.lock().expect("checkpoint report lock");
-                            for node in &owned {
-                                slots[node.id()] = Some(node.report_mode(t_end, !sketch));
+                            if sketch {
+                                // Pre-merge this worker's node range into
+                                // its reusable partial buffer — the
+                                // leader's combine below then touches one
+                                // buffer per worker, not one per node.
+                                let mut partials =
+                                    ckpt_partials.lock().expect("checkpoint partial lock");
+                                let (saw, buf) = &mut partials[w];
+                                buf.clear();
+                                *saw = false;
+                                for node in &owned {
+                                    let rep = node.report_mode(t_end, false);
+                                    if let Some(k) = &rep.sketches {
+                                        buf.merge(k);
+                                        *saw = true;
+                                    }
+                                    slots[node.id()] = Some(rep);
+                                }
+                            } else {
+                                for node in &owned {
+                                    slots[node.id()] = Some(node.report_mode(t_end, true));
+                                }
                             }
                         }
                         if ei == ends.len() - 1 {
@@ -850,11 +899,31 @@ impl ClusterRunner {
                                         })
                                     })
                                     .collect();
-                                let interim = AggregateMetrics::new(
+                                // Top of the reduction tree: combine the
+                                // worker partials (worker-index order —
+                                // deterministic, and exact because sums
+                                // are re-serialised inside).
+                                let premerged = if sketch {
+                                    let partials =
+                                        ckpt_partials.lock().expect("checkpoint partial lock");
+                                    let mut combined = NodeSketches::new();
+                                    let mut any = false;
+                                    for (saw, buf) in partials.iter() {
+                                        if *saw {
+                                            combined.merge(buf);
+                                            any = true;
+                                        }
+                                    }
+                                    any.then_some(combined)
+                                } else {
+                                    None
+                                };
+                                let interim = AggregateMetrics::new_premerged(
                                     &spec_ref.name,
                                     seed,
                                     plan_ref.admission,
                                     nodes,
+                                    premerged,
                                 )
                                 .with_rebalance(sh.1.clone());
                                 if let Some(s) = sink {
@@ -1101,10 +1170,25 @@ impl ClusterRunner {
                         }
                     }
 
-                    owned
+                    let finals = owned
                         .iter()
                         .map(|n| (n.id(), n.report_mode(horizon, !sketch)))
-                        .collect::<Vec<_>>()
+                        .collect::<Vec<_>>();
+                    // Final-reduce partial, reusing the same buffer the
+                    // checkpoint path cleared and refilled all run.
+                    if sketch {
+                        let mut partials = ckpt_partials.lock().expect("checkpoint partial lock");
+                        let (saw, buf) = &mut partials[w];
+                        buf.clear();
+                        *saw = false;
+                        for (_, rep) in &finals {
+                            if let Some(k) = &rep.sketches {
+                                buf.merge(k);
+                                *saw = true;
+                            }
+                        }
+                    }
+                    finals
                 }));
             }
             for h in handles {
@@ -1120,8 +1204,23 @@ impl ClusterRunner {
             .map(|(i, r)| r.unwrap_or_else(|| panic!("node {i} produced no report")))
             .collect();
         let (_, stats, _) = shared.into_inner().expect("rebalance lock");
+        let premerged = if self.sketch {
+            let partials = ckpt_partials.into_inner().expect("checkpoint partial lock");
+            let mut combined = NodeSketches::new();
+            let mut any = false;
+            for (saw, buf) in &partials {
+                if *saw {
+                    combined.merge(buf);
+                    any = true;
+                }
+            }
+            any.then_some(combined)
+        } else {
+            None
+        };
         let metrics =
-            AggregateMetrics::new(&spec.name, seed, plan.admission, nodes).with_rebalance(stats);
+            AggregateMetrics::new_premerged(&spec.name, seed, plan.admission, nodes, premerged)
+                .with_rebalance(stats);
 
         // The horizon boundary has no barrier leader (workers break before
         // waiting); the reducing thread emits its batch — the last epoch's

@@ -742,6 +742,100 @@ impl ScenarioSpec {
         }
     }
 
+    /// The million-task operating point behind the `cluster_milliontask`
+    /// experiment, e2e test and `milliontask.journal` fixture: the *task*
+    /// axis pushed three orders of magnitude past the per-node norm while
+    /// the node count stays in the low thousands (hundreds of tasks per
+    /// node).
+    ///
+    /// The population is deliberately de-synchronised — arrivals staggered
+    /// over the first 100 ms and sixteen co-prime-ish periods — because at
+    /// a million tasks a single shared period turns every period boundary
+    /// into a fleet-wide event storm that measures the event queue, not
+    /// the fleet. A liar wave ([`TaskKind::HungryRt`] under-declaring its
+    /// demand) rides in early on a node prefix: first-fit packs the liars
+    /// there, their lying reservations throttle them into steady deadline
+    /// misses, and the prefix lights up the rebalancer's pressure signal
+    /// while the honest sea stays healthy. The wave leases end inside the
+    /// horizon, so the run also retires tens of thousands of tasks
+    /// mid-flight — the churn path the slot-recycling arena exists for.
+    ///
+    /// Chain [`ScenarioSpec::with_rebalance`]`(`
+    /// [`ScenarioSpec::milliontask_rebalance`]`(horizon))` for the
+    /// feedback run; rebalance is off here.
+    pub fn milliontask_demo(nodes: usize, tasks: usize, horizon: Dur) -> ScenarioSpec {
+        assert!(nodes >= 128, "the million-task demo needs a real fleet");
+        // Sixteen staggered periods around half a second: ~2 jobs per
+        // task over a 1 s horizon, no fleet-wide phase alignment.
+        let mix = TaskMix::new(
+            (0..16u64)
+                .map(|i| {
+                    (
+                        TaskKind::PeriodicRt {
+                            wcet: Dur::us(200),
+                            period: Dur::ms(450 + i * 13),
+                        },
+                        1.0,
+                    )
+                })
+                .collect(),
+        );
+        // 64 liars per prefix node book 64 × (700µs/60ms × 1.2
+        // admission headroom) ≈ 0.896 — the wave alone fills the prefix
+        // to the 0.9 admission cap, so the honest stream (arriving just
+        // behind it) first-fits straight past. The prefix's live set is
+        // then liars end to end, which is what lets eviction (live-order
+        // victim walk) drain exactly the misbehaving population instead
+        // of honest bystanders. The lie is sized to both ends of the
+        // migration: 64 × 1.5 ms real demand is a 1.78× overload (inter-
+        // mark gaps ~107 ms, past the 1.5× period miss threshold), while
+        // a booking derived from the nominal figure still lands near the
+        // real appetite — so destinations absorb roughly what they
+        // accept instead of melting into a second eviction cascade.
+        let prefix = (nodes / 64).max(4);
+        let liars = prefix * 64;
+        ScenarioSpec::new("milliontask", nodes, tasks, horizon)
+            .with_mix(mix)
+            .with_arrivals(ArrivalSchedule::Staggered {
+                gap: Dur::ns(100_000_000 / tasks.max(1) as u64),
+            })
+            .with_policy(PolicyKind::FirstFit)
+            .with_ulub(0.9)
+            .with_sampling(Dur::ms(250))
+            .with_phase(TrafficPhase {
+                start: Dur::us(1),
+                end: horizon.mul_f64(0.9),
+                ramp: Dur::us(10),
+                tasks: liars,
+                mix: TaskMix::new(vec![(
+                    TaskKind::HungryRt {
+                        nominal_wcet: Dur::us(700),
+                        wcet: Dur::us(1500),
+                        period: Dur::ms(60),
+                    },
+                    1.0,
+                )]),
+                nodes: NodeFilter::First(prefix),
+            })
+    }
+
+    /// The feedback-loop parameters of the million-task demo. The
+    /// pressure threshold sits well below the liar prefix's miss rate but
+    /// above the honest sea's (whose long-period tasks rarely even record
+    /// a gap per epoch), and the move budget is sized to drain a
+    /// meaningful share of the packed liars within the few epochs a short
+    /// horizon allows.
+    pub fn milliontask_rebalance(horizon: Dur) -> RebalanceSpec {
+        RebalanceSpec {
+            enabled: true,
+            period: horizon.mul_f64(0.125),
+            pressure: 0.5,
+            max_moves: 4_096,
+            ewma_alpha: 0.6,
+            warm_start: true,
+        }
+    }
+
     /// The diurnal/flash-crowd demo behind the `cluster_diurnal`
     /// experiment and e2e test: a lightly loaded base fleet with
     /// overprovisioned tenant VMs packed onto the low-id nodes, a fleet-

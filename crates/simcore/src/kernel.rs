@@ -112,6 +112,17 @@ struct Tcb {
     syscalls: u64,
 }
 
+/// The stand-in workload of a reclaimed (exited) task: exits immediately
+/// if it is ever asked for work, which cannot happen — see
+/// [`Kernel::reclaim`].
+struct Tombstone;
+
+impl Workload for Tombstone {
+    fn next(&mut self, _ctx: &mut TaskCtx<'_>) -> Action {
+        Action::Exit
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 enum KEvent {
     Start(TaskId),
@@ -259,6 +270,23 @@ impl<S: Scheduler> Kernel<S> {
         if self.current == Some(task) {
             self.current = None;
         }
+        true
+    }
+
+    /// Drops an exited task's workload closure, replacing it with a
+    /// zero-sized tombstone. The kernel keeps one [`Tcb`] per spawned task
+    /// forever (ids are indices); on churn-heavy fleets the retained
+    /// workload boxes — RNG state, script vectors, lease wrappers — are
+    /// the dominant per-dead-task cost. An exited task is never
+    /// dispatched again (stray start/wake events are ignored), so the
+    /// swap is unobservable. Returns `false` unless the task has exited.
+    pub fn reclaim(&mut self, task: TaskId) -> bool {
+        let tcb = &mut self.tasks[task.index()];
+        if tcb.state != TaskState::Exited {
+            return false;
+        }
+        tcb.workload = Box::new(Tombstone);
+        tcb.pending = None;
         true
     }
 
@@ -929,6 +957,36 @@ mod tests {
         assert_eq!(k.task_state(unborn), TaskState::Exited);
         assert_eq!(k.thread_time(blocked), Dur::ZERO);
         assert_eq!(k.thread_time(unborn), Dur::ZERO);
+    }
+
+    #[test]
+    fn reclaim_only_touches_exited_tasks_and_keeps_sensors() {
+        let mut k: Kernel<RoundRobin> = Kernel::new(rr());
+        let done = k.spawn(
+            "done",
+            Box::new(Script::once(vec![
+                Action::Compute(Dur::ms(3)),
+                Action::Exit,
+            ])),
+        );
+        let live = k.spawn(
+            "live",
+            Box::new(Script::once(vec![
+                Action::Compute(Dur::ms(50)),
+                Action::Exit,
+            ])),
+        );
+        k.run_until(t(10));
+        assert_eq!(k.task_state(done), TaskState::Exited);
+        assert!(!k.reclaim(live), "running tasks must not be reclaimed");
+        assert!(k.reclaim(done));
+        // Sensors survive the workload drop, and the rest of the run is
+        // unaffected.
+        assert_eq!(k.thread_time(done), Dur::ms(3));
+        assert_eq!(k.task_name(done), "done");
+        k.run_until(t(100));
+        assert_eq!(k.task_state(live), TaskState::Exited);
+        assert_eq!(k.thread_time(live), Dur::ms(50));
     }
 
     #[test]
